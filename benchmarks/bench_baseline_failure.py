@@ -1,0 +1,102 @@
+"""E9 — Section 3 discussion: insert-only certificates fail under deletions.
+
+Paper claim (introduction of Section 3): Eppstein et al.'s algorithm
+drops an inserted edge when k vertex-disjoint paths already exist
+among stored edges; "such an algorithm fails in the presence of edge
+deletions since some of the vertex disjoint paths that existed when an
+edge was ignored need not exist if edges are subsequently deleted."
+
+Measured: head-to-head error rates of the Eppstein certificate vs the
+Theorem 4 sketch on adversarial insert-then-delete streams, at equal
+query workloads, plus each structure's space.
+"""
+
+import pytest
+
+from _report import record
+
+from repro.baselines.eppstein import EppsteinCertificate
+from repro.core.connectivity_query import VertexConnectivityQuerySketch
+from repro.core.params import Params
+from repro.graph.generators import complete_graph
+from repro.graph.traversal import is_connected_excluding
+
+PARAMS = Params.practical()
+
+
+def _adversarial_run(n, seed):
+    """Insert K_n (certificate drops redundancy), then delete exactly
+    the kept edges at vertex 0; query 'is the graph disconnected?'."""
+    g = complete_graph(n)
+    cert = EppsteinCertificate(n, k=2)
+    sketch = VertexConnectivityQuerySketch(n, k=1, seed=seed, params=PARAMS)
+    true_graph = g.copy()
+    stream = [e for e in g.edges() if 0 not in e] + [(0, v) for v in range(1, n)]
+    for e in stream:
+        cert.insert(e)
+        sketch.insert(e)
+    for v in list(cert.certificate.neighbors(0)):
+        cert.delete((0, v))
+        sketch.delete((0, v))
+        true_graph.remove_edge(0, v)
+    truth = not is_connected_excluding(true_graph, [])
+    return truth, cert.disconnects([]), not sketch.is_connected(), cert, sketch
+
+
+def bench_e9_adversarial_deletions(benchmark):
+    rows = []
+    for n in (8, 10, 12):
+        cert_wrong = sketch_wrong = 0
+        trials = 5
+        for seed in range(trials):
+            truth, cert_ans, sketch_ans, cert, sketch = _adversarial_run(n, seed)
+            cert_wrong += cert_ans != truth
+            sketch_wrong += sketch_ans != truth
+        rows.append(
+            (
+                n,
+                f"{cert_wrong}/{trials}",
+                f"{sketch_wrong}/{trials}",
+                cert.space_counters(),
+                sketch.space_counters(),
+            )
+        )
+    record(
+        "E9",
+        "adversarial insert-then-delete stream: certificate vs sketch",
+        ["n", "Eppstein wrong", "sketch wrong", "cert words", "sketch words"],
+        rows,
+        notes="The certificate deterministically errs (it dropped the "
+        "edges that now matter); the linear sketch is history-oblivious. "
+        "The sketch pays a polylog space factor for it.",
+    )
+    benchmark(lambda: _adversarial_run(8, 0)[0])
+
+
+def bench_e9_insert_only_is_fine(benchmark):
+    """Control: with no deletions the baseline answers match exactly
+    (the regime [13] was designed for)."""
+    rows = []
+    for n in (8, 10):
+        g = complete_graph(n)
+        cert = EppsteinCertificate(n, k=2)
+        for e in g.edges():
+            cert.insert(e)
+        # Any single-vertex removal leaves K_{n-1}: connected.
+        correct = sum(1 for v in range(n) if cert.disconnects([v]) is False)
+        rows.append((n, f"{correct}/{n}", cert.stored_edges, g.num_edges))
+    record(
+        "E9b",
+        "control: insert-only streams (certificate regime)",
+        ["n", "correct queries", "stored edges", "m"],
+        rows,
+    )
+    g = complete_graph(8)
+
+    def run():
+        cert = EppsteinCertificate(8, k=2)
+        for e in g.edges():
+            cert.insert(e)
+        return cert.stored_edges
+
+    benchmark(run)

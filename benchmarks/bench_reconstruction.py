@@ -1,0 +1,122 @@
+"""E6 — Theorem 15: light-edge recovery and cut-degenerate reconstruction.
+
+Paper claim: from an O(kn polylog n) vertex-based sketch, light_k(G)
+is recovered exactly for any (hyper)graph; a k-cut-degenerate graph is
+reconstructed in full — strictly generalising Becker et al.'s
+d-degenerate reconstruction (Lemma 10 separates the classes).
+
+Measured: exact-match rate of recovered light_k against the offline
+peeling, full-reconstruction rate on cut-degenerate families
+(including the Lemma 10 witness, which is *not* 2-degenerate), and
+behaviour under churn streams.
+"""
+
+import pytest
+
+from _report import record
+
+from repro.core.light_edges import LightEdgeRecoverySketch
+from repro.graph.degeneracy import (
+    lemma10_witness,
+    light_edges_exact,
+)
+from repro.graph.generators import (
+    complete_graph,
+    random_connected_graph,
+    random_connected_hypergraph,
+    random_tree,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.stream.generators import insert_delete_reinsert, insert_only
+
+
+def _recover(h, k, seed, stream):
+    sk = LightEdgeRecoverySketch(h.n, k=k, r=h.r, seed=seed)
+    for u in stream:
+        sk.update(u.edge, u.sign)
+    return sk
+
+
+def bench_e6_light_recovery_exactness(benchmark):
+    """Recovered light_k == offline peeling, across families and k."""
+    rows = []
+    cases = [
+        ("tree(16)", Hypergraph.from_graph(random_tree(16, seed=1)), 1),
+        ("sparse(14,+8)", Hypergraph.from_graph(random_connected_graph(14, 8, seed=2)), 2),
+        ("K8", Hypergraph.from_graph(complete_graph(8)), 3),
+        ("hyper(12,14,3)", random_connected_hypergraph(12, 14, r=3, seed=3), 2),
+    ]
+    for name, h, k in cases:
+        exact = light_edges_exact(h, k)
+        ok = 0
+        for seed in range(5):
+            sk = _recover(h, k, seed, insert_only(h))
+            if set(sk.recover_light_edges()) == exact:
+                ok += 1
+        rows.append((name, k, h.num_edges, len(exact), f"{ok}/5"))
+    record(
+        "E6a",
+        "sketch-recovered light_k vs offline peeling",
+        ["input", "k", "m", "|light_k|", "exact matches"],
+        rows,
+    )
+
+    h = Hypergraph.from_graph(random_connected_graph(14, 8, seed=2))
+    stream = insert_only(h)
+    benchmark(lambda: _recover(h, 2, 0, stream).recover_light_edges())
+
+
+def bench_e6_full_reconstruction(benchmark):
+    """Full reconstruction of k-cut-degenerate inputs, incl. Lemma 10."""
+    rows = []
+    cases = [
+        ("tree(20), d=1", Hypergraph.from_graph(random_tree(20, seed=4)), 1, True),
+        ("lemma10 (not 2-degenerate), d=2", Hypergraph.from_graph(lemma10_witness()), 2, True),
+        ("K8, d=2 (not cut-degenerate)", Hypergraph.from_graph(complete_graph(8)), 2, False),
+    ]
+    for name, h, d, expect in cases:
+        ok = 0
+        for seed in range(5):
+            sk = _recover(h, d, seed, insert_only(h))
+            rec = sk.reconstruct()
+            success = (rec is not None and rec.edge_set() == h.edge_set())
+            if success == expect:
+                ok += 1
+        rows.append((name, d, h.num_edges, "reconstruct" if expect else "refuse", f"{ok}/5"))
+    record(
+        "E6b",
+        "cut-degenerate reconstruction (Theorem 15 / Lemma 10)",
+        ["input", "d", "m", "expected", "as expected"],
+        rows,
+        notes="The Lemma 10 witness has min degree 3 (Becker et al.'s "
+        "d-degenerate reconstruction needs d >= 3) yet reconstructs at "
+        "d = 2 via cut-degeneracy.",
+    )
+
+    h = Hypergraph.from_graph(lemma10_witness())
+    stream = insert_only(h)
+    benchmark(lambda: _recover(h, 2, 0, stream).reconstruct())
+
+
+def bench_e6_churn(benchmark):
+    """Reconstruction after insert-delete-reinsert histories."""
+    rows = []
+    g = random_tree(16, seed=5)
+    h = Hypergraph.from_graph(g)
+    ok = 0
+    stream = insert_delete_reinsert(g, shuffle_seed=6)
+    for seed in range(5):
+        sk = LightEdgeRecoverySketch(16, k=1, seed=seed)
+        for u in stream:
+            sk.update(u.edge, u.sign)
+        rec = sk.reconstruct()
+        if rec is not None and rec.edge_set() == h.edge_set():
+            ok += 1
+    rows.append(("tree(16)", len(stream), f"{ok}/5"))
+    record(
+        "E6c",
+        "reconstruction under churn (3x stream length)",
+        ["input", "stream length", "exact reconstructions"],
+        rows,
+    )
+    benchmark(lambda: len(stream))

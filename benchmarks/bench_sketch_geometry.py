@@ -1,0 +1,72 @@
+"""E17 (supplementary) — L0-sampler geometry ablation.
+
+The polylog factors in every space bound are, concretely, the L0
+sampler geometry: Borůvka rounds (independent groups), rows × buckets
+per subsampling level.  This experiment measures spanning-forest
+decode success as each knob shrinks, locating the cliff the defaults
+stay clear of — the empirical justification for `Params`' geometry
+choices.
+"""
+
+import pytest
+
+from _report import record
+
+from repro.graph.generators import random_connected_graph
+from repro.sketch.spanning_forest import SpanningForestSketch
+
+
+def _success_rate(n, rounds, rows, buckets, trials=10):
+    g = random_connected_graph(n, n, seed=n)
+    ok = 0
+    for seed in range(trials):
+        sk = SpanningForestSketch(
+            n, seed=seed, rounds=rounds, rows=rows, buckets=buckets
+        )
+        for e in g.edges():
+            sk.insert(e)
+        ok += len(sk.components_of_decode()) == 1
+    return ok, trials
+
+
+def bench_e17_rounds(benchmark):
+    """Borůvka rounds: below ~log2(n) the decode cannot finish."""
+    n = 64
+    rows = []
+    for rounds in (2, 4, 6, 9, 12):
+        ok, trials = _success_rate(n, rounds, rows=2, buckets=8)
+        rows.append((rounds, f"{ok}/{trials}"))
+    record(
+        "E17a",
+        "decode success vs Borůvka rounds (n = 64, log2 n = 6)",
+        ["rounds", "success"],
+        rows,
+        notes="Each round halves the component count at best; the "
+        "default adds slack above log2 n.",
+    )
+    benchmark(lambda: _success_rate(32, 9, 2, 8, trials=2))
+
+
+def bench_e17_buckets_rows(benchmark):
+    """Recovery geometry: tiny buckets starve the per-level recovery."""
+    n = 64
+    rows_out = []
+    for rows, buckets in ((1, 2), (1, 4), (2, 2), (2, 4), (2, 8), (3, 8)):
+        ok, trials = _success_rate(n, rounds=9, rows=rows, buckets=buckets)
+        counters = SpanningForestSketch(
+            n, seed=0, rounds=9, rows=rows, buckets=buckets
+        ).space_counters()
+        rows_out.append((rows, buckets, f"{ok}/{trials}", counters))
+    record(
+        "E17b",
+        "decode success vs sparse-recovery geometry (n = 64)",
+        ["rows", "buckets", "success", "counters"],
+        rows_out,
+        notes="Measured finding: at laptop scale the recovery geometry "
+        "has wide slack — even 1 row × 2 buckets decodes reliably, "
+        "because the verified cells never lie and the level/round "
+        "fallbacks absorb per-cell failures.  The binding constraint is "
+        "the round count (E17a); the defaults spend memory on buckets "
+        "for the adversarial/denser regimes the theory covers.",
+    )
+    benchmark(lambda: _success_rate(32, 9, 2, 4, trials=2))

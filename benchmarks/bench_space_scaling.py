@@ -1,0 +1,92 @@
+"""E14 — the paper's space columns: measured size and throughput of
+every sketch.
+
+Each theorem's headline is a space bound; this experiment tabulates
+the actual counter counts of every sketch the library builds, across
+n, and the stream-update throughput, so the asymptotic claims can be
+eyeballed against real allocations:
+
+* Theorem 2/13 spanning graph: O(n polylog n)
+* Theorem 4 queries: O(kn polylog n)
+* Theorem 8 tester: O(ε⁻¹ kn polylog n)
+* Theorem 14 skeleton: O(kn polylog n)
+* Theorem 15 light edges: O(kn polylog n)
+* Theorem 20 sparsifier: O(ε⁻² n polylog n)
+"""
+
+import time
+
+import pytest
+
+from _report import record
+
+from repro.core.connectivity_estimate import KVertexConnectivityTester
+from repro.core.connectivity_query import VertexConnectivityQuerySketch
+from repro.core.light_edges import LightEdgeRecoverySketch
+from repro.core.params import Params
+from repro.core.sparsifier import HypergraphSparsifierSketch
+from repro.graph.generators import random_connected_graph
+from repro.sketch.skeleton import SkeletonSketch
+from repro.sketch.spanning_forest import SpanningForestSketch
+from repro.stream.generators import insert_only
+
+PARAMS = Params.practical()
+
+
+def bench_e14_space_by_sketch(benchmark):
+    rows = []
+    for n in (32, 64, 128):
+        builders = [
+            ("spanning (Thm 2)", lambda: SpanningForestSketch(n, seed=1)),
+            ("query k=2 (Thm 4)", lambda: VertexConnectivityQuerySketch(n, k=2, seed=1, params=PARAMS)),
+            ("tester k=2 ε=1 (Thm 8)", lambda: KVertexConnectivityTester(n, k=2, epsilon=1.0, seed=1, params=PARAMS)),
+            ("skeleton k=3 (Thm 14)", lambda: SkeletonSketch(n, k=3, seed=1)),
+            ("light k=2 (Thm 15)", lambda: LightEdgeRecoverySketch(n, k=2, seed=1)),
+            ("sparsifier k=4 ℓ=6 (Thm 20)", lambda: HypergraphSparsifierSketch(n, r=2, epsilon=0.5, seed=1, k=4, levels=6)),
+        ]
+        for name, build in builders:
+            sk = build()
+            rows.append((name, n, sk.space_counters(), round(sk.space_counters() / n)))
+    record(
+        "E14a",
+        "space (counter words) of every sketch vs n",
+        ["sketch", "n", "counters", "counters/n"],
+        rows,
+        notes="counters/n growing only polylogarithmically in n is the "
+        "paper's space shape; absolute constants are the L0 geometry.",
+    )
+    benchmark(lambda: SpanningForestSketch(64, seed=2).space_counters())
+
+
+def bench_e14_throughput(benchmark):
+    """Stream updates/second for the main sketches."""
+    n = 64
+    g = random_connected_graph(n, 3 * n, seed=3)
+    stream = insert_only(g, shuffle_seed=1)
+    rows = []
+    sketches = [
+        ("spanning", SpanningForestSketch(n, seed=4)),
+        ("query k=2", VertexConnectivityQuerySketch(n, k=2, seed=4, params=PARAMS)),
+        ("light k=2", LightEdgeRecoverySketch(n, k=2, seed=4)),
+        ("sparsifier", HypergraphSparsifierSketch(n, r=2, epsilon=0.5, seed=4, k=4, levels=6)),
+    ]
+    for name, sk in sketches:
+        t0 = time.perf_counter()
+        for u in stream:
+            sk.update(u.edge, u.sign)
+        dt = time.perf_counter() - t0
+        rows.append((name, len(stream), f"{len(stream)/dt:.0f}"))
+    record(
+        "E14b",
+        "stream throughput (updates/second), n = 64",
+        ["sketch", "updates", "updates/s"],
+        rows,
+    )
+
+    sk = SpanningForestSketch(n, seed=5)
+
+    def one_pass():
+        for u in stream[:64]:
+            sk.update(u.edge, u.sign)
+
+    benchmark(one_pass)

@@ -1,0 +1,110 @@
+"""E1 — Theorem 2/13: spanning-graph sketches.
+
+Paper claim: a vertex-based sketch of size O(n polylog n) from which a
+spanning forest (graph case, Thm 2) or spanning graph (hypergraph
+case, Thm 13) is constructed w.h.p., under insertions and deletions.
+
+Measured: decode success rate (components of the decode == components
+of the graph), space counters vs n (shape: n polylog n), and stream
+throughput.
+"""
+
+import pytest
+
+from _report import record
+
+from repro.graph.generators import (
+    gnp_graph,
+    random_connected_graph,
+    random_connected_hypergraph,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.sketch.spanning_forest import SpanningForestSketch
+from repro.stream.generators import insert_delete_reinsert, insert_only
+
+
+def _success(graphlike, n, r, seed, stream):
+    sk = SpanningForestSketch(n, r=r, seed=seed)
+    for u in stream:
+        sk.update(u.edge, u.sign)
+    decoded = {tuple(c) for c in sk.components_of_decode()}
+    truth = {tuple(c) for c in graphlike.components()}
+    return decoded == truth
+
+
+def bench_e1_graph_success_rate(benchmark):
+    """Success rate and space across n, insert-only graph streams."""
+    rows = []
+    for n in (16, 32, 64, 128):
+        g = random_connected_graph(n, n, seed=n)
+        stream = insert_only(g, shuffle_seed=1)
+        ok = sum(_success(g, n, 2, seed, stream) for seed in range(10))
+        sk = SpanningForestSketch(n, seed=0)
+        rows.append((n, g.num_edges, f"{ok}/10", sk.space_counters(),
+                     round(sk.space_counters() / n)))
+    record(
+        "E1a",
+        "spanning-forest sketch (graphs, insert-only)",
+        ["n", "m", "decode success", "counters", "counters/n"],
+        rows,
+        notes="Paper: success w.h.p., space O(n polylog n). counters/n "
+        "should grow polylogarithmically.",
+    )
+
+    g = random_connected_graph(64, 64, seed=7)
+    stream = insert_only(g, shuffle_seed=2)
+
+    def run():
+        sk = SpanningForestSketch(64, seed=3)
+        for u in stream:
+            sk.update(u.edge, u.sign)
+        return sk.decode()
+
+    forest = benchmark(run)
+    assert forest.num_edges >= 1
+
+
+def bench_e1_dynamic_deletions(benchmark):
+    """Same decode quality when every edge is inserted, deleted and
+    re-inserted (the dynamic model's stress ordering)."""
+    rows = []
+    for n in (16, 32, 64):
+        g = random_connected_graph(n, n // 2, seed=n + 1)
+        stream = insert_delete_reinsert(g, shuffle_seed=3)
+        ok = sum(_success(g, n, 2, seed, stream) for seed in range(10))
+        rows.append((n, g.num_edges, len(stream), f"{ok}/10"))
+    record(
+        "E1b",
+        "spanning-forest sketch under insert-delete-reinsert",
+        ["n", "m", "stream length", "decode success"],
+        rows,
+        notes="Linearity makes the history irrelevant; success should "
+        "match E1a.",
+    )
+
+    g = random_connected_graph(32, 16, seed=9)
+    stream = insert_delete_reinsert(g, shuffle_seed=4)
+    benchmark(lambda: _success(g, 32, 2, 0, stream))
+
+
+def bench_e1_hypergraph(benchmark):
+    """Theorem 13: hypergraph spanning sketches (rank 3 and 4)."""
+    rows = []
+    for n, r in ((16, 3), (32, 3), (32, 4), (64, 3)):
+        h = random_connected_hypergraph(n, n, r=r, seed=n + r)
+        stream = insert_only(h, shuffle_seed=5)
+        ok = sum(_success(h, n, r, seed, stream) for seed in range(10))
+        sk = SpanningForestSketch(n, r=r, seed=0)
+        rows.append((n, r, h.num_edges, f"{ok}/10", sk.space_counters()))
+    record(
+        "E1c",
+        "hypergraph spanning-graph sketch (Theorem 13)",
+        ["n", "r", "m", "decode success", "counters"],
+        rows,
+        notes="First dynamic hypergraph connectivity; success w.h.p. as "
+        "in the graph case.",
+    )
+
+    h = random_connected_hypergraph(32, 32, r=3, seed=11)
+    stream = insert_only(h, shuffle_seed=6)
+    benchmark(lambda: _success(h, 32, 3, 1, stream))

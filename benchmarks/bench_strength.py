@@ -1,0 +1,103 @@
+"""E7 — Lemma 16: light_k(G) = {e : k_e <= k}.
+
+Paper claim (Section 4.2.2): the recursively defined light edges
+coincide with Benczúr–Karger strong connectivity — k_e is the largest
+k such that some vertex-induced subgraph containing e is
+k-edge-connected.
+
+Measured: exact agreement between the peeling-based strengths and the
+brute-force maximisation over induced subgraphs, plus the timing gap
+between the two (the peeling characterisation is what makes strengths
+computable at all).
+"""
+
+import time
+
+import pytest
+
+from _report import record
+
+from repro.graph.degeneracy import (
+    edge_strength_bruteforce,
+    edge_strengths,
+    light_edges_exact,
+)
+from repro.graph.generators import gnp_graph, random_connected_graph
+from repro.graph.hypergraph import Hypergraph
+
+
+def bench_e7_lemma16_agreement(benchmark):
+    """Peeling strengths == brute-force strong connectivity."""
+    rows = []
+    for seed, n, p in ((1, 7, 0.5), (2, 8, 0.4), (3, 8, 0.6)):
+        g = gnp_graph(n, p, seed=seed)
+        s = edge_strengths(g)
+        agree = 0
+        checked = list(g.edge_set())[:8]
+        for e in checked:
+            if s[e] == edge_strength_bruteforce(g, e):
+                agree += 1
+        rows.append((f"G({n},{p})#{seed}", g.num_edges, len(checked), f"{agree}/{len(checked)}"))
+    record(
+        "E7a",
+        "Lemma 16: peeling strength vs brute-force strong connectivity",
+        ["graph", "m", "edges checked", "agreement"],
+        rows,
+        notes="Exact equality is the content of Lemma 16; no randomness "
+        "involved.",
+    )
+
+    g = gnp_graph(8, 0.5, seed=4)
+    benchmark(lambda: edge_strengths(g))
+
+
+def bench_e7_lightk_equals_strength_filter(benchmark):
+    """light_k == {e : k_e <= k} for every k, on larger graphs."""
+    rows = []
+    for seed in (5, 6):
+        g = random_connected_graph(14, 18, seed=seed)
+        h = Hypergraph.from_graph(g)
+        s = edge_strengths(g)
+        all_match = True
+        for k in (1, 2, 3, 4):
+            via_light = light_edges_exact(h, k)
+            via_strength = {e for e, ke in s.items() if ke <= k}
+            if via_light != via_strength:
+                all_match = False
+        rows.append((f"graph#{seed}", g.num_edges, max(s.values()), all_match))
+    record(
+        "E7b",
+        "light_k == strength filter for all k",
+        ["graph", "m", "max strength", "all k match"],
+        rows,
+    )
+
+    g = random_connected_graph(14, 18, seed=7)
+    h = Hypergraph.from_graph(g)
+    benchmark(lambda: light_edges_exact(h, 2))
+
+
+def bench_e7_timing_gap(benchmark):
+    """Peeling is polynomial; brute force is exponential."""
+    g = gnp_graph(9, 0.5, seed=8)
+    e0 = g.edges()[0]
+
+    t0 = time.perf_counter()
+    edge_strengths(g)
+    peel_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    edge_strength_bruteforce(g, e0)
+    brute_one_edge = time.perf_counter() - t0
+
+    record(
+        "E7c",
+        "strength computation cost",
+        ["method", "scope", "seconds"],
+        [
+            ("peeling (Lemma 16)", "all edges", f"{peel_time:.4f}"),
+            ("brute force", "ONE edge", f"{brute_one_edge:.4f}"),
+        ],
+        notes="Brute force enumerates 2^(n-2) induced subgraphs per edge.",
+    )
+    benchmark(lambda: edge_strengths(g))

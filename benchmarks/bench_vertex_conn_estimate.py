@@ -1,0 +1,109 @@
+"""E4 — Theorems 6-8: distinguishing (1+ε)k-connected from k-connected.
+
+Paper claim: with R = O(k² ε⁻¹ ln n) vertex-sampled spanning forests,
+the union H is k-vertex-connected w.h.p. when G is (1+ε)k-connected,
+and H k-connected certifies G k-connected.
+
+Measured, on Harary graphs (exact connectivity by construction):
+acceptance rate of the k-tester on κ = (1+ε)k graphs (should be ~1),
+rejection on κ < k graphs (must be 1 by soundness), and the estimator
+ladder's output vs the true κ.
+"""
+
+import pytest
+
+from _report import record
+
+from repro.core.connectivity_estimate import (
+    KVertexConnectivityTester,
+    VertexConnectivityEstimator,
+)
+from repro.core.params import Params
+from repro.graph.generators import harary_graph
+from repro.graph.vertex_connectivity import vertex_connectivity
+
+PARAMS = Params.practical()
+
+
+def _acceptance_rate(g, k, epsilon, trials=5):
+    accepted = 0
+    for seed in range(trials):
+        tester = KVertexConnectivityTester(
+            g.n, k=k, epsilon=epsilon, seed=seed, params=PARAMS
+        )
+        for e in g.edges():
+            tester.insert(e)
+        accepted += tester.accepts()
+    return accepted, trials
+
+
+def bench_e4_tester_gap(benchmark):
+    """Accept above the gap, reject below (soundness is exact)."""
+    rows = []
+    n = 18
+    for k, kappa in ((2, 4), (2, 2), (2, 1), (3, 6), (3, 2)):
+        g = harary_graph(kappa, n)
+        assert vertex_connectivity(g) == kappa
+        accepted, trials = _acceptance_rate(g, k, epsilon=1.0)
+        expected = "accept" if kappa >= 2 * k else ("reject" if kappa < k else "-")
+        rows.append((k, kappa, f"{accepted}/{trials}", expected))
+    record(
+        "E4a",
+        "k-tester on Harary graphs (ε = 1)",
+        ["tester k", "true κ", "accepted", "paper expectation"],
+        rows,
+        notes="κ >= (1+ε)k ⇒ accept w.h.p.; κ < k ⇒ reject always "
+        "(soundness: the certificate is a subgraph).  κ in between may "
+        "go either way.",
+    )
+
+    g = harary_graph(4, n)
+    benchmark(lambda: _acceptance_rate(g, 2, 1.0, trials=1))
+
+
+def bench_e4_estimator(benchmark):
+    """The ladder estimator brackets the true connectivity."""
+    rows = []
+    for kappa in (1, 2, 4, 6):
+        g = harary_graph(kappa, 16)
+        est = VertexConnectivityEstimator(
+            16, k_max=8, epsilon=1.0, seed=kappa, params=PARAMS
+        )
+        for e in g.edges():
+            est.insert(e)
+        k_hat = est.estimate()
+        rows.append((kappa, est.ladder, k_hat, k_hat <= kappa))
+    record(
+        "E4b",
+        "vertex-connectivity estimator (geometric ladder)",
+        ["true κ", "ladder", "estimate", "estimate <= κ (soundness)"],
+        rows,
+        notes="Theorem 8 headline: (1+ε)-estimation in O(ε⁻¹ k n polylog) "
+        "space; the estimate is the largest accepted ladder value.",
+    )
+
+    g = harary_graph(4, 16)
+
+    def run():
+        est = VertexConnectivityEstimator(16, k_max=4, epsilon=1.0, seed=9, params=PARAMS)
+        for e in g.edges():
+            est.insert(e)
+        return est.estimate()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def bench_e4_repetitions_vs_epsilon(benchmark):
+    """Space/repetition scaling in ε (the ε⁻¹ factor of Theorem 8)."""
+    rows = []
+    for eps in (2.0, 1.0, 0.5, 0.25):
+        tester = KVertexConnectivityTester(32, k=2, epsilon=eps, seed=1, params=PARAMS)
+        rows.append((eps, tester.repetitions, tester.space_counters()))
+    record(
+        "E4c",
+        "tester repetitions vs ε",
+        ["ε", "R", "counters"],
+        rows,
+        notes="R = O(k² ε⁻¹ ln n): halving ε doubles the repetitions.",
+    )
+    benchmark(lambda: KVertexConnectivityTester(32, k=2, epsilon=1.0, seed=2, params=PARAMS))

@@ -1,0 +1,117 @@
+"""E2 — Theorem 4: vertex-connectivity query structure.
+
+Paper claim: O(kn polylog n) space suffices to answer, post-stream,
+whether any queried set of at most k vertices disconnects the graph
+(w.h.p. per query set).
+
+Measured: query accuracy against the exact answer over separating and
+non-separating query sets, for planted-separator workloads with
+insertions and deletions; space vs (k, n).
+"""
+
+from itertools import combinations
+
+import pytest
+
+from _report import record
+
+from repro.core.connectivity_query import VertexConnectivityQuerySketch
+from repro.core.params import Params
+from repro.graph.generators import planted_separator_graph
+from repro.graph.traversal import is_connected_excluding
+from repro.stream.generators import insert_delete_reinsert, insert_only
+
+PARAMS = Params.practical()
+
+
+def _accuracy(g, sep, k, seed, stream):
+    sk = VertexConnectivityQuerySketch(g.n, k=k, seed=seed, params=PARAMS)
+    for u in stream:
+        sk.update(u.edge, u.sign)
+    queries = [tuple(sep)]
+    queries += list(combinations(range(min(g.n, 10)), k))[:20]
+    correct = 0
+    for S in queries:
+        expected = not is_connected_excluding(g, S)
+        if sk.disconnects(S) == expected:
+            correct += 1
+    return correct, len(queries), sk
+
+
+def bench_e2_query_accuracy(benchmark):
+    """Accuracy and space for k in {1, 2, 3}."""
+    rows = []
+    for k in (1, 2, 3):
+        g, sep = planted_separator_graph(8, k, seed=k)
+        stream = insert_only(g, shuffle_seed=k)
+        total_correct = total = 0
+        sk = None
+        for seed in range(5):
+            c, t, sk = _accuracy(g, sep, k, seed, stream)
+            total_correct += c
+            total += t
+        rows.append(
+            (
+                k,
+                g.n,
+                g.num_edges,
+                sk.repetitions,
+                f"{total_correct}/{total}",
+                sk.space_counters(),
+            )
+        )
+    record(
+        "E2a",
+        "vertex-connectivity queries (Theorem 4), insert-only",
+        ["k", "n", "m", "R", "correct queries", "counters"],
+        rows,
+        notes="Paper: every |S| <= k query answered correctly w.h.p.; "
+        "space O(kn polylog n) (R ~ (k+1)^2 ln n instances of ~n/(k+1) "
+        "vertices each).",
+    )
+
+    g, sep = planted_separator_graph(8, 2, seed=42)
+    stream = insert_only(g, shuffle_seed=5)
+    benchmark(lambda: _accuracy(g, sep, 2, 0, stream)[0])
+
+
+def bench_e2_dynamic(benchmark):
+    """Accuracy is unchanged under delete-heavy histories (linearity)."""
+    rows = []
+    for k in (1, 2):
+        g, sep = planted_separator_graph(7, k, seed=10 + k)
+        stream = insert_delete_reinsert(g, shuffle_seed=6)
+        total_correct = total = 0
+        for seed in range(5):
+            c, t, _ = _accuracy(g, sep, k, seed, stream)
+            total_correct += c
+            total += t
+        rows.append((k, g.num_edges, len(stream), f"{total_correct}/{total}"))
+    record(
+        "E2b",
+        "vertex-connectivity queries under churn",
+        ["k", "m", "stream length", "correct queries"],
+        rows,
+    )
+
+    g, sep = planted_separator_graph(7, 2, seed=12)
+    stream = insert_delete_reinsert(g, shuffle_seed=7)
+    benchmark(lambda: _accuracy(g, sep, 2, 1, stream)[0])
+
+
+def bench_e2_space_shape(benchmark):
+    """Space scales ~ linearly in n at fixed k, ~quadratically in k."""
+    rows = []
+    for n in (16, 32, 64):
+        for k in (1, 2, 4):
+            sk = VertexConnectivityQuerySketch(n, k=k, seed=1, params=PARAMS)
+            rows.append((n, k, sk.repetitions, sk.space_counters()))
+    record(
+        "E2c",
+        "query-structure space vs (n, k)",
+        ["n", "k", "R", "counters"],
+        rows,
+        notes="Theorem 4 space is O(kn polylog n): each of the "
+        "R = O(k^2 log n) instances holds ~n/k active vertices.",
+    )
+    benchmark(lambda: VertexConnectivityQuerySketch(32, k=2, seed=2, params=PARAMS))

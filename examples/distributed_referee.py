@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scenario: one-round distributed connectivity (Becker et al. model).
+
+n machines each know only their own adjacency (e.g. each host knows
+its peers in an overlay).  A coordinator must decide whether the
+overlay is connected — in ONE simultaneous round, with the smallest
+possible per-machine message.
+
+Because the paper's sketches are *vertex-based* (every linear
+measurement is local to one vertex, Definition 1), each machine can
+evaluate exactly its own share of the sketch and ship it; the
+coordinator adds the shares and decodes a spanning graph.  Per-machine
+communication is polylog(n) words, versus shipping Θ(degree) adjacency
+lists.
+
+Run:  python examples/distributed_referee.py
+"""
+
+from repro.comm.simultaneous import SpanningForestProtocol
+from repro.graph.generators import random_connected_hypergraph, random_hypergraph
+
+
+def run_case(label, h, seed):
+    proto = SpanningForestProtocol(h.n, r=h.r, seed=seed)
+    # Each "machine" computes its message from purely local input.
+    messages = {
+        v: proto.player_message(v, sorted(h.incident_edges(v)))
+        for v in range(h.n)
+    }
+    result = proto.referee_decode(messages)
+    truth = h.is_connected()
+    naive_bits = max(
+        64 * sum(len(e) for e in h.incident_edges(v)) for v in range(h.n)
+    )
+    print(f"\n== {label} (n={h.n}, m={h.num_edges}, rank<= {h.r}) ==")
+    print(f"  referee verdict: connected={result.is_connected} "
+          f"(truth: {truth}) components={len(result.components)}")
+    print(f"  per-machine message: {result.message_bits} bits "
+          f"(vs worst-case adjacency shipping {naive_bits} bits)")
+    print(f"  total communication: {result.total_bits} bits")
+    return result.is_connected == truth
+
+
+def main() -> None:
+    ok = 0
+    cases = [
+        ("connected overlay", random_connected_hypergraph(24, 40, r=3, seed=5), 1),
+        ("fragmented overlay", random_hypergraph(24, 7, r=3, seed=6), 2),
+        ("dense group overlay", random_connected_hypergraph(16, 80, r=4, seed=7), 3),
+    ]
+    for label, h, seed in cases:
+        ok += run_case(label, h, seed)
+    print(f"\ncorrect verdicts: {ok}/{len(cases)}")
+    print("note: message size is fixed by (n, r) — a machine with 100 "
+          "peers sends exactly as many bits as one with 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: reconstructing a sparse topology from per-node sketches.
+
+A sensor deployment reports, once, a tiny digest per node (the
+simultaneous model again) and the collector wants the *entire* wiring
+back — not just connectivity.  Becker et al. showed this is possible
+with O(d polylog n)-bit messages when the topology is d-degenerate;
+the paper's Section 4 extends it to the strictly larger class of
+d-CUT-degenerate topologies (Definition 9 / Theorem 15).
+
+This script reconstructs two topologies with d = 2 sketches:
+
+* a random tree plus a few cycles (2-degenerate — also handled by the
+  older result), and
+* the paper's Lemma 10 graph, which has minimum degree 3 (so Becker
+  et al.'s d = 2 sketches cannot reconstruct it) but is
+  2-cut-degenerate — only the cut-degeneracy route succeeds.
+
+Run:  python examples/reconstruct_sparse_topology.py
+"""
+
+from repro import LightEdgeRecoverySketch
+from repro.graph.degeneracy import (
+    cut_degeneracy,
+    degeneracy,
+    lemma10_witness,
+)
+from repro.graph.generators import random_connected_graph
+from repro.graph.hypergraph import Hypergraph
+
+
+def reconstruct(label, g, d, seed):
+    h = Hypergraph.from_graph(g)
+    print(f"\n== {label} ==")
+    print(f"  n={g.n}, m={g.num_edges}, degeneracy={degeneracy(h)}, "
+          f"cut-degeneracy={cut_degeneracy(h)}")
+    sketch = LightEdgeRecoverySketch(g.n, k=d, seed=seed)
+    for e in g.edges():
+        sketch.insert(e)
+    rec = sketch.reconstruct()
+    if rec is None:
+        print(f"  d={d} sketch: could not certify full reconstruction")
+        return False
+    exact = rec.edge_set() == h.edge_set()
+    print(f"  d={d} sketch: reconstructed {rec.num_edges} edges, "
+          f"exact={exact}")
+    print(f"  per-node message would be "
+          f"{sketch.space_counters() // g.n} counters (O(d polylog n))")
+    return exact
+
+
+def main() -> None:
+    ok = 0
+    ok += reconstruct(
+        "sparse mesh (2-degenerate)", random_connected_graph(20, 6, seed=3), 2, 31
+    )
+    ok += reconstruct(
+        "Lemma 10 topology (min degree 3, 2-cut-degenerate)",
+        lemma10_witness(),
+        2,
+        32,
+    )
+    print(f"\nexact reconstructions: {ok}/2")
+    print("the second case is exactly what separates Theorem 15 from "
+          "Becker et al.: degeneracy 3 but cut-degeneracy 2.")
+
+
+if __name__ == "__main__":
+    main()

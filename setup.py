@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+setuptools lacks PEP 660 wheel support (configuration lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

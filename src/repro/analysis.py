@@ -1,0 +1,160 @@
+"""Verification and audit helpers for sketch outputs.
+
+The benchmarks and examples repeatedly ask the same questions of a
+decoded object — "is this really a k-skeleton?", "how far off are the
+sparsifier's cuts?", "did the query structure get everything right?".
+This module packages those audits behind one API with explicit
+exhaustive / sampled modes, so downstream users can verify outputs on
+their own workloads the same way the experiments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .errors import DomainError
+from .graph.hypergraph import Hypergraph, WeightedHypergraph
+from .graph.hypergraph_cuts import all_cuts
+from .graph.traversal import hypergraph_is_connected_excluding
+from .util.rng import rng_from
+
+
+@dataclass(frozen=True)
+class CutAuditReport:
+    """Outcome of a cut-preservation audit."""
+
+    cuts_checked: int
+    worst_relative_error: float
+    worst_cut: Tuple[int, ...]
+    mean_relative_error: float
+
+    def within(self, epsilon: float) -> bool:
+        """True if every audited cut was preserved within (1 ± ε)."""
+        return self.worst_relative_error <= epsilon
+
+
+def _cut_sides(
+    n: int, mode: str, samples: int, seed: Optional[int]
+) -> List[Tuple[int, ...]]:
+    if mode == "exhaustive":
+        if n > 20:
+            raise DomainError(
+                "exhaustive audit limited to n <= 20; use mode='sampled'"
+            )
+        return list(all_cuts(n))
+    if mode != "sampled":
+        raise DomainError(f"unknown audit mode {mode!r}")
+    rng = rng_from(seed, 0xA0D1)
+    sides = []
+    # Structured cuts first: singletons and prefixes.
+    sides.extend((v,) for v in range(n))
+    sides.extend(tuple(range(size)) for size in range(2, n // 2 + 1))
+    while len(sides) < samples:
+        mask = rng.random(n) < rng.uniform(0.15, 0.5)
+        side = tuple(int(v) for v in range(n) if mask[v])
+        if 0 < len(side) < n:
+            sides.append(side)
+    return sides[:samples] if len(sides) > samples else sides
+
+
+def audit_sparsifier(
+    original: Hypergraph,
+    sparsifier: WeightedHypergraph,
+    mode: str = "exhaustive",
+    samples: int = 500,
+    seed: Optional[int] = None,
+) -> CutAuditReport:
+    """Compare weighted sparsifier cuts against the original's.
+
+    ``mode='exhaustive'`` checks every cut (n <= 20);
+    ``mode='sampled'`` checks singletons, prefixes, and random sides.
+    """
+    sides = _cut_sides(original.n, mode, samples, seed)
+    worst = 0.0
+    worst_cut: Tuple[int, ...] = ()
+    total = 0.0
+    counted = 0
+    for side in sides:
+        true = original.cut_size(side)
+        if true == 0:
+            continue
+        err = abs(sparsifier.cut_weight(side) - true) / true
+        counted += 1
+        total += err
+        if err > worst:
+            worst, worst_cut = err, tuple(side)
+    return CutAuditReport(
+        cuts_checked=counted,
+        worst_relative_error=worst,
+        worst_cut=worst_cut,
+        mean_relative_error=(total / counted) if counted else 0.0,
+    )
+
+
+def audit_skeleton(
+    original: Hypergraph,
+    skeleton: Hypergraph,
+    k: int,
+    mode: str = "exhaustive",
+    samples: int = 500,
+    seed: Optional[int] = None,
+) -> Tuple[bool, Tuple[int, ...]]:
+    """Check Definition 11 over the audited cuts.
+
+    Returns ``(holds, witness)`` where ``witness`` is a violating cut
+    side (empty tuple when the property held everywhere checked).
+    """
+    if not skeleton.edge_set() <= original.edge_set():
+        fake = next(iter(skeleton.edge_set() - original.edge_set()))
+        raise DomainError(f"skeleton contains non-edge {fake}")
+    for side in _cut_sides(original.n, mode, samples, seed):
+        if skeleton.cut_size(side) < min(original.cut_size(side), k):
+            return False, tuple(side)
+    return True, ()
+
+
+@dataclass(frozen=True)
+class QueryAuditReport:
+    """Outcome of a vertex-removal query audit."""
+
+    queries: int
+    correct: int
+    wrong_sets: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of audited queries answered correctly."""
+        return self.correct / self.queries if self.queries else 1.0
+
+
+def audit_queries(
+    truth: Hypergraph,
+    sketch,
+    max_size: int,
+    limit: int = 200,
+    seed: Optional[int] = None,
+) -> QueryAuditReport:
+    """Cross-check ``sketch.disconnects`` against the true hypergraph.
+
+    Audits all vertex sets of size <= ``max_size`` up to ``limit``
+    queries (shuffled deterministically by ``seed`` so the audit isn't
+    biased toward low vertex ids).
+    """
+    candidates: List[Tuple[int, ...]] = []
+    for size in range(1, max_size + 1):
+        candidates.extend(combinations(range(truth.n), size))
+    rng = rng_from(seed, 0xA0D2)
+    rng.shuffle(candidates)
+    candidates = candidates[:limit]
+    wrong: List[Tuple[int, ...]] = []
+    for S in candidates:
+        expected = not hypergraph_is_connected_excluding(truth, S)
+        if sketch.disconnects(S) != expected:
+            wrong.append(S)
+    return QueryAuditReport(
+        queries=len(candidates),
+        correct=len(candidates) - len(wrong),
+        wrong_sets=tuple(wrong),
+    )

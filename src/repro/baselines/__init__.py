@@ -1,0 +1,14 @@
+"""Baselines the paper positions against."""
+
+from .eppstein import EppsteinCertificate
+from .kogan_krauthgamer import InsertOnlyHypergraphSparsifier
+from .offline_sparsifier import benczur_karger_sparsifier, karger_uniform_sparsifier
+from .store_all import StoreEverything
+
+__all__ = [
+    "EppsteinCertificate",
+    "StoreEverything",
+    "benczur_karger_sparsifier",
+    "karger_uniform_sparsifier",
+    "InsertOnlyHypergraphSparsifier",
+]

@@ -1,0 +1,215 @@
+"""Command-line interface: run sketches over stream files.
+
+Usage (after installation)::
+
+    python -m repro connectivity STREAM_FILE [--seed S]
+    python -m repro query STREAM_FILE --remove 3,7 [--k K] [--seed S]
+    python -m repro edge-connectivity STREAM_FILE [--k-max K] [--seed S]
+    python -m repro sparsify STREAM_FILE [--epsilon E --k K --levels L]
+    python -m repro reconstruct STREAM_FILE --d D [--seed S]
+    python -m repro generate {gnp,harary,hypergraph} ... -o STREAM_FILE
+
+Stream files use the text format of :mod:`repro.stream.file_io`.
+Every command prints a small human-readable report and exits 0 on
+success; malformed inputs exit 2 with a diagnostic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.connectivity_query import VertexConnectivityQuerySketch
+from .core.edge_connectivity_sketch import EdgeConnectivitySketch
+from .core.hyper_connectivity import HypergraphConnectivitySketch
+from .core.light_edges import LightEdgeRecoverySketch
+from .core.params import Params
+from .core.sparsifier import HypergraphSparsifierSketch
+from .errors import ReproError
+from .stream.file_io import load_stream_file, save_stream_file
+from .stream.generators import insert_only
+
+
+def _params(name: str) -> Params:
+    return {
+        "theory": Params.theory(),
+        "practical": Params.practical(),
+        "fast": Params.fast(),
+    }[name]
+
+
+def _feed(sketch, updates) -> None:
+    for u in updates:
+        sketch.update(u.edge, u.sign)
+
+
+def _cmd_connectivity(args) -> int:
+    n, r, updates = load_stream_file(args.stream)
+    sketch = HypergraphConnectivitySketch(n, r=r, seed=args.seed, params=_params(args.params))
+    _feed(sketch, updates)
+    comps = sketch.components()
+    print(f"n={n} r={r} events={len(updates)}")
+    print(f"connected: {len(comps) == 1}")
+    print(f"components ({len(comps)}): {comps}")
+    print(f"sketch: {sketch.space_counters()} counters")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    n, r, updates = load_stream_file(args.stream)
+    removed = [int(x) for x in args.remove.split(",") if x != ""]
+    k = args.k if args.k is not None else max(1, len(removed))
+    sketch = VertexConnectivityQuerySketch(
+        n, k=k, r=r, seed=args.seed, params=_params(args.params)
+    )
+    _feed(sketch, updates)
+    verdict = sketch.disconnects(removed)
+    print(f"n={n} r={r} events={len(updates)} k={k} R={sketch.repetitions}")
+    print(f"removing {removed} disconnects the graph: {verdict}")
+    return 0
+
+
+def _cmd_edge_connectivity(args) -> int:
+    n, r, updates = load_stream_file(args.stream)
+    sketch = EdgeConnectivitySketch(
+        n, k_max=args.k_max, r=r, seed=args.seed, params=_params(args.params)
+    )
+    _feed(sketch, updates)
+    lam = sketch.estimate()
+    suffix = " (at least; saturated the cap)" if lam == args.k_max else ""
+    print(f"n={n} r={r} events={len(updates)}")
+    print(f"edge connectivity estimate: {lam}{suffix}")
+    return 0
+
+
+def _cmd_sparsify(args) -> int:
+    n, r, updates = load_stream_file(args.stream)
+    sketch = HypergraphSparsifierSketch(
+        n,
+        r=r,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        params=_params(args.params),
+        k=args.k,
+        levels=args.levels,
+    )
+    _feed(sketch, updates)
+    sp, complete = sketch.decode()
+    print(f"n={n} r={r} events={len(updates)} k={sketch.k} levels={sketch.levels}")
+    print(f"sparsifier: {sp.num_edges} weighted hyperedges, complete={complete}")
+    for e in sp.edges():
+        print(f"  {' '.join(str(v) for v in e)}  w={sp.weight(e):g}")
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    n, r, updates = load_stream_file(args.stream)
+    sketch = LightEdgeRecoverySketch(
+        n, k=args.d, r=r, seed=args.seed, params=_params(args.params)
+    )
+    _feed(sketch, updates)
+    rec = sketch.reconstruct()
+    print(f"n={n} r={r} events={len(updates)} d={args.d}")
+    if rec is None:
+        print("reconstruction: FAILED (graph not d-cut-degenerate, or decode fell short)")
+        return 1
+    print(f"reconstruction: {rec.num_edges} edges")
+    for e in rec.edges():
+        print(f"  {' '.join(str(v) for v in e)}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .graph.generators import gnp_graph, harary_graph, random_hypergraph
+
+    if args.family == "gnp":
+        g = gnp_graph(args.n, args.p, seed=args.seed)
+        n, r = args.n, 2
+    elif args.family == "harary":
+        g = harary_graph(args.k, args.n)
+        n, r = args.n, 2
+    else:
+        g = random_hypergraph(args.n, args.m, r=args.rank, seed=args.seed)
+        n, r = args.n, args.rank
+    count = save_stream_file(args.output, n, insert_only(g, shuffle_seed=args.seed), r=r)
+    print(f"wrote {count} events to {args.output} (n={n}, r={r})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic graph stream sketches (Guha-McGregor-Tench, PODS 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("stream", help="stream file (see repro.stream.file_io)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--params",
+            choices=["theory", "practical", "fast"],
+            default="practical",
+        )
+
+    p = sub.add_parser("connectivity", help="is the streamed (hyper)graph connected?")
+    common(p)
+    p.set_defaults(func=_cmd_connectivity)
+
+    p = sub.add_parser("query", help="does removing a vertex set disconnect it?")
+    common(p)
+    p.add_argument("--remove", required=True, help="comma-separated vertex ids")
+    p.add_argument("--k", type=int, default=None, help="query-size bound (default: |remove|)")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("edge-connectivity", help="estimate λ up to a cap")
+    common(p)
+    p.add_argument("--k-max", type=int, default=4)
+    p.set_defaults(func=_cmd_edge_connectivity)
+
+    p = sub.add_parser("sparsify", help="decode a (1+ε) cut sparsifier")
+    common(p)
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--levels", type=int, default=None)
+    p.set_defaults(func=_cmd_sparsify)
+
+    p = sub.add_parser("reconstruct", help="reconstruct a d-cut-degenerate graph")
+    common(p)
+    p.add_argument("--d", type=int, required=True)
+    p.set_defaults(func=_cmd_reconstruct)
+
+    p = sub.add_parser("generate", help="write a workload stream file")
+    gen_sub = p.add_subparsers(dest="family", required=True)
+    g1 = gen_sub.add_parser("gnp")
+    g1.add_argument("--n", type=int, required=True)
+    g1.add_argument("--p", type=float, required=True)
+    g2 = gen_sub.add_parser("harary")
+    g2.add_argument("--n", type=int, required=True)
+    g2.add_argument("--k", type=int, required=True)
+    g3 = gen_sub.add_parser("hypergraph")
+    g3.add_argument("--n", type=int, required=True)
+    g3.add_argument("--m", type=int, required=True)
+    g3.add_argument("--rank", type=int, default=3)
+    for gp in (g1, g2, g3):
+        gp.add_argument("-o", "--output", required=True)
+        gp.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Simultaneous communication model (Becker et al.) over vertex-based sketches."""
+
+from .simultaneous import ProtocolResult, SpanningForestProtocol
+
+__all__ = ["SpanningForestProtocol", "ProtocolResult"]

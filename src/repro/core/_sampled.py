@@ -1,0 +1,160 @@
+"""Shared machinery for the Section 3 vertex-sampling constructions.
+
+Both vertex-connectivity algorithms build the same object: ``R``
+vertex-sampled graphs ``G_i`` (each vertex kept with probability
+``1/k``), a spanning-forest sketch per ``G_i``, and the union
+``H = T_1 ∪ ... ∪ T_R`` of decoded forests.  They differ only in how
+``R`` is chosen and what question is asked of ``H``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DomainError, StreamError
+from ..graph.graph import Graph
+from ..graph.hypergraph import Hypergraph
+from ..sketch.spanning_forest import SpanningForestSketch
+from ..util.hashing import derive_seed, hash64
+from ..util.rng import normalize_seed
+from .params import DEFAULT_PARAMS, Params
+
+
+class SampledForestUnion:
+    """R vertex-sampled spanning-forest sketches plus the union decode.
+
+    Parameters
+    ----------
+    n, r:
+        Ambient vertex count and hyperedge rank bound.
+    k:
+        The connectivity parameter: vertices survive into each sample
+        with probability ``1/k``.
+    repetitions:
+        The number ``R`` of sampled graphs.
+    seed:
+        Master randomness seed.
+    params:
+        Sketch geometry knobs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        repetitions: int,
+        r: int = 2,
+        seed: Optional[int] = None,
+        params: Params = DEFAULT_PARAMS,
+    ):
+        if n < 2:
+            raise DomainError(f"need n >= 2, got {n}")
+        if k < 1:
+            raise DomainError(f"need k >= 1, got {k}")
+        self.n = n
+        self.k = k
+        self.r = r
+        self.repetitions = repetitions
+        self.seed = normalize_seed(seed)
+        self.params = params
+        # membership[i, v]: is vertex v sampled into G_i?  The paper
+        # keeps each vertex with probability 1/k; we use 1/(k+1), which
+        # has identical asymptotics (the Lemma 3 bound becomes
+        # (1/(k+1))^2 (1 - 1/(k+1))^k >= 1/(e (k+1)^2)) and — unlike
+        # the literal 1/k — remains non-degenerate at k = 1, where
+        # keeping *every* vertex would mean no sampled graph ever
+        # avoids the query set S.  Deterministic keyed hash = the
+        # "public coins" of Section 2.
+        membership = np.zeros((repetitions, n), dtype=bool)
+        for i in range(repetitions):
+            s = derive_seed(self.seed, 0xA11, i)
+            for v in range(n):
+                membership[i, v] = hash64(s, v) % (k + 1) == 0
+        self.membership = membership
+        self.sketches: Dict[int, SpanningForestSketch] = {}
+        for i in range(repetitions):
+            verts = np.nonzero(membership[i])[0]
+            if verts.size < 2:
+                continue  # no edge can ever land here
+            self.sketches[i] = SpanningForestSketch(
+                n,
+                r=r,
+                seed=derive_seed(self.seed, 0xF03, i),
+                vertices=[int(v) for v in verts],
+                rounds=max(1, int(verts.size).bit_length() + params.rounds_slack),
+                rows=params.rows,
+                buckets=params.buckets,
+            )
+        self._updates = 0
+        self._union_cache: Optional[Hypergraph] = None
+        # Per-instance decode cache: an instance's spanning forest only
+        # changes when an update is routed to it, so monitoring
+        # workloads (few updates between decodes) re-decode only the
+        # touched instances instead of all R.
+        self._forest_cache: Dict[int, Hypergraph] = {}
+        self._dirty = set(self.sketches.keys())
+
+    # -- streaming ------------------------------------------------------
+
+    def update(self, edge: Sequence[int], sign: int) -> None:
+        """Route an edge update to every instance that sampled all its
+        endpoints."""
+        cols = self.membership[:, list(edge)]
+        hit = np.nonzero(cols.all(axis=1))[0]
+        for i in hit:
+            i = int(i)
+            sketch = self.sketches.get(i)
+            if sketch is not None:
+                sketch.update(edge, sign)
+                self._dirty.add(i)
+        self._updates += 1
+        self._union_cache = None
+
+    def insert(self, edge: Sequence[int]) -> None:
+        """Stream insertion of a (hyper)edge."""
+        self.update(edge, 1)
+
+    def delete(self, edge: Sequence[int]) -> None:
+        """Stream deletion of a (hyper)edge."""
+        self.update(edge, -1)
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode_union(self) -> Hypergraph:
+        """H = union of a decoded spanning forest of every sample.
+
+        Cached until the next stream update; the decode is the
+        expensive post-processing step, queries on H are cheap.
+        """
+        if self._union_cache is not None:
+            return self._union_cache
+        for i in self._dirty:
+            self._forest_cache[i] = self.sketches[i].decode()
+        self._dirty.clear()
+        union = Hypergraph(self.n, self.r)
+        for forest in self._forest_cache.values():
+            for e in forest.edges():
+                union.add_edge(e)
+        self._union_cache = union
+        return union
+
+    def decode_union_graph(self) -> Graph:
+        """H as an ordinary graph (rank-2 inputs only)."""
+        return self.decode_union().to_graph()
+
+    # -- accounting -----------------------------------------------------------
+
+    def space_counters(self) -> int:
+        """Machine words across all instances."""
+        return sum(s.space_counters() for s in self.sketches.values())
+
+    def space_bytes(self) -> int:
+        """Bytes of counter state across all instances."""
+        return sum(s.space_bytes() for s in self.sketches.values())
+
+    @property
+    def live_instances(self) -> int:
+        """Instances that sampled at least two vertices."""
+        return len(self.sketches)

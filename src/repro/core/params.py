@@ -1,0 +1,160 @@
+"""Parameter profiles for the paper's algorithms.
+
+The paper fixes constants for its high-probability analysis —
+``R = 16 k² ln n`` repetitions for the query structure (Section 3.1),
+``R = 160 k² ε⁻¹ ln n`` for the tester (Section 3.2), and strength
+threshold ``k = O(ε⁻²(log n + r))`` for the sparsifier (Section 5).
+Those constants buy failure probability ``n^{-Ω(k)}`` and are far
+beyond what laptop-scale experiments need (or can afford): the
+benchmarks *measure* realised failure rates instead of assuming them.
+
+:class:`Params` therefore carries every constant knob in one place
+with two presets:
+
+* :meth:`Params.theory` — the paper's constants, used by the tests
+  that check the analysis end-to-end at small n;
+* :meth:`Params.practical` — scaled-down multipliers (documented in
+  DESIGN.md as a substitution) used by default and by the larger
+  benchmarks.
+
+Only constant factors differ between profiles; the asymptotic shapes
+(k² ln n, k² ε⁻¹ ln n, ε⁻²(log n + r)) are always respected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import DomainError
+
+
+@dataclass(frozen=True)
+class Params:
+    """Constant factors and sketch geometry for the core algorithms.
+
+    Attributes
+    ----------
+    query_rep_constant:
+        ``c`` in ``R = ceil(c · (k+1)² · ln n)`` for Theorem 4's query
+        structure (paper: 16 with k²; we sample vertices at rate
+        1/(k+1) — see :mod:`repro.core._sampled` — so the matching
+        repetition scale is (k+1)²).
+    tester_rep_constant:
+        ``c`` in ``R = ceil(c · (k+1)² · ε⁻¹ · ln n)`` for Theorem 8's
+        tester (paper: 160 with k²).
+    strength_constant:
+        ``c`` in ``k = ceil(c · ε⁻² · (ln n + r))`` for the
+        sparsifier's light-edge threshold (paper: unspecified
+        "sufficiently large").
+    sparsifier_level_constant:
+        ``c`` in ``ℓ = ceil(c · log2 n)`` subsampling levels
+        (paper: 3).
+    rows, buckets:
+        Geometry of every L0 level's sparse-recovery stage.
+    rounds_slack:
+        Extra Borůvka rounds beyond ``log2(active vertices)``.
+    min_repetitions:
+        Floor on any repetition count (keeps tiny inputs sane).
+    """
+
+    query_rep_constant: float = 3.0
+    tester_rep_constant: float = 6.0
+    strength_constant: float = 0.75
+    sparsifier_level_constant: float = 1.5
+    rows: int = 2
+    buckets: int = 8
+    rounds_slack: int = 3
+    min_repetitions: int = 8
+
+    @classmethod
+    def theory(cls) -> "Params":
+        """The paper's constants (expensive; small n only)."""
+        return cls(
+            query_rep_constant=16.0,
+            tester_rep_constant=160.0,
+            strength_constant=2.0,
+            sparsifier_level_constant=3.0,
+            rows=2,
+            buckets=8,
+            rounds_slack=4,
+            min_repetitions=16,
+        )
+
+    @classmethod
+    def practical(cls) -> "Params":
+        """Scaled-down constants for laptop-scale runs (the default)."""
+        return cls()
+
+    @classmethod
+    def fast(cls) -> "Params":
+        """Aggressively small constants for smoke tests and demos."""
+        return cls(
+            query_rep_constant=1.5,
+            tester_rep_constant=2.0,
+            strength_constant=0.4,
+            sparsifier_level_constant=1.0,
+            rows=2,
+            buckets=6,
+            rounds_slack=2,
+            min_repetitions=4,
+        )
+
+    def with_overrides(self, **kwargs) -> "Params":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- derived counts -----------------------------------------------
+
+    def query_repetitions(self, n: int, k: int) -> int:
+        """R for the Theorem 4 query structure."""
+        _check_nk(n, k)
+        return max(
+            self.min_repetitions,
+            math.ceil(
+                self.query_rep_constant * (k + 1) * (k + 1) * math.log(max(n, 2))
+            ),
+        )
+
+    def tester_repetitions(self, n: int, k: int, epsilon: float) -> int:
+        """R for the Theorem 8 tester."""
+        _check_nk(n, k)
+        if epsilon <= 0:
+            raise DomainError(f"epsilon must be positive, got {epsilon}")
+        return max(
+            self.min_repetitions,
+            math.ceil(
+                self.tester_rep_constant
+                * (k + 1)
+                * (k + 1)
+                / epsilon
+                * math.log(max(n, 2))
+            ),
+        )
+
+    def strength_threshold(self, n: int, r: int, epsilon: float) -> int:
+        """The light-edge threshold k for the sparsifier."""
+        if epsilon <= 0:
+            raise DomainError(f"epsilon must be positive, got {epsilon}")
+        return max(
+            1,
+            math.ceil(
+                self.strength_constant * (math.log(max(n, 2)) + r) / (epsilon * epsilon)
+            ),
+        )
+
+    def sparsifier_levels(self, n: int) -> int:
+        """Number of subsampling levels ℓ for the sparsifier."""
+        return max(2, math.ceil(self.sparsifier_level_constant * math.log2(max(n, 2))))
+
+
+def _check_nk(n: int, k: int) -> None:
+    if n < 2:
+        raise DomainError(f"need n >= 2, got {n}")
+    if k < 1:
+        raise DomainError(f"need k >= 1, got {k}")
+
+
+#: Library-wide default profile.
+DEFAULT_PARAMS = Params.practical()

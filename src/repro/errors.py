@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every failure mode the library can report deliberately has its own
+exception type so callers can distinguish "you called the API wrong"
+(:class:`ReproError` subclasses raised eagerly) from "the randomized
+sketch did not have enough information" (:class:`SketchDecodeError`),
+which is the probabilistic failure the paper's "with high probability"
+statements allow.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DomainError(ReproError):
+    """A coordinate, vertex id, or hyperedge is outside the declared domain."""
+
+
+class RankError(DomainError):
+    """A hyperedge violates the declared cardinality bounds (2 <= |e| <= r)."""
+
+
+class SketchDecodeError(ReproError):
+    """A sketch decode failed.
+
+    This is the *probabilistic* failure mode: linear sketches succeed
+    with high probability, and when the randomness is unlucky (or the
+    sketch was built with too-small parameters for the input) decoding
+    raises this error rather than silently returning a wrong answer
+    whenever the failure is detectable.
+    """
+
+
+class NotOneSparseError(SketchDecodeError):
+    """A 1-sparse recovery cell was asked to decode a non-1-sparse vector."""
+
+
+class SamplerEmptyError(SketchDecodeError):
+    """An L0 sampler found no nonzero coordinate.
+
+    Either the sketched vector is identically zero, or (with small
+    probability) every subsampling level failed to isolate a coordinate.
+    Callers that expect possibly-zero vectors should catch this.
+    """
+
+
+class IncompatibleSketchError(ReproError):
+    """Two sketches with different seeds/shapes were combined linearly."""
+
+
+class StreamError(ReproError):
+    """A dynamic stream violated multigraph-freeness or balance invariants."""

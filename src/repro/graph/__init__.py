@@ -1,0 +1,134 @@
+"""Graph and hypergraph substrate: structures, exact algorithms, generators."""
+
+from .articulation import (
+    articulation_points,
+    biconnected_components,
+    bridges,
+    is_biconnected,
+)
+from .contraction import (
+    contraction_success_rate,
+    distinct_min_cuts,
+    karger_min_cut,
+)
+from .cut_counting import (
+    count_cut_sets_at_most,
+    count_cuts_at_most,
+    cut_size_histogram,
+    half_sampling_failure_rate,
+    karger_bound,
+    kogan_krauthgamer_bound,
+)
+from .degeneracy import (
+    cut_degeneracy,
+    degeneracy,
+    edge_strengths,
+    is_cut_degenerate,
+    is_degenerate,
+    lemma10_witness,
+    light_edges_exact,
+    light_layers,
+)
+from .edge_connectivity import (
+    edge_connectivity,
+    edge_lambda,
+    global_min_cut,
+    is_k_edge_connected,
+    local_edge_connectivity,
+)
+from .gomory_hu import GomoryHuTree, all_edge_lambdas, gomory_hu_tree
+from .graph import Edge, Graph, normalize_edge
+from .hypergraph import (
+    Hyperedge,
+    Hypergraph,
+    WeightedHypergraph,
+    normalize_hyperedge,
+)
+from .hypergraph_vertex_connectivity import (
+    hypergraph_vertex_connectivity,
+    is_k_vertex_connected_hypergraph,
+)
+from .hypergraph_cuts import (
+    all_cuts,
+    hypergraph_edge_connectivity,
+    hypergraph_lambda_e,
+    hypergraph_min_cut,
+    hypergraph_st_min_cut,
+    is_k_hyperedge_connected,
+    is_k_skeleton,
+    is_spanning_subgraph,
+)
+from .scan_first import is_scan_first_tree, scan_first_search_tree
+from .traversal import (
+    hypergraph_is_connected_excluding,
+    is_connected_excluding,
+    shortest_path,
+)
+from .union_find import UnionFind
+from .vertex_connectivity import (
+    is_k_vertex_connected,
+    local_vertex_connectivity,
+    max_vertex_disjoint_paths,
+    min_vertex_cut,
+    vertex_connectivity,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "normalize_edge",
+    "Hyperedge",
+    "Hypergraph",
+    "WeightedHypergraph",
+    "normalize_hyperedge",
+    "UnionFind",
+    "GomoryHuTree",
+    "karger_min_cut",
+    "articulation_points",
+    "bridges",
+    "biconnected_components",
+    "is_biconnected",
+    "distinct_min_cuts",
+    "contraction_success_rate",
+    "cut_size_histogram",
+    "count_cuts_at_most",
+    "count_cut_sets_at_most",
+    "karger_bound",
+    "kogan_krauthgamer_bound",
+    "half_sampling_failure_rate",
+    "gomory_hu_tree",
+    "all_edge_lambdas",
+    "edge_connectivity",
+    "edge_lambda",
+    "global_min_cut",
+    "is_k_edge_connected",
+    "local_edge_connectivity",
+    "vertex_connectivity",
+    "is_k_vertex_connected",
+    "local_vertex_connectivity",
+    "max_vertex_disjoint_paths",
+    "min_vertex_cut",
+    "hypergraph_min_cut",
+    "hypergraph_vertex_connectivity",
+    "is_k_vertex_connected_hypergraph",
+    "hypergraph_st_min_cut",
+    "hypergraph_lambda_e",
+    "hypergraph_edge_connectivity",
+    "is_k_hyperedge_connected",
+    "is_k_skeleton",
+    "is_spanning_subgraph",
+    "all_cuts",
+    "degeneracy",
+    "cut_degeneracy",
+    "is_degenerate",
+    "is_cut_degenerate",
+    "light_edges_exact",
+    "light_layers",
+    "edge_strengths",
+    "lemma10_witness",
+    "scan_first_search_tree",
+    "is_scan_first_tree",
+    "is_connected_excluding",
+    "hypergraph_is_connected_excluding",
+    "shortest_path",
+]

@@ -1,0 +1,149 @@
+"""Articulation points, bridges, and biconnected components (Tarjan).
+
+Linear-time answers to the κ = 1 / λ = 1 questions: a vertex is an
+articulation point iff removing it disconnects its component, an edge
+is a bridge iff λ_e = 1.  Used as
+
+* a fast path for
+  :meth:`repro.core.connectivity_query.VertexConnectivityQuerySketch.find_disconnecting_set`
+  (size-1 searches on the decoded certificate), and
+* an oracle layer for tests (every bridge must appear in ``light_1``,
+  every articulation point is a size-1 disconnecting set, ...).
+
+Iterative DFS throughout — certificates can have thousands of
+vertices and Python's recursion limit is not part of the API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .graph import Edge, Graph
+
+
+def _dfs_low(g: Graph):
+    """Iterative DFS computing discovery and low-link numbers.
+
+    Returns (order, disc, low, parent, children) where ``order`` is the
+    vertices in discovery order.
+    """
+    disc: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    parent: Dict[int, int] = {}
+    children: Dict[int, int] = {v: 0 for v in range(g.n)}
+    order: List[int] = []
+    counter = 0
+    for root in range(g.n):
+        if root in disc:
+            continue
+        stack: List[Tuple[int, List[int]]] = [(root, sorted(g.neighbors(root)))]
+        disc[root] = low[root] = counter
+        counter += 1
+        order.append(root)
+        while stack:
+            v, nbrs = stack[-1]
+            if nbrs:
+                w = nbrs.pop()
+                if w not in disc:
+                    parent[w] = v
+                    children[v] += 1
+                    disc[w] = low[w] = counter
+                    counter += 1
+                    order.append(w)
+                    stack.append((w, sorted(g.neighbors(w))))
+                elif w != parent.get(v):
+                    low[v] = min(low[v], disc[w])
+            else:
+                stack.pop()
+                p = parent.get(v)
+                if p is not None:
+                    low[p] = min(low[p], low[v])
+    return order, disc, low, parent, children
+
+
+def articulation_points(g: Graph) -> Set[int]:
+    """Vertices whose removal increases the component count."""
+    order, disc, low, parent, children = _dfs_low(g)
+    out: Set[int] = set()
+    for v in order:
+        if v not in parent:  # a DFS root
+            if children[v] >= 2:
+                out.add(v)
+            continue
+        # Non-root: articulation iff some child's low >= disc[v].
+    for v in order:
+        p = parent.get(v)
+        if p is None:
+            continue
+        if parent.get(p) is None:
+            continue  # handled by the root rule
+        if low[v] >= disc[p]:
+            out.add(p)
+    return out
+
+
+def bridges(g: Graph) -> Set[Edge]:
+    """Edges whose removal disconnects their endpoints (λ_e = 1)."""
+    order, disc, low, parent, _children = _dfs_low(g)
+    out: Set[Edge] = set()
+    for v in order:
+        p = parent.get(v)
+        if p is not None and low[v] > disc[p]:
+            out.add((min(p, v), max(p, v)))
+    return out
+
+
+def biconnected_components(g: Graph) -> List[Set[Edge]]:
+    """Edge partition into biconnected components (iterative Tarjan)."""
+    disc: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    parent: Dict[int, int] = {}
+    counter = 0
+    edge_stack: List[Edge] = []
+    comps: List[Set[Edge]] = []
+
+    for root in range(g.n):
+        if root in disc or g.degree(root) == 0:
+            continue
+        stack: List[Tuple[int, List[int]]] = [(root, sorted(g.neighbors(root)))]
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            v, nbrs = stack[-1]
+            if nbrs:
+                w = nbrs.pop()
+                e = (min(v, w), max(v, w))
+                if w not in disc:
+                    parent[w] = v
+                    disc[w] = low[w] = counter
+                    counter += 1
+                    edge_stack.append(e)
+                    stack.append((w, sorted(g.neighbors(w))))
+                elif w != parent.get(v) and disc[w] < disc[v]:
+                    edge_stack.append(e)
+                    low[v] = min(low[v], disc[w])
+            else:
+                stack.pop()
+                p = parent.get(v)
+                if p is None:
+                    continue
+                low[p] = min(low[p], low[v])
+                if low[v] >= disc[p]:
+                    # Pop one biconnected component off the edge stack.
+                    comp: Set[Edge] = set()
+                    marker = (min(p, v), max(p, v))
+                    while edge_stack:
+                        e = edge_stack.pop()
+                        comp.add(e)
+                        if e == marker:
+                            break
+                    if comp:
+                        comps.append(comp)
+    return comps
+
+
+def is_biconnected(g: Graph) -> bool:
+    """Connected with no articulation point (needs n >= 3)."""
+    if g.n < 3:
+        return g.is_connected() and g.num_edges >= 1 if g.n == 2 else False
+    return g.is_connected() and not articulation_points(g)

@@ -1,0 +1,150 @@
+"""Randomized contraction algorithms (Karger, and Karger–Stein).
+
+The sparsifier analysis stands on Karger's sampling theorem ([21, 22]
+in the paper); the same contraction process behind that theorem also
+gives the classical randomized global-min-cut algorithm, which this
+module implements for graphs *and* hypergraphs.  It serves two roles:
+
+* an independent min-cut oracle (the deterministic Stoer–Wagner and
+  flow-based routines are the primary ones; disagreement in tests
+  would expose bugs in either);
+* a concrete demonstration of the cut-counting fact the analysis
+  uses — a minimum cut survives contraction with probability
+  ≥ 1/C(n, 2), so counting distinct surviving min cuts across trials
+  empirically exhibits the ≤ C(n, 2) bound on the number of min cuts.
+
+Hyperedge contraction merges all endpoints of the chosen hyperedge —
+the natural generalisation used by hypergraph min-cut literature.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import DomainError
+from ..util.rng import rng_from
+from .hypergraph import Hyperedge, Hypergraph
+from .union_find import UnionFind
+
+
+def contract_once(
+    h: Hypergraph, rng, target_supernodes: int = 2
+) -> Tuple[UnionFind, List[Hyperedge]]:
+    """Run one contraction pass down to ``target_supernodes``.
+
+    Returns the union-find of supernodes and the hyperedges still
+    crossing between different supernodes at the end.
+    """
+    if h.n < target_supernodes:
+        raise DomainError("not enough vertices to contract")
+    uf = UnionFind(h.n)
+    alive = [e for e in h.edges()]
+    while uf.components > target_supernodes:
+        # Choose a uniformly random hyperedge among those that still
+        # cross supernodes AND whose contraction (merging d distinct
+        # supernodes reduces the count by d - 1) does not drop below
+        # the target — a rank-r hyperedge can otherwise jump past it.
+        alive = [e for e in alive if len({uf.find(v) for v in e}) > 1]
+        candidates = [
+            e
+            for e in alive
+            if uf.components - (len({uf.find(v) for v in e}) - 1)
+            >= target_supernodes
+        ]
+        if not candidates:
+            break  # disconnected, or every crossing edge would overshoot
+        e = candidates[int(rng.integers(0, len(candidates)))]
+        uf.union_many(e)
+    crossing = [
+        e for e in alive if len({uf.find(v) for v in e}) > 1
+    ]
+    return uf, crossing
+
+
+def karger_min_cut(
+    h: Hypergraph,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Tuple[int, Set[int]]:
+    """Randomized global min cut via repeated contraction.
+
+    Parameters
+    ----------
+    h:
+        Input hypergraph (n >= 2).
+    trials:
+        Number of independent contractions; defaults to the classical
+        ``ceil(C(n,2) ln n)`` that makes the failure probability
+        ≤ 1/n for graphs.
+    seed:
+        Randomness.
+
+    Returns
+    -------
+    (cut value, one side of a best cut found).
+    For disconnected inputs returns (0, one component).
+    """
+    if h.n < 2:
+        raise DomainError("min cut needs n >= 2")
+    comps = h.components()
+    if len(comps) > 1:
+        return 0, set(comps[0])
+    n = h.n
+    if trials is None:
+        trials = max(1, math.ceil((n * (n - 1) / 2) * math.log(max(n, 2))))
+    best_value: Optional[int] = None
+    best_side: Set[int] = set()
+    for t in range(trials):
+        rng = rng_from(seed, 0xCA26, t)
+        uf, crossing = contract_once(h, rng, target_supernodes=2)
+        value = len(crossing)
+        if best_value is None or value < best_value:
+            best_value = value
+            groups = uf.groups()
+            best_side = set(groups[0])
+        if best_value == 1:
+            # Cannot do better on a connected hypergraph... actually 1
+            # is the minimum possible for connected inputs; stop early.
+            break
+    assert best_value is not None
+    return best_value, best_side
+
+
+def distinct_min_cuts(
+    h: Hypergraph,
+    min_cut_value: int,
+    trials: int,
+    seed: Optional[int] = None,
+) -> Set[FrozenSet[Hyperedge]]:
+    """Collect distinct minimum cut-sets discovered by contraction.
+
+    Used by the cut-counting experiment: for graphs the number of
+    distinct minimum cuts is at most C(n, 2) (Karger), the fact whose
+    hypergraph generalisation powers Lemma 18.
+    """
+    found: Set[FrozenSet[Hyperedge]] = set()
+    for t in range(trials):
+        rng = rng_from(seed, 0xDC, t)
+        _, crossing = contract_once(h, rng, target_supernodes=2)
+        if len(crossing) == min_cut_value:
+            found.add(frozenset(crossing))
+    return found
+
+
+def contraction_success_rate(
+    h: Hypergraph,
+    min_cut_value: int,
+    trials: int,
+    seed: Optional[int] = None,
+) -> float:
+    """Fraction of single contractions that preserve a minimum cut.
+
+    Karger's bound for graphs: ≥ 2 / (n(n-1)).
+    """
+    hits = 0
+    for t in range(trials):
+        rng = rng_from(seed, 0x5C, t)
+        _, crossing = contract_once(h, rng, target_supernodes=2)
+        hits += len(crossing) == min_cut_value
+    return hits / trials

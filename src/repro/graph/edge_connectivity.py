@@ -1,0 +1,112 @@
+"""Exact edge-connectivity computations on (ordinary) graphs.
+
+Provides the quantities the paper manipulates:
+
+* local edge connectivity ``λ(u, v)`` — minimum number of edge
+  deletions that disconnect ``u`` from ``v`` (Menger: max number of
+  edge-disjoint u-v paths);
+* ``λ_e(G)`` for a graph edge ``e = {u, v}`` — the minimum cardinality
+  of a cut *containing* ``e`` (Section 2), which for graphs equals
+  ``λ(u, v)``: any cut containing {u,v} separates u from v, and any
+  u-v separating cut contains {u,v} when the edge is present;
+* global edge connectivity / minimum cut via Stoer–Wagner;
+* ``is_k_edge_connected``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DomainError
+from .graph import Graph
+from .maxflow import INF, FlowNetwork
+
+
+def local_edge_connectivity(g: Graph, s: int, t: int, limit: float = INF) -> int:
+    """λ(s, t): max number of edge-disjoint s-t paths (capped by ``limit``)."""
+    if s == t:
+        raise DomainError("local edge connectivity needs distinct endpoints")
+    net = FlowNetwork(g.n)
+    for u, v in g.edges():
+        net.add_undirected_edge(u, v, 1.0)
+    return int(net.max_flow(s, t, limit=limit))
+
+
+def edge_lambda(g: Graph, edge: Sequence[int], limit: float = INF) -> int:
+    """λ_e(G): minimum cardinality of a cut that includes ``edge``.
+
+    For graphs this is the local edge connectivity of the endpoints
+    (the edge itself is one of the paths).  Raises if the edge is not
+    present, since λ_e is only defined for hyperedges of G.
+    """
+    u, v = edge
+    if not g.has_edge(u, v):
+        raise DomainError(f"edge {tuple(edge)} is not in the graph")
+    return local_edge_connectivity(g, u, v, limit=limit)
+
+
+def global_min_cut(g: Graph) -> Tuple[int, Set[int]]:
+    """Global minimum cut via Stoer–Wagner.
+
+    Returns ``(value, side)``.  For a disconnected graph the value is 0
+    and ``side`` is one connected component.  Requires ``n >= 2``.
+    """
+    if g.n < 2:
+        raise DomainError("global_min_cut needs at least two vertices")
+    comps = g.components()
+    if len(comps) > 1:
+        return 0, set(comps[0])
+
+    # Stoer–Wagner on a shrinking weighted clique representation.
+    # supernode i currently stands for the vertex set ``merged[i]``.
+    active: List[int] = list(range(g.n))
+    merged: List[Set[int]] = [{v} for v in range(g.n)]
+    weight = [[0] * g.n for _ in range(g.n)]
+    for u, v in g.edges():
+        weight[u][v] += 1
+        weight[v][u] += 1
+
+    best_value: Optional[int] = None
+    best_side: Set[int] = set()
+    while len(active) > 1:
+        # Maximum-adjacency ordering starting from active[0].
+        order = [active[0]]
+        candidates = set(active[1:])
+        attach = {v: weight[order[0]][v] for v in candidates}
+        while candidates:
+            nxt = max(candidates, key=lambda v: (attach[v], -v))
+            order.append(nxt)
+            candidates.discard(nxt)
+            for v in candidates:
+                attach[v] += weight[nxt][v]
+        s, t = order[-2], order[-1]
+        cut_of_phase = sum(weight[t][v] for v in active if v != t)
+        if best_value is None or cut_of_phase < best_value:
+            best_value = cut_of_phase
+            best_side = set(merged[t])
+        # Merge t into s.
+        merged[s] |= merged[t]
+        for v in active:
+            if v not in (s, t):
+                weight[s][v] += weight[t][v]
+                weight[v][s] = weight[s][v]
+        active.remove(t)
+    assert best_value is not None
+    return best_value, best_side
+
+
+def edge_connectivity(g: Graph) -> int:
+    """Global edge connectivity (0 when disconnected or n <= 1)."""
+    if g.n <= 1:
+        return 0
+    value, _ = global_min_cut(g)
+    return value
+
+
+def is_k_edge_connected(g: Graph, k: int) -> bool:
+    """True if every cut has at least ``k`` edges (and n >= 2 for k >= 1)."""
+    if k <= 0:
+        return True
+    if g.n < 2:
+        return False
+    return edge_connectivity(g) >= k

@@ -1,0 +1,105 @@
+"""Gomory–Hu trees: all-pairs minimum cuts in n - 1 max-flows.
+
+The light-edge decoders (Section 4.2) repeatedly need λ_e for *every*
+edge of a decoded skeleton; for ordinary graphs λ_e(u, v) is the local
+edge connectivity λ(u, v), and a Gomory–Hu tree answers all of those
+simultaneously: λ(u, v) equals the minimum edge weight on the unique
+u-v path of the tree.  Building the tree costs n - 1 max-flow
+computations (Gusfield's simplification: all flows run on the original
+graph), versus one flow per edge for the naive approach — the
+difference between O(n) and O(m) flows per peeling layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DomainError
+from .graph import Edge, Graph
+from .maxflow import FlowNetwork
+
+
+class GomoryHuTree:
+    """A cut-equivalent tree of a graph.
+
+    Attributes
+    ----------
+    parent / weight:
+        Gusfield representation: vertex v (> root) attaches to
+        ``parent[v]`` with cut value ``weight[v]``.
+    """
+
+    __slots__ = ("n", "parent", "weight")
+
+    def __init__(self, n: int, parent: List[int], weight: List[int]):
+        self.n = n
+        self.parent = parent
+        self.weight = weight
+
+    def min_cut(self, u: int, v: int) -> int:
+        """λ(u, v): minimum edge weight on the tree path u -> v.
+
+        The tree is rooted at vertex 0; the path minimum is computed by
+        walking ``u`` to the root while recording prefix minima, then
+        walking ``v`` upward until the two paths meet.
+        """
+        if u == v:
+            raise DomainError("min_cut needs distinct vertices")
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise DomainError(f"vertices outside [0, {self.n})")
+        INF = float("inf")
+        # prefix[x] = min tree-edge weight on the path u .. x.
+        prefix: Dict[int, float] = {u: INF}
+        x, acc = u, INF
+        while x != 0:
+            acc = min(acc, self.weight[x])
+            x = self.parent[x]
+            prefix[x] = acc
+        x, acc_v = v, INF
+        while x not in prefix:
+            acc_v = min(acc_v, self.weight[x])
+            x = self.parent[x]
+        result = min(acc_v, prefix[x])
+        return int(result) if result is not INF else 0
+
+    def tree_edges(self) -> List[Tuple[int, int, int]]:
+        """The (child, parent, weight) triples of the tree."""
+        return [
+            (v, self.parent[v], self.weight[v]) for v in range(1, self.n)
+        ]
+
+
+def gomory_hu_tree(g: Graph) -> GomoryHuTree:
+    """Build a Gomory–Hu (cut) tree via Gusfield's algorithm.
+
+    Works for disconnected graphs too (cut values of 0 across
+    components).  Requires n >= 1.
+    """
+    if g.n < 1:
+        raise DomainError("gomory_hu_tree needs at least one vertex")
+    parent = [0] * g.n
+    weight = [0] * g.n
+    for i in range(1, g.n):
+        net = FlowNetwork(g.n)
+        for u, v in g.edges():
+            net.add_undirected_edge(u, v, 1.0)
+        flow = net.max_flow(i, parent[i])
+        weight[i] = int(flow)
+        source_side = net.min_cut_source_side(i)
+        for j in range(i + 1, g.n):
+            if j in source_side and parent[j] == parent[i]:
+                parent[j] = i
+    return GomoryHuTree(g.n, parent, weight)
+
+
+def all_edge_lambdas(g: Graph) -> Dict[Edge, int]:
+    """λ_e for every edge of the graph, via one Gomory–Hu tree.
+
+    Exactly equivalent to calling
+    :func:`repro.graph.edge_connectivity.local_edge_connectivity` per
+    edge, but with n - 1 flows total instead of m.
+    """
+    if g.num_edges == 0:
+        return {}
+    tree = gomory_hu_tree(g)
+    return {e: tree.min_cut(*e) for e in g.edges()}

@@ -1,0 +1,271 @@
+"""Undirected hypergraph with bounded hyperedge cardinality.
+
+Matches the paper's Section 2 setup: vertices ``V = {0 .. n-1}``,
+hyperedges are subsets of ``V`` with ``2 <= |e| <= r`` for a constant
+``r``, and the hypergraph is simple (a hyperedge is present or not).
+A hyperedge ``e`` crosses a cut ``(S, V\\S)`` when it has at least one
+vertex on each side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..errors import DomainError, RankError
+from .graph import Graph
+from .union_find import UnionFind
+
+Hyperedge = Tuple[int, ...]
+
+
+def normalize_hyperedge(edge: Sequence[int]) -> Hyperedge:
+    """Canonical sorted-tuple form; rejects duplicates and singletons."""
+    e = tuple(sorted(edge))
+    if len(e) < 2:
+        raise RankError(f"hyperedge {tuple(edge)} must have at least 2 vertices")
+    if len(set(e)) != len(e):
+        raise DomainError(f"hyperedge {tuple(edge)} has repeated vertices")
+    return e
+
+
+class Hypergraph:
+    """Mutable simple hypergraph with rank bound ``r``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    r:
+        Maximum hyperedge cardinality (paper's constant ``r``); rank-2
+        hypergraphs are ordinary graphs.
+    edges:
+        Optional initial hyperedges.
+    """
+
+    __slots__ = ("n", "r", "_edges", "_incident")
+
+    def __init__(self, n: int, r: int = 2, edges: Iterable[Sequence[int]] = ()):
+        if n < 0:
+            raise DomainError(f"vertex count must be nonnegative, got {n}")
+        if r < 2:
+            raise RankError(f"rank bound must be >= 2, got {r}")
+        self.n = n
+        self.r = r
+        self._edges: Set[Hyperedge] = set()
+        self._incident: List[Set[Hyperedge]] = [set() for _ in range(n)]
+        for e in edges:
+            self.add_edge(e)
+
+    # -- mutation -----------------------------------------------------
+
+    def add_edge(self, edge: Sequence[int]) -> bool:
+        """Insert a hyperedge; returns False if already present."""
+        e = self._validate(edge)
+        if e in self._edges:
+            return False
+        self._edges.add(e)
+        for v in e:
+            self._incident[v].add(e)
+        return True
+
+    def remove_edge(self, edge: Sequence[int]) -> bool:
+        """Delete a hyperedge; returns False if absent."""
+        e = self._validate(edge)
+        if e not in self._edges:
+            return False
+        self._edges.discard(e)
+        for v in e:
+            self._incident[v].discard(e)
+        return True
+
+    # -- queries ------------------------------------------------------
+
+    def has_edge(self, edge: Sequence[int]) -> bool:
+        """True if the hyperedge is present."""
+        return normalize_hyperedge(edge) in self._edges
+
+    def edges(self) -> List[Hyperedge]:
+        """All hyperedges, sorted."""
+        return sorted(self._edges)
+
+    def edge_set(self) -> FrozenSet[Hyperedge]:
+        """The hyperedge set as a frozen set."""
+        return frozenset(self._edges)
+
+    def incident_edges(self, v: int) -> Set[Hyperedge]:
+        """Hyperedges containing ``v`` (a copy)."""
+        self._check_vertex(v)
+        return set(self._incident[v])
+
+    def degree(self, v: int) -> int:
+        """Number of hyperedges containing ``v``."""
+        self._check_vertex(v)
+        return len(self._incident[v])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges currently present."""
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Hyperedge]:
+        return iter(sorted(self._edges))
+
+    def __contains__(self, edge: Sequence[int]) -> bool:
+        return self.has_edge(edge)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Hypergraph)
+            and self.n == other.n
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        raise TypeError("Hypergraph is mutable and unhashable; compare with ==")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Hypergraph(n={self.n}, r={self.r}, m={self.num_edges})"
+
+    # -- derived ------------------------------------------------------
+
+    def copy(self) -> "Hypergraph":
+        """Deep copy."""
+        return Hypergraph(self.n, self.r, self._edges)
+
+    def difference_edges(self, removed: Iterable[Sequence[int]]) -> "Hypergraph":
+        """A copy with the given hyperedges removed."""
+        gone = {normalize_hyperedge(e) for e in removed}
+        return Hypergraph(self.n, self.r, (e for e in self._edges if e not in gone))
+
+    def subgraph_without_vertices(self, removed: Iterable[int]) -> "Hypergraph":
+        """Drop every hyperedge touching ``removed`` (vertex set unchanged).
+
+        This mirrors vertex deletion: a hyperedge survives only if all
+        its endpoints survive.
+        """
+        gone = set(removed)
+        keep = (e for e in self._edges if not gone.intersection(e))
+        return Hypergraph(self.n, self.r, keep)
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "Hypergraph":
+        """Keep hyperedges fully inside ``vertices``."""
+        inside = set(vertices)
+        keep = (e for e in self._edges if inside.issuperset(e))
+        return Hypergraph(self.n, self.r, keep)
+
+    def to_graph(self) -> Graph:
+        """Strict conversion for rank-2 hypergraphs."""
+        if any(len(e) != 2 for e in self._edges):
+            raise RankError("to_graph requires every hyperedge to be a pair")
+        return Graph(self.n, self._edges)
+
+    @classmethod
+    def from_graph(cls, g: Graph, r: int = 2) -> "Hypergraph":
+        """Wrap an ordinary graph as a rank-``r`` hypergraph."""
+        return cls(g.n, r, g.edges())
+
+    # -- connectivity & cuts ------------------------------------------
+
+    def components(self) -> List[List[int]]:
+        """Connected components (a hyperedge connects all its vertices)."""
+        uf = UnionFind(self.n)
+        for e in self._edges:
+            uf.union_many(e)
+        return uf.groups()
+
+    def is_connected(self) -> bool:
+        """True if the hypergraph is connected."""
+        if self.n <= 1:
+            return True
+        uf = UnionFind(self.n)
+        for e in self._edges:
+            uf.union_many(e)
+        return uf.components == 1
+
+    def crossing_edges(self, side: Iterable[int]) -> List[Hyperedge]:
+        """δ(S): hyperedges with vertices on both sides of the cut."""
+        s = set(side)
+        out = []
+        for e in self._edges:
+            inside = sum(1 for v in e if v in s)
+            if 0 < inside < len(e):
+                out.append(e)
+        return sorted(out)
+
+    def cut_size(self, side: Iterable[int]) -> int:
+        """|δ(S)| for the cut (side, V \\ side)."""
+        s = set(side)
+        count = 0
+        for e in self._edges:
+            inside = sum(1 for v in e if v in s)
+            if 0 < inside < len(e):
+                count += 1
+        return count
+
+    def _validate(self, edge: Sequence[int]) -> Hyperedge:
+        e = normalize_hyperedge(edge)
+        if len(e) > self.r:
+            raise RankError(
+                f"hyperedge {e} has cardinality {len(e)} > rank bound r={self.r}"
+            )
+        if e[0] < 0 or e[-1] >= self.n:
+            raise DomainError(f"hyperedge {e} mentions a vertex outside [0, {self.n})")
+        return e
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise DomainError(f"vertex {v} outside [0, {self.n})")
+
+
+class WeightedHypergraph(Hypergraph):
+    """Hypergraph with positive hyperedge weights (sparsifier output).
+
+    Definition 17 of the paper: a sparsifier is a *weighted* subgraph
+    whose weighted cut values approximate the original cut sizes.
+    """
+
+    __slots__ = ("weights",)
+
+    def __init__(self, n: int, r: int = 2, weighted_edges: Iterable[Tuple[Sequence[int], float]] = ()):
+        super().__init__(n, r)
+        self.weights: Dict[Hyperedge, float] = {}
+        for e, w in weighted_edges:
+            self.add_weighted_edge(e, w)
+
+    def add_weighted_edge(self, edge: Sequence[int], weight: float) -> None:
+        """Insert a hyperedge with the given weight (adds if repeated)."""
+        if weight <= 0:
+            raise DomainError(f"weights must be positive, got {weight} for {edge}")
+        e = self._validate(edge)
+        if e in self.weights:
+            self.weights[e] += weight
+        else:
+            super().add_edge(e)
+            self.weights[e] = weight
+
+    def add_edge(self, edge: Sequence[int]) -> bool:  # noqa: D102
+        self.add_weighted_edge(edge, 1.0)
+        return True
+
+    def remove_edge(self, edge: Sequence[int]) -> bool:  # noqa: D102
+        e = normalize_hyperedge(edge)
+        self.weights.pop(e, None)
+        return super().remove_edge(e)
+
+    def weight(self, edge: Sequence[int]) -> float:
+        """Weight of a hyperedge (0 if absent)."""
+        return self.weights.get(normalize_hyperedge(edge), 0.0)
+
+    def total_weight(self) -> float:
+        """Sum of all hyperedge weights."""
+        return sum(self.weights.values())
+
+    def cut_weight(self, side: Iterable[int]) -> float:
+        """Weighted value of the cut (side, V \\ side)."""
+        s = set(side)
+        total = 0.0
+        for e in self._edges:
+            inside = sum(1 for v in e if v in s)
+            if 0 < inside < len(e):
+                total += self.weights[e]
+        return total

@@ -1,0 +1,206 @@
+"""Exact hypergraph cut computations.
+
+A hyperedge ``e`` crosses a cut ``(S, V \\ S)`` when it has vertices on
+both sides, and cutting it costs 1 (unweighted) however it is split.
+The standard reduction models this with one auxiliary arc per
+hyperedge: nodes ``a_e -> b_e`` with capacity 1, plus infinite arcs
+``v -> a_e`` and ``b_e -> v`` for every ``v in e``.  Any finite s-t cut
+in the digraph then corresponds exactly to a set of hyperedges whose
+removal separates s from t.
+
+On top of the s-t primitive this module derives:
+
+* ``hypergraph_lambda_e`` — the paper's λ_e(G), the minimum cardinality
+  of a cut that ``e`` crosses (Section 2); computed by enumerating the
+  2^(|e|-1) - 1 bipartitions of ``e`` (|e| <= r is constant) and taking
+  the cheapest cut forced to split ``e`` that way;
+* global hypergraph minimum cut and k-edge-connectivity;
+* exhaustive cut enumeration for small ``n`` (test oracle for
+  skeletons and sparsifiers).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import DomainError
+from .hypergraph import Hyperedge, Hypergraph, normalize_hyperedge
+from .maxflow import INF, FlowNetwork
+
+
+def _build_reduction(
+    h: Hypergraph, exclude: Iterable[Hyperedge] = ()
+) -> Tuple[FlowNetwork, Dict[Hyperedge, int]]:
+    """Digraph reduction; vertex v keeps id v, hyperedge e gets a_e, b_e."""
+    skip = set(exclude)
+    net = FlowNetwork(h.n)
+    gadget: Dict[Hyperedge, int] = {}
+    for e in h.edges():
+        if e in skip:
+            continue
+        a = net.add_vertex()
+        b = net.add_vertex()
+        gadget[e] = net.add_edge(a, b, 1.0)
+        for v in e:
+            net.add_edge(v, a, INF)
+            net.add_edge(b, v, INF)
+    return net, gadget
+
+
+def hypergraph_st_min_cut(
+    h: Hypergraph, sources: Sequence[int], sinks: Sequence[int], limit: float = INF
+) -> int:
+    """Minimum number of hyperedges separating ``sources`` from ``sinks``.
+
+    The vertex groups are contracted via infinite arcs from/to fresh
+    terminals, so the primitive directly supports the bipartition
+    queries of :func:`hypergraph_lambda_e`.
+    """
+    src_set, snk_set = set(sources), set(sinks)
+    if not src_set or not snk_set:
+        raise DomainError("source and sink groups must be nonempty")
+    if src_set & snk_set:
+        raise DomainError("source and sink groups overlap")
+    net, _ = _build_reduction(h)
+    s = net.add_vertex()
+    t = net.add_vertex()
+    for v in src_set:
+        net.add_edge(s, v, INF)
+    for v in snk_set:
+        net.add_edge(v, t, INF)
+    flow = net.max_flow(s, t, limit=limit)
+    if flow is INF:  # pragma: no cover - cannot happen: gadget arcs are finite
+        raise DomainError("unexpected infinite cut")
+    return int(flow)
+
+
+def hypergraph_lambda_e(
+    h: Hypergraph, edge: Sequence[int], limit: float = INF
+) -> int:
+    """λ_e(G): minimum cardinality of a cut crossed by ``edge``.
+
+    Minimises over the bipartitions (A, B) of the hyperedge's own
+    vertex set the cheapest cut with A on one side and B on the other;
+    every cut crossing ``e`` induces such a bipartition, and every such
+    bipartition cut crosses ``e``.
+    """
+    e = normalize_hyperedge(edge)
+    if not h.has_edge(e):
+        raise DomainError(f"hyperedge {e} is not in the hypergraph")
+    verts = list(e)
+    best = int(limit) if limit is not INF else None
+    # Fix verts[0] on the A side to halve the enumeration.
+    rest = verts[1:]
+    for mask in range(1 << len(rest)):
+        side_a = [verts[0]] + [rest[i] for i in range(len(rest)) if mask & (1 << i)]
+        side_b = [v for v in rest if v not in side_a]
+        if not side_b:
+            continue
+        cap = best if best is not None else INF
+        val = hypergraph_st_min_cut(h, side_a, side_b, limit=cap)
+        if best is None or val < best:
+            best = val
+        if best == 1:  # e itself always crosses, so λ_e >= 1; can stop
+            break
+    assert best is not None
+    return best
+
+
+def hypergraph_min_cut(h: Hypergraph) -> int:
+    """Global minimum cut value (0 when disconnected, n >= 2 required)."""
+    if h.n < 2:
+        raise DomainError("hypergraph_min_cut needs at least two vertices")
+    if not h.is_connected():
+        return 0
+    best = None
+    for t in range(1, h.n):
+        cap = INF if best is None else best
+        val = hypergraph_st_min_cut(h, [0], [t], limit=cap)
+        if best is None or val < best:
+            best = val
+        if best == 0:
+            break
+    assert best is not None
+    return best
+
+
+def hypergraph_edge_connectivity(h: Hypergraph) -> int:
+    """Global hyperedge connectivity (0 when disconnected or n <= 1)."""
+    if h.n <= 1:
+        return 0
+    return hypergraph_min_cut(h)
+
+
+def is_k_hyperedge_connected(h: Hypergraph, k: int) -> bool:
+    """True if every cut has at least ``k`` hyperedges."""
+    if k <= 0:
+        return True
+    if h.n < 2:
+        return False
+    return hypergraph_min_cut(h) >= k
+
+
+def all_cuts(n: int) -> Iterable[Tuple[int, ...]]:
+    """Enumerate all 2^(n-1) - 1 distinct cuts as sides containing vertex 0."""
+    others = list(range(1, n))
+    for size in range(0, n - 1):
+        for extra in combinations(others, size):
+            side = (0,) + extra
+            if len(side) < n:
+                yield side
+
+
+def all_cut_sizes(h: Hypergraph) -> Dict[Tuple[int, ...], int]:
+    """|δ(S)| for every cut of a *small* hypergraph (exhaustive oracle)."""
+    if h.n > 20:
+        raise DomainError("exhaustive cut enumeration is limited to n <= 20")
+    return {side: h.cut_size(side) for side in all_cuts(h.n)}
+
+
+def is_spanning_subgraph(h: Hypergraph, sub: Hypergraph) -> bool:
+    """Check the paper's spanning-graph condition.
+
+    ``sub`` spans ``h`` iff for every cut, ``|δ_sub(S)| >= min(1,
+    |δ_h(S)|)`` — equivalently, ``sub`` has the same connected
+    components as ``h``.  The component formulation is exact and avoids
+    the exponential cut enumeration.
+    """
+    if sub.n != h.n:
+        return False
+    if not sub.edge_set() <= h.edge_set():
+        return False
+    comp_of = {}
+    for idx, comp in enumerate(h.components()):
+        for v in comp:
+            comp_of[v] = idx
+    sub_comp_of = {}
+    for idx, comp in enumerate(sub.components()):
+        for v in comp:
+            sub_comp_of[v] = idx
+    # Same components <=> the partitions coincide.
+    seen: Dict[int, int] = {}
+    for v in range(h.n):
+        a, b = comp_of[v], sub_comp_of[v]
+        if a in seen:
+            if seen[a] != b:
+                return False
+        else:
+            seen[a] = b
+    return len(set(comp_of.values())) == len(set(sub_comp_of.values()))
+
+
+def is_k_skeleton(h: Hypergraph, sub: Hypergraph, k: int) -> bool:
+    """Exhaustively verify Definition 11 on a small hypergraph.
+
+    ``sub`` is a k-skeleton of ``h`` iff for every cut S,
+    ``|δ_sub(S)| >= min(|δ_h(S)|, k)``.
+    """
+    if sub.n != h.n:
+        return False
+    if not sub.edge_set() <= h.edge_set():
+        return False
+    for side in all_cuts(h.n):
+        if sub.cut_size(side) < min(h.cut_size(side), k):
+            return False
+    return True

@@ -1,0 +1,143 @@
+"""Dinic's maximum-flow algorithm.
+
+This is the exact-computation workhorse behind:
+
+* local edge connectivity λ(u, v) (unit edge capacities),
+* exact vertex connectivity κ (split-vertex construction, unit vertex
+  capacities),
+* hypergraph s-t minimum cuts (the auxiliary-node reduction in
+  :mod:`repro.graph.hypergraph_cuts`).
+
+A ``limit`` argument supports early termination: connectivity tests
+only ever need to know whether the flow reaches ``k + 1``, which keeps
+the skeleton-decoding loops fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Set, Tuple
+
+#: Effectively-infinite capacity for reduction gadgets.
+INF = float("inf")
+
+
+class FlowNetwork:
+    """Directed flow network with adjacency-list residual arcs."""
+
+    __slots__ = ("n", "_to", "_cap", "_head")
+
+    def __init__(self, n: int):
+        self.n = n
+        self._to: List[int] = []
+        self._cap: List[float] = []
+        self._head: List[List[int]] = [[] for _ in range(n)]
+
+    def add_vertex(self) -> int:
+        """Append a fresh vertex, returning its id."""
+        self._head.append([])
+        self.n += 1
+        return self.n - 1
+
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add a directed arc u -> v; returns its arc index.
+
+        The reverse residual arc (capacity 0) is created automatically
+        at index ``arc ^ 1``.
+        """
+        arc = len(self._to)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._head[u].append(arc)
+        self._to.append(u)
+        self._cap.append(0.0)
+        self._head[v].append(arc + 1)
+        return arc
+
+    def add_undirected_edge(self, u: int, v: int, capacity: float) -> Tuple[int, int]:
+        """Add an undirected unit of capacity as two opposing arcs."""
+        return self.add_edge(u, v, capacity), self.add_edge(v, u, capacity)
+
+    # -- Dinic --------------------------------------------------------
+
+    def _bfs_levels(self, s: int, t: int) -> Optional[List[int]]:
+        level = [-1] * self.n
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for arc in self._head[u]:
+                v = self._to[arc]
+                if self._cap[arc] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[t] >= 0 else None
+
+    def _dfs_augment(
+        self, s: int, t: int, pushed: float, level: List[int], it: List[int]
+    ) -> float:
+        """Find one augmenting path in the level graph (iterative DFS)."""
+        path: List[int] = []  # arc indices along the current path
+        u = s
+        while True:
+            if u == t:
+                bottleneck = pushed
+                for arc in path:
+                    bottleneck = min(bottleneck, self._cap[arc])
+                for arc in path:
+                    self._cap[arc] -= bottleneck
+                    self._cap[arc ^ 1] += bottleneck
+                return bottleneck
+            advanced = False
+            while it[u] < len(self._head[u]):
+                arc = self._head[u][it[u]]
+                v = self._to[arc]
+                if self._cap[arc] > 0 and level[v] == level[u] + 1:
+                    path.append(arc)
+                    u = v
+                    advanced = True
+                    break
+                it[u] += 1
+            if advanced:
+                continue
+            # Dead end: retreat, exhausting the arc that led here.
+            level[u] = -1  # prune u from this phase's level graph
+            if not path:
+                return 0.0
+            arc = path.pop()
+            u = self._to[arc ^ 1]
+            it[u] += 1
+
+    def max_flow(self, s: int, t: int, limit: float = INF) -> float:
+        """Maximum s-t flow, stopping early once ``limit`` is reached.
+
+        Mutates residual capacities; a network instance is single-use
+        per (s, t) computation.
+        """
+        if s == t:
+            return INF
+        flow = 0.0
+        while flow < limit:
+            level = self._bfs_levels(s, t)
+            if level is None:
+                break
+            it = [0] * self.n
+            while flow < limit:
+                pushed = self._dfs_augment(s, t, limit - flow, level, it)
+                if pushed <= 0:
+                    break
+                flow += pushed
+        return flow
+
+    def min_cut_source_side(self, s: int) -> Set[int]:
+        """After a max-flow run, the source side of a minimum cut."""
+        seen = {s}
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for arc in self._head[u]:
+                v = self._to[arc]
+                if self._cap[arc] > 0 and v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen

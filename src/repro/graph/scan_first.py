@@ -1,0 +1,131 @@
+"""Scan-first search trees (paper appendix).
+
+A scan-first search tree (SFST, Cheriyan–Kao–Thurimella) is built by
+repeatedly *scanning* a marked-but-unscanned vertex ``x``: every edge
+from ``x`` to a currently unmarked neighbour joins the tree (marking
+that neighbour), and this repeats until no marked unscanned vertex
+remains.  The defining property exploited by the appendix lower bound
+is that once a vertex is scanned, *all* of its then-unmarked neighbours
+become its tree children — an SFST therefore reveals complete
+neighbourhood information for early-scanned vertices, which is why the
+paper proves any streaming construction needs Ω(n²) space
+(Theorem 21).  The offline construction below is used by the
+lower-bound experiment (:mod:`repro.lowerbounds.reductions`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import DomainError
+from .graph import Edge, Graph
+
+
+def scan_first_search_tree(
+    g: Graph, root: int = 0, scan_order: Optional[Iterable[int]] = None
+) -> List[Edge]:
+    """Build an SFST of the component containing ``root``.
+
+    Parameters
+    ----------
+    g:
+        Input graph.
+    root:
+        Root vertex (marked first).
+    scan_order:
+        Optional priority for choosing the next marked-but-unscanned
+        vertex (lower position scans earlier).  Defaults to FIFO, which
+        makes the SFST a breadth-first tree — BFS trees are the
+        canonical scan-first trees.
+
+    Returns
+    -------
+    list of edges of the tree, in the order they were added.
+    """
+    if not 0 <= root < g.n:
+        raise DomainError(f"root {root} outside [0, {g.n})")
+    priority = None
+    if scan_order is not None:
+        order = list(scan_order)
+        priority = {v: i for i, v in enumerate(order)}
+    marked = {root}
+    scanned = set()
+    frontier = deque([root])
+    tree: List[Edge] = []
+    while frontier:
+        if priority is None:
+            x = frontier.popleft()
+        else:
+            x = min(frontier, key=lambda v: priority.get(v, len(priority)))
+            frontier.remove(x)
+        if x in scanned:
+            continue
+        scanned.add(x)
+        for y in sorted(g.neighbors(x)):
+            if y not in marked:
+                marked.add(y)
+                tree.append((min(x, y), max(x, y)))
+                frontier.append(y)
+    return tree
+
+
+def is_scan_first_tree(g: Graph, root: int, tree_edges: Iterable[Edge]) -> bool:
+    """Verify the SFST property of a claimed tree.
+
+    Replays the definition: there must exist a scan schedule under
+    which exactly these edges are added.  Equivalent check used here:
+    the tree must be a spanning tree of the component of ``root`` and
+    for every internal vertex ``x``, at the moment ``x`` was scanned,
+    every neighbour of ``x`` not already marked must be a child of
+    ``x`` in the tree.  We verify by replaying the scans in an order
+    consistent with the tree's parent-before-child structure and
+    checking no non-tree edge ever connects a scanned vertex to a
+    vertex that was unmarked at scan time.
+    """
+    tree = [tuple(sorted(e)) for e in tree_edges]
+    tset = set(tree)
+    children = {v: [] for v in range(g.n)}
+    parent = {root: None}
+    # Recover orientation: BFS through tree edges from the root.
+    adj = {v: set() for v in range(g.n)}
+    for u, v in tree:
+        adj[u].add(v)
+        adj[v].add(u)
+    order = [root]
+    seen = {root}
+    qi = 0
+    while qi < len(order):
+        x = order[qi]
+        qi += 1
+        for y in sorted(adj[x]):
+            if y not in seen:
+                seen.add(y)
+                parent[y] = x
+                children[x].append(y)
+                order.append(y)
+    component = {root}
+    stack = [root]
+    while stack:
+        x = stack.pop()
+        for y in g.neighbors(x):
+            if y not in component:
+                component.add(y)
+                stack.append(y)
+    if seen != component:
+        return False  # not spanning the component
+    if len(tree) != len(component) - 1:
+        return False  # not a tree
+    # Replay: when x is scanned (in `order`), all unmarked neighbours
+    # must become its children.
+    marked = {root}
+    for x in order:
+        for y in g.neighbors(x):
+            if y not in marked:
+                if (min(x, y), max(x, y)) not in tset or parent.get(y) != x:
+                    return False
+        for y in children[x]:
+            marked.add(y)
+        # Also mark tree children even if already handled above.
+        marked.update(children[x])
+    return True

@@ -1,0 +1,116 @@
+"""Breadth-first traversal helpers shared by exact algorithms and decoders."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Sequence, Set
+
+from .graph import Graph
+from .hypergraph import Hypergraph
+
+
+def bfs_order(g: Graph, source: int) -> List[int]:
+    """Vertices reachable from ``source`` in BFS order."""
+    seen = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in sorted(g.neighbors(u)):
+            if v not in seen:
+                seen.add(v)
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def reachable_excluding(g: Graph, source: int, removed: Set[int]) -> Set[int]:
+    """Vertices reachable from ``source`` avoiding the ``removed`` set."""
+    if source in removed:
+        return set()
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in g.neighbors(u):
+            if v not in seen and v not in removed:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def is_connected_excluding(g: Graph, removed: Iterable[int]) -> bool:
+    """Is ``G \\ removed`` connected on the surviving vertices?
+
+    This is the predicate of the paper's vertex-connectivity *query*:
+    "does removing the queried set S disconnect the graph?"  A survivor
+    set of size <= 1 counts as connected (there is nothing to
+    disconnect), matching the convention that a set S disconnects G
+    only when the survivors split into >= 2 nonempty parts.
+    """
+    gone = set(removed)
+    survivors = [v for v in range(g.n) if v not in gone]
+    if len(survivors) <= 1:
+        return True
+    reached = reachable_excluding(g, survivors[0], gone)
+    return len(reached) == len(survivors)
+
+
+def shortest_path(g: Graph, s: int, t: int) -> Optional[List[int]]:
+    """A shortest s-t path as a vertex list, or None if disconnected."""
+    if s == t:
+        return [s]
+    prev = {s: s}
+    queue = deque([s])
+    while queue:
+        u = queue.popleft()
+        for v in sorted(g.neighbors(u)):
+            if v not in prev:
+                prev[v] = u
+                if v == t:
+                    path = [t]
+                    while path[-1] != s:
+                        path.append(prev[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(v)
+    return None
+
+
+def hypergraph_reachable_excluding(
+    h: Hypergraph, source: int, removed: Set[int]
+) -> Set[int]:
+    """Reachability in a hypergraph after vertex removal.
+
+    A hyperedge is usable only if *none* of its vertices were removed
+    (removing a vertex removes its incident hyperedges); a usable
+    hyperedge connects all of its vertices.
+    """
+    if source in removed:
+        return set()
+    seen = {source}
+    queue = deque([source])
+    used_edges = set()
+    while queue:
+        u = queue.popleft()
+        for e in h.incident_edges(u):
+            if e in used_edges:
+                continue
+            if any(v in removed for v in e):
+                continue
+            used_edges.add(e)
+            for v in e:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+    return seen
+
+
+def hypergraph_is_connected_excluding(h: Hypergraph, removed: Iterable[int]) -> bool:
+    """Is ``H \\ removed`` connected on the surviving vertices?"""
+    gone = set(removed)
+    survivors = [v for v in range(h.n) if v not in gone]
+    if len(survivors) <= 1:
+        return True
+    reached = hypergraph_reachable_excluding(h, survivors[0], gone)
+    return len(reached) == len(survivors)

@@ -1,0 +1,68 @@
+"""Disjoint-set union (union by size + path halving).
+
+Used by the Borůvka decoding loop of the spanning-forest sketches and
+by every exact connectivity routine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+class UnionFind:
+    """Classic disjoint-set forest over ``n`` integer elements."""
+
+    __slots__ = ("parent", "size", "components")
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+        #: Number of disjoint sets currently maintained.
+        self.components = n
+
+    def find(self, x: int) -> int:
+        """Return the representative of ``x``'s set (path halving)."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.components -= 1
+        return True
+
+    def union_many(self, vertices: Iterable[int]) -> bool:
+        """Merge all of ``vertices`` into one set; True if anything merged.
+
+        This is the hyperedge contraction step: sampling one crossing
+        hyperedge merges every vertex it contains.
+        """
+        it = iter(vertices)
+        try:
+            first = next(it)
+        except StopIteration:
+            return False
+        merged = False
+        for v in it:
+            merged = self.union(first, v) or merged
+        return merged
+
+    def connected(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[List[int]]:
+        """All current sets, each as a sorted list of members."""
+        by_root: Dict[int, List[int]] = {}
+        for x in range(len(self.parent)):
+            by_root.setdefault(self.find(x), []).append(x)
+        return [sorted(members) for members in by_root.values()]

@@ -1,0 +1,20 @@
+"""Executable INDEX reductions behind the paper's lower bounds."""
+
+from .indexing import IndexInstance, TrialReport, random_instance, run_trials
+from .reductions import (
+    theorem5_exact_reference,
+    theorem5_protocol,
+    theorem21_graph,
+    theorem21_protocol,
+)
+
+__all__ = [
+    "IndexInstance",
+    "TrialReport",
+    "random_instance",
+    "run_trials",
+    "theorem5_protocol",
+    "theorem5_exact_reference",
+    "theorem21_graph",
+    "theorem21_protocol",
+]

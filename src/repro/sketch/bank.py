@@ -1,0 +1,452 @@
+"""Vectorised grids of L0 samplers (the production sketch engine).
+
+The AGM-style sketches all share one shape: a grid of L0 samplers
+indexed by ``(group, member)`` where
+
+* *members* are vertices — member ``v``'s sampler sketches vertex
+  ``v``'s (signed) incidence row;
+* *groups* are independent repetitions (Borůvka rounds): randomness is
+  **shared across members within a group** — that is exactly what
+  makes the member sketches of one group summable, the linchpin of the
+  whole approach (summing a component's rows yields a sketch of its
+  boundary δ(S)) — and **independent across groups**, which is what
+  the decoding loops consume one round at a time.
+
+Counters are stored in three numpy ``int64`` arrays of shape
+``(groups, members, levels, rows, buckets)``: exact weights, index
+sums mod p, and fingerprints mod p (see
+:mod:`repro.sketch.onesparse` for the cell semantics).  A single
+stream update touches every group at once through vectorised hashing,
+which is the hot path of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import (
+    IncompatibleSketchError,
+    NotOneSparseError,
+    SamplerEmptyError,
+)
+from ..util.hashing import (
+    HashFamily,
+    derive_seed,
+    hash64,
+    splitmix64,
+    trailing_zeros64,
+)
+from ..util.prime_field import MERSENNE_61
+from .l0 import default_levels
+
+_P = MERSENNE_61
+_ROW_SALT = 0xA5A5A5A5A5A5A5A5
+
+
+class SamplerGrid:
+    """A ``groups × members`` grid of mutually-summable L0 samplers.
+
+    Parameters
+    ----------
+    groups:
+        Number of independent repetitions (e.g. Borůvka rounds).
+    members:
+        Number of member sketches per group (e.g. vertices).
+    domain:
+        Coordinate domain size (e.g. the hyperedge space dimension).
+    seed:
+        Master seed; grids with equal parameters and seed are
+        compatible for linear combination.
+    rows, buckets:
+        Geometry of each level's sparse-recovery stage.
+    levels / max_support:
+        Subsampling depth; ``max_support`` (a bound on any sketched
+        vector's support, e.g. max degree) shrinks the depth.
+    """
+
+    def __init__(
+        self,
+        groups: int,
+        members: int,
+        domain: int,
+        seed: int,
+        rows: int = 2,
+        buckets: int = 8,
+        levels: Optional[int] = None,
+        max_support: Optional[int] = None,
+    ):
+        if groups < 1 or members < 1 or domain < 1:
+            raise IncompatibleSketchError(
+                f"grid needs positive shape, got groups={groups}, "
+                f"members={members}, domain={domain}"
+            )
+        self.groups = groups
+        self.members = members
+        self.domain = domain
+        self.rows = rows
+        self.buckets = buckets
+        self.levels = levels if levels is not None else default_levels(domain, max_support)
+        self.seed = seed & ((1 << 64) - 1)
+        shape = (groups, members, self.levels, rows, buckets)
+        self._w = np.zeros(shape, dtype=np.int64)
+        self._s = np.zeros(shape, dtype=np.int64)
+        self._f = np.zeros(shape, dtype=np.int64)
+        self._level_seeds = [derive_seed(self.seed, 1, g) for g in range(groups)]
+        self._bucket_seeds = [
+            [derive_seed(self.seed, 2, g, r) for r in range(rows)]
+            for g in range(groups)
+        ]
+        #: per-level salts mixed into the bucket hash so collisions do
+        #: not repeat across subsampling levels.
+        self._level_salts = [derive_seed(self.seed, 5, lvl) for lvl in range(self.levels)]
+        self._tiebreak_seeds = [derive_seed(self.seed, 3, g) for g in range(groups)]
+        self._rho = HashFamily(derive_seed(self.seed, 4))
+        self._updates = 0
+
+    # -- streaming ------------------------------------------------------
+
+    def _depth(self, group: int, index: int) -> int:
+        """Deepest subsampling level of ``index`` in ``group``."""
+        return min(
+            trailing_zeros64(hash64(self._level_seeds[group], index)),
+            self.levels - 1,
+        )
+
+    def _bucket(self, group: int, row: int, lvl: int, index: int) -> int:
+        """Bucket of ``index`` at one (group, row, level) cell array."""
+        h = hash64(self._bucket_seeds[group][row], index)
+        return splitmix64(h ^ self._level_salts[lvl]) % self.buckets
+
+    def update(self, member: int, index: int, delta: int) -> None:
+        """Apply ``x_member[index] += delta`` in every group.
+
+        This is the library's hot path; it deliberately uses scalar
+        arithmetic and direct element indexing — for the typical group
+        counts (~10) that beats vectorised numpy calls on tiny arrays
+        by a wide margin.
+        """
+        if delta == 0:
+            return
+        if not 0 <= index < self.domain:
+            raise NotOneSparseError(f"coordinate {index} outside [0, {self.domain})")
+        if not 0 <= member < self.members:
+            raise IncompatibleSketchError(
+                f"member {member} outside [0, {self.members})"
+            )
+        self._updates += 1
+        i_mod = index % _P
+        rho = self._rho.field_value(index, _P)
+        cs = (delta * i_mod) % _P
+        cf = (delta * rho) % _P
+        w, s, f = self._w, self._s, self._f
+        rows, buckets = self.rows, self.buckets
+        salts = self._level_salts
+        for g in range(self.groups):
+            depth = self._depth(g, index)
+            bseeds = self._bucket_seeds[g]
+            for r in range(rows):
+                h = hash64(bseeds[r], index)
+                base = w[g, member, :, r]  # (levels, buckets) views
+                s_base = s[g, member, :, r]
+                f_base = f[g, member, :, r]
+                for lvl in range(depth + 1):
+                    b = splitmix64(h ^ salts[lvl]) % buckets
+                    base[lvl, b] += delta
+                    sv = int(s_base[lvl, b]) + cs
+                    s_base[lvl, b] = sv - _P if sv >= _P else sv
+                    fv = int(f_base[lvl, b]) + cf
+                    f_base[lvl, b] = fv - _P if fv >= _P else fv
+
+    # -- linearity --------------------------------------------------------
+
+    def _check_compatible(self, other: "SamplerGrid") -> None:
+        if (
+            self.groups != other.groups
+            or self.members != other.members
+            or self.domain != other.domain
+            or self.levels != other.levels
+            or self.rows != other.rows
+            or self.buckets != other.buckets
+            or self.seed != other.seed
+        ):
+            raise IncompatibleSketchError("sampler grids incompatible")
+
+    def __iadd__(self, other: "SamplerGrid") -> "SamplerGrid":
+        self._check_compatible(other)
+        self._w += other._w
+        self._s = _add_mod(self._s, other._s)
+        self._f = _add_mod(self._f, other._f)
+        return self
+
+    def __isub__(self, other: "SamplerGrid") -> "SamplerGrid":
+        self._check_compatible(other)
+        self._w -= other._w
+        self._s = _sub_mod(self._s, other._s)
+        self._f = _sub_mod(self._f, other._f)
+        return self
+
+    def copy(self) -> "SamplerGrid":
+        out = SamplerGrid.__new__(SamplerGrid)
+        out.__dict__.update(self.__dict__)
+        out._w = self._w.copy()
+        out._s = self._s.copy()
+        out._f = self._f.copy()
+        return out
+
+    # -- distributed-player plumbing (Section 2 communication model) -----
+
+    def extract_member(self, member: int) -> Dict[str, np.ndarray]:
+        """The state a single player (vertex) would send to the referee."""
+        return {
+            "w": self._w[:, member].copy(),
+            "s": self._s[:, member].copy(),
+            "f": self._f[:, member].copy(),
+        }
+
+    def add_member_state(self, member: int, state: Dict[str, np.ndarray]) -> None:
+        """Referee-side: merge a received player message into the grid."""
+        self._w[:, member] += state["w"]
+        self._s[:, member] = _add_mod(self._s[:, member], state["s"])
+        self._f[:, member] = _add_mod(self._f[:, member], state["f"])
+
+    # -- decoding -----------------------------------------------------------
+
+    def appears_zero(self, group: Optional[int] = None, member: Optional[int] = None) -> bool:
+        """True if the selected slice's counters all vanish."""
+        sl = self._slice(group, member)
+        return (
+            not self._w[sl].any() and not self._s[sl].any() and not self._f[sl].any()
+        )
+
+    def _slice(self, group: Optional[int], member: Optional[int]):
+        g = slice(None) if group is None else group
+        m = slice(None) if member is None else member
+        return (g, m)
+
+    def summed(self, group: int, members: Sequence[int]) -> "SummedSketch":
+        """Sketch of the *sum* of the given members' vectors in ``group``.
+
+        For vertex incidence rows this is precisely a sketch of the
+        boundary δ(members): internal edge coefficients cancel.
+        """
+        idx = np.fromiter(members, dtype=np.int64)
+        if idx.size == 0:
+            raise IncompatibleSketchError("summed() needs at least one member")
+        w = self._w[group, idx].sum(axis=0)
+        # Fold the modular counters pairwise so intermediate values stay
+        # below 2p and never overflow int64.
+        shape = self._s.shape[2:]
+        s = np.zeros(shape, dtype=np.int64)
+        f = np.zeros(shape, dtype=np.int64)
+        for i in idx:
+            s = _add_mod(s, self._s[group, i])
+            f = _add_mod(f, self._f[group, i])
+        return SummedSketch(grid=self, group=group, w=w, s=s, f=f)
+
+    def member_sketch(self, group: int, member: int) -> "SummedSketch":
+        """The single-member sketch as a decodable view."""
+        return self.summed(group, [member])
+
+    # -- accounting -----------------------------------------------------------
+
+    def space_counters(self) -> int:
+        """Number of machine-word counters the grid maintains."""
+        return 3 * self.groups * self.members * self.levels * self.rows * self.buckets
+
+    def space_bytes(self) -> int:
+        """Bytes of counter state."""
+        return self._w.nbytes + self._s.nbytes + self._f.nbytes
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream updates applied (diagnostics)."""
+        return self._updates
+
+
+def _add_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    s = a + b
+    return np.where(s >= _P, s - _P, s)
+
+
+def _sub_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    d = a - b
+    return np.where(d < 0, d + _P, d)
+
+
+class SummedSketch:
+    """A decodable L0-sampler view over summed member counters.
+
+    Carries its own (L, rows, buckets) counter arrays plus the hash
+    context of the owning grid's group, so it supports local mutation
+    (subtracting recovered coordinates during peeling) without touching
+    the grid.
+    """
+
+    __slots__ = ("_grid", "group", "_w", "_s", "_f")
+
+    def __init__(self, grid: SamplerGrid, group: int, w, s, f):
+        self._grid = grid
+        self.group = group
+        self._w = w
+        self._s = s
+        self._f = f
+
+    # -- placement helpers ----------------------------------------------
+
+    def _depth_of(self, index: int) -> int:
+        return self._grid._depth(self.group, index)
+
+    def _bucket_of(self, row: int, lvl: int, index: int) -> int:
+        return self._grid._bucket(self.group, row, lvl, index)
+
+    def _tiebreak(self, index: int) -> int:
+        return hash64(self._grid._tiebreak_seeds[self.group], index)
+
+    # -- mutation ---------------------------------------------------------
+
+    def subtract(self, index: int, weight: int) -> None:
+        """Remove ``weight`` units of ``index`` from the view (peeling)."""
+        if weight == 0:
+            return
+        i_mod = index % _P
+        rho = self._grid._rho.field_value(index, _P)
+        cs = (-weight * i_mod) % _P
+        cf = (-weight * rho) % _P
+        for lvl in range(self._depth_of(index) + 1):
+            for r in range(self._grid.rows):
+                b = self._bucket_of(r, lvl, index)
+                self._w[lvl, r, b] -= weight
+                self._s[lvl, r, b] = (int(self._s[lvl, r, b]) + cs) % _P
+                self._f[lvl, r, b] = (int(self._f[lvl, r, b]) + cf) % _P
+
+    def copy(self) -> "SummedSketch":
+        return SummedSketch(
+            self._grid, self.group, self._w.copy(), self._s.copy(), self._f.copy()
+        )
+
+    # -- decoding -----------------------------------------------------------
+
+    def appears_zero(self) -> bool:
+        """True if all counters vanish (zero vector, whp)."""
+        return not self._w.any() and not self._s.any() and not self._f.any()
+
+    def _decode_cell(self, lvl: int, r: int, b: int) -> Optional[Tuple[int, int]]:
+        w = int(self._w[lvl, r, b])
+        s = int(self._s[lvl, r, b])
+        f = int(self._f[lvl, r, b])
+        if w == 0 and s == 0 and f == 0:
+            return None
+        if w == 0 or w % _P == 0:
+            raise NotOneSparseError("nonzero cell with zero weight")
+        w_mod = w % _P
+        j = (s * pow(w_mod, _P - 2, _P)) % _P
+        if j >= self._grid.domain:
+            raise NotOneSparseError("index outside domain")
+        j = int(j)
+        if (w_mod * self._grid._rho.field_value(j, _P)) % _P != f:
+            raise NotOneSparseError("fingerprint mismatch")
+        # Structural consistency: the coordinate must genuinely live in
+        # this cell, else the decode is a (vanishingly rare) collision.
+        if self._depth_of(j) < lvl or self._bucket_of(r, lvl, j) != b:
+            raise NotOneSparseError("placement mismatch")
+        return j, w
+
+    def _recover_level(self, lvl: int) -> Optional[Dict[int, int]]:
+        """Peel one level; full support of the subsampled vector or None."""
+        scratch = self.copy()
+        recovered: Dict[int, int] = {}
+        guard = 4 * self._grid.rows * self._grid.buckets + 8
+        progress = True
+        while progress and guard > 0:
+            guard -= 1
+            progress = False
+            for r in range(self._grid.rows):
+                for b in range(self._grid.buckets):
+                    try:
+                        got = scratch._decode_cell(lvl, r, b)
+                    except NotOneSparseError:
+                        continue
+                    if got is None:
+                        continue
+                    j, w = got
+                    recovered[j] = recovered.get(j, 0) + w
+                    scratch._subtract_at_level(lvl, j, w)
+                    progress = True
+        if scratch._w[lvl].any() or scratch._s[lvl].any() or scratch._f[lvl].any():
+            return None
+        return {j: w for j, w in recovered.items() if w != 0}
+
+    def _subtract_at_level(self, lvl: int, index: int, weight: int) -> None:
+        i_mod = index % _P
+        rho = self._grid._rho.field_value(index, _P)
+        cs = (-weight * i_mod) % _P
+        cf = (-weight * rho) % _P
+        for r in range(self._grid.rows):
+            b = self._bucket_of(r, lvl, index)
+            self._w[lvl, r, b] -= weight
+            self._s[lvl, r, b] = (int(self._s[lvl, r, b]) + cs) % _P
+            self._f[lvl, r, b] = (int(self._f[lvl, r, b]) + cf) % _P
+
+    def sample(self) -> Tuple[int, int]:
+        """A verified nonzero ``(index, weight)`` of the summed vector.
+
+        Shallowest fully-recovered level wins (min tie-break hash among
+        its survivors); otherwise any verified single-cell decode.
+        Raises :class:`SamplerEmptyError` on a zero vector or total
+        decode failure.
+        """
+        if self.appears_zero():
+            raise SamplerEmptyError("summed vector appears to be zero")
+        for lvl in range(self._grid.levels):
+            support = self._recover_level(lvl)
+            if support:
+                j = min(support, key=lambda i: (self._tiebreak(i), i))
+                return j, support[j]
+        for lvl in range(self._grid.levels):
+            for r in range(self._grid.rows):
+                for b in range(self._grid.buckets):
+                    try:
+                        got = self._decode_cell(lvl, r, b)
+                    except NotOneSparseError:
+                        continue
+                    if got is not None:
+                        return got
+        raise SamplerEmptyError("no subsampling level decoded")
+
+    def sample_or_none(self) -> Optional[Tuple[int, int]]:
+        """Like :meth:`sample` but None for zero vectors / failures."""
+        try:
+            return self.sample()
+        except SamplerEmptyError:
+            return None
+
+    def recover_support(self) -> Optional[Dict[int, int]]:
+        """Exact support via the level-0 structure, if certifiable."""
+        return self._recover_level(0)
+
+    def estimate_support_size(self) -> Optional[int]:
+        """Estimate ‖x‖₀ from the subsampling levels (dynamic F0).
+
+        Classical insert-only distinct-count sketches (KMV, HLL) break
+        under deletions; a linear L0 structure does not.  The estimator
+        finds the shallowest level whose support fully recovers — that
+        level holds each surviving coordinate independently with
+        probability 2^-ℓ, so ``count · 2^ℓ`` estimates the overall
+        support size (exact when ℓ = 0).  Returns ``None`` when no
+        level certifies a complete recovery.
+        """
+        if self.appears_zero():
+            return 0
+        for lvl in range(self._grid.levels):
+            support = self._recover_level(lvl)
+            if support is None:
+                continue
+            if support or lvl == 0:
+                # A certified-empty deeper level says little (all
+                # coordinates may simply have shallow hash depths), so
+                # only a *nonempty* recovery — or level 0, which sees
+                # everything — yields an estimate.
+                return len(support) * (2 ** lvl)
+        return None

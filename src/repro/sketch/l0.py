@@ -1,0 +1,157 @@
+"""Scalar L0 sampler (reference implementation).
+
+Samples a (near-)uniform nonzero coordinate of a dynamically updated
+vector, following the level-subsampling construction of Jowhari,
+Sağlam and Tardos ([18] in the paper): level ``ℓ`` retains each
+coordinate with probability 2^-ℓ (a coordinate participates in levels
+``0 .. tz(h(i))`` where ``tz`` counts trailing zero bits of a hash),
+and each level keeps an s-sparse recovery structure.  At the level
+where ~O(1) coordinates survive, recovery succeeds and the survivor
+with the minimum tie-break hash is returned.
+
+The vectorised production implementation lives in
+:mod:`repro.sketch.bank`; this scalar version exists as an executable
+specification — the property tests check the two against each other —
+and for small one-off uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IncompatibleSketchError, SamplerEmptyError
+from ..util.hashing import HashFamily, trailing_zeros64
+from .sparse_recovery import SparseRecoveryStructure
+
+
+def default_levels(domain: int, max_support: Optional[int] = None) -> int:
+    """Number of subsampling levels needed for a given domain.
+
+    Levels beyond ``log2(max_support)`` are useless — fewer than one
+    coordinate is expected to survive — so when the caller knows a
+    support bound (e.g. vertex degrees are < n) the sampler can be much
+    smaller than ``log2(domain)`` levels.
+    """
+    bound = domain if max_support is None else min(domain, max_support)
+    bound = max(bound, 1)
+    return max(1, bound.bit_length() + 2)
+
+
+class L0Sampler:
+    """Scalar L0 sampler over ``[0, domain)``.
+
+    Parameters
+    ----------
+    domain:
+        Coordinate domain size.
+    family:
+        Hash family carrying all randomness.  Sub-families: ``(10,)``
+        level placement, ``(11,)`` tie-breaking, ``(12, level)`` the
+        per-level sparse-recovery randomness.
+    rows, buckets:
+        Geometry of each level's recovery structure.
+    levels:
+        Number of subsampling levels; defaults to
+        :func:`default_levels`.
+    max_support:
+        Optional bound on the vector's support size, used only to size
+        ``levels``.
+    """
+
+    __slots__ = ("domain", "levels", "_family", "_level_family", "_tiebreak", "_stages")
+
+    def __init__(
+        self,
+        domain: int,
+        family: HashFamily,
+        rows: int = 2,
+        buckets: int = 8,
+        levels: Optional[int] = None,
+        max_support: Optional[int] = None,
+    ):
+        self.domain = domain
+        self.levels = levels if levels is not None else default_levels(domain, max_support)
+        self._family = family
+        self._level_family = family.subfamily(10)
+        self._tiebreak = family.subfamily(11)
+        self._stages: List[SparseRecoveryStructure] = [
+            SparseRecoveryStructure(domain, family.subfamily(12, lvl), rows, buckets)
+            for lvl in range(self.levels)
+        ]
+
+    def depth_of(self, index: int) -> int:
+        """Deepest level the coordinate participates in (inclusive)."""
+        return min(trailing_zeros64(self._level_family.value(index)), self.levels - 1)
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta``."""
+        for lvl in range(self.depth_of(index) + 1):
+            self._stages[lvl].update(index, delta)
+
+    # -- linearity --------------------------------------------------------
+
+    def _check_compatible(self, other: "L0Sampler") -> None:
+        if (
+            self.domain != other.domain
+            or self.levels != other.levels
+            or self._family.seed != other._family.seed
+        ):
+            raise IncompatibleSketchError("L0 samplers incompatible")
+
+    def __iadd__(self, other: "L0Sampler") -> "L0Sampler":
+        self._check_compatible(other)
+        for mine, theirs in zip(self._stages, other._stages):
+            mine += theirs
+        return self
+
+    def __isub__(self, other: "L0Sampler") -> "L0Sampler":
+        self._check_compatible(other)
+        for mine, theirs in zip(self._stages, other._stages):
+            mine -= theirs
+        return self
+
+    def copy(self) -> "L0Sampler":
+        out = L0Sampler.__new__(L0Sampler)
+        out.domain = self.domain
+        out.levels = self.levels
+        out._family = self._family
+        out._level_family = self._level_family
+        out._tiebreak = self._tiebreak
+        out._stages = [s.copy() for s in self._stages]
+        return out
+
+    # -- decoding -----------------------------------------------------------
+
+    def appears_zero(self) -> bool:
+        """True when every level's counters vanish."""
+        return all(stage.appears_zero() for stage in self._stages)
+
+    def sample(self) -> Tuple[int, int]:
+        """Return a verified nonzero ``(index, weight)``.
+
+        Preference order: the shallowest level whose support is fully
+        recovered (minimum tie-break hash among survivors, which is the
+        near-uniform JST rule), then any verified single-cell decode.
+        Raises :class:`SamplerEmptyError` for a zero vector or an
+        (unlucky) total recovery failure.
+        """
+        if self.appears_zero():
+            raise SamplerEmptyError("sketched vector appears to be zero")
+        for stage in self._stages:
+            support = stage.recover_all()
+            if support:
+                index = min(support, key=lambda i: (self._tiebreak.value(i), i))
+                return index, support[index]
+        for stage in self._stages:
+            got = stage.recover_any()
+            if got is not None:
+                return got
+        raise SamplerEmptyError("all subsampling levels failed to decode")
+
+    def recover_support(self) -> Optional[Dict[int, int]]:
+        """Exact support if the level-0 structure certifies it, else None."""
+        return self._stages[0].recover_all()
+
+    def space_counters(self) -> int:
+        """Machine words of state."""
+        return sum(stage.space_counters() for stage in self._stages)

@@ -1,0 +1,148 @@
+"""1-sparse recovery cells.
+
+The atomic building block of every sketch in the library.  A cell
+summarises a vector ``x`` over a coordinate domain ``[0, D)`` with
+three counters:
+
+* ``weight``   = Σ_i x_i                     (exact integer),
+* ``index_sum`` = Σ_i x_i · i        (mod p = 2^61 - 1),
+* ``fingerprint`` = Σ_i x_i · ρ(i)   (mod p),
+
+where ``ρ`` is a random function into GF(p) shared by the structure
+that owns the cell.  When ``x`` is 1-sparse with support {j}:
+``index_sum = weight · j`` so ``j = index_sum / weight`` (field
+division), and the fingerprint equation ``fingerprint = weight · ρ(j)``
+verifies the claim.  A non-1-sparse vector passes the verification
+with probability at most ~2/p per decode (index and fingerprint checks
+are both random over GF(p)), so decodes are *reliable*: the cell
+reports ``NotOneSparseError`` rather than a wrong coordinate.
+
+Cells are linear: they support addition, subtraction and negation,
+which is what makes the downstream sketches mergeable and lets
+decoders subtract already-recovered edges (Sections 4.1-4.2 of the
+paper lean on exactly this linearity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import IncompatibleSketchError, NotOneSparseError
+from ..util.hashing import HashFamily
+from ..util.prime_field import MERSENNE_61, add_mod, inv_mod, mod_p, mul_mod, sub_mod
+
+
+class OneSparseCell:
+    """A single 1-sparse recovery cell over ``[0, domain)``.
+
+    Parameters
+    ----------
+    domain:
+        Coordinate domain size ``D``; recovered indices are validated
+        against it.
+    fingerprint_family:
+        The shared random function ρ.  Two cells may be combined
+        linearly only when they share ρ (same family seed).
+    """
+
+    __slots__ = ("domain", "_rho", "weight", "index_sum", "fingerprint")
+
+    def __init__(self, domain: int, fingerprint_family: HashFamily):
+        self.domain = domain
+        self._rho = fingerprint_family
+        self.weight = 0
+        self.index_sum = 0
+        self.fingerprint = 0
+
+    # -- streaming ------------------------------------------------------
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta``."""
+        if not 0 <= index < self.domain:
+            raise NotOneSparseError(
+                f"coordinate {index} outside domain [0, {self.domain})"
+            )
+        self.weight += delta
+        d = mod_p(delta)
+        self.index_sum = add_mod(self.index_sum, mul_mod(d, mod_p(index)))
+        self.fingerprint = add_mod(
+            self.fingerprint, mul_mod(d, self._rho.field_value(index, MERSENNE_61))
+        )
+
+    # -- linearity -------------------------------------------------------
+
+    def _check_compatible(self, other: "OneSparseCell") -> None:
+        if self.domain != other.domain or self._rho.seed != other._rho.seed:
+            raise IncompatibleSketchError(
+                "cells disagree on domain or fingerprint randomness"
+            )
+
+    def __iadd__(self, other: "OneSparseCell") -> "OneSparseCell":
+        self._check_compatible(other)
+        self.weight += other.weight
+        self.index_sum = add_mod(self.index_sum, other.index_sum)
+        self.fingerprint = add_mod(self.fingerprint, other.fingerprint)
+        return self
+
+    def __isub__(self, other: "OneSparseCell") -> "OneSparseCell":
+        self._check_compatible(other)
+        self.weight -= other.weight
+        self.index_sum = sub_mod(self.index_sum, other.index_sum)
+        self.fingerprint = sub_mod(self.fingerprint, other.fingerprint)
+        return self
+
+    def __add__(self, other: "OneSparseCell") -> "OneSparseCell":
+        out = self.copy()
+        out += other
+        return out
+
+    def __sub__(self, other: "OneSparseCell") -> "OneSparseCell":
+        out = self.copy()
+        out -= other
+        return out
+
+    def copy(self) -> "OneSparseCell":
+        """Deep copy sharing the fingerprint family."""
+        out = OneSparseCell(self.domain, self._rho)
+        out.weight = self.weight
+        out.index_sum = self.index_sum
+        out.fingerprint = self.fingerprint
+        return out
+
+    # -- decoding ----------------------------------------------------------
+
+    def appears_zero(self) -> bool:
+        """True if all counters vanish (the zero vector, whp)."""
+        return self.weight == 0 and self.index_sum == 0 and self.fingerprint == 0
+
+    def decode(self) -> Optional[Tuple[int, int]]:
+        """Recover ``(index, weight)`` if the cell holds a 1-sparse vector.
+
+        Returns ``None`` for the (apparent) zero vector and raises
+        :class:`NotOneSparseError` when the counters are inconsistent
+        with 1-sparsity.
+        """
+        if self.appears_zero():
+            return None
+        w = self.weight
+        if w == 0 or mod_p(w) == 0:
+            raise NotOneSparseError("nonzero cell with zero total weight")
+        w_mod = mod_p(w)
+        j = mul_mod(self.index_sum, inv_mod(w_mod))
+        if j >= self.domain:
+            raise NotOneSparseError(f"recovered index {j} outside domain")
+        expect = mul_mod(w_mod, self._rho.field_value(j, MERSENNE_61))
+        if expect != self.fingerprint:
+            raise NotOneSparseError("fingerprint mismatch: vector not 1-sparse")
+        return j, w
+
+    def decode_or_none(self) -> Optional[Tuple[int, int]]:
+        """Like :meth:`decode` but mapping failures to ``None``."""
+        try:
+            return self.decode()
+        except NotOneSparseError:
+            return None
+
+    def space_counters(self) -> int:
+        """Number of machine words of state (the space-accounting unit)."""
+        return 3

@@ -1,0 +1,276 @@
+"""AGM spanning-graph sketches for graphs and hypergraphs.
+
+Implements the primitive the paper's Theorem 2 cites (Ahn, Guha,
+McGregor: a vertex-based sketch of size O(n polylog n) from which a
+spanning forest can be built w.h.p.) and its hypergraph generalisation,
+the paper's Theorem 13 — the construction in Section 4.1: per-vertex L0
+sketches of the signed incidence rows, decoded with Borůvka rounds.
+
+Key facts the implementation leans on:
+
+* summing the member sketches of a component ``S`` (within one round's
+  shared randomness) yields an L0 sketch of ``δ(S)``, so sampling it
+  returns a hyperedge *leaving* the component — a verified one, thanks
+  to the cell fingerprints;
+* each Borůvka round uses a **fresh, independent** group of sketches:
+  Section 4.2's cautionary discussion explains why reusing one sketch
+  across adaptively chosen components would void the union bound, so
+  the number of rounds is fixed up front at ``O(log n)``.
+
+The sketch is vertex-based in the paper's Definition 1 sense; the
+communication layer (:mod:`repro.comm`) serialises one member's state
+as a player message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DomainError, IncompatibleSketchError
+from ..graph.hypergraph import Hypergraph
+from ..graph.union_find import UnionFind
+from ..util.hashing import derive_seed
+from ..util.rng import normalize_seed
+from .bank import SamplerGrid
+from .incidence import Hyperedge, IncidenceScheme
+
+
+def default_rounds(active_vertices: int) -> int:
+    """Borůvka rounds: log2 of the active-vertex count plus slack."""
+    return max(1, active_vertices.bit_length() + 3)
+
+
+class SpanningForestSketch:
+    """Linear sketch from which a spanning graph can be decoded.
+
+    Parameters
+    ----------
+    n:
+        Total number of vertices in the ambient graph.
+    r:
+        Maximum hyperedge cardinality (2 = ordinary graph).
+    seed:
+        Randomness seed; sketches combine linearly iff all parameters
+        and the seed agree.
+    vertices:
+        Optional active subset.  Only edges among active vertices may
+        be inserted, and the decoded spanning graph spans the induced
+        components — this is how the vertex-connectivity algorithms
+        sketch the vertex-sampled graphs ``G_i`` cheaply (each ``G_i``
+        has ~n/k vertices, giving the space bound of Theorems 4/8).
+    rounds:
+        Number of independent Borůvka groups.
+    rows, buckets, levels:
+        L0 sampler geometry (see :mod:`repro.sketch.bank`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        r: int = 2,
+        seed: Optional[int] = None,
+        vertices: Optional[Sequence[int]] = None,
+        rounds: Optional[int] = None,
+        rows: int = 2,
+        buckets: int = 8,
+        levels: Optional[int] = None,
+    ):
+        self.scheme = IncidenceScheme(EdgeSpaceCache.get(n, r))
+        self.n = n
+        self.r = r
+        if vertices is None:
+            self.vertices: Tuple[int, ...] = tuple(range(n))
+        else:
+            self.vertices = tuple(sorted(set(vertices)))
+            if self.vertices and (self.vertices[0] < 0 or self.vertices[-1] >= n):
+                raise DomainError("active vertices outside [0, n)")
+        if not self.vertices:
+            raise DomainError("sketch needs at least one active vertex")
+        self._member_of: Dict[int, int] = {v: i for i, v in enumerate(self.vertices)}
+        self.rounds = rounds if rounds is not None else default_rounds(len(self.vertices))
+        self.seed = normalize_seed(seed)
+        self.grid = SamplerGrid(
+            groups=self.rounds,
+            members=len(self.vertices),
+            domain=self.scheme.dimension,
+            seed=derive_seed(self.seed, 0x5F0),
+            rows=rows,
+            buckets=buckets,
+            levels=levels,
+        )
+
+    # -- streaming ------------------------------------------------------
+
+    def contains_vertexwise(self, edge: Sequence[int]) -> bool:
+        """True if every endpoint of the edge is active."""
+        return all(v in self._member_of for v in edge)
+
+    def update(self, edge: Sequence[int], sign: int) -> None:
+        """Insert (+1) or delete (-1) a hyperedge."""
+        if sign not in (1, -1):
+            raise DomainError(f"sign must be +1 or -1, got {sign}")
+        index = self.scheme.index_of(edge)
+        for vertex, coeff in self.scheme.coefficients(edge):
+            member = self._member_of.get(vertex)
+            if member is None:
+                raise DomainError(
+                    f"edge {tuple(edge)} touches inactive vertex {vertex}"
+                )
+            self.grid.update(member, index, sign * coeff)
+
+    def insert(self, edge: Sequence[int]) -> None:
+        """Stream insertion of a hyperedge."""
+        self.update(edge, 1)
+
+    def delete(self, edge: Sequence[int]) -> None:
+        """Stream deletion of a hyperedge."""
+        self.update(edge, -1)
+
+    def update_local(self, vertex: int, edge: Sequence[int], sign: int) -> None:
+        """Apply only ``vertex``'s own coefficient of the edge.
+
+        This is the *vertex-based* property of Definition 1 made
+        operational: the measurements local to ``vertex`` depend only
+        on edges incident to it, so a distributed player holding just
+        those edges can compute its share of the sketch
+        (see :mod:`repro.comm.simultaneous`).  Applying ``update_local``
+        for every endpoint of an edge is equivalent to ``update``.
+        """
+        if sign not in (1, -1):
+            raise DomainError(f"sign must be +1 or -1, got {sign}")
+        index = self.scheme.index_of(edge)
+        for v, coeff in self.scheme.coefficients(edge):
+            if v == vertex:
+                member = self._member_of.get(vertex)
+                if member is None:
+                    raise DomainError(f"vertex {vertex} is not active")
+                self.grid.update(member, index, sign * coeff)
+                return
+        raise DomainError(f"vertex {vertex} is not an endpoint of {tuple(edge)}")
+
+    # -- linearity --------------------------------------------------------
+
+    def _check_compatible(self, other: "SpanningForestSketch") -> None:
+        if (
+            self.n != other.n
+            or self.r != other.r
+            or self.vertices != other.vertices
+            or self.rounds != other.rounds
+            or self.seed != other.seed
+        ):
+            raise IncompatibleSketchError("spanning-forest sketches incompatible")
+
+    def __iadd__(self, other: "SpanningForestSketch") -> "SpanningForestSketch":
+        self._check_compatible(other)
+        self.grid += other.grid
+        return self
+
+    def __isub__(self, other: "SpanningForestSketch") -> "SpanningForestSketch":
+        self._check_compatible(other)
+        self.grid -= other.grid
+        return self
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(self) -> Hypergraph:
+        """Borůvka-decode a spanning graph of the sketched (hyper)graph.
+
+        Returns a hypergraph on the ambient ``n`` vertices containing
+        the recovered spanning edges.  Every returned hyperedge is a
+        genuine edge of the sketched graph (fingerprint-verified); with
+        the default parameters the result spans every component w.h.p.
+        Decode failures are silent in the sense that an undersized
+        sketch may return a forest with too many components — callers
+        that need certainty compare component counts against other
+        information (see the theorem-validation benchmarks).
+        """
+        forest = Hypergraph(self.n, self.r)
+        uf = UnionFind(len(self.vertices))
+        members_by_root: Dict[int, List[int]] = {
+            i: [i] for i in range(len(self.vertices))
+        }
+        for group in range(self.rounds):
+            if uf.components == 1:
+                break
+            roots = list(members_by_root.keys())
+            found: List[Hyperedge] = []
+            for root in roots:
+                members = members_by_root[root]
+                summed = self.grid.summed(group, members)
+                got = summed.sample_or_none()
+                if got is None:
+                    continue
+                index, _weight = got
+                found.append(self.scheme.edge_of(index))
+            merged_any = False
+            for edge in found:
+                member_ids = [self._member_of[v] for v in edge]
+                if uf.union_many(member_ids):
+                    merged_any = True
+                    forest.add_edge(edge)
+            if not merged_any:
+                break
+            members_by_root = {}
+            for i in range(len(self.vertices)):
+                members_by_root.setdefault(uf.find(i), []).append(i)
+        return forest
+
+    def components_of_decode(self) -> List[List[int]]:
+        """Components of the decoded spanning graph, restricted to the
+        active vertex set."""
+        forest = self.decode()
+        uf = UnionFind(self.n)
+        for e in forest.edges():
+            uf.union_many(e)
+        active = set(self.vertices)
+        groups: Dict[int, List[int]] = {}
+        for v in self.vertices:
+            groups.setdefault(uf.find(v), []).append(v)
+        return [sorted(g) for g in groups.values()]
+
+    def is_connected(self) -> bool:
+        """Whether the sketched graph appears connected on the active set."""
+        return len(self.components_of_decode()) == 1
+
+    def estimate_degree(self, vertex: int, group: int = 0) -> Optional[int]:
+        """Estimate the vertex's degree (its incidence row's support).
+
+        A dynamic distinct-count query for free: the L0 levels of the
+        vertex's own sketch estimate ‖a_v‖₀ = deg(v).  Exact for
+        degrees within the level-0 recovery capacity; ``None`` when no
+        level certifies.
+        """
+        member = self._member_of.get(vertex)
+        if member is None:
+            raise DomainError(f"vertex {vertex} is not active")
+        return self.grid.member_sketch(group, member).estimate_support_size()
+
+    # -- accounting -----------------------------------------------------------
+
+    def space_counters(self) -> int:
+        """Machine words of state."""
+        return self.grid.space_counters()
+
+    def space_bytes(self) -> int:
+        """Bytes of counter state."""
+        return self.grid.space_bytes()
+
+
+class EdgeSpaceCache:
+    """Process-wide cache of :class:`EdgeSpace` instances.
+
+    Edge spaces are immutable and repeatedly needed with identical
+    parameters (every sketch in a composite algorithm shares one); the
+    cache keeps the binomial tables warm.
+    """
+
+    _cache: Dict[Tuple[int, int], "EdgeSpace"] = {}
+
+    @classmethod
+    def get(cls, n: int, r: int):
+        from ..util.binomial import EdgeSpace
+
+        key = (n, r)
+        if key not in cls._cache:
+            cls._cache[key] = EdgeSpace(n, r)
+        return cls._cache[key]

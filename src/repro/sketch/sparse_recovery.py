@@ -1,0 +1,149 @@
+"""s-sparse recovery built from buckets of 1-sparse cells.
+
+A :class:`SparseRecoveryStructure` hashes every coordinate into one
+bucket per row; each bucket is a :class:`OneSparseCell`.  If the
+sketched vector has at most ~``buckets/2`` nonzero coordinates, then
+with constant probability per row every nonzero is isolated in some
+bucket and the whole support can be recovered by *peeling*: decode an
+isolated cell, subtract the recovered coordinate everywhere, repeat.
+
+The guarantees the rest of the library relies on:
+
+* recovered coordinates are always genuine (inherited from the cell
+  fingerprints) — failure manifests as *missing* coordinates, never
+  wrong ones;
+* :meth:`recover_all` reports ``None`` when it cannot certify complete
+  recovery (some cell still non-zero after peeling), so callers can
+  distinguish "support = {…}" from "gave up".
+
+This is the per-level structure of the L0 sampler (one instance per
+subsampling level), following the construction of Jowhari, Sağlam and
+Tardos cited as [18] in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IncompatibleSketchError
+from ..util.hashing import HashFamily
+from .onesparse import OneSparseCell
+
+
+class SparseRecoveryStructure:
+    """Rows × buckets of 1-sparse cells with peeling decode.
+
+    Parameters
+    ----------
+    domain:
+        Coordinate domain size.
+    family:
+        Hash family owning all randomness: sub-family ``(0,)`` is the
+        fingerprint ρ (shared by all cells so they stay mutually
+        linear), sub-family ``(1, row)`` places coordinates in buckets.
+    rows, buckets:
+        Geometry; capacity is roughly ``buckets / 2`` nonzeros.
+    """
+
+    __slots__ = ("domain", "rows", "buckets", "_family", "_rho", "_cells")
+
+    def __init__(self, domain: int, family: HashFamily, rows: int = 2, buckets: int = 8):
+        self.domain = domain
+        self.rows = rows
+        self.buckets = buckets
+        self._family = family
+        self._rho = family.subfamily(0)
+        self._cells: List[List[OneSparseCell]] = [
+            [OneSparseCell(domain, self._rho) for _ in range(buckets)]
+            for _ in range(rows)
+        ]
+
+    def _bucket(self, row: int, index: int) -> int:
+        return self._family.subfamily(1, row).bucket(index, self.buckets)
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta`` to every row."""
+        for row in range(self.rows):
+            self._cells[row][self._bucket(row, index)].update(index, delta)
+
+    # -- linearity --------------------------------------------------------
+
+    def _check_compatible(self, other: "SparseRecoveryStructure") -> None:
+        if (
+            self.domain != other.domain
+            or self.rows != other.rows
+            or self.buckets != other.buckets
+            or self._family.seed != other._family.seed
+        ):
+            raise IncompatibleSketchError("sparse-recovery structures incompatible")
+
+    def __iadd__(self, other: "SparseRecoveryStructure") -> "SparseRecoveryStructure":
+        self._check_compatible(other)
+        for row in range(self.rows):
+            for b in range(self.buckets):
+                self._cells[row][b] += other._cells[row][b]
+        return self
+
+    def __isub__(self, other: "SparseRecoveryStructure") -> "SparseRecoveryStructure":
+        self._check_compatible(other)
+        for row in range(self.rows):
+            for b in range(self.buckets):
+                self._cells[row][b] -= other._cells[row][b]
+        return self
+
+    def copy(self) -> "SparseRecoveryStructure":
+        out = SparseRecoveryStructure(self.domain, self._family, self.rows, self.buckets)
+        for row in range(self.rows):
+            for b in range(self.buckets):
+                out._cells[row][b] = self._cells[row][b].copy()
+        return out
+
+    # -- decoding -----------------------------------------------------------
+
+    def appears_zero(self) -> bool:
+        """True when every cell's counters vanish."""
+        return all(c.appears_zero() for row in self._cells for c in row)
+
+    def recover_any(self) -> Optional[Tuple[int, int]]:
+        """Some verified ``(index, weight)``, or None if no cell decodes."""
+        for row in self._cells:
+            for cell in row:
+                got = cell.decode_or_none()
+                if got is not None:
+                    return got
+        return None
+
+    def recover_all(self) -> Optional[Dict[int, int]]:
+        """Full support ``{index: weight}`` if certifiably complete.
+
+        Peels on a scratch copy; returns ``None`` unless every cell is
+        zero after peeling (which certifies, up to fingerprint
+        collisions, that the entire support was recovered).
+        """
+        scratch = self.copy()
+        recovered: Dict[int, int] = {}
+        progress = True
+        # Peeling terminates because each decode zeroes a cell, but a
+        # (probability ~2^-61) fingerprint false positive could cycle;
+        # the guard turns that into a recovery failure instead.
+        guard = 4 * self.rows * self.buckets + 8
+        while progress and guard > 0:
+            guard -= 1
+            progress = False
+            for row in range(self.rows):
+                for b in range(self.buckets):
+                    cell = scratch._cells[row][b]
+                    got = cell.decode_or_none()
+                    if got is None:
+                        continue
+                    index, weight = got
+                    recovered[index] = recovered.get(index, 0) + weight
+                    scratch.update(index, -weight)
+                    progress = True
+        if not scratch.appears_zero():
+            return None
+        return {i: w for i, w in recovered.items() if w != 0}
+
+    def space_counters(self) -> int:
+        """Machine words of state."""
+        return 3 * self.rows * self.buckets

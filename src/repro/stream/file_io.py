@@ -1,0 +1,99 @@
+"""Text file format for dynamic (hyper)graph streams.
+
+A stream file is line-oriented:
+
+* ``# ...`` — comment
+* ``n <count> [r <rank>]`` — header (must come first)
+* ``+ v1 v2 [v3 ...]`` — hyperedge insertion
+* ``- v1 v2 [v3 ...]`` — hyperedge deletion
+
+Example::
+
+    # two triangles, one deleted edge
+    n 6 r 3
+    + 0 1 2
+    + 3 4
+    + 4 5
+    - 3 4
+
+The format exists so streams are artifacts: workloads can be generated
+once, checked in, replayed through the CLI (:mod:`repro.cli`) or any
+sketch, and shared across language implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO, Tuple
+
+from ..errors import StreamError
+from .updates import EdgeUpdate
+
+
+def write_stream(
+    fh: TextIO, n: int, updates: Iterable[EdgeUpdate], r: int = 2
+) -> int:
+    """Write a stream; returns the number of events written."""
+    fh.write(f"n {n} r {r}\n")
+    count = 0
+    for u in updates:
+        op = "+" if u.sign > 0 else "-"
+        fh.write(f"{op} {' '.join(str(v) for v in u.edge)}\n")
+        count += 1
+    return count
+
+
+def read_stream(fh: TextIO) -> Tuple[int, int, List[EdgeUpdate]]:
+    """Parse a stream file; returns ``(n, r, updates)``.
+
+    Raises :class:`~repro.errors.StreamError` on malformed input with
+    the offending line number.
+    """
+    n = None
+    r = 2
+    updates: List[EdgeUpdate] = []
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "n":
+            if n is not None:
+                raise StreamError(f"line {lineno}: duplicate header")
+            try:
+                n = int(parts[1])
+                if len(parts) >= 4 and parts[2] == "r":
+                    r = int(parts[3])
+            except (IndexError, ValueError) as exc:
+                raise StreamError(f"line {lineno}: bad header {line!r}") from exc
+            continue
+        if parts[0] not in ("+", "-"):
+            raise StreamError(f"line {lineno}: unknown op {parts[0]!r}")
+        if n is None:
+            raise StreamError(f"line {lineno}: event before 'n' header")
+        try:
+            verts = tuple(int(p) for p in parts[1:])
+        except ValueError as exc:
+            raise StreamError(f"line {lineno}: bad vertex in {line!r}") from exc
+        if len(verts) < 2:
+            raise StreamError(f"line {lineno}: hyperedge needs >= 2 vertices")
+        if any(v < 0 or v >= n for v in verts):
+            raise StreamError(f"line {lineno}: vertex outside [0, {n})")
+        sign = 1 if parts[0] == "+" else -1
+        updates.append(EdgeUpdate(verts, sign))
+    if n is None:
+        raise StreamError("stream file has no 'n' header")
+    return n, r, updates
+
+
+def load_stream_file(path: str) -> Tuple[int, int, List[EdgeUpdate]]:
+    """Read a stream from a file path."""
+    with open(path) as fh:
+        return read_stream(fh)
+
+
+def save_stream_file(
+    path: str, n: int, updates: Iterable[EdgeUpdate], r: int = 2
+) -> int:
+    """Write a stream to a file path; returns the event count."""
+    with open(path, "w") as fh:
+        return write_stream(fh, n, updates, r)

@@ -1,0 +1,136 @@
+"""Stream orderings: how a target graph is presented as updates.
+
+The point of the *dynamic* model is that deletions matter: the paper's
+Section 3 explains why the insert-only certificate of Eppstein et al.
+breaks once edges can disappear.  These generators produce streams
+whose *final* graph is a given target but whose histories differ:
+
+* :func:`insert_only` — the classical semi-streaming presentation;
+* :func:`with_churn` — inserts decoy edges mid-stream and deletes them
+  again, so any algorithm that commits to edges early is stressed;
+* :func:`insert_delete_reinsert` — every target edge is inserted,
+  deleted, and re-inserted (a worst case for algorithms that drop
+  edges on first sight);
+* :func:`adversarial_for_certificate` — the specific
+  insert-then-delete pattern that defeats the Eppstein baseline (used
+  by experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from ..graph.hypergraph import Hyperedge, Hypergraph
+from ..util.rng import rng_from
+from .updates import EdgeUpdate
+
+
+def _edges_of(target) -> List[Tuple[int, ...]]:
+    return [tuple(e) for e in target.edges()]
+
+
+def insert_only(target, shuffle_seed: Optional[int] = None) -> List[EdgeUpdate]:
+    """Insertions of the target's edges (optionally shuffled)."""
+    edges = _edges_of(target)
+    if shuffle_seed is not None:
+        rng = rng_from(shuffle_seed, 0x10)
+        rng.shuffle(edges)
+    return [EdgeUpdate.insert(e) for e in edges]
+
+
+def with_churn(
+    target,
+    decoys: Iterable[Sequence[int]],
+    shuffle_seed: Optional[int] = None,
+) -> List[EdgeUpdate]:
+    """Target insertions interleaved with decoy insert+delete pairs.
+
+    Every decoy edge (which must not be a target edge) is inserted and
+    later deleted, so the final graph is exactly the target.
+    """
+    target_edges = set(_edges_of(target))
+    decoy_edges = []
+    for d in decoys:
+        e = tuple(sorted(d))
+        if e not in target_edges:
+            decoy_edges.append(e)
+    events: List[EdgeUpdate] = [EdgeUpdate.insert(e) for e in target_edges]
+    events.extend(EdgeUpdate.insert(e) for e in decoy_edges)
+    rng = rng_from(shuffle_seed, 0x11)
+    order = list(range(len(events)))
+    rng.shuffle(order)
+    stream = [events[i] for i in order]
+    # Deletions must follow the matching insertions: append afterwards
+    # in shuffled order.
+    dels = [EdgeUpdate.delete(e) for e in decoy_edges]
+    rng.shuffle(dels)
+    stream.extend(dels)
+    return stream
+
+
+def insert_delete_reinsert(
+    target, shuffle_seed: Optional[int] = None
+) -> List[EdgeUpdate]:
+    """Each target edge is inserted, deleted, then re-inserted."""
+    edges = _edges_of(target)
+    rng = rng_from(shuffle_seed, 0x12)
+    rng.shuffle(edges)
+    stream: List[EdgeUpdate] = []
+    for e in edges:
+        stream.append(EdgeUpdate.insert(e))
+    for e in reversed(edges):
+        stream.append(EdgeUpdate.delete(e))
+    rng.shuffle(edges)
+    for e in edges:
+        stream.append(EdgeUpdate.insert(e))
+    return stream
+
+
+def adversarial_for_certificate(
+    dense: Graph, removed_edges: Sequence[Tuple[int, int]]
+) -> List[EdgeUpdate]:
+    """Insert a dense graph, then delete the given edges.
+
+    This is the Section 3 narrative against insert-only certificates:
+    the vertex-disjoint paths that justified dropping an edge at
+    insertion time are destroyed by the later deletions.
+    """
+    stream = [EdgeUpdate.insert(e) for e in dense.edges()]
+    stream.extend(EdgeUpdate.delete(tuple(sorted(e))) for e in removed_edges)
+    return stream
+
+
+def random_dynamic_stream(
+    n: int,
+    steps: int,
+    p_delete: float = 0.3,
+    r: int = 2,
+    seed: Optional[int] = None,
+) -> Tuple[List[EdgeUpdate], Hypergraph]:
+    """A random valid insert/delete history; returns (stream, final graph).
+
+    At each step: with probability ``p_delete`` (and if any edge is
+    live) delete a uniformly random live edge, otherwise insert a
+    uniformly random absent edge.
+    """
+    rng = rng_from(seed, 0x13)
+    live = Hypergraph(n, r)
+    stream: List[EdgeUpdate] = []
+    for _ in range(steps):
+        do_delete = live.num_edges > 0 and rng.random() < p_delete
+        if do_delete:
+            edges = live.edges()
+            e = edges[int(rng.integers(0, len(edges)))]
+            live.remove_edge(e)
+            stream.append(EdgeUpdate.delete(e))
+        else:
+            for _attempt in range(200):
+                size = int(rng.integers(2, r + 1)) if r > 2 else 2
+                verts = tuple(
+                    int(x) for x in rng.choice(n, size=size, replace=False)
+                )
+                if live.add_edge(verts):
+                    stream.append(EdgeUpdate.insert(tuple(sorted(verts))))
+                    break
+    return stream, live

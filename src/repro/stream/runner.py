@@ -1,0 +1,85 @@
+"""Stream runner: feed one stream into many sketches, with accounting.
+
+A convenience layer used by examples and benchmarks: it validates the
+stream once, fans each event out to every registered sketch (anything
+with an ``update(edge, sign)`` method), and collects space/throughput
+statistics so the experiments can report the paper's space columns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..graph.hypergraph import Hypergraph
+from .updates import EdgeUpdate, StreamValidator
+
+
+@dataclass
+class RunReport:
+    """What happened during a stream run."""
+
+    events: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    seconds: float = 0.0
+    final_edges: int = 0
+    space: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def updates_per_second(self) -> float:
+        """Throughput over the whole run."""
+        return self.events / self.seconds if self.seconds > 0 else float("inf")
+
+
+class StreamRunner:
+    """Feeds validated streams into registered sketches."""
+
+    def __init__(self, n: int, r: int = 2, validate: bool = True):
+        self.n = n
+        self.r = r
+        self.validate = validate
+        self._validator = StreamValidator(n, r) if validate else None
+        self._sketches: Dict[str, Any] = {}
+
+    def register(self, name: str, sketch: Any) -> Any:
+        """Attach a sketch (must expose ``update(edge, sign)``)."""
+        if name in self._sketches:
+            raise KeyError(f"duplicate sketch name {name!r}")
+        self._sketches[name] = sketch
+        return sketch
+
+    def __getitem__(self, name: str) -> Any:
+        return self._sketches[name]
+
+    def run(self, stream: Iterable[EdgeUpdate]) -> RunReport:
+        """Apply a stream to every registered sketch."""
+        report = RunReport()
+        start = time.perf_counter()
+        for event in stream:
+            if self._validator is not None:
+                self._validator.apply(event)
+            for sketch in self._sketches.values():
+                sketch.update(event.edge, event.sign)
+            report.events += 1
+            if event.sign > 0:
+                report.inserts += 1
+            else:
+                report.deletes += 1
+        report.seconds = time.perf_counter() - start
+        if self._validator is not None:
+            report.final_edges = self._validator.graph.num_edges
+        for name, sketch in self._sketches.items():
+            entry: Dict[str, int] = {}
+            if hasattr(sketch, "space_counters"):
+                entry["counters"] = sketch.space_counters()
+            if hasattr(sketch, "space_bytes"):
+                entry["bytes"] = sketch.space_bytes()
+            report.space[name] = entry
+        return report
+
+    @property
+    def live_graph(self) -> Optional[Hypergraph]:
+        """The validated live graph (None when validation is off)."""
+        return self._validator.graph if self._validator is not None else None

@@ -1,0 +1,71 @@
+"""Dynamic graph stream updates.
+
+The dynamic model of Section 1: the input is a sequence of hyperedge
+insertions and deletions; the graph at any point is the set of edges
+inserted and not yet deleted.  :class:`EdgeUpdate` is the atomic event,
+and :class:`StreamValidator` enforces the model's well-formedness (no
+double insertion, no deleting an absent edge) — violations indicate a
+broken workload generator rather than something a sketch could detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Set, Tuple
+
+from ..errors import StreamError
+from ..graph.hypergraph import Hyperedge, Hypergraph, normalize_hyperedge
+
+INSERT = 1
+DELETE = -1
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One stream event: a signed hyperedge."""
+
+    edge: Hyperedge
+    sign: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "edge", normalize_hyperedge(self.edge))
+        if self.sign not in (INSERT, DELETE):
+            raise StreamError(f"sign must be ±1, got {self.sign}")
+
+    @classmethod
+    def insert(cls, edge: Sequence[int]) -> "EdgeUpdate":
+        """An insertion event."""
+        return cls(tuple(edge), INSERT)
+
+    @classmethod
+    def delete(cls, edge: Sequence[int]) -> "EdgeUpdate":
+        """A deletion event."""
+        return cls(tuple(edge), DELETE)
+
+
+class StreamValidator:
+    """Replays a stream, checking model invariants and tracking the
+    live graph."""
+
+    def __init__(self, n: int, r: int = 2):
+        self.graph = Hypergraph(n, r)
+
+    def apply(self, update: EdgeUpdate) -> None:
+        """Apply one event; raises :class:`StreamError` on violations."""
+        if update.sign == INSERT:
+            if not self.graph.add_edge(update.edge):
+                raise StreamError(f"double insertion of {update.edge}")
+        else:
+            if not self.graph.remove_edge(update.edge):
+                raise StreamError(f"deletion of absent edge {update.edge}")
+
+    def apply_all(self, updates: Iterable[EdgeUpdate]) -> Hypergraph:
+        """Apply a whole stream; returns the final live graph."""
+        for u in updates:
+            self.apply(u)
+        return self.graph
+
+
+def materialize(n: int, updates: Iterable[EdgeUpdate], r: int = 2) -> Hypergraph:
+    """The graph defined by a stream (validated)."""
+    return StreamValidator(n, r).apply_all(updates)

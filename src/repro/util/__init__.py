@@ -1,0 +1,20 @@
+"""Shared low-level utilities: field arithmetic, hashing, coordinates."""
+
+from .binomial import EdgeSpace, binom, colex_rank, colex_unrank
+from .hashing import HashFamily, derive_seed, hash64, splitmix64
+from .prime_field import MERSENNE_61
+from .rng import normalize_seed, rng_from
+
+__all__ = [
+    "EdgeSpace",
+    "binom",
+    "colex_rank",
+    "colex_unrank",
+    "HashFamily",
+    "derive_seed",
+    "hash64",
+    "splitmix64",
+    "MERSENNE_61",
+    "normalize_seed",
+    "rng_from",
+]

@@ -1,0 +1,145 @@
+"""Combinatorial ranking for hyperedge coordinates.
+
+The paper's linear measurements (Definition 1) index coordinates by
+subsets of ``V`` of size between 2 and ``r``.  To sketch such vectors
+we need a bijection between those subsets and an integer interval
+``[0, D)``; this module provides the standard *combinatorial number
+system* (colex order) ranking, partitioned by subset size: all pairs
+come first, then all triples, and so on.
+
+Everything here is exact integer arithmetic — the domain ``D`` grows
+like ``n**r`` and must not lose precision (coordinate indices feed the
+modular index-sum counters of 1-sparse cells).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+from ..errors import DomainError, RankError
+
+
+@lru_cache(maxsize=None)
+def binom(n: int, k: int) -> int:
+    """Binomial coefficient C(n, k), 0 for out-of-range arguments."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    k = min(k, n - k)
+    out = 1
+    for i in range(k):
+        out = out * (n - i) // (i + 1)
+    return out
+
+
+def colex_rank(subset: Sequence[int]) -> int:
+    """Rank a strictly increasing subset in colexicographic order.
+
+    Among all ``k``-subsets of the nonnegative integers, colex order
+    ranks ``{c_1 < c_2 < ... < c_k}`` as ``sum_i C(c_i, i)``.
+    """
+    rank = 0
+    for i, c in enumerate(subset, start=1):
+        rank += binom(c, i)
+    return rank
+
+
+def colex_unrank(rank: int, k: int) -> Tuple[int, ...]:
+    """Invert :func:`colex_rank` for ``k``-subsets."""
+    out = []
+    r = rank
+    for i in range(k, 0, -1):
+        # Largest c with C(c, i) <= r; start from a safe upper bound.
+        c = i - 1
+        while binom(c + 1, i) <= r:
+            c += 1
+        out.append(c)
+        r -= binom(c, i)
+    out.reverse()
+    return tuple(out)
+
+
+class EdgeSpace:
+    """The coordinate space of hyperedges on ``n`` vertices, rank <= r.
+
+    Coordinates ``[0, D)`` enumerate subsets of ``{0..n-1}`` of size
+    2, 3, ..., r in blocks (all pairs, then all triples, ...).  The
+    special case ``r = 2`` is the ordinary graph edge space with
+    ``D = C(n, 2)``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertex ids are ``0 .. n-1``.
+    r:
+        Maximum hyperedge cardinality (the paper's constant ``r``).
+    """
+
+    __slots__ = ("n", "r", "_block_offsets", "dimension")
+
+    def __init__(self, n: int, r: int = 2):
+        if n < 2:
+            raise DomainError(f"EdgeSpace needs n >= 2, got n={n}")
+        if r < 2 or r > n:
+            raise RankError(f"EdgeSpace needs 2 <= r <= n, got r={r}, n={n}")
+        self.n = n
+        self.r = r
+        offsets = {}
+        total = 0
+        for size in range(2, r + 1):
+            offsets[size] = total
+            total += binom(n, size)
+        self._block_offsets = offsets
+        #: Total number of coordinates D = sum_{i=2..r} C(n, i).
+        self.dimension = total
+        if self.dimension >= (1 << 61) - 1:
+            raise DomainError(
+                "edge space dimension exceeds the 2^61-1 fingerprint field; "
+                f"n={n}, r={r} is out of supported range"
+            )
+
+    def canonical(self, edge: Sequence[int]) -> Tuple[int, ...]:
+        """Validate and sort a hyperedge into canonical (sorted) form."""
+        e = tuple(sorted(edge))
+        if len(e) < 2 or len(e) > self.r:
+            raise RankError(
+                f"hyperedge {tuple(edge)} has cardinality {len(e)}, "
+                f"allowed range is [2, {self.r}]"
+            )
+        if len(set(e)) != len(e):
+            raise DomainError(f"hyperedge {tuple(edge)} has repeated vertices")
+        if e[0] < 0 or e[-1] >= self.n:
+            raise DomainError(
+                f"hyperedge {tuple(edge)} mentions a vertex outside [0, {self.n})"
+            )
+        return e
+
+    def index_of(self, edge: Sequence[int]) -> int:
+        """Map a hyperedge to its coordinate in ``[0, D)``."""
+        e = self.canonical(edge)
+        return self._block_offsets[len(e)] + colex_rank(e)
+
+    def edge_of(self, index: int) -> Tuple[int, ...]:
+        """Invert :meth:`index_of`."""
+        if index < 0 or index >= self.dimension:
+            raise DomainError(
+                f"coordinate {index} outside edge space of dimension {self.dimension}"
+            )
+        size = 2
+        while size < self.r and index >= self._block_offsets.get(size + 1, self.dimension):
+            size += 1
+        local = index - self._block_offsets[size]
+        return colex_unrank(local, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeSpace(n={self.n}, r={self.r}, dimension={self.dimension})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EdgeSpace)
+            and self.n == other.n
+            and self.r == other.r
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.r))

@@ -1,0 +1,36 @@
+"""Seed plumbing helpers.
+
+Sketches must be reproducible (tests pin seeds) and composable (a
+composite sketch fans one user seed out to many sub-sketches).  The
+single convention used across the library is
+:func:`repro.util.hashing.derive_seed`; this module adds the small
+amount of glue for interoperating with ``numpy.random``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .hashing import derive_seed
+
+_DEFAULT_MASTER = 0x5EED_0F_600D
+
+
+def normalize_seed(seed: Optional[int]) -> int:
+    """Map an optional user seed to a concrete 64-bit master seed.
+
+    ``None`` maps to a fixed default so that "no seed" still means
+    deterministic behaviour — randomness in this library is for the
+    *algorithms'* internal coins, not for run-to-run variety.  Callers
+    wanting variety pass explicit distinct seeds.
+    """
+    if seed is None:
+        return _DEFAULT_MASTER
+    return seed & ((1 << 64) - 1)
+
+
+def rng_from(seed: Optional[int], *labels: int) -> np.random.Generator:
+    """A numpy Generator derived from ``seed`` and a label path."""
+    return np.random.default_rng(derive_seed(normalize_seed(seed), *labels))

@@ -1,0 +1,108 @@
+"""Tests for the Eppstein insert-only certificate, including its
+documented failure under deletions (the paper's Section 3 narrative)."""
+
+import pytest
+
+from repro.baselines.eppstein import EppsteinCertificate
+from repro.errors import DomainError
+from repro.graph.generators import complete_graph, cycle_graph, planted_separator_graph
+from repro.graph.traversal import is_connected_excluding
+
+
+class TestInsertOnlyCorrectness:
+    def test_keeps_sparse_graph_entirely(self):
+        g = cycle_graph(8)
+        cert = EppsteinCertificate(8, k=2)
+        for e in g.edges():
+            cert.insert(e)
+        assert cert.stored_edges == 8
+        assert cert.dropped_edges == 0
+
+    def test_drops_redundant_edges_in_dense_graph(self):
+        g = complete_graph(10)
+        cert = EppsteinCertificate(10, k=2)
+        for e in g.edges():
+            cert.insert(e)
+        assert cert.dropped_edges > 0
+        assert cert.stored_edges <= 2 * 10  # O(kn)
+
+    def test_insert_only_queries_correct(self):
+        g, sep = planted_separator_graph(5, 1, seed=1)
+        cert = EppsteinCertificate(g.n, k=2)
+        for e in g.edges():
+            cert.insert(e)
+        assert cert.disconnects(sep) is True
+        assert cert.disconnects([0]) is False
+
+    def test_double_insert_rejected(self):
+        cert = EppsteinCertificate(4, k=2)
+        cert.insert((0, 1))
+        with pytest.raises(DomainError):
+            cert.insert((0, 1))
+
+    def test_query_size_limit(self):
+        cert = EppsteinCertificate(6, k=2)
+        with pytest.raises(DomainError):
+            cert.disconnects([0, 1])
+
+
+class TestFailureUnderDeletions:
+    def test_certificate_errs_after_deletions(self):
+        """The Section 3 counterexample shape: insert a dense graph (so
+        the certificate drops edges), then delete exactly the kept
+        redundancy; the certificate now believes vertices are separated
+        that the true graph still connects."""
+        n = 10
+        g = complete_graph(n)
+        cert = EppsteinCertificate(n, k=2)
+        # Insert the K_9 on {1..9} first, then vertex 0's edges: the
+        # certificate keeps (0,1), (0,2) and drops (0,v) for v >= 3
+        # because two disjoint paths already exist.
+        stream = [e for e in g.edges() if 0 not in e] + [
+            (0, v) for v in range(1, n)
+        ]
+        for e in stream:
+            cert.insert(e)
+        dropped_at_0 = [
+            v for v in range(1, n) if not cert.certificate.has_edge(0, v)
+        ]
+        assert dropped_at_0, "dense insertions must overflow the certificate"
+        # True graph: delete exactly the *kept* edges at vertex 0; the
+        # dropped edges keep 0 connected in reality.
+        true_graph = g.copy()
+        for v in list(cert.certificate.neighbors(0)):
+            cert.delete((0, v))
+            true_graph.remove_edge(0, v)
+        truth_connected = is_connected_excluding(true_graph, [])
+        cert_connected = not cert.disconnects([])
+        assert truth_connected is True
+        assert cert_connected is False  # the baseline is now wrong
+
+    def test_sketch_handles_the_same_stream(self):
+        """Head-to-head: the paper's sketch answers the stream the
+        baseline just failed."""
+        from repro.core.connectivity_query import VertexConnectivityQuerySketch
+        from repro.core.params import Params
+
+        n = 10
+        g = complete_graph(n)
+        cert = EppsteinCertificate(n, k=2)
+        sketch = VertexConnectivityQuerySketch(
+            n, k=1, seed=3, params=Params.practical()
+        )
+        stream = [e for e in g.edges() if 0 not in e] + [
+            (0, v) for v in range(1, n)
+        ]
+        for e in stream:
+            cert.insert(e)
+            sketch.insert(e)
+        for v in list(cert.certificate.neighbors(0)):
+            cert.delete((0, v))
+            sketch.delete((0, v))
+        assert cert.disconnects([]) is True       # wrong
+        assert sketch.disconnects([]) is False    # right
+
+    def test_space_counters(self):
+        cert = EppsteinCertificate(5, k=2)
+        cert.insert((0, 1))
+        assert cert.space_counters() == 2

@@ -1,0 +1,106 @@
+"""Tests for the offline and insert-only sparsifier baselines."""
+
+import pytest
+
+from repro.baselines.kogan_krauthgamer import InsertOnlyHypergraphSparsifier
+from repro.baselines.offline_sparsifier import (
+    benczur_karger_sparsifier,
+    karger_uniform_sparsifier,
+)
+from repro.core.sparsifier import max_cut_error
+from repro.errors import DomainError, StreamError
+from repro.graph.generators import (
+    community_hypergraph,
+    complete_graph,
+    gnp_graph,
+    harary_graph,
+    random_tree,
+)
+from repro.graph.hypergraph_cuts import all_cuts
+
+
+class TestBenczurKarger:
+    def test_trees_kept_entirely(self):
+        g = random_tree(12, seed=1)
+        sp = benczur_karger_sparsifier(g, epsilon=0.5, seed=2)
+        # Strength-1 edges have p = 1: every tree edge survives, weight 1.
+        assert sp.edge_set() == set(g.edge_set())
+        assert all(w == 1.0 for w in sp.weights.values())
+
+    def test_dense_graph_compressed(self):
+        g = complete_graph(16)
+        sp = benczur_karger_sparsifier(g, epsilon=0.8, c=0.4, seed=3)
+        assert sp.num_edges < g.num_edges
+
+    def test_cut_quality(self):
+        g = harary_graph(6, 14)
+        sp = benczur_karger_sparsifier(g, epsilon=0.5, seed=4)
+        cuts = list(all_cuts(14))[:500]
+        from repro.graph.hypergraph import Hypergraph
+
+        err = max_cut_error(Hypergraph.from_graph(g), sp, cuts)
+        assert err < 0.6
+
+    def test_epsilon_validated(self):
+        with pytest.raises(DomainError):
+            benczur_karger_sparsifier(complete_graph(4), epsilon=0)
+
+
+class TestKargerUniform:
+    def test_requires_connected(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(DomainError):
+            karger_uniform_sparsifier(Graph(4, [(0, 1)]), epsilon=0.5)
+
+    def test_high_connectivity_subsamples(self):
+        g = complete_graph(20)  # min cut 19
+        sp, p = karger_uniform_sparsifier(g, epsilon=1.0, c=1.0, seed=5)
+        assert p < 1.0
+        assert sp.num_edges < g.num_edges
+
+    def test_weights_inverse_probability(self):
+        g = complete_graph(20)
+        sp, p = karger_uniform_sparsifier(g, epsilon=1.0, c=1.0, seed=6)
+        for w in sp.weights.values():
+            assert w == pytest.approx(1.0 / p)
+
+
+class TestInsertOnlyBaseline:
+    def test_summary_respects_budget(self):
+        h, _ = community_hypergraph([8, 8], 30, 4, r=3, seed=7)
+        base = InsertOnlyHypergraphSparsifier(16, r=3, k=4, budget=40, seed=8)
+        for e in h.edges():
+            base.insert(e)
+        assert base.space_counters() <= 4 * (40 + 1)
+
+    def test_reductions_happen(self):
+        h, _ = community_hypergraph([8, 8], 40, 4, r=3, seed=9)
+        base = InsertOnlyHypergraphSparsifier(16, r=3, k=3, budget=30, seed=10)
+        for e in h.edges():
+            base.insert(e)
+        assert base.reductions >= 1
+
+    def test_total_weight_roughly_preserved(self):
+        h, _ = community_hypergraph([8, 8], 30, 4, r=3, seed=11)
+        base = InsertOnlyHypergraphSparsifier(16, r=3, k=4, budget=40, seed=12)
+        for e in h.edges():
+            base.insert(e)
+        sp = base.sparsifier()
+        assert sp.total_weight() == pytest.approx(h.num_edges, rel=0.5)
+
+    def test_deletions_unsupported(self):
+        base = InsertOnlyHypergraphSparsifier(8, r=2, k=2, seed=13)
+        base.insert((0, 1))
+        with pytest.raises(StreamError):
+            base.delete((0, 1))
+
+    def test_update_adapter(self):
+        base = InsertOnlyHypergraphSparsifier(8, r=2, k=2, seed=14)
+        base.update((0, 1), 1)
+        with pytest.raises(StreamError):
+            base.update((0, 1), -1)
+
+    def test_k_validated(self):
+        with pytest.raises(DomainError):
+            InsertOnlyHypergraphSparsifier(8, r=2, k=0)

@@ -1,0 +1,48 @@
+"""Tests for the store-everything baseline."""
+
+import pytest
+
+from repro.baselines.store_all import StoreEverything
+from repro.graph.generators import complete_graph, cycle_graph, planted_separator_graph
+
+
+class TestStoreEverything:
+    def test_exact_queries(self):
+        g, sep = planted_separator_graph(4, 2, seed=1)
+        base = StoreEverything(g.n)
+        for e in g.edges():
+            base.insert(e)
+        assert base.disconnects(sep) is True
+        assert base.disconnects([0]) is False
+        assert base.is_connected() is True
+
+    def test_deletions_exact(self):
+        base = StoreEverything(4)
+        base.insert((0, 1))
+        base.insert((1, 2))
+        base.insert((2, 3))
+        base.delete((1, 2))
+        assert not base.is_connected()
+
+    def test_vertex_connectivity(self):
+        base = StoreEverything(6)
+        for e in complete_graph(6).edges():
+            base.insert(e)
+        assert base.vertex_connectivity() == 5
+
+    def test_space_grows_linearly_with_edges(self):
+        base = StoreEverything(20)
+        for e in complete_graph(20).edges():
+            base.insert(e)
+        assert base.space_counters() == 2 * 190
+
+    def test_update_adapter(self):
+        base = StoreEverything(3)
+        base.update((0, 1), 1)
+        base.update((0, 1), -1)
+        assert base.graph.num_edges == 0
+
+    def test_hyperedges(self):
+        base = StoreEverything(5, r=3)
+        base.insert((0, 1, 2))
+        assert base.disconnects([1]) is True  # 0 and 2 lose their edge

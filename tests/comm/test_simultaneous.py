@@ -1,0 +1,100 @@
+"""Tests for the simultaneous (referee) communication protocol."""
+
+import pytest
+
+from repro.comm.simultaneous import SpanningForestProtocol
+from repro.graph.generators import (
+    cycle_graph,
+    random_connected_hypergraph,
+    random_hypergraph,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_cuts import is_spanning_subgraph
+
+
+class TestProtocol:
+    def test_connectivity_decided_from_messages(self):
+        h = random_connected_hypergraph(12, 10, r=3, seed=1)
+        result = SpanningForestProtocol(12, r=3, seed=2).run(h)
+        assert result.is_connected is True
+
+    def test_disconnected_detected(self):
+        h = random_hypergraph(12, 4, r=3, seed=3)
+        result = SpanningForestProtocol(12, r=3, seed=4).run(h)
+        assert result.is_connected == h.is_connected()
+        assert {tuple(c) for c in result.components} == {
+            tuple(c) for c in h.components()
+        }
+
+    def test_spanning_graph_valid(self):
+        h = Hypergraph.from_graph(cycle_graph(9))
+        result = SpanningForestProtocol(9, seed=5).run(h)
+        assert is_spanning_subgraph(h, result.spanning_graph)
+
+    def test_protocol_matches_centralised_sketch(self):
+        """Messages must combine to exactly the centralised sketch:
+        the referee's answer is then identical by construction."""
+        from repro.sketch.spanning_forest import SpanningForestSketch
+
+        h = Hypergraph.from_graph(cycle_graph(7))
+        proto = SpanningForestProtocol(7, seed=6)
+        central = SpanningForestSketch(7, r=2, seed=proto.seed)
+        for e in h.edges():
+            central.insert(e)
+        result = proto.run(h)
+        assert result.spanning_graph == central.decode()
+
+    def test_message_accounting(self):
+        h = Hypergraph.from_graph(cycle_graph(6))
+        result = SpanningForestProtocol(6, seed=7).run(h)
+        assert result.players == 6
+        assert result.message_bits == 64 * result.message_words
+        assert result.total_bits == 6 * result.message_bits
+
+    def test_message_size_independent_of_edges(self):
+        """Messages are fixed-size linear sketches: a player with many
+        edges sends the same number of bits as one with none."""
+        sparse = Hypergraph(8, 2, [(0, 1)])
+        dense = Hypergraph.from_graph(cycle_graph(8))
+        proto = SpanningForestProtocol(8, seed=8)
+        r1 = proto.run(sparse)
+        r2 = proto.run(dense)
+        assert r1.message_bits == r2.message_bits
+
+    def test_player_message_local_only(self):
+        """A player only needs its own incident edges."""
+        proto = SpanningForestProtocol(5, seed=9)
+        msg = proto.player_message(0, [(0, 1), (0, 4)])
+        assert any(arr.any() for arr in msg.values())
+        empty = proto.player_message(2, [])
+        assert not any(arr.any() for arr in empty.values())
+
+
+class TestSerializedProtocol:
+    def test_serialized_run_matches_in_memory(self):
+        from repro.graph.generators import random_connected_hypergraph
+
+        h = random_connected_hypergraph(10, 12, r=3, seed=11)
+        proto = SpanningForestProtocol(10, r=3, seed=12)
+        in_memory = proto.run(h)
+        over_wire = proto.run_serialized(h)
+        assert over_wire.is_connected == in_memory.is_connected
+        assert over_wire.spanning_graph == in_memory.spanning_graph
+
+    def test_wire_bytes_fixed_per_player(self):
+        h1 = Hypergraph(6, 2, [(0, 1)])
+        proto = SpanningForestProtocol(6, seed=13)
+        sizes = {
+            len(proto.player_message_bytes(v, sorted(h1.incident_edges(v))))
+            for v in range(6)
+        }
+        assert len(sizes) == 1  # identical regardless of local degree
+
+    def test_wrong_seed_message_rejected(self):
+        from repro.errors import IncompatibleSketchError
+
+        sender = SpanningForestProtocol(6, seed=14)
+        receiver = SpanningForestProtocol(6, seed=15)
+        blob = sender.player_message_bytes(0, [(0, 1)])
+        with pytest.raises(IncompatibleSketchError):
+            receiver.referee_decode_bytes([blob])

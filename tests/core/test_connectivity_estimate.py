@@ -1,0 +1,143 @@
+"""Tests for the Theorem 8 tester and the connectivity estimator."""
+
+import pytest
+
+from repro.core.connectivity_estimate import (
+    KVertexConnectivityTester,
+    VertexConnectivityEstimator,
+)
+from repro.core.params import Params
+from repro.errors import DomainError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    harary_graph,
+    path_graph,
+)
+from repro.graph.vertex_connectivity import vertex_connectivity
+from repro.stream.generators import insert_delete_reinsert
+
+
+def loaded_tester(g, k, epsilon=1.0, seed=1, params=None):
+    tester = KVertexConnectivityTester(
+        g.n, k=k, epsilon=epsilon, seed=seed, params=params or Params.fast()
+    )
+    for e in g.edges():
+        tester.insert(e)
+    return tester
+
+
+class TestSoundness:
+    """Acceptance certifies κ(G) >= k — this direction is certain,
+    not probabilistic (H ⊆ G always)."""
+
+    def test_certificate_is_subgraph(self):
+        g = harary_graph(4, 14)
+        tester = loaded_tester(g, k=2)
+        H = tester.certificate()
+        assert all(g.has_edge(*e) for e in H.edges())
+
+    def test_accept_implies_k_connected(self):
+        g = harary_graph(4, 14)
+        tester = loaded_tester(g, k=2, seed=3)
+        if tester.accepts():
+            assert vertex_connectivity(g) >= 2
+
+    def test_low_connectivity_rejected(self):
+        # A path has κ = 1: the k=2 tester must reject (soundness).
+        tester = loaded_tester(path_graph(12), k=2, seed=5)
+        assert not tester.accepts()
+
+    def test_disconnected_rejected(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(8, [(0, 1), (2, 3)])
+        tester = loaded_tester(g, k=1, seed=7)
+        assert not tester.accepts()
+
+
+class TestCompleteness:
+    """(1+ε)k-connected graphs should be accepted (w.h.p.)."""
+
+    def test_highly_connected_accepted(self):
+        # κ = 6 vs k = 2: huge margin, should accept.
+        g = harary_graph(6, 16)
+        tester = loaded_tester(g, k=2, epsilon=1.0, seed=9, params=Params.practical())
+        assert tester.accepts()
+
+    def test_complete_graph_accepted(self):
+        g = complete_graph(12)
+        tester = loaded_tester(g, k=3, epsilon=1.0, seed=11, params=Params.practical())
+        assert tester.accepts()
+
+    def test_acceptance_rate_with_margin(self):
+        g = harary_graph(6, 14)
+        accepted = sum(
+            loaded_tester(g, k=2, epsilon=1.0, seed=s, params=Params.practical()).accepts()
+            for s in range(5)
+        )
+        assert accepted >= 4
+
+    def test_certificate_connectivity_lower_bounds_kappa(self):
+        g = harary_graph(4, 12)
+        tester = loaded_tester(g, k=2, seed=13, params=Params.practical())
+        assert tester.certificate_connectivity() <= vertex_connectivity(g)
+
+
+class TestDynamic:
+    def test_survives_delete_reinsert(self):
+        g = harary_graph(5, 13)
+        tester = KVertexConnectivityTester(
+            g.n, k=2, epsilon=1.0, seed=15, params=Params.practical()
+        )
+        for u in insert_delete_reinsert(g, shuffle_seed=2):
+            tester.update(u.edge, u.sign)
+        assert tester.accepts()
+
+    def test_deletions_lower_the_answer(self):
+        g = cycle_graph(10)  # κ = 2
+        tester = loaded_tester(g, k=1, seed=17, params=Params.practical())
+        assert tester.accepts()
+        tester.delete((0, 1))
+        tester.delete((5, 6))  # now two components
+        assert not tester.accepts()
+
+
+class TestEstimator:
+    def test_ladder_structure(self):
+        est = VertexConnectivityEstimator(12, k_max=6, epsilon=1.0, params=Params.fast())
+        assert est.ladder[0] == 1
+        assert est.ladder == sorted(set(est.ladder))
+        assert est.ladder[-1] <= 6
+
+    def test_estimate_is_sound_lower_bound(self):
+        g = harary_graph(4, 14)
+        est = VertexConnectivityEstimator(
+            g.n, k_max=6, epsilon=1.0, seed=19, params=Params.practical()
+        )
+        for e in g.edges():
+            est.insert(e)
+        k_hat = est.estimate()
+        assert k_hat <= vertex_connectivity(g)
+        assert k_hat >= 1  # κ = 4 with a big margin at small ladder values
+
+    def test_estimate_zero_for_disconnected(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(8, [(0, 1), (2, 3)])
+        est = VertexConnectivityEstimator(8, k_max=3, seed=21, params=Params.fast())
+        for e in g.edges():
+            est.insert(e)
+        assert est.estimate() == 0
+
+    def test_space_is_sum_of_testers(self):
+        est = VertexConnectivityEstimator(10, k_max=4, params=Params.fast())
+        assert est.space_counters() == sum(t.space_counters() for t in est.testers)
+
+
+class TestValidation:
+    def test_epsilon_positive(self):
+        with pytest.raises(DomainError):
+            KVertexConnectivityTester(10, k=2, epsilon=0)
+        with pytest.raises(DomainError):
+            VertexConnectivityEstimator(10, k_max=0)

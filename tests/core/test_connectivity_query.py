@@ -1,0 +1,133 @@
+"""Tests for the Theorem 4 vertex-connectivity query sketch."""
+
+import pytest
+
+from repro.core.connectivity_query import VertexConnectivityQuerySketch
+from repro.core.params import Params
+from repro.errors import DomainError
+from repro.graph.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    planted_separator_graph,
+)
+from repro.graph.traversal import is_connected_excluding
+from repro.stream.generators import insert_delete_reinsert, insert_only
+
+
+def loaded_sketch(g, k, seed=1, params=None, r=2):
+    params = params or Params.fast()
+    sk = VertexConnectivityQuerySketch(g.n, k=k, r=r, seed=seed, params=params)
+    for e in g.edges():
+        sk.insert(e)
+    return sk
+
+
+class TestSeparatorQueries:
+    def test_planted_separator_detected(self):
+        g, sep = planted_separator_graph(6, 2, seed=1)
+        sk = loaded_sketch(g, k=2, seed=11)
+        assert sk.disconnects(sep) is True
+
+    def test_non_separator_rejected(self):
+        g, _ = planted_separator_graph(6, 2, seed=1)
+        sk = loaded_sketch(g, k=2, seed=11)
+        assert sk.disconnects([0, 1]) is False
+
+    def test_cut_vertex_in_barbell(self):
+        g = barbell_graph(4, 2)
+        sk = loaded_sketch(g, k=1, seed=3)
+        # The path vertex between the blobs is a cut vertex.
+        cut_vertex = 8  # first path vertex
+        assert sk.disconnects([cut_vertex]) is True
+        assert sk.disconnects([1]) is False
+
+    def test_complete_graph_has_no_separator(self):
+        g = complete_graph(8)
+        sk = loaded_sketch(g, k=2, seed=5)
+        assert sk.disconnects([0, 1]) is False
+
+    def test_cycle_pairs(self):
+        g = cycle_graph(10)
+        sk = loaded_sketch(g, k=2, seed=7, params=Params.practical())
+        # Two non-adjacent vertices disconnect a cycle...
+        assert sk.disconnects([0, 5]) is True
+        # ...but two adjacent ones do not.
+        assert sk.disconnects([0, 1]) is False
+
+    def test_queries_are_repeatable(self):
+        g = cycle_graph(8)
+        sk = loaded_sketch(g, k=2, seed=9)
+        assert sk.disconnects([0, 4]) == sk.disconnects([0, 4])
+
+
+class TestQueryValidation:
+    def test_oversized_query_rejected(self):
+        g = cycle_graph(6)
+        sk = loaded_sketch(g, k=2)
+        with pytest.raises(DomainError):
+            sk.disconnects([0, 1, 2])
+
+    def test_out_of_range_vertex_rejected(self):
+        g = cycle_graph(6)
+        sk = loaded_sketch(g, k=2)
+        with pytest.raises(DomainError):
+            sk.disconnects([99])
+
+    def test_empty_query_is_connectivity(self):
+        g = cycle_graph(6)
+        sk = loaded_sketch(g, k=2)
+        assert sk.disconnects([]) is False
+        assert sk.is_connected() is True
+
+
+class TestDynamicStreams:
+    def test_insert_delete_reinsert(self):
+        g, sep = planted_separator_graph(5, 2, seed=2)
+        sk = VertexConnectivityQuerySketch(g.n, k=2, seed=21, params=Params.fast())
+        for u in insert_delete_reinsert(g, shuffle_seed=3):
+            sk.update(u.edge, u.sign)
+        assert sk.disconnects(sep) is True
+        assert sk.disconnects([0, 1]) is False
+
+    def test_deletion_changes_answer(self):
+        # Cycle plus chord {0,5}: removing {1,9}... build C_10 + chord.
+        g = cycle_graph(10)
+        g.add_edge(0, 5)
+        sk = loaded_sketch(g, k=2, seed=23, params=Params.practical())
+        # With the chord, removing {1, 9} leaves 0 attached via 5.
+        assert sk.disconnects([1, 9]) is False
+        sk.delete((0, 5))
+        # Now {1, 9} isolates vertex 0.
+        assert sk.disconnects([1, 9]) is True
+
+
+class TestAccuracyStatistics:
+    def test_agreement_with_exact_over_many_queries(self):
+        from itertools import combinations
+
+        g, sep = planted_separator_graph(5, 2, seed=4)
+        sk = loaded_sketch(g, k=2, seed=31, params=Params.practical())
+        agree = 0
+        total = 0
+        for S in list(combinations(range(g.n), 2))[:40]:
+            total += 1
+            if sk.disconnects(S) == (not is_connected_excluding(g, S)):
+                agree += 1
+        assert agree / total >= 0.95
+
+
+class TestAccounting:
+    def test_repetitions_formula(self):
+        p = Params.fast()
+        sk = VertexConnectivityQuerySketch(16, k=2, params=p)
+        assert sk.repetitions == p.query_repetitions(16, 2)
+
+    def test_space_positive(self):
+        sk = VertexConnectivityQuerySketch(16, k=2, params=Params.fast())
+        assert sk.space_counters() > 0
+        assert sk.space_bytes() > 0
+
+    def test_explicit_repetitions(self):
+        sk = VertexConnectivityQuerySketch(16, k=2, repetitions=5, params=Params.fast())
+        assert sk.repetitions == 5

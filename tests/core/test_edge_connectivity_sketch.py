@@ -1,0 +1,127 @@
+"""Tests for skeleton-based dynamic edge connectivity."""
+
+import pytest
+
+from repro.core.edge_connectivity_sketch import EdgeConnectivitySketch
+from repro.errors import DomainError
+from repro.graph.edge_connectivity import edge_connectivity
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    harary_graph,
+    hyper_cycle,
+    path_graph,
+    random_connected_hypergraph,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_cuts import hypergraph_edge_connectivity
+from repro.stream.generators import insert_delete_reinsert
+
+
+def loaded(graphlike, k_max, r=2, seed=1):
+    sk = EdgeConnectivitySketch(graphlike.n, k_max=k_max, r=r, seed=seed)
+    for e in graphlike.edges():
+        sk.insert(e)
+    return sk
+
+
+class TestGraphEstimates:
+    def test_path(self):
+        assert loaded(path_graph(8), k_max=3).estimate() == 1
+
+    def test_cycle(self):
+        assert loaded(cycle_graph(8), k_max=4).estimate() == 2
+
+    def test_harary_exact_below_cap(self):
+        for lam in (2, 3, 4):
+            g = harary_graph(lam, 11)
+            assert edge_connectivity(g) == lam
+            assert loaded(g, k_max=6, seed=lam).estimate() == lam
+
+    def test_cap_saturates(self):
+        g = complete_graph(8)  # λ = 7
+        assert loaded(g, k_max=3).estimate() == 3
+
+    def test_disconnected_zero(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6, [(0, 1), (2, 3)])
+        assert loaded(g, k_max=3).estimate() == 0
+
+    def test_empty(self):
+        from repro.graph.graph import Graph
+
+        assert loaded(Graph(5), k_max=2).estimate() == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_graphs_match_exact(self, seed):
+        g = gnp_graph(12, 0.35, seed=seed)
+        true_lam = edge_connectivity(g)
+        est = loaded(g, k_max=6, seed=seed + 20).estimate()
+        assert est == min(true_lam, 6)
+
+
+class TestPredicate:
+    def test_threshold(self):
+        g = cycle_graph(9)
+        sk = loaded(g, k_max=4)
+        assert sk.is_k_edge_connected(1)
+        assert sk.is_k_edge_connected(2)
+        assert not sk.is_k_edge_connected(3)
+
+    def test_k_above_cap_rejected(self):
+        sk = loaded(cycle_graph(5), k_max=2)
+        with pytest.raises(DomainError):
+            sk.is_k_edge_connected(3)
+
+    def test_k_nonpositive(self):
+        assert loaded(cycle_graph(5), k_max=2).is_k_edge_connected(0)
+
+    def test_k_max_validated(self):
+        with pytest.raises(DomainError):
+            EdgeConnectivitySketch(5, k_max=0)
+
+
+class TestDynamic:
+    def test_deletion_lowers_estimate(self):
+        g = cycle_graph(8)
+        sk = loaded(g, k_max=3)
+        assert sk.estimate() == 2
+        sk.delete((0, 1))
+        assert sk.estimate() == 1
+        sk.delete((4, 5))
+        assert sk.estimate() == 0
+
+    def test_churn_stream(self):
+        g = harary_graph(3, 10)
+        sk = EdgeConnectivitySketch(10, k_max=5, seed=9)
+        for u in insert_delete_reinsert(g, shuffle_seed=1):
+            sk.update(u.edge, u.sign)
+        assert sk.estimate() == 3
+
+
+class TestHypergraphs:
+    def test_hyper_cycle(self):
+        h = hyper_cycle(9, 3)
+        true_lam = hypergraph_edge_connectivity(h)
+        sk = EdgeConnectivitySketch(9, k_max=5, r=3, seed=4)
+        for e in h.edges():
+            sk.insert(e)
+        assert sk.estimate() == min(true_lam, 5)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_random_hypergraphs(self, seed):
+        h = random_connected_hypergraph(10, 14, r=3, seed=seed)
+        true_lam = hypergraph_edge_connectivity(h)
+        sk = EdgeConnectivitySketch(10, k_max=4, r=3, seed=seed + 30)
+        for e in h.edges():
+            sk.insert(e)
+        assert sk.estimate() == min(true_lam, 4)
+
+
+class TestAccounting:
+    def test_space_scales_with_k_max(self):
+        s2 = EdgeConnectivitySketch(10, k_max=2, seed=1).space_counters()
+        s4 = EdgeConnectivitySketch(10, k_max=4, seed=1).space_counters()
+        assert s4 == 2 * s2

@@ -1,0 +1,58 @@
+"""Tests for certificate extraction (find_disconnecting_set)."""
+
+import pytest
+
+from repro.core.connectivity_query import VertexConnectivityQuerySketch
+from repro.core.params import Params
+from repro.errors import DomainError
+from repro.graph.generators import (
+    barbell_graph,
+    complete_graph,
+    planted_separator_graph,
+)
+from repro.graph.traversal import is_connected_excluding
+
+
+def loaded(g, k, seed=1):
+    sk = VertexConnectivityQuerySketch(
+        g.n, k=k, seed=seed, params=Params.practical()
+    )
+    for e in g.edges():
+        sk.insert(e)
+    return sk
+
+
+class TestFindDisconnectingSet:
+    def test_finds_planted_separator(self):
+        g, sep = planted_separator_graph(6, 2, seed=1)
+        found = loaded(g, k=2, seed=2).find_disconnecting_set()
+        assert found is not None
+        assert not is_connected_excluding(g, found)  # genuinely disconnects
+        assert len(found) == 2  # minimum: κ(G) = 2
+
+    def test_finds_cut_vertex(self):
+        g = barbell_graph(4, 2)
+        found = loaded(g, k=2, seed=3).find_disconnecting_set(max_size=1)
+        assert found is not None
+        assert len(found) == 1
+        assert not is_connected_excluding(g, found)
+
+    def test_none_when_well_connected(self):
+        g = complete_graph(8)
+        assert loaded(g, k=2, seed=4).find_disconnecting_set() is None
+
+    def test_size_cap_respected(self):
+        g, _ = planted_separator_graph(5, 2, seed=5)
+        # With max_size=1 no single vertex disconnects.
+        assert loaded(g, k=2, seed=6).find_disconnecting_set(max_size=1) is None
+
+    def test_max_size_validated(self):
+        g = complete_graph(5)
+        with pytest.raises(DomainError):
+            loaded(g, k=1, seed=7).find_disconnecting_set(max_size=3)
+
+    def test_returns_smallest_first(self):
+        # Barbell has both 1-cuts and 2-cuts; the 1-cut must win.
+        g = barbell_graph(4, 3)
+        found = loaded(g, k=2, seed=8).find_disconnecting_set()
+        assert found is not None and len(found) == 1

@@ -1,0 +1,133 @@
+"""Tests for dynamic hypergraph connectivity (the Theorem 13 application)."""
+
+import pytest
+
+from repro.core.hyper_connectivity import (
+    HypergraphConnectivitySketch,
+    HypergraphVertexConnectivityQuerySketch,
+)
+from repro.core.params import Params
+from repro.graph.generators import (
+    hyper_cycle,
+    random_connected_hypergraph,
+    random_hypergraph,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_cuts import is_spanning_subgraph
+from repro.graph.traversal import hypergraph_is_connected_excluding
+
+
+class TestConnectivity:
+    def test_connected_hypergraph(self):
+        h = random_connected_hypergraph(14, 12, r=3, seed=1)
+        sk = HypergraphConnectivitySketch(14, r=3, seed=2)
+        for e in h.edges():
+            sk.insert(e)
+        assert sk.is_connected()
+
+    def test_disconnected_components_match(self):
+        h = random_hypergraph(14, 6, r=3, seed=3)
+        sk = HypergraphConnectivitySketch(14, r=3, seed=4)
+        for e in h.edges():
+            sk.insert(e)
+        assert {tuple(c) for c in sk.components()} == {
+            tuple(c) for c in h.components()
+        }
+
+    def test_spanning_graph_property(self):
+        h = hyper_cycle(10, 3)
+        sk = HypergraphConnectivitySketch(10, r=3, seed=5)
+        for e in h.edges():
+            sk.insert(e)
+        assert is_spanning_subgraph(h, sk.spanning_graph())
+
+    def test_dynamic_disconnect_reconnect(self):
+        h = hyper_cycle(8, 3)
+        sk = HypergraphConnectivitySketch(8, r=3, seed=6)
+        for e in h.edges():
+            sk.insert(e)
+        assert sk.is_connected()
+        # Delete all hyperedges covering the boundary between 0 and 7.
+        for e in h.edges():
+            sk.delete(e)
+        assert not sk.is_connected()
+        sk.insert((0, 1, 2))
+        comps = sk.components()
+        assert [0, 1, 2] in comps
+
+    def test_space_accounting(self):
+        sk = HypergraphConnectivitySketch(10, r=3, seed=7)
+        assert sk.space_counters() > 0
+
+
+class TestHypergraphVertexConnectivityQueries:
+    def test_hyperedge_vertex_removal(self):
+        # A "bowtie" hypergraph: two triangles sharing vertex 2, plus
+        # the edge (1, 2) so removing a leaf like 0 leaves the rest
+        # connected while removing the shared vertex 2 disconnects.
+        h = Hypergraph(5, 3, [(0, 1, 2), (2, 3, 4), (1, 2)])
+        sk = HypergraphVertexConnectivityQuerySketch(
+            5, k=1, r=3, seed=8, params=Params.practical()
+        )
+        for e in h.edges():
+            sk.insert(e)
+        assert sk.disconnects([2]) is True
+        assert sk.disconnects([0]) is False
+
+    def test_agreement_with_exact(self):
+        h = random_connected_hypergraph(9, 10, r=3, seed=9)
+        sk = HypergraphVertexConnectivityQuerySketch(
+            9, k=1, r=3, seed=10, params=Params.practical()
+        )
+        for e in h.edges():
+            sk.insert(e)
+        agree = 0
+        for v in range(9):
+            expected = not hypergraph_is_connected_excluding(h, [v])
+            if sk.disconnects([v]) == expected:
+                agree += 1
+        assert agree >= 8
+
+
+class TestHypergraphTester:
+    def test_accepts_well_connected_hypercycle(self):
+        from repro.core.hyper_connectivity import HypergraphKVertexConnectivityTester
+        from repro.graph.hypergraph_vertex_connectivity import (
+            hypergraph_vertex_connectivity,
+        )
+
+        h = hyper_cycle(12, 4)
+        kappa = hypergraph_vertex_connectivity(h)
+        assert kappa >= 2
+        tester = HypergraphKVertexConnectivityTester(
+            12, k=1, r=4, seed=31, params=Params.practical()
+        )
+        for e in h.edges():
+            tester.insert(e)
+        assert tester.accepts()
+
+    def test_rejects_bowtie(self):
+        from repro.core.hyper_connectivity import HypergraphKVertexConnectivityTester
+
+        h = Hypergraph(7, 3, [(0, 1, 2), (2, 3, 4), (4, 5, 6), (0, 1), (5, 6)])
+        tester = HypergraphKVertexConnectivityTester(
+            7, k=2, r=3, seed=32, params=Params.practical()
+        )
+        for e in h.edges():
+            tester.insert(e)
+        # kappa = 1 < k = 2: soundness demands rejection.
+        assert not tester.accepts()
+
+    def test_deletions_flip_verdict(self):
+        from repro.core.hyper_connectivity import HypergraphKVertexConnectivityTester
+
+        h = hyper_cycle(10, 3)
+        tester = HypergraphKVertexConnectivityTester(
+            10, k=1, r=3, seed=33, params=Params.practical()
+        )
+        for e in h.edges():
+            tester.insert(e)
+        assert tester.accepts()
+        for e in h.edges():
+            tester.delete(e)
+        assert not tester.accepts()

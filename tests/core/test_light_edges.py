@@ -1,0 +1,129 @@
+"""Tests for sketch-based light-edge recovery and reconstruction (Thm 15)."""
+
+import pytest
+
+from repro.core.light_edges import LightEdgeRecoverySketch, reconstruct_cut_degenerate
+from repro.core.params import Params
+from repro.errors import DomainError
+from repro.graph.degeneracy import lemma10_witness, light_edges_exact, light_layers
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    hyper_cycle,
+    random_connected_graph,
+    random_connected_hypergraph,
+    random_tree,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.stream.generators import insert_delete_reinsert, insert_only
+
+
+def loaded(g, k, r=2, seed=1):
+    sk = LightEdgeRecoverySketch(g.n, k=k, r=r, seed=seed)
+    for e in g.edges():
+        sk.insert(e)
+    return sk
+
+
+class TestLightRecovery:
+    def test_tree_recovered_at_k1(self):
+        g = random_tree(12, seed=1)
+        sk = loaded(g, k=1, seed=2)
+        assert set(sk.recover_light_edges()) == set(g.edge_set())
+
+    def test_cycle_empty_at_k1(self):
+        g = cycle_graph(8)
+        sk = loaded(g, k=1, seed=3)
+        assert sk.recover_light_edges() == []
+
+    def test_matches_exact_on_random_graphs(self):
+        for seed in (4, 5, 6):
+            g = random_connected_graph(12, 10, seed=seed)
+            h = Hypergraph.from_graph(g)
+            for k in (1, 2):
+                sk = loaded(g, k=k, seed=seed + 50)
+                assert set(sk.recover_light_edges()) == light_edges_exact(h, k)
+
+    def test_layers_match_exact(self):
+        g = random_connected_graph(10, 9, seed=7)
+        h = Hypergraph.from_graph(g)
+        sk = loaded(g, k=2, seed=8)
+        layers, _ = sk.recover_layers()
+        exact = light_layers(h, 2)
+        assert [sorted(l) for l in layers] == [sorted(l) for l in exact]
+
+    def test_decode_nondestructive(self):
+        g = random_connected_graph(10, 8, seed=9)
+        sk = loaded(g, k=2, seed=10)
+        first = sk.recover_light_edges()
+        second = sk.recover_light_edges()
+        assert first == second
+
+
+class TestReconstruction:
+    def test_tree_reconstructed(self):
+        g = random_tree(14, seed=11)
+        sk = loaded(g, k=1, seed=12)
+        rec = sk.reconstruct()
+        assert rec is not None
+        assert rec.edge_set() == set(g.edge_set())
+
+    def test_lemma10_graph_reconstructed_at_its_cut_degeneracy(self):
+        """The Lemma 10 witness is 2-cut-degenerate (but not
+        2-degenerate) — Theorem 15 still reconstructs it with k = 2."""
+        g = lemma10_witness()
+        sk = loaded(g, k=2, seed=13)
+        rec = sk.reconstruct()
+        assert rec is not None
+        assert rec.edge_set() == set(g.edge_set())
+
+    def test_dense_graph_not_reconstructible_at_small_k(self):
+        g = complete_graph(8)  # cut-degeneracy 7
+        sk = loaded(g, k=2, seed=14)
+        assert sk.reconstruct() is None
+
+    def test_helper_function_with_deletions(self):
+        g = random_tree(10, seed=15)
+        stream = [(u.edge, u.sign) for u in insert_delete_reinsert(g, shuffle_seed=1)]
+        rec = reconstruct_cut_degenerate(stream, n=10, d=1, seed=16)
+        assert rec is not None
+        assert rec.edge_set() == set(g.edge_set())
+
+    def test_reconstruction_after_deletions_reflects_final_graph(self):
+        g = cycle_graph(9)
+        sk = LightEdgeRecoverySketch(9, k=2, seed=17)
+        for e in g.edges():
+            sk.insert(e)
+        sk.delete((0, 1))  # now a path: 1-cut-degenerate
+        rec = sk.reconstruct()
+        assert rec is not None
+        expected = set(g.edge_set()) - {(0, 1)}
+        assert rec.edge_set() == expected
+
+
+class TestHypergraphs:
+    def test_hyper_cycle_recovered(self):
+        h = hyper_cycle(8, 3)
+        sk = LightEdgeRecoverySketch(8, k=2, r=3, seed=18)
+        for e in h.edges():
+            sk.insert(e)
+        assert set(sk.recover_light_edges()) == light_edges_exact(h, 2)
+
+    def test_random_hypergraph_matches_exact(self):
+        h = random_connected_hypergraph(9, 8, r=3, seed=19)
+        sk = LightEdgeRecoverySketch(9, k=1, r=3, seed=20)
+        for e in h.edges():
+            sk.insert(e)
+        assert set(sk.recover_light_edges()) == light_edges_exact(h, 1)
+
+
+class TestValidation:
+    def test_k_positive(self):
+        with pytest.raises(DomainError):
+            LightEdgeRecoverySketch(5, k=0)
+
+    def test_space_scales_with_k(self):
+        s1 = LightEdgeRecoverySketch(8, k=1, seed=1).space_counters()
+        s3 = LightEdgeRecoverySketch(8, k=3, seed=1).space_counters()
+        assert s3 == 2 * s1  # (k+1) spanning sketches: 4 vs 2

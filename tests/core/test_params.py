@@ -1,0 +1,67 @@
+"""Tests for parameter profiles."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, Params
+from repro.errors import DomainError
+
+
+class TestProfiles:
+    def test_theory_matches_paper_constants(self):
+        p = Params.theory()
+        assert p.query_rep_constant == 16.0
+        assert p.tester_rep_constant == 160.0
+        assert p.sparsifier_level_constant == 3.0
+
+    def test_default_is_practical(self):
+        assert DEFAULT_PARAMS == Params.practical()
+
+    def test_fast_is_cheaper_than_theory(self):
+        fast, theory = Params.fast(), Params.theory()
+        assert fast.query_repetitions(64, 2) < theory.query_repetitions(64, 2)
+
+    def test_with_overrides(self):
+        p = Params.practical().with_overrides(buckets=4)
+        assert p.buckets == 4
+        assert p.rows == Params.practical().rows
+
+
+class TestDerivedCounts:
+    def test_query_repetitions_shape(self):
+        p = Params.practical()
+        # R = c (k+1)^2 ln n: quadratic in k, logarithmic in n.
+        r1 = p.query_repetitions(64, 1)
+        r2 = p.query_repetitions(64, 4)
+        assert r2 >= 6 * r1 or r1 == p.min_repetitions
+        assert p.query_repetitions(2**16, 2) > p.query_repetitions(2**4, 2)
+
+    def test_tester_repetitions_epsilon(self):
+        p = Params.practical()
+        assert p.tester_repetitions(64, 2, 0.25) > p.tester_repetitions(64, 2, 1.0)
+
+    def test_strength_threshold_epsilon(self):
+        p = Params.practical()
+        assert p.strength_threshold(64, 2, 0.25) > p.strength_threshold(64, 2, 1.0)
+
+    def test_strength_threshold_rank(self):
+        p = Params.practical()
+        assert p.strength_threshold(64, 8, 0.5) > p.strength_threshold(64, 2, 0.5)
+
+    def test_sparsifier_levels(self):
+        p = Params.theory()
+        assert p.sparsifier_levels(64) == 18  # 3 * log2(64)
+
+    def test_min_repetitions_floor(self):
+        p = Params.practical()
+        assert p.query_repetitions(2, 1) >= p.min_repetitions
+
+    def test_validation(self):
+        p = Params.practical()
+        with pytest.raises(DomainError):
+            p.query_repetitions(1, 1)
+        with pytest.raises(DomainError):
+            p.query_repetitions(10, 0)
+        with pytest.raises(DomainError):
+            p.tester_repetitions(10, 1, 0.0)
+        with pytest.raises(DomainError):
+            p.strength_threshold(10, 2, -1.0)

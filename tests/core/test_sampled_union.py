@@ -1,0 +1,120 @@
+"""Direct tests for the shared vertex-sampling machinery (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core._sampled import SampledForestUnion
+from repro.core.params import Params
+from repro.errors import DomainError
+from repro.graph.generators import cycle_graph
+
+
+class TestMembership:
+    def test_probability_is_one_over_k_plus_one(self):
+        union = SampledForestUnion(200, k=3, repetitions=50, seed=1)
+        rate = union.membership.mean()
+        assert abs(rate - 1 / 4) < 0.02
+
+    def test_k_one_samples_half(self):
+        union = SampledForestUnion(200, k=1, repetitions=50, seed=2)
+        assert abs(union.membership.mean() - 0.5) < 0.02
+
+    def test_membership_deterministic_in_seed(self):
+        a = SampledForestUnion(40, k=2, repetitions=10, seed=3)
+        b = SampledForestUnion(40, k=2, repetitions=10, seed=3)
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_tiny_instances_skipped(self):
+        union = SampledForestUnion(4, k=5, repetitions=20, seed=4)
+        # Most instances sample < 2 of the 4 vertices and are skipped.
+        assert union.live_instances <= 20
+        for i, sketch in union.sketches.items():
+            assert len(sketch.vertices) >= 2
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            SampledForestUnion(1, k=2, repetitions=5)
+        with pytest.raises(DomainError):
+            SampledForestUnion(10, k=0, repetitions=5)
+
+
+class TestRouting:
+    def test_update_routes_to_matching_instances_only(self):
+        union = SampledForestUnion(20, k=2, repetitions=30, seed=5)
+        union.update((3, 7), 1)
+        for i, sketch in union.sketches.items():
+            expected = bool(union.membership[i, 3] and union.membership[i, 7])
+            has_content = not sketch.grid.appears_zero()
+            assert has_content == expected
+
+    def test_insert_delete_cancels_everywhere(self):
+        union = SampledForestUnion(20, k=2, repetitions=30, seed=6)
+        union.insert((3, 7))
+        union.delete((3, 7))
+        assert all(s.grid.appears_zero() for s in union.sketches.values())
+
+
+class TestUnionDecode:
+    def test_union_is_cached_until_update(self):
+        union = SampledForestUnion(12, k=1, repetitions=10, seed=7)
+        for e in cycle_graph(12).edges():
+            union.insert(e)
+        first = union.decode_union()
+        assert union.decode_union() is first  # cached object
+        union.insert((0, 6))
+        assert union.decode_union() is not first
+
+    def test_union_edges_genuine(self):
+        g = cycle_graph(12)
+        union = SampledForestUnion(12, k=1, repetitions=10, seed=8)
+        for e in g.edges():
+            union.insert(e)
+        H = union.decode_union()
+        assert all(g.has_edge(*e) for e in H.edges())
+
+    def test_graph_view_requires_rank2(self):
+        union = SampledForestUnion(10, k=1, repetitions=8, r=3, seed=9)
+        union.insert((0, 1, 2))
+        from repro.errors import RankError
+
+        with pytest.raises(RankError):
+            union.decode_union_graph()
+
+    def test_space_accounts_all_instances(self):
+        union = SampledForestUnion(16, k=2, repetitions=12, seed=10)
+        assert union.space_counters() == sum(
+            s.space_counters() for s in union.sketches.values()
+        )
+
+
+class TestIncrementalDecodeCache:
+    def test_incremental_equals_fresh(self):
+        """After targeted updates, the cached-incremental union must
+        equal a from-scratch decode of an identically-fed structure."""
+        g = cycle_graph(12)
+        a = SampledForestUnion(12, k=2, repetitions=20, seed=42)
+        b = SampledForestUnion(12, k=2, repetitions=20, seed=42)
+        for e in g.edges():
+            a.insert(e)
+            b.insert(e)
+        a.decode_union()          # warm a's cache
+        a.delete((0, 1))          # touch a few instances
+        a.insert((0, 6))
+        b.delete((0, 1))
+        b.insert((0, 6))
+        assert a.decode_union() == b.decode_union()
+
+    def test_only_dirty_instances_redecoded(self):
+        union = SampledForestUnion(16, k=2, repetitions=25, seed=43)
+        for e in cycle_graph(16).edges():
+            union.insert(e)
+        union.decode_union()
+        assert not union._dirty
+        union.insert((0, 8))
+        # Exactly the instances sampling both 0 and 8 became dirty.
+        expected = {
+            i
+            for i in union.sketches
+            if union.membership[i, 0] and union.membership[i, 8]
+        }
+        assert union._dirty == expected

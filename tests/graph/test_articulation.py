@@ -1,0 +1,124 @@
+"""Tests for articulation points / bridges / biconnected components."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.articulation import (
+    articulation_points,
+    biconnected_components,
+    bridges,
+    is_biconnected,
+)
+from repro.graph.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+from ..conftest import graphs_for_oracle_tests
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestArticulationPoints:
+    def test_path_interior(self):
+        assert articulation_points(path_graph(5)) == {1, 2, 3}
+
+    def test_cycle_has_none(self):
+        assert articulation_points(cycle_graph(6)) == set()
+
+    def test_star_centre(self):
+        assert articulation_points(star_graph(6)) == {0}
+
+    def test_barbell(self):
+        g = barbell_graph(4, 3)
+        pts = articulation_points(g)
+        assert 0 in pts and 4 in pts  # clique attachment points
+
+    def test_tree_internal_vertices(self):
+        t = random_tree(12, seed=1)
+        pts = articulation_points(t)
+        internal = {v for v in range(12) if t.degree(v) >= 2}
+        assert pts == internal
+
+    @pytest.mark.parametrize("g", graphs_for_oracle_tests())
+    def test_matches_networkx(self, g):
+        assert articulation_points(g) == set(nx.articulation_points(to_nx(g)))
+
+    @pytest.mark.parametrize("seed", [2, 3, 4])
+    def test_matches_networkx_random(self, seed):
+        g = gnp_graph(12, 0.2, seed=seed)
+        assert articulation_points(g) == set(nx.articulation_points(to_nx(g)))
+
+
+class TestBridges:
+    def test_path_all_bridges(self):
+        assert bridges(path_graph(5)) == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_cycle_none(self):
+        assert bridges(cycle_graph(6)) == set()
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(12, 0.25, seed=seed)
+        expected = {tuple(sorted(e)) for e in nx.bridges(to_nx(g))}
+        assert bridges(g) == expected
+
+    def test_bridges_have_lambda_one(self):
+        from repro.graph.edge_connectivity import edge_lambda
+
+        g = random_connected_graph(10, 5, seed=8)
+        for e in bridges(g):
+            assert edge_lambda(g, e) == 1
+
+
+class TestBiconnectedComponents:
+    def test_partition_covers_all_edges(self):
+        g = barbell_graph(4, 2)
+        comps = biconnected_components(g)
+        union = set().union(*comps) if comps else set()
+        assert union == set(g.edge_set())
+        # Components are edge-disjoint.
+        assert sum(len(c) for c in comps) == g.num_edges
+
+    def test_cycle_single_component(self):
+        comps = biconnected_components(cycle_graph(7))
+        assert len(comps) == 1
+        assert len(comps[0]) == 7
+
+    @pytest.mark.parametrize("seed", [9, 10])
+    def test_matches_networkx_count(self, seed):
+        g = gnp_graph(11, 0.25, seed=seed)
+        ours = {frozenset(c) for c in biconnected_components(g)}
+        theirs = {
+            frozenset(tuple(sorted(e)) for e in comp)
+            for comp in nx.biconnected_component_edges(to_nx(g))
+        }
+        assert ours == theirs
+
+
+class TestIsBiconnected:
+    def test_cycle(self):
+        assert is_biconnected(cycle_graph(5))
+
+    def test_path_not(self):
+        assert not is_biconnected(path_graph(5))
+
+    def test_complete(self):
+        assert is_biconnected(complete_graph(4))
+
+    def test_tiny_cases(self):
+        assert not is_biconnected(Graph(1))
+        assert is_biconnected(Graph(2, [(0, 1)]))
+        assert not is_biconnected(Graph(2))

@@ -1,0 +1,88 @@
+"""Tests for randomized contraction min cut."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.contraction import (
+    contraction_success_rate,
+    distinct_min_cuts,
+    karger_min_cut,
+)
+from repro.graph.edge_connectivity import edge_connectivity
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    harary_graph,
+    hyper_cycle,
+    random_connected_hypergraph,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_cuts import hypergraph_min_cut
+
+
+class TestKargerMinCut:
+    def test_cycle(self):
+        h = Hypergraph.from_graph(cycle_graph(8))
+        value, side = karger_min_cut(h, seed=1)
+        assert value == 2
+        assert h.cut_size(side) == 2  # side is a certificate
+
+    def test_matches_stoer_wagner(self):
+        for seed in (2, 3):
+            g = gnp_graph(9, 0.5, seed=seed)
+            if not g.is_connected():
+                continue
+            h = Hypergraph.from_graph(g)
+            value, _ = karger_min_cut(h, seed=seed + 10)
+            assert value == edge_connectivity(g)
+
+    def test_harary(self):
+        g = harary_graph(4, 10)
+        h = Hypergraph.from_graph(g)
+        value, _ = karger_min_cut(h, seed=4)
+        assert value == 4
+
+    def test_hypergraph(self):
+        h = hyper_cycle(8, 3)
+        value, _ = karger_min_cut(h, seed=5)
+        assert value == hypergraph_min_cut(h)
+
+    def test_random_hypergraph(self):
+        h = random_connected_hypergraph(9, 12, r=3, seed=6)
+        value, _ = karger_min_cut(h, seed=7)
+        assert value == hypergraph_min_cut(h)
+
+    def test_disconnected(self):
+        h = Hypergraph(5, 2, [(0, 1), (2, 3)])
+        value, side = karger_min_cut(h, seed=8)
+        assert value == 0
+        assert h.cut_size(side) == 0
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(DomainError):
+            karger_min_cut(Hypergraph(1, 2))
+
+    def test_trials_parameter(self):
+        # Even one trial returns *some* valid cut value (>= the min).
+        h = Hypergraph.from_graph(complete_graph(6))
+        value, side = karger_min_cut(h, trials=1, seed=9)
+        assert value >= 5
+        assert h.cut_size(side) == value
+
+
+class TestCutCountingFacts:
+    def test_cycle_min_cut_count_bound(self):
+        """A cycle has C(n,2) minimum cuts — exactly Karger's bound;
+        contraction should find many distinct ones."""
+        n = 7
+        h = Hypergraph.from_graph(cycle_graph(n))
+        cuts = distinct_min_cuts(h, min_cut_value=2, trials=300, seed=10)
+        assert 1 <= len(cuts) <= n * (n - 1) / 2
+        assert len(cuts) >= 10  # plenty found with 300 trials
+
+    def test_success_rate_above_karger_bound(self):
+        n = 8
+        h = Hypergraph.from_graph(cycle_graph(n))
+        rate = contraction_success_rate(h, min_cut_value=2, trials=200, seed=11)
+        assert rate >= 2 / (n * (n - 1)) * 0.5  # generous slack

@@ -1,0 +1,104 @@
+"""Tests for cut counting and the Lemma 18 sampling machinery."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.cut_counting import (
+    count_cut_sets_at_most,
+    count_cuts_at_most,
+    cut_size_histogram,
+    half_sampling_failure_rate,
+    half_sampling_trial,
+    karger_bound,
+    kogan_krauthgamer_bound,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    hyper_cycle,
+    random_connected_hypergraph,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_cuts import hypergraph_min_cut
+
+
+class TestHistogram:
+    def test_cycle_histogram(self):
+        h = Hypergraph.from_graph(cycle_graph(6))
+        hist = cut_size_histogram(h)
+        # A cycle's cuts have even size; min cut 2 achieved by
+        # "intervals": C(6,2) = 15 interval pairs, one side contains 0.
+        assert hist[2] == 15
+        assert all(size % 2 == 0 for size in hist)
+        assert sum(hist.values()) == 2**5 - 1
+
+    def test_complete_graph_min_cut_count(self):
+        h = Hypergraph.from_graph(complete_graph(5))
+        hist = cut_size_histogram(h)
+        assert min(hist) == 4  # singleton cuts
+        assert hist[4] == 5
+
+    def test_size_guard(self):
+        with pytest.raises(DomainError):
+            cut_size_histogram(Hypergraph(21, 2))
+
+
+class TestCounting:
+    def test_count_cuts_matches_histogram(self):
+        h = Hypergraph.from_graph(cycle_graph(6))
+        assert count_cuts_at_most(h, 2) == 15
+        assert count_cuts_at_most(h, 100) == 31
+
+    def test_cut_sets_not_more_than_cuts(self):
+        h = hyper_cycle(7, 3)
+        lam = hypergraph_min_cut(h)
+        assert count_cut_sets_at_most(h, 2 * lam) <= count_cuts_at_most(h, 2 * lam)
+
+    def test_karger_bound_holds_on_cycle(self):
+        h = Hypergraph.from_graph(cycle_graph(8))
+        lam = 2
+        for alpha in (1.0, 1.5, 2.0):
+            measured = count_cut_sets_at_most(h, int(alpha * lam))
+            assert measured <= karger_bound(8, alpha)
+
+    def test_kk_bound_holds_on_hypergraphs(self):
+        for h in (hyper_cycle(8, 3), random_connected_hypergraph(9, 14, r=3, seed=1)):
+            lam = hypergraph_min_cut(h)
+            if lam == 0:
+                continue
+            for alpha in (1.0, 1.5, 2.0):
+                measured = count_cut_sets_at_most(h, int(alpha * lam))
+                assert measured <= kogan_krauthgamer_bound(h.n, h.r, alpha)
+
+    def test_alpha_validated(self):
+        with pytest.raises(DomainError):
+            kogan_krauthgamer_bound(8, 3, 0.5)
+        with pytest.raises(DomainError):
+            karger_bound(8, 0.5)
+
+
+class TestHalfSampling:
+    def test_trial_reports_deviation(self):
+        h = Hypergraph.from_graph(complete_graph(9))  # min cut 8
+        ok, worst = half_sampling_trial(h, epsilon=1.0, seed=1)
+        assert worst >= 0.0
+        assert ok == (worst <= 1.0)
+
+    def test_high_min_cut_rarely_fails(self):
+        """Lemma 18's regime: min cut well above the threshold means
+        uniform half-sampling preserves every cut within (1±ε)."""
+        h = Hypergraph.from_graph(complete_graph(10))  # min cut 9
+        rate, mean_dev = half_sampling_failure_rate(h, epsilon=0.9, trials=20, seed=2)
+        assert rate <= 0.2
+        assert mean_dev < 0.9
+
+    def test_low_min_cut_fails_often(self):
+        """Contrapositive: with tiny cuts (the edges peeling would have
+        protected), half-sampling destroys cut values regularly."""
+        h = Hypergraph.from_graph(cycle_graph(10))  # min cut 2
+        rate, _ = half_sampling_failure_rate(h, epsilon=0.5, trials=20, seed=3)
+        assert rate >= 0.5
+
+    def test_size_guard(self):
+        with pytest.raises(DomainError):
+            half_sampling_trial(Hypergraph(19, 2), 0.5)

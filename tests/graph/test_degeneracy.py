@@ -1,0 +1,185 @@
+"""Tests for degeneracy, cut-degeneracy, light edges, and strength.
+
+This file validates the Section 4 definitions against brute force,
+including the paper's Lemma 10 witness and Lemma 16 characterisation.
+"""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.degeneracy import (
+    cut_degeneracy,
+    degeneracy,
+    edge_strength_bruteforce,
+    edge_strengths,
+    is_cut_degenerate,
+    is_cut_degenerate_bruteforce,
+    is_degenerate,
+    lemma10_witness,
+    light_edges_exact,
+    light_layers,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+)
+from repro.graph.graph import Graph
+from repro.graph.hypergraph import Hypergraph
+
+
+def H(g: Graph) -> Hypergraph:
+    return Hypergraph.from_graph(g)
+
+
+class TestDegeneracy:
+    def test_tree_is_one_degenerate(self):
+        assert degeneracy(H(random_tree(10, seed=1))) == 1
+
+    def test_cycle_is_two_degenerate(self):
+        assert degeneracy(H(cycle_graph(8))) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(H(complete_graph(5))) == 4
+
+    def test_empty(self):
+        assert degeneracy(Hypergraph(5, 2)) == 0
+
+    def test_predicate(self):
+        h = H(cycle_graph(6))
+        assert is_degenerate(h, 2)
+        assert not is_degenerate(h, 1)
+
+    def test_hyperedge_peeling(self):
+        # A single rank-3 hyperedge: every vertex has degree 1.
+        h = Hypergraph(4, 3, [(0, 1, 2)])
+        assert degeneracy(h) == 1
+
+
+class TestLightEdges:
+    def test_tree_fully_light_at_one(self):
+        g = random_tree(8, seed=3)
+        assert light_edges_exact(H(g), 1) == set(g.edge_set())
+
+    def test_cycle_not_light_at_one(self):
+        assert light_edges_exact(H(cycle_graph(6)), 1) == set()
+
+    def test_cycle_fully_light_at_two(self):
+        g = cycle_graph(6)
+        assert light_edges_exact(H(g), 2) == set(g.edge_set())
+
+    def test_layers_are_disjoint_and_ordered(self):
+        g = random_connected_graph(10, 12, seed=4)
+        layers = light_layers(H(g), 2)
+        seen = set()
+        for layer in layers:
+            assert layer  # nonempty by construction
+            for e in layer:
+                assert e not in seen
+                seen.add(e)
+
+    def test_recursive_peeling_example(self):
+        # Two triangles sharing a path: after removing the bridge
+        # (lambda=1), triangle edges become removable at k=2.
+        g = Graph(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+        light1 = light_edges_exact(H(g), 1)
+        assert light1 == {(2, 3)}
+        light2 = light_edges_exact(H(g), 2)
+        assert light2 == set(g.edge_set())
+
+    def test_monotone_in_k(self):
+        g = gnp_graph(9, 0.4, seed=5)
+        prev = set()
+        for k in (1, 2, 3, 4):
+            cur = light_edges_exact(H(g), k)
+            assert prev <= cur
+            prev = cur
+
+    def test_k_zero(self):
+        g = cycle_graph(4)
+        assert light_edges_exact(H(g), 0) == set()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(DomainError):
+            light_edges_exact(H(cycle_graph(4)), -1)
+
+
+class TestCutDegeneracy:
+    def test_lemma10_witness_properties(self):
+        """The paper's Lemma 10: 2-cut-degenerate but not 2-degenerate."""
+        g = lemma10_witness()
+        assert min(g.degree(v) for v in range(g.n)) == 3
+        h = H(g)
+        assert not is_degenerate(h, 2)
+        assert is_cut_degenerate(h, 2)
+
+    def test_degenerate_implies_cut_degenerate(self):
+        """Lemma 10 first part on assorted graphs."""
+        for g in (random_tree(8, seed=6), cycle_graph(7), gnp_graph(8, 0.3, seed=7)):
+            h = H(g)
+            d = degeneracy(h)
+            assert is_cut_degenerate(h, d)
+
+    def test_complete_graph_cut_degeneracy(self):
+        # K_5: the only induced subgraphs are cliques; K_j has min cut
+        # j - 1, so cut-degeneracy is 4.
+        assert cut_degeneracy(H(complete_graph(5))) == 4
+
+    def test_cut_degeneracy_of_tree(self):
+        assert cut_degeneracy(H(random_tree(9, seed=8))) == 1
+
+    def test_matches_bruteforce(self):
+        for seed in (9, 10):
+            g = gnp_graph(7, 0.45, seed=seed)
+            h = H(g)
+            for d in (1, 2, 3):
+                assert is_cut_degenerate(h, d) == is_cut_degenerate_bruteforce(h, d)
+
+    def test_empty_graph(self):
+        assert cut_degeneracy(Hypergraph(4, 2)) == 0
+        assert is_cut_degenerate(Hypergraph(4, 2), 0)
+
+
+class TestEdgeStrength:
+    def test_tree_strengths_all_one(self):
+        g = random_tree(8, seed=11)
+        assert set(edge_strengths(g).values()) == {1}
+
+    def test_complete_graph_strengths(self):
+        g = complete_graph(5)
+        assert set(edge_strengths(g).values()) == {4}
+
+    def test_strengths_cover_all_edges(self):
+        g = gnp_graph(9, 0.4, seed=12)
+        s = edge_strengths(g)
+        assert set(s.keys()) == set(g.edge_set())
+
+    def test_lemma16_against_bruteforce(self):
+        """k_e from light-edge peeling == max induced-subgraph
+        edge-connectivity containing e (Lemma 16)."""
+        for seed in (13, 14):
+            g = gnp_graph(7, 0.5, seed=seed)
+            s = edge_strengths(g)
+            for e in list(g.edge_set())[:6]:
+                assert s[e] == edge_strength_bruteforce(g, e)
+
+    def test_lemma16_on_structured_graph(self):
+        # Two K_4s joined by a bridge: clique edges have strength 3,
+        # the bridge strength 1.
+        g = Graph(8)
+        for base in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    g.add_edge(base + i, base + j)
+        g.add_edge(0, 4)
+        s = edge_strengths(g)
+        assert s[(0, 4)] == 1
+        assert s[(1, 2)] == 3
+        assert s[(5, 6)] == 3
+
+    def test_bruteforce_guard(self):
+        with pytest.raises(DomainError):
+            edge_strength_bruteforce(complete_graph(13), (0, 1))

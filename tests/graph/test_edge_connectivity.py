@@ -1,0 +1,128 @@
+"""Tests for exact edge-connectivity, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.edge_connectivity import (
+    edge_connectivity,
+    edge_lambda,
+    global_min_cut,
+    is_k_edge_connected,
+    local_edge_connectivity,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    harary_graph,
+    path_graph,
+)
+from repro.graph.graph import Graph
+
+from ..conftest import graphs_for_oracle_tests
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestLocalEdgeConnectivity:
+    def test_path(self):
+        g = path_graph(5)
+        assert local_edge_connectivity(g, 0, 4) == 1
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert local_edge_connectivity(g, 0, 3) == 2
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert local_edge_connectivity(g, 0, 4) == 4
+
+    def test_disconnected_pair(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert local_edge_connectivity(g, 0, 3) == 0
+
+    def test_same_vertex_rejected(self):
+        with pytest.raises(DomainError):
+            local_edge_connectivity(path_graph(3), 1, 1)
+
+    def test_limit_caps_result(self):
+        g = complete_graph(6)
+        assert local_edge_connectivity(g, 0, 1, limit=2) == 2
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(9, 0.4, seed=seed)
+        ng = to_nx(g)
+        for s, t in [(0, 1), (2, 7), (3, 8)]:
+            assert local_edge_connectivity(g, s, t) == nx.edge_connectivity(
+                ng, s, t
+            )
+
+
+class TestEdgeLambda:
+    def test_equals_local_connectivity(self):
+        g = cycle_graph(5)
+        assert edge_lambda(g, (0, 1)) == 2
+
+    def test_requires_edge_present(self):
+        with pytest.raises(DomainError):
+            edge_lambda(cycle_graph(5), (0, 2))
+
+    def test_bridge_has_lambda_one(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+        assert edge_lambda(g, (2, 3)) == 1
+
+
+class TestGlobalMinCut:
+    def test_cycle(self):
+        value, side = global_min_cut(cycle_graph(8))
+        assert value == 2
+        assert 0 < len(side) < 8
+
+    def test_complete(self):
+        value, _side = global_min_cut(complete_graph(5))
+        assert value == 4
+
+    def test_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        value, side = global_min_cut(g)
+        assert value == 0
+        assert side in ({0, 1}, {2, 3})
+
+    def test_cut_side_is_certificate(self):
+        g = gnp_graph(10, 0.4, seed=4)
+        if not g.is_connected():
+            pytest.skip("generator produced disconnected graph")
+        value, side = global_min_cut(g)
+        assert g.cut_size(side) == value
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(DomainError):
+            global_min_cut(Graph(1))
+
+    @pytest.mark.parametrize("g", graphs_for_oracle_tests())
+    def test_matches_networkx(self, g):
+        if g.n < 2:
+            pytest.skip("too small")
+        ng = to_nx(g)
+        expected = nx.edge_connectivity(ng) if g.n > 1 else 0
+        assert edge_connectivity(g) == expected
+
+
+class TestKEdgeConnected:
+    def test_harary_is_exactly_k(self):
+        for k in (2, 3, 4):
+            g = harary_graph(k, 11)
+            assert is_k_edge_connected(g, k)
+            assert not is_k_edge_connected(g, k + 1)
+
+    def test_trivial_cases(self):
+        assert is_k_edge_connected(Graph(1), 0)
+        assert not is_k_edge_connected(Graph(1), 1)
+        assert is_k_edge_connected(Graph(3), 0)

@@ -1,0 +1,132 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.edge_connectivity import edge_connectivity
+from repro.graph.generators import (
+    barbell_graph,
+    community_hypergraph,
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    harary_graph,
+    hyper_cycle,
+    path_graph,
+    planted_separator_graph,
+    random_connected_graph,
+    random_connected_hypergraph,
+    random_hypergraph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.traversal import is_connected_excluding
+from repro.graph.vertex_connectivity import vertex_connectivity
+
+
+class TestDeterministicFamilies:
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+
+    def test_cycle_needs_three(self):
+        with pytest.raises(DomainError):
+            cycle_graph(2)
+
+    def test_path_and_star(self):
+        assert path_graph(6).num_edges == 5
+        assert star_graph(6).degree(0) == 5
+
+    @pytest.mark.parametrize("k,n", [(1, 5), (2, 8), (3, 9), (4, 10), (5, 11)])
+    def test_harary_connectivity_exact(self, k, n):
+        g = harary_graph(k, n)
+        assert vertex_connectivity(g) == k
+
+    def test_harary_edge_count_near_optimal(self):
+        g = harary_graph(4, 12)
+        assert g.num_edges == 24  # ceil(kn/2)
+
+    def test_harary_rejects_bad_params(self):
+        with pytest.raises(DomainError):
+            harary_graph(5, 5)
+
+    def test_barbell_connectivity_one(self):
+        assert vertex_connectivity(barbell_graph(4, 2)) == 1
+
+
+class TestPlantedSeparator:
+    def test_separator_disconnects(self):
+        g, sep = planted_separator_graph(5, 2)
+        assert not is_connected_excluding(g, sep)
+
+    def test_connectivity_equals_cut_size(self):
+        for c in (1, 2, 3):
+            g, _ = planted_separator_graph(5, c)
+            assert vertex_connectivity(g) == c
+
+    def test_param_validation(self):
+        with pytest.raises(DomainError):
+            planted_separator_graph(1, 1)
+
+
+class TestRandomGraphs:
+    def test_gnp_determinism(self):
+        assert gnp_graph(12, 0.3, seed=5) == gnp_graph(12, 0.3, seed=5)
+
+    def test_gnp_seed_sensitivity(self):
+        assert gnp_graph(12, 0.3, seed=5) != gnp_graph(12, 0.3, seed=6)
+
+    def test_gnp_extremes(self):
+        assert gnp_graph(6, 0.0, seed=1).num_edges == 0
+        assert gnp_graph(6, 1.0, seed=1).num_edges == 15
+
+    def test_gnp_rejects_bad_p(self):
+        with pytest.raises(DomainError):
+            gnp_graph(5, 1.5)
+
+    def test_random_tree_is_tree(self):
+        t = random_tree(20, seed=2)
+        assert t.num_edges == 19
+        assert t.is_connected()
+
+    def test_random_connected_graph(self):
+        g = random_connected_graph(15, 10, seed=3)
+        assert g.is_connected()
+        assert g.num_edges == 14 + 10
+
+
+class TestHypergraphs:
+    def test_random_hypergraph_rank_bound(self):
+        h = random_hypergraph(10, 15, r=4, seed=4)
+        assert all(2 <= len(e) <= 4 for e in h.edges())
+        assert h.num_edges == 15
+
+    def test_exact_rank(self):
+        h = random_hypergraph(10, 8, r=3, seed=5, exact_rank=True)
+        assert all(len(e) == 3 for e in h.edges())
+
+    def test_random_connected_hypergraph(self):
+        h = random_connected_hypergraph(12, 10, r=3, seed=6)
+        assert h.is_connected()
+
+    def test_hyper_cycle_cut_lower_bound(self):
+        h = hyper_cycle(8, 3)
+        assert h.num_edges == 8
+        assert all(h.cut_size([v]) >= 2 for v in range(8))
+
+    def test_hyper_cycle_validation(self):
+        with pytest.raises(DomainError):
+            hyper_cycle(3, 3)
+
+    def test_community_hypergraph(self):
+        h, blocks = community_hypergraph([6, 6], 10, 2, r=3, seed=7)
+        assert h.n == 12
+        assert len(blocks) == 2
+        # The inter-community cut has exactly the planted crossing edges.
+        assert h.cut_size(blocks[0]) == 2
+        assert h.is_connected()

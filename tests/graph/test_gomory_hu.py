@@ -1,0 +1,101 @@
+"""Tests for Gomory–Hu cut trees."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.edge_connectivity import local_edge_connectivity
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    harary_graph,
+    path_graph,
+    random_connected_graph,
+)
+from repro.graph.gomory_hu import all_edge_lambdas, gomory_hu_tree
+from repro.graph.graph import Graph
+
+
+class TestTreeStructure:
+    def test_tree_has_n_minus_1_edges(self):
+        t = gomory_hu_tree(cycle_graph(7))
+        assert len(t.tree_edges()) == 6
+
+    def test_single_vertex(self):
+        t = gomory_hu_tree(Graph(1))
+        assert t.tree_edges() == []
+
+    def test_needs_a_vertex(self):
+        with pytest.raises(DomainError):
+            gomory_hu_tree(Graph(0))
+
+    def test_same_vertex_query_rejected(self):
+        t = gomory_hu_tree(cycle_graph(4))
+        with pytest.raises(DomainError):
+            t.min_cut(1, 1)
+
+    def test_out_of_range_rejected(self):
+        t = gomory_hu_tree(cycle_graph(4))
+        with pytest.raises(DomainError):
+            t.min_cut(0, 9)
+
+
+class TestCutValues:
+    def test_path_graph(self):
+        t = gomory_hu_tree(path_graph(6))
+        assert t.min_cut(0, 5) == 1
+
+    def test_cycle_all_pairs_two(self):
+        t = gomory_hu_tree(cycle_graph(6))
+        for u in range(6):
+            for v in range(u + 1, 6):
+                assert t.min_cut(u, v) == 2
+
+    def test_complete_graph(self):
+        t = gomory_hu_tree(complete_graph(6))
+        assert t.min_cut(0, 5) == 5
+
+    def test_disconnected_zero(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        t = gomory_hu_tree(g)
+        assert t.min_cut(0, 2) == 0
+        assert t.min_cut(0, 1) == 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_all_pairs_match_flows(self, seed):
+        g = gnp_graph(9, 0.4, seed=seed)
+        t = gomory_hu_tree(g)
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                assert t.min_cut(u, v) == local_edge_connectivity(g, u, v)
+
+    def test_matches_networkx_gomory_hu(self):
+        g = harary_graph(3, 9)
+        t = gomory_hu_tree(g)
+        ng = nx.Graph()
+        ng.add_nodes_from(range(g.n))
+        ng.add_edges_from((u, v, {"capacity": 1}) for u, v in g.edges())
+        nt = nx.gomory_hu_tree(ng)
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                path = nx.shortest_path(nt, u, v)
+                expected = min(
+                    nt[a][b]["weight"] for a, b in zip(path, path[1:])
+                )
+                assert t.min_cut(u, v) == expected
+
+
+class TestAllEdgeLambdas:
+    def test_matches_per_edge_flows(self):
+        g = random_connected_graph(10, 12, seed=5)
+        lambdas = all_edge_lambdas(g)
+        for e, lam in lambdas.items():
+            assert lam == local_edge_connectivity(g, e[0], e[1])
+
+    def test_empty_graph(self):
+        assert all_edge_lambdas(Graph(5)) == {}
+
+    def test_covers_every_edge(self):
+        g = gnp_graph(8, 0.5, seed=6)
+        assert set(all_edge_lambdas(g)) == set(g.edge_set())

@@ -1,0 +1,136 @@
+"""Tests for the Graph structure."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.graph import Graph, normalize_edge
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(5)
+        assert g.n == 5
+        assert g.num_edges == 0
+        assert g.edges() == []
+
+    def test_initial_edges(self):
+        g = Graph(4, [(0, 1), (2, 1)])
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(DomainError):
+            Graph(-1)
+
+    def test_normalize_edge(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        with pytest.raises(DomainError):
+            normalize_edge(2, 2)
+
+
+class TestMutation:
+    def test_add_idempotent(self):
+        g = Graph(3)
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(1, 0) is False
+        assert g.num_edges == 1
+
+    def test_remove(self):
+        g = Graph(3, [(0, 1)])
+        assert g.remove_edge(1, 0) is True
+        assert g.remove_edge(1, 0) is False
+        assert g.num_edges == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DomainError):
+            Graph(3).add_edge(1, 1)
+
+    def test_vertex_range_checked(self):
+        with pytest.raises(DomainError):
+            Graph(3).add_edge(0, 3)
+
+    def test_degree_and_neighbors(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.neighbors(0) == {1, 2, 3}
+        assert g.degree(2) == 1
+
+    def test_neighbors_returns_copy(self):
+        g = Graph(3, [(0, 1)])
+        ns = g.neighbors(0)
+        ns.add(2)
+        assert g.neighbors(0) == {1}
+
+
+class TestQueries:
+    def test_contains(self):
+        g = Graph(3, [(0, 2)])
+        assert (2, 0) in g
+        assert (0, 1) not in g
+
+    def test_iteration_sorted(self):
+        g = Graph(4, [(2, 3), (0, 1), (1, 3)])
+        assert list(g) == [(0, 1), (1, 3), (2, 3)]
+
+    def test_equality(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+        assert Graph(3) != Graph(4)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph(2))
+
+
+class TestDerivedGraphs:
+    def test_copy_independent(self):
+        g = Graph(3, [(0, 1)])
+        c = g.copy()
+        c.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert c.num_edges == 2
+
+    def test_subgraph_without_vertices(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph_without_vertices([1])
+        assert sub.edges() == [(2, 3)]
+        assert sub.n == 4  # vertex range unchanged
+
+    def test_induced_subgraph(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        sub = g.induced_subgraph([0, 1, 2])
+        assert sub.edges() == [(0, 1), (1, 2)]
+
+    def test_union(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 2)])
+        assert a.union(b).edges() == [(0, 1), (1, 2)]
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(DomainError):
+            Graph(3).union(Graph(4))
+
+    def test_difference(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(0, 1)])
+        assert a.difference(b).edges() == [(1, 2)]
+
+
+class TestConnectivityHelpers:
+    def test_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = sorted(map(tuple, g.components()))
+        assert comps == [(0, 1), (2, 3), (4,)]
+
+    def test_is_connected(self):
+        assert Graph(1).is_connected()
+        assert Graph(0).is_connected()
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+
+    def test_cut_size(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.cut_size([0]) == 2
+        assert g.cut_size([0, 1]) == 2
+        assert g.cut_size([0, 2]) == 4
+        assert g.cut_size(range(4)) == 0

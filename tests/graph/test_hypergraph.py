@@ -1,0 +1,142 @@
+"""Tests for Hypergraph and WeightedHypergraph."""
+
+import pytest
+
+from repro.errors import DomainError, RankError
+from repro.graph.hypergraph import (
+    Hypergraph,
+    WeightedHypergraph,
+    normalize_hyperedge,
+)
+from repro.graph.graph import Graph
+
+
+class TestNormalization:
+    def test_sorted_tuple(self):
+        assert normalize_hyperedge([3, 1, 2]) == (1, 2, 3)
+
+    def test_rejects_singleton(self):
+        with pytest.raises(RankError):
+            normalize_hyperedge([5])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            normalize_hyperedge([1, 1, 2])
+
+
+class TestMutation:
+    def test_add_remove(self):
+        h = Hypergraph(5, 3)
+        assert h.add_edge((0, 1, 2)) is True
+        assert h.add_edge((2, 1, 0)) is False
+        assert h.num_edges == 1
+        assert h.remove_edge((0, 1, 2)) is True
+        assert h.num_edges == 0
+
+    def test_rank_bound_enforced(self):
+        h = Hypergraph(5, 2)
+        with pytest.raises(RankError):
+            h.add_edge((0, 1, 2))
+
+    def test_vertex_range_enforced(self):
+        with pytest.raises(DomainError):
+            Hypergraph(3, 3).add_edge((1, 3))
+
+    def test_incident_edges_tracked(self):
+        h = Hypergraph(5, 3, [(0, 1, 2), (2, 3)])
+        assert h.incident_edges(2) == {(0, 1, 2), (2, 3)}
+        assert h.degree(2) == 2
+        h.remove_edge((2, 3))
+        assert h.degree(2) == 1
+
+
+class TestConversion:
+    def test_to_graph_rank2(self):
+        h = Hypergraph(4, 2, [(0, 1), (2, 3)])
+        g = h.to_graph()
+        assert isinstance(g, Graph)
+        assert g.edges() == [(0, 1), (2, 3)]
+
+    def test_to_graph_rejects_hyperedges(self):
+        h = Hypergraph(4, 3, [(0, 1, 2)])
+        with pytest.raises(RankError):
+            h.to_graph()
+
+    def test_from_graph(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        h = Hypergraph.from_graph(g)
+        assert h.edges() == [(0, 1), (1, 2)]
+
+
+class TestDerived:
+    def test_difference_edges(self):
+        h = Hypergraph(5, 3, [(0, 1, 2), (1, 2), (3, 4)])
+        d = h.difference_edges([(1, 2)])
+        assert d.edges() == [(0, 1, 2), (3, 4)]
+
+    def test_subgraph_without_vertices_drops_incident(self):
+        h = Hypergraph(5, 3, [(0, 1, 2), (3, 4)])
+        sub = h.subgraph_without_vertices([1])
+        assert sub.edges() == [(3, 4)]
+
+    def test_induced_subgraph(self):
+        h = Hypergraph(5, 3, [(0, 1, 2), (0, 1), (3, 4)])
+        sub = h.induced_subgraph([0, 1, 2])
+        assert sub.edges() == [(0, 1), (0, 1, 2)]
+
+
+class TestCutsAndComponents:
+    def test_components_via_hyperedge(self):
+        h = Hypergraph(6, 3, [(0, 1, 2), (3, 4)])
+        comps = sorted(map(tuple, h.components()))
+        assert comps == [(0, 1, 2), (3, 4), (5,)]
+
+    def test_is_connected(self):
+        assert Hypergraph(3, 3, [(0, 1, 2)]).is_connected()
+        assert not Hypergraph(4, 3, [(0, 1, 2)]).is_connected()
+
+    def test_crossing_edges(self):
+        h = Hypergraph(4, 3, [(0, 1, 2), (0, 1), (2, 3)])
+        # Cut {0, 1}: (0,1,2) crosses, (0,1) inside, (2,3) outside.
+        assert h.crossing_edges([0, 1]) == [(0, 1, 2)]
+        assert h.cut_size([0, 1]) == 1
+
+    def test_cut_counts_hyperedge_once(self):
+        h = Hypergraph(4, 4, [(0, 1, 2, 3)])
+        assert h.cut_size([0]) == 1
+        assert h.cut_size([0, 1]) == 1
+        assert h.cut_size([0, 2]) == 1
+
+
+class TestWeighted:
+    def test_weights_accumulate(self):
+        w = WeightedHypergraph(4, 3)
+        w.add_weighted_edge((0, 1), 2.0)
+        w.add_weighted_edge((1, 0), 3.0)
+        assert w.weight((0, 1)) == 5.0
+        assert w.num_edges == 1
+
+    def test_positive_weight_required(self):
+        w = WeightedHypergraph(4, 3)
+        with pytest.raises(DomainError):
+            w.add_weighted_edge((0, 1), 0.0)
+
+    def test_cut_weight(self):
+        w = WeightedHypergraph(4, 3)
+        w.add_weighted_edge((0, 1, 2), 2.5)
+        w.add_weighted_edge((2, 3), 4.0)
+        assert w.cut_weight([0, 1]) == 2.5
+        assert w.cut_weight([3]) == 4.0
+        assert w.cut_weight([0, 1, 2]) == 4.0
+
+    def test_remove_clears_weight(self):
+        w = WeightedHypergraph(4, 2)
+        w.add_weighted_edge((0, 1), 1.5)
+        w.remove_edge((0, 1))
+        assert w.weight((0, 1)) == 0.0
+        assert w.total_weight() == 0.0
+
+    def test_unweighted_add_defaults_to_one(self):
+        w = WeightedHypergraph(4, 2)
+        w.add_edge((0, 1))
+        assert w.weight((0, 1)) == 1.0

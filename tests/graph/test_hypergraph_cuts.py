@@ -1,0 +1,156 @@
+"""Tests for exact hypergraph cut computations."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.generators import hyper_cycle, random_connected_hypergraph
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_cuts import (
+    all_cut_sizes,
+    all_cuts,
+    hypergraph_edge_connectivity,
+    hypergraph_lambda_e,
+    hypergraph_min_cut,
+    hypergraph_st_min_cut,
+    is_k_hyperedge_connected,
+    is_k_skeleton,
+    is_spanning_subgraph,
+)
+
+
+def brute_force_min_cut(h: Hypergraph) -> int:
+    """Oracle: minimum over all cuts by enumeration."""
+    return min(h.cut_size(side) for side in all_cuts(h.n))
+
+
+def brute_force_lambda_e(h: Hypergraph, e) -> int:
+    """Oracle: min cut size over cuts the hyperedge crosses."""
+    best = None
+    eset = set(e)
+    for side in all_cuts(h.n):
+        s = set(side)
+        inside = len(eset & s)
+        if 0 < inside < len(eset):
+            val = h.cut_size(side)
+            best = val if best is None else min(best, val)
+    return best
+
+
+class TestSTMinCut:
+    def test_single_hyperedge(self):
+        h = Hypergraph(4, 3, [(0, 1, 2)])
+        assert hypergraph_st_min_cut(h, [0], [2]) == 1
+        assert hypergraph_st_min_cut(h, [0], [3]) == 0
+
+    def test_group_terminals(self):
+        h = Hypergraph(5, 3, [(0, 1, 2), (2, 3), (3, 4)])
+        assert hypergraph_st_min_cut(h, [0, 1], [4]) == 1
+
+    def test_overlap_rejected(self):
+        h = Hypergraph(3, 2, [(0, 1)])
+        with pytest.raises(DomainError):
+            hypergraph_st_min_cut(h, [0], [0])
+
+    def test_empty_group_rejected(self):
+        h = Hypergraph(3, 2, [(0, 1)])
+        with pytest.raises(DomainError):
+            hypergraph_st_min_cut(h, [], [1])
+
+    def test_limit(self):
+        h = hyper_cycle(6, 2)
+        assert hypergraph_st_min_cut(h, [0], [3], limit=1) == 1
+
+    def test_parallel_structure(self):
+        # Two disjoint hyperedge "paths" from 0 to 3.
+        h = Hypergraph(6, 3, [(0, 1, 3), (0, 2, 3)])
+        assert hypergraph_st_min_cut(h, [0], [3]) == 2
+
+
+class TestLambdaE:
+    def test_requires_present_edge(self):
+        h = Hypergraph(4, 3, [(0, 1, 2)])
+        with pytest.raises(DomainError):
+            hypergraph_lambda_e(h, (0, 3))
+
+    def test_isolated_hyperedge(self):
+        h = Hypergraph(4, 3, [(0, 1, 2)])
+        assert hypergraph_lambda_e(h, (0, 1, 2)) == 1
+
+    def test_matches_bruteforce_random(self):
+        for seed in (3, 4, 5):
+            h = random_connected_hypergraph(7, 9, r=3, seed=seed)
+            for e in h.edges()[:5]:
+                assert hypergraph_lambda_e(h, e) == brute_force_lambda_e(h, e)
+
+    def test_hyper_cycle(self):
+        h = hyper_cycle(7, 3)
+        for e in h.edges()[:3]:
+            assert hypergraph_lambda_e(h, e) == brute_force_lambda_e(h, e)
+
+
+class TestGlobalMinCut:
+    def test_matches_bruteforce(self):
+        for seed in (6, 7):
+            h = random_connected_hypergraph(7, 8, r=3, seed=seed)
+            assert hypergraph_min_cut(h) == brute_force_min_cut(h)
+
+    def test_disconnected_zero(self):
+        h = Hypergraph(5, 3, [(0, 1, 2)])
+        assert hypergraph_min_cut(h) == 0
+
+    def test_edge_connectivity_trivial(self):
+        assert hypergraph_edge_connectivity(Hypergraph(1, 2)) == 0
+
+    def test_k_connected_predicate(self):
+        h = hyper_cycle(8, 3)
+        mc = hypergraph_min_cut(h)
+        assert is_k_hyperedge_connected(h, mc)
+        assert not is_k_hyperedge_connected(h, mc + 1)
+
+
+class TestCutEnumeration:
+    def test_all_cuts_count(self):
+        assert len(list(all_cuts(4))) == 2**3 - 1
+
+    def test_all_cuts_contain_zero(self):
+        assert all(0 in side for side in all_cuts(5))
+
+    def test_all_cut_sizes(self):
+        h = Hypergraph(3, 2, [(0, 1), (1, 2)])
+        sizes = all_cut_sizes(h)
+        assert sizes[(0,)] == 1
+        assert sizes[(0, 1)] == 1
+        assert sizes[(0, 2)] == 2
+
+    def test_size_guard(self):
+        with pytest.raises(DomainError):
+            all_cut_sizes(Hypergraph(25, 2))
+
+
+class TestSpanningAndSkeletonPredicates:
+    def test_spanning_tree_of_cycle(self):
+        h = hyper_cycle(5, 2)
+        sub = Hypergraph(5, 2, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert is_spanning_subgraph(h, sub)
+
+    def test_non_spanning_detected(self):
+        h = hyper_cycle(5, 2)
+        sub = Hypergraph(5, 2, [(0, 1), (1, 2)])
+        assert not is_spanning_subgraph(h, sub)
+
+    def test_not_a_subgraph_detected(self):
+        h = Hypergraph(4, 2, [(0, 1), (1, 2), (2, 3)])
+        sub = Hypergraph(4, 2, [(0, 3)])
+        assert not is_spanning_subgraph(h, sub)
+
+    def test_skeleton_predicate_full_graph(self):
+        h = hyper_cycle(6, 2)
+        assert is_k_skeleton(h, h.copy(), 5)
+
+    def test_skeleton_predicate_detects_violation(self):
+        h = hyper_cycle(6, 2)  # every cut >= 2
+        sub = Hypergraph(6, 2, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        # sub is a path: singleton cuts have 2 in h but only <=2 in sub;
+        # cut {0}: h has 2, sub has 1 -> not a 2-skeleton.
+        assert is_k_skeleton(h, sub, 1)
+        assert not is_k_skeleton(h, sub, 2)

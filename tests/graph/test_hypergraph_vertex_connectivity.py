@@ -1,0 +1,96 @@
+"""Tests for exact hypergraph vertex connectivity (strong deletion)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    hyper_cycle,
+    random_connected_hypergraph,
+)
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_vertex_connectivity import (
+    hypergraph_vertex_connectivity,
+    hypergraph_vertex_connectivity_bruteforce,
+    is_k_vertex_connected_hypergraph,
+    vertex_degree_bound,
+)
+
+
+class TestBasicCases:
+    def test_rank2_matches_graph_kappa(self):
+        from repro.graph.vertex_connectivity import vertex_connectivity
+
+        for g in (cycle_graph(7), complete_graph(5)):
+            h = Hypergraph.from_graph(g)
+            assert hypergraph_vertex_connectivity(h) == vertex_connectivity(g)
+
+    def test_disconnected_zero(self):
+        h = Hypergraph(5, 3, [(0, 1, 2)])
+        assert hypergraph_vertex_connectivity(h) == 0
+
+    def test_single_vertex(self):
+        assert hypergraph_vertex_connectivity(Hypergraph(1, 2)) == 0
+
+    def test_bowtie_is_one(self):
+        # Two triangles sharing vertex 2: removing 2 kills both.
+        h = Hypergraph(5, 3, [(0, 1, 2), (2, 3, 4), (0, 1), (3, 4)])
+        assert hypergraph_vertex_connectivity(h) == 1
+
+    def test_one_spanning_hyperedge(self):
+        """A hyperedge covering everything: removing any vertex kills
+        it, instantly isolating the rest — κ = 1 once n >= 3."""
+        h = Hypergraph(4, 4, [(0, 1, 2, 3)])
+        assert hypergraph_vertex_connectivity(h) == 1
+
+    def test_strong_deletion_semantics(self):
+        """A rank-3 edge {s, w, t} does NOT make s, t inseparable:
+        removing w destroys it."""
+        h = Hypergraph(3, 3, [(0, 1, 2)])
+        # Removing vertex 1 kills the only hyperedge: 0 and 2 split.
+        assert hypergraph_vertex_connectivity(h) == 1
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_hypergraphs(self, seed):
+        h = random_connected_hypergraph(8, 9, r=3, seed=seed)
+        assert (
+            hypergraph_vertex_connectivity(h)
+            == hypergraph_vertex_connectivity_bruteforce(h)
+        )
+
+    def test_hyper_cycles(self):
+        for n, r in ((7, 3), (8, 3), (8, 4)):
+            h = hyper_cycle(n, r)
+            assert (
+                hypergraph_vertex_connectivity(h)
+                == hypergraph_vertex_connectivity_bruteforce(h)
+            )
+
+    def test_bruteforce_guard(self):
+        with pytest.raises(DomainError):
+            hypergraph_vertex_connectivity_bruteforce(Hypergraph(13, 2))
+
+
+class TestBoundsAndPredicates:
+    def test_degree_bound_upper_bounds_kappa(self):
+        for seed in (5, 6):
+            h = random_connected_hypergraph(8, 10, r=3, seed=seed)
+            assert hypergraph_vertex_connectivity(h) <= vertex_degree_bound(h)
+
+    def test_max_interesting_caps_work(self):
+        h = hyper_cycle(9, 3)
+        full = hypergraph_vertex_connectivity(h)
+        assert hypergraph_vertex_connectivity(h, max_interesting=1) == min(full, 1)
+
+    def test_is_k_connected_predicate(self):
+        h = hyper_cycle(9, 3)
+        kappa = hypergraph_vertex_connectivity(h)
+        assert is_k_vertex_connected_hypergraph(h, kappa)
+        assert not is_k_vertex_connected_hypergraph(h, kappa + 1)
+
+    def test_needs_enough_vertices(self):
+        h = Hypergraph(3, 3, [(0, 1, 2)])
+        assert not is_k_vertex_connected_hypergraph(h, 3)

@@ -1,0 +1,109 @@
+"""Tests for the Dinic max-flow implementation."""
+
+import pytest
+
+from repro.graph.maxflow import INF, FlowNetwork
+
+
+def diamond() -> FlowNetwork:
+    """s=0 -> {1,2} -> t=3 with unit capacities."""
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 1)
+    net.add_edge(0, 2, 1)
+    net.add_edge(1, 3, 1)
+    net.add_edge(2, 3, 1)
+    return net
+
+
+class TestMaxFlow:
+    def test_diamond(self):
+        assert diamond().max_flow(0, 3) == 2
+
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_no_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        assert net.max_flow(0, 2) == 0
+
+    def test_bottleneck(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 3)
+        net.add_edge(2, 3, 10)
+        assert net.max_flow(0, 3) == 3
+
+    def test_limit_early_stop(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 100)
+        assert net.max_flow(0, 1, limit=7) == 7
+
+    def test_undirected_edge(self):
+        net = FlowNetwork(3)
+        net.add_undirected_edge(0, 1, 2)
+        net.add_undirected_edge(1, 2, 2)
+        assert net.max_flow(0, 2) == 2
+
+    def test_multi_path_with_crossover(self):
+        # Classic network where a naive greedy needs residual arcs.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+
+    def test_source_equals_sink(self):
+        assert FlowNetwork(2).max_flow(0, 0) == INF
+
+    def test_infinite_capacity_arcs(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, INF)
+        net.add_edge(1, 2, 4)
+        assert net.max_flow(0, 2) == 4
+
+    def test_long_path_no_recursion_blowup(self):
+        length = 5000
+        net = FlowNetwork(length + 1)
+        for i in range(length):
+            net.add_edge(i, i + 1, 1)
+        assert net.max_flow(0, length) == 1
+
+    def test_add_vertex(self):
+        net = FlowNetwork(2)
+        v = net.add_vertex()
+        assert v == 2
+        net.add_edge(0, v, 1)
+        net.add_edge(v, 1, 1)
+        assert net.max_flow(0, 1) == 1
+
+
+class TestMinCutSide:
+    def test_source_side_after_flow(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(2, 3, 5)
+        net.max_flow(0, 3)
+        side = net.min_cut_source_side(0)
+        assert 0 in side
+        assert 3 not in side
+
+    def test_cut_value_matches_flow(self):
+        net = diamond()
+        flow = net.max_flow(0, 3)
+        side = net.min_cut_source_side(0)
+        # Count original-direction arcs crossing the cut using capacities
+        # of the fresh network.
+        fresh = diamond()
+        crossing = 0
+        for u in side:
+            for arc in fresh._head[u]:
+                v = fresh._to[arc]
+                if v not in side and fresh._cap[arc] > 0:
+                    crossing += fresh._cap[arc]
+        assert crossing == flow

@@ -1,0 +1,79 @@
+"""Tests for scan-first search trees (paper appendix)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+    random_connected_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.scan_first import is_scan_first_tree, scan_first_search_tree
+
+
+class TestConstruction:
+    def test_spans_component(self):
+        g = random_connected_graph(12, 8, seed=1)
+        tree = scan_first_search_tree(g, root=0)
+        assert len(tree) == 11
+        t = Graph(12, tree)
+        assert t.is_connected()
+
+    def test_tree_edges_are_graph_edges(self):
+        g = gnp_graph(10, 0.4, seed=2)
+        tree = scan_first_search_tree(g, root=0)
+        assert all(g.has_edge(*e) for e in tree)
+
+    def test_only_roots_component(self):
+        g = Graph(5, [(0, 1), (2, 3), (3, 4)])
+        tree = scan_first_search_tree(g, root=2)
+        assert sorted(tree) == [(2, 3), (3, 4)]
+
+    def test_isolated_root(self):
+        g = Graph(3, [(1, 2)])
+        assert scan_first_search_tree(g, root=0) == []
+
+    def test_invalid_root(self):
+        with pytest.raises(DomainError):
+            scan_first_search_tree(path_graph(3), root=5)
+
+    def test_root_children_are_all_neighbors(self):
+        """The scan-first property at the root: scanning the root marks
+        every neighbour as a child."""
+        g = complete_graph(5)
+        tree = scan_first_search_tree(g, root=2)
+        root_edges = [e for e in tree if 2 in e]
+        assert len(root_edges) == 4
+
+    def test_custom_scan_order(self):
+        g = cycle_graph(5)
+        t1 = scan_first_search_tree(g, root=0)
+        t2 = scan_first_search_tree(g, root=0, scan_order=[0, 4, 3, 2, 1])
+        assert len(t1) == len(t2) == 4
+
+
+class TestVerification:
+    def test_bfs_tree_is_scan_first(self):
+        g = random_connected_graph(10, 6, seed=3)
+        tree = scan_first_search_tree(g, root=0)
+        assert is_scan_first_tree(g, 0, tree)
+
+    def test_non_spanning_rejected(self):
+        g = cycle_graph(5)
+        assert not is_scan_first_tree(g, 0, [(0, 1), (1, 2)])
+
+    def test_violating_tree_rejected(self):
+        # Star: the only SFST from the centre takes all leaves as
+        # children; a path through the leaves is not an SFST... but a
+        # path is not even a subtree of the star.  Use a graph where a
+        # DFS tree violates scan-first: triangle + pendant.
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        # DFS from 0: 0-1, 1-2, 2-3 is a spanning tree but when 0 was
+        # scanned, 2 was unmarked and adjacent, so {0,2} must be a tree
+        # edge; it is not -> not scan-first.
+        assert not is_scan_first_tree(g, 0, [(0, 1), (1, 2), (2, 3)])
+        # The genuine BFS tree passes.
+        assert is_scan_first_tree(g, 0, [(0, 1), (0, 2), (2, 3)])

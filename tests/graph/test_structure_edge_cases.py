@@ -1,0 +1,97 @@
+"""Additional edge-case coverage for the graph substrate."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.generators import cycle_graph, hyper_cycle
+from repro.graph.graph import Graph
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.scan_first import scan_first_search_tree
+
+
+class TestGraphEdgeCases:
+    def test_empty_vertex_set(self):
+        g = Graph(0)
+        assert g.components() == []
+        assert g.is_connected()
+
+    def test_cut_size_of_full_side(self):
+        g = cycle_graph(5)
+        assert g.cut_size(range(5)) == 0
+        assert g.cut_size([]) == 0
+
+    def test_degree_of_invalid_vertex(self):
+        with pytest.raises(DomainError):
+            cycle_graph(4).degree(7)
+
+    def test_induced_subgraph_empty_selection(self):
+        g = cycle_graph(5)
+        sub = g.induced_subgraph([])
+        assert sub.num_edges == 0
+        assert sub.n == 5
+
+    def test_subgraph_without_all_vertices(self):
+        g = cycle_graph(5)
+        assert g.subgraph_without_vertices(range(5)).num_edges == 0
+
+
+class TestHypergraphEdgeCases:
+    def test_weighted_rejects_negative(self):
+        from repro.graph.hypergraph import WeightedHypergraph
+
+        w = WeightedHypergraph(4, 3)
+        with pytest.raises(DomainError):
+            w.add_weighted_edge((0, 1), -2.0)
+
+    def test_copy_preserves_rank(self):
+        h = hyper_cycle(6, 3)
+        c = h.copy()
+        assert c.r == 3
+        assert c == h
+        c.remove_edge(c.edges()[0])
+        assert c != h
+
+    def test_crossing_edges_empty_side(self):
+        h = hyper_cycle(6, 3)
+        assert h.crossing_edges([]) == []
+        assert h.crossing_edges(range(6)) == []
+
+    def test_incident_edges_is_copy(self):
+        h = Hypergraph(4, 3, [(0, 1, 2)])
+        inc = h.incident_edges(0)
+        inc.clear()
+        assert h.degree(0) == 1
+
+    def test_difference_edges_ignores_absent(self):
+        h = Hypergraph(4, 2, [(0, 1)])
+        d = h.difference_edges([(2, 3)])
+        assert d == h
+
+
+class TestScanFirstEdgeCases:
+    def test_priority_order_changes_tree(self):
+        # A graph where scan priority actually matters: diamond.
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        t_default = set(scan_first_search_tree(g, root=0))
+        t_prio = set(scan_first_search_tree(g, root=0, scan_order=[0, 2, 1, 3]))
+        # Both are valid 3-edge trees containing the root's star.
+        assert len(t_default) == len(t_prio) == 3
+        assert (0, 1) in t_default and (0, 2) in t_default
+        assert (0, 1) in t_prio and (0, 2) in t_prio
+
+    def test_single_vertex_graph(self):
+        assert scan_first_search_tree(Graph(1), root=0) == []
+
+
+class TestEstimatorRunnerAdapter:
+    def test_estimator_update_adapter(self):
+        from repro.core.connectivity_estimate import VertexConnectivityEstimator
+        from repro.core.params import Params
+
+        est = VertexConnectivityEstimator(8, k_max=2, seed=1, params=Params.fast())
+        est.update((0, 1), 1)
+        est.update((0, 1), -1)
+        for t in est.testers:
+            assert all(
+                s.grid.appears_zero() for s in t._union.sketches.values()
+            )

@@ -1,0 +1,96 @@
+"""Tests for traversal helpers."""
+
+import pytest
+
+from repro.graph.generators import cycle_graph, path_graph, planted_separator_graph
+from repro.graph.graph import Graph
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.traversal import (
+    bfs_order,
+    hypergraph_is_connected_excluding,
+    hypergraph_reachable_excluding,
+    is_connected_excluding,
+    reachable_excluding,
+    shortest_path,
+)
+
+
+class TestBFS:
+    def test_order_starts_at_source(self):
+        order = bfs_order(path_graph(4), 2)
+        assert order[0] == 2
+        assert set(order) == {0, 1, 2, 3}
+
+    def test_unreachable_excluded(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert set(bfs_order(g, 0)) == {0, 1}
+
+
+class TestReachableExcluding:
+    def test_removed_source_empty(self):
+        assert reachable_excluding(path_graph(3), 1, {1}) == set()
+
+    def test_path_cut_in_middle(self):
+        g = path_graph(5)
+        assert reachable_excluding(g, 0, {2}) == {0, 1}
+
+    def test_no_removal_full_component(self):
+        g = cycle_graph(5)
+        assert reachable_excluding(g, 0, set()) == set(range(5))
+
+
+class TestIsConnectedExcluding:
+    def test_separator_disconnects(self):
+        g, sep = planted_separator_graph(4, 2, seed=1)
+        assert not is_connected_excluding(g, sep)
+
+    def test_non_separator_keeps_connected(self):
+        g, _sep = planted_separator_graph(4, 2, seed=1)
+        assert is_connected_excluding(g, [0])
+
+    def test_small_survivor_sets_count_connected(self):
+        g = Graph(3, [(0, 1)])
+        assert is_connected_excluding(g, [0, 1])  # one survivor
+        assert is_connected_excluding(g, [0, 1, 2])  # zero survivors
+
+    def test_isolated_survivor_disconnects(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_connected_excluding(g, [])  # vertex 2 isolated
+
+
+class TestShortestPath:
+    def test_path_graph(self):
+        assert shortest_path(path_graph(4), 0, 3) == [0, 1, 2, 3]
+
+    def test_same_vertex(self):
+        assert shortest_path(path_graph(3), 1, 1) == [1]
+
+    def test_disconnected_none(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert shortest_path(g, 0, 3) is None
+
+    def test_shortest_among_many(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        assert shortest_path(g, 0, 3) == [0, 3]
+
+
+class TestHypergraphTraversal:
+    def test_removed_vertex_kills_hyperedge(self):
+        h = Hypergraph(5, 3, [(0, 1, 2), (2, 3), (3, 4)])
+        # Removing vertex 1 kills (0,1,2) entirely: 0 is cut off.
+        reach = hypergraph_reachable_excluding(h, 0, {1})
+        assert reach == {0}
+
+    def test_hyperedge_connects_all_members(self):
+        h = Hypergraph(4, 3, [(0, 1, 2)])
+        assert hypergraph_reachable_excluding(h, 0, set()) == {0, 1, 2}
+
+    def test_connected_excluding(self):
+        h = Hypergraph(4, 3, [(0, 1, 2), (2, 3)])
+        assert hypergraph_is_connected_excluding(h, [])
+        assert not hypergraph_is_connected_excluding(h, [2])
+
+    def test_survivor_conventions(self):
+        h = Hypergraph(3, 2, [(0, 1)])
+        assert hypergraph_is_connected_excluding(h, [0, 2])

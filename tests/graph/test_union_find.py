@@ -1,0 +1,51 @@
+"""Tests for the disjoint-set forest."""
+
+from repro.graph.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(4)
+        assert uf.components == 4
+        assert all(uf.find(i) == i for i in range(4))
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1) is True
+        assert uf.components == 3
+        assert uf.union(0, 1) is False
+        assert uf.components == 3
+
+    def test_connected(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_union_many(self):
+        uf = UnionFind(6)
+        assert uf.union_many([0, 2, 4]) is True
+        assert uf.components == 4
+        assert uf.connected(0, 4)
+        assert uf.union_many([0, 2]) is False
+
+    def test_union_many_empty_and_single(self):
+        uf = UnionFind(3)
+        assert uf.union_many([]) is False
+        assert uf.union_many([1]) is False
+        assert uf.components == 3
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(map(tuple, uf.groups()))
+        assert groups == [(0, 1), (2, 3), (4,), (5,)]
+
+    def test_transitive_chain(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(i, i + 1)
+        assert uf.components == 1
+        assert uf.connected(0, 99)

@@ -1,0 +1,157 @@
+"""Tests for exact vertex connectivity, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import DomainError
+from repro.graph.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    harary_graph,
+    path_graph,
+    planted_separator_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.vertex_connectivity import (
+    is_k_vertex_connected,
+    local_vertex_connectivity,
+    max_vertex_disjoint_paths,
+    min_vertex_cut,
+    vertex_connectivity,
+)
+
+from ..conftest import graphs_for_oracle_tests
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestLocalVertexConnectivity:
+    def test_path_endpoints(self):
+        assert local_vertex_connectivity(path_graph(5), 0, 4) == 1
+
+    def test_cycle_antipodal(self):
+        assert local_vertex_connectivity(cycle_graph(6), 0, 3) == 2
+
+    def test_adjacent_rejected(self):
+        with pytest.raises(DomainError):
+            local_vertex_connectivity(cycle_graph(5), 0, 1)
+
+    def test_same_vertex_rejected(self):
+        with pytest.raises(DomainError):
+            local_vertex_connectivity(cycle_graph(5), 2, 2)
+
+    def test_disconnected_pair_zero(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert local_vertex_connectivity(g, 0, 2) == 0
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(9, 0.35, seed=seed)
+        ng = to_nx(g)
+        checked = 0
+        for s in range(g.n):
+            for t in range(s + 1, g.n):
+                if g.has_edge(s, t):
+                    continue
+                assert local_vertex_connectivity(g, s, t) == nx.node_connectivity(
+                    ng, s, t
+                )
+                checked += 1
+                if checked >= 8:
+                    return
+
+
+class TestDisjointPaths:
+    def test_adjacent_pair_counts_direct_edge(self):
+        g = cycle_graph(5)
+        # Cycle: edge itself + the path around = 2 disjoint paths.
+        assert max_vertex_disjoint_paths(g, 0, 1) == 2
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert max_vertex_disjoint_paths(g, 0, 1) == 4
+
+    def test_limit(self):
+        g = complete_graph(6)
+        assert max_vertex_disjoint_paths(g, 0, 1, limit=3) == 3
+
+    def test_star_center_leaf(self):
+        g = star_graph(5)
+        assert max_vertex_disjoint_paths(g, 0, 1) == 1
+
+
+class TestMinVertexCut:
+    def test_cut_is_minimum_and_separates(self):
+        g, sep = planted_separator_graph(4, 2, seed=1)
+        s, t = 0, g.n - 1  # one vertex in each blob
+        cut = min_vertex_cut(g, s, t)
+        assert len(cut) == 2
+        assert set(cut) == set(sep)
+
+    def test_cut_actually_separates(self):
+        from repro.graph.traversal import reachable_excluding
+
+        g = gnp_graph(10, 0.3, seed=21)
+        for s in range(g.n):
+            for t in range(s + 1, g.n):
+                if not g.has_edge(s, t):
+                    cut = min_vertex_cut(g, s, t)
+                    reach = reachable_excluding(g, s, set(cut))
+                    assert t not in reach
+                    return
+
+
+class TestVertexConnectivity:
+    def test_path(self):
+        assert vertex_connectivity(path_graph(5)) == 1
+
+    def test_cycle(self):
+        assert vertex_connectivity(cycle_graph(7)) == 2
+
+    def test_complete(self):
+        assert vertex_connectivity(complete_graph(6)) == 5
+
+    def test_disconnected(self):
+        assert vertex_connectivity(Graph(4, [(0, 1), (2, 3)])) == 0
+
+    def test_single_vertex(self):
+        assert vertex_connectivity(Graph(1)) == 0
+
+    def test_barbell_is_one(self):
+        assert vertex_connectivity(barbell_graph(4, 3)) == 1
+
+    def test_planted_separator(self):
+        for cut_size in (1, 2, 3):
+            g, _sep = planted_separator_graph(5, cut_size, seed=2)
+            assert vertex_connectivity(g) == cut_size
+
+    def test_harary_exact(self):
+        for k, n in [(2, 9), (3, 10), (4, 11), (5, 12)]:
+            assert vertex_connectivity(harary_graph(k, n)) == k
+
+    @pytest.mark.parametrize("g", graphs_for_oracle_tests())
+    def test_matches_networkx(self, g):
+        expected = nx.node_connectivity(to_nx(g))
+        assert vertex_connectivity(g) == expected
+
+
+class TestIsKVertexConnected:
+    def test_threshold_behaviour(self):
+        g = harary_graph(3, 10)
+        assert is_k_vertex_connected(g, 3)
+        assert not is_k_vertex_connected(g, 4)
+
+    def test_k_zero_always_true(self):
+        assert is_k_vertex_connected(Graph(0), 0)
+
+    def test_needs_k_plus_one_vertices(self):
+        assert not is_k_vertex_connected(complete_graph(3), 3)
+        assert is_k_vertex_connected(complete_graph(4), 3)

@@ -1,0 +1,61 @@
+"""Full-pipeline integration: generate → file → CLI → cross-check."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import planted_separator_graph
+from repro.stream.file_io import load_stream_file, save_stream_file
+from repro.stream.generators import insert_delete_reinsert, with_churn
+from repro.stream.updates import materialize
+
+
+class TestGenerateAnalyzePipeline:
+    def test_generate_query_sparsify_roundtrip(self, tmp_path, capsys):
+        stream_path = tmp_path / "h.stream"
+        # 1. Generate a workload through the CLI.
+        assert main(
+            ["generate", "harary", "--n", "12", "--k", "4", "-o", str(stream_path)]
+        ) == 0
+        # 2. The file is a valid stream describing a 4-connected graph.
+        n, r, updates = load_stream_file(str(stream_path))
+        g = materialize(n, updates)
+        from repro.graph.vertex_connectivity import vertex_connectivity
+
+        assert vertex_connectivity(g.to_graph()) == 4
+        # 3. Every analysis command agrees.
+        assert main(["connectivity", str(stream_path), "--params", "fast"]) == 0
+        assert "connected: True" in capsys.readouterr().out
+        assert main(["edge-connectivity", str(stream_path), "--k-max", "5"]) == 0
+        assert "estimate: 4" in capsys.readouterr().out
+        assert main(
+            ["query", str(stream_path), "--remove", "0,1,2", "--params", "practical"]
+        ) == 0
+        assert "disconnects the graph: False" in capsys.readouterr().out
+
+    def test_churn_stream_through_file_and_cli(self, tmp_path, capsys):
+        g, sep = planted_separator_graph(5, 2, seed=9)
+        stream = with_churn(g, [(0, g.n - 1), (1, g.n - 2)], shuffle_seed=1)
+        path = tmp_path / "churn.stream"
+        save_stream_file(str(path), g.n, stream)
+        assert main(
+            [
+                "query",
+                str(path),
+                "--remove",
+                ",".join(str(v) for v in sep),
+                "--params",
+                "practical",
+            ]
+        ) == 0
+        assert "disconnects the graph: True" in capsys.readouterr().out
+
+    def test_reinsert_stream_reconstruct(self, tmp_path, capsys):
+        from repro.graph.generators import random_tree
+
+        t = random_tree(11, seed=4)
+        stream = insert_delete_reinsert(t, shuffle_seed=2)
+        path = tmp_path / "tree.stream"
+        save_stream_file(str(path), 11, stream)
+        assert main(["reconstruct", str(path), "--d", "1"]) == 0
+        out = capsys.readouterr().out
+        assert f"reconstruction: {t.num_edges} edges" in out

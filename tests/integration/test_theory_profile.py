@@ -1,0 +1,43 @@
+"""Small-n runs with the paper's own constants (Params.theory()).
+
+These are the most faithful executions of the theorems as stated; they
+are kept tiny because the theory constants are enormous.
+"""
+
+import pytest
+
+from repro.core.connectivity_estimate import KVertexConnectivityTester
+from repro.core.connectivity_query import VertexConnectivityQuerySketch
+from repro.core.params import Params
+from repro.graph.generators import harary_graph, planted_separator_graph
+
+
+class TestTheoryProfile:
+    def test_query_structure_with_paper_constants(self):
+        g, sep = planted_separator_graph(4, 1, seed=1)
+        params = Params.theory()
+        sk = VertexConnectivityQuerySketch(g.n, k=1, seed=2, params=params)
+        assert sk.repetitions == params.query_repetitions(g.n, 1)
+        for e in g.edges():
+            sk.insert(e)
+        assert sk.disconnects(sep) is True
+        assert sk.disconnects([0]) is False
+
+    def test_tester_with_paper_constants(self):
+        g = harary_graph(4, 10)
+        tester = KVertexConnectivityTester(
+            g.n, k=1, epsilon=1.0, seed=3, params=Params.theory()
+        )
+        for e in g.edges():
+            tester.insert(e)
+        assert tester.accepts()  # κ = 4 >> (1+ε)·1
+
+    def test_repetition_counts_match_formulas(self):
+        import math
+
+        p = Params.theory()
+        n, k = 32, 2
+        assert p.query_repetitions(n, k) == math.ceil(16 * (k + 1) ** 2 * math.log(n))
+        assert p.tester_repetitions(n, k, 0.5) == math.ceil(
+            160 * (k + 1) ** 2 / 0.5 * math.log(n)
+        )

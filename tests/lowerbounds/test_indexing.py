@@ -1,0 +1,47 @@
+"""Tests for the INDEX harness."""
+
+import pytest
+
+from repro.lowerbounds.indexing import IndexInstance, random_instance, run_trials
+
+
+class TestInstances:
+    def test_shapes(self):
+        inst = random_instance(4, 7, seed=1)
+        assert inst.bits.shape == (4, 7)
+        i, j = inst.query
+        assert 0 <= i < 4 and 0 <= j < 7
+
+    def test_answer_matches_bits(self):
+        inst = random_instance(5, 5, seed=2)
+        i, j = inst.query
+        assert inst.answer == bool(inst.bits[i, j])
+
+    def test_determinism(self):
+        a = random_instance(4, 4, seed=3)
+        b = random_instance(4, 4, seed=3)
+        assert (a.bits == b.bits).all()
+        assert a.query == b.query
+
+    def test_density(self):
+        inst = random_instance(40, 40, seed=4, density=0.2)
+        assert 0.1 < inst.bits.mean() < 0.3
+
+
+class TestTrials:
+    def test_perfect_protocol(self):
+        report = run_trials(
+            lambda inst: (inst.answer, 100), rows=3, cols=3, trials=20, seed=5
+        )
+        assert report.success_rate == 1.0
+        assert report.message_bits == 100
+
+    def test_constant_protocol_near_half(self):
+        report = run_trials(
+            lambda inst: (True, 1), rows=4, cols=4, trials=60, seed=6
+        )
+        assert 0.25 <= report.success_rate <= 0.75
+
+    def test_empty_trials(self):
+        report = run_trials(lambda inst: (True, 1), rows=2, cols=2, trials=0)
+        assert report.success_rate == 0.0

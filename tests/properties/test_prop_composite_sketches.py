@@ -1,0 +1,113 @@
+"""Property tests for the composite (graph-level) sketches.
+
+These focus on the *never-wrong* guarantees, which hold on every seed
+(completeness is probabilistic, genuineness is not):
+
+* a skeleton decode only contains genuine edges, and its layers stay
+  within the k·(n−1) size budget;
+* light-edge recovery returns a subset of the true light set whose
+  union, when the exhaustion flag is set, is the entire graph;
+* the sparsifier output contains only genuine edges with power-of-two
+  weights and never assigns one edge twice.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.light_edges import LightEdgeRecoverySketch
+from repro.core.sparsifier import HypergraphSparsifierSketch
+from repro.graph.degeneracy import light_edges_exact
+from repro.graph.graph import Graph
+from repro.graph.hypergraph import Hypergraph
+from repro.sketch.skeleton import SkeletonSketch
+
+N = 9
+
+
+@st.composite
+def small_graphs(draw):
+    possible = [(i, j) for i in range(N) for j in range(i + 1, N)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    return Graph(N, edges)
+
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestSkeletonProperties:
+    @given(small_graphs(), seeds, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_genuine_and_size_bounded(self, g, seed, k):
+        sk = SkeletonSketch(N, k=k, seed=seed)
+        for e in g.edges():
+            sk.insert(e)
+        layers = sk.decode_layers()
+        assert len(layers) == k
+        seen = set()
+        for forest in layers:
+            for e in forest.edges():
+                assert g.has_edge(*e)         # genuine
+                assert e not in seen          # peeling never repeats
+                seen.add(e)
+            assert forest.num_edges <= N - 1  # a spanning graph layer
+
+
+class TestLightEdgeProperties:
+    @given(small_graphs(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_recovered_subset_of_exact(self, g, seed):
+        h = Hypergraph.from_graph(g)
+        sk = LightEdgeRecoverySketch(N, k=2, seed=seed)
+        for e in g.edges():
+            sk.insert(e)
+        recovered = set(sk.recover_light_edges())
+        exact = light_edges_exact(h, 2)
+        # Genuine + within the true light set (completeness is whp and
+        # overwhelmingly observed; subset-ness is unconditional).
+        assert recovered <= exact
+
+    @given(small_graphs(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_exhaustion_flag_certifies_totality(self, g, seed):
+        sk = LightEdgeRecoverySketch(N, k=2, seed=seed)
+        for e in g.edges():
+            sk.insert(e)
+        layers, exhausted = sk.recover_layers()
+        flat = {e for layer in layers for e in layer}
+        if exhausted:
+            assert flat == set(g.edge_set())
+
+
+class TestSparsifierProperties:
+    @given(small_graphs(), seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_genuine_powers_of_two_no_duplicates(self, g, seed):
+        sk = HypergraphSparsifierSketch(N, r=2, epsilon=0.5, seed=seed, k=3, levels=5)
+        for e in g.edges():
+            sk.insert(e)
+        sp, _complete = sk.decode()
+        for e in sp.edges():
+            assert g.has_edge(*e)
+            w = sp.weight(e)
+            assert w >= 1.0
+            assert abs(math.log2(w) - round(math.log2(w))) < 1e-9
+
+    @given(small_graphs(), seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_complete_decode_conserves_expected_weight(self, g, seed):
+        """When the decode is complete, Σ weights == Σ 2^{level(e)}
+        over assigned edges — every live edge accounted once."""
+        sk = HypergraphSparsifierSketch(N, r=2, epsilon=0.5, seed=seed, k=3, levels=5)
+        for e in g.edges():
+            sk.insert(e)
+        sp, complete = sk.decode()
+        if complete:
+            assert set(sp.edges()) <= set(g.edge_set())
+            # Total weight: each edge assigned at exactly one level i
+            # with weight 2^i <= 2^depth(e).
+            for e in sp.edges():
+                assert sp.weight(e) <= 2 ** sk.edge_depth(e)

@@ -1,0 +1,119 @@
+"""Property tests for the exact graph algorithms against oracles.
+
+networkx serves as the independent oracle for flow-based quantities;
+internal consistency properties (Menger duality, monotonicity) are
+checked directly.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.edge_connectivity import (
+    edge_connectivity,
+    local_edge_connectivity,
+)
+from repro.graph.degeneracy import light_edges_exact
+from repro.graph.graph import Graph
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.traversal import is_connected_excluding
+from repro.graph.vertex_connectivity import (
+    local_vertex_connectivity,
+    min_vertex_cut,
+    vertex_connectivity,
+)
+
+
+@st.composite
+def random_graphs(draw, max_n=10):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible), unique=True))
+    return Graph(n, edges)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestConnectivityOracles:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_vertex_connectivity_matches_networkx(self, g):
+        assert vertex_connectivity(g) == nx.node_connectivity(to_nx(g))
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_connectivity_matches_networkx(self, g):
+        expected = nx.edge_connectivity(to_nx(g)) if g.n >= 2 else 0
+        assert edge_connectivity(g) == expected
+
+    @given(random_graphs(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_local_edge_connectivity_matches(self, g, data):
+        s = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+        if s == t:
+            return
+        assert local_edge_connectivity(g, s, t) == nx.edge_connectivity(
+            to_nx(g), s, t
+        )
+
+
+class TestStructuralInvariants:
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_kappa_at_most_lambda_at_most_mindeg(self, g):
+        """Whitney's inequality: κ <= λ <= δ_min."""
+        if g.n < 2:
+            return
+        kappa = vertex_connectivity(g)
+        lam = edge_connectivity(g)
+        min_deg = min(g.degree(v) for v in range(g.n))
+        assert kappa <= lam <= min_deg
+
+    @given(random_graphs(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_min_vertex_cut_certificate(self, g, data):
+        non_adjacent = [
+            (s, t)
+            for s in range(g.n)
+            for t in range(s + 1, g.n)
+            if not g.has_edge(s, t)
+        ]
+        if not non_adjacent:
+            return
+        s, t = data.draw(st.sampled_from(non_adjacent))
+        cut = min_vertex_cut(g, s, t)
+        assert len(cut) == local_vertex_connectivity(g, s, t)
+        assert s not in cut and t not in cut
+        # Removing the cut separates s from t.
+        from repro.graph.traversal import reachable_excluding
+
+        assert t not in reachable_excluding(g, s, set(cut))
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_light_edges_monotone(self, g):
+        h = Hypergraph.from_graph(g)
+        prev = set()
+        for k in (1, 2, 3):
+            cur = light_edges_exact(h, k)
+            assert prev <= cur
+            prev = cur
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_light_edge_removal_respects_definition(self, g):
+        """Every edge in the first layer really has λ_e <= k."""
+        from repro.graph.degeneracy import light_layers
+        from repro.graph.edge_connectivity import edge_lambda
+
+        h = Hypergraph.from_graph(g)
+        layers = light_layers(h, 2)
+        if layers:
+            for e in layers[0]:
+                assert edge_lambda(g, e) <= 2

@@ -1,0 +1,141 @@
+"""Property tests for sketch reliability and linearity.
+
+The invariants here are the ones the paper's correctness rests on:
+
+* 1-sparse cells never decode to a *wrong* coordinate (they recover or
+  they fail loudly);
+* L0 samplers only ever return coordinates from the true support with
+  the true weight;
+* all sketches are linear: sketch(A) + sketch(B) == sketch(A ∪ B) for
+  disjoint updates, and subtraction removes exactly what was added.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotOneSparseError, SamplerEmptyError
+from repro.sketch.l0 import L0Sampler
+from repro.sketch.onesparse import OneSparseCell
+from repro.sketch.sparse_recovery import SparseRecoveryStructure
+from repro.util.hashing import HashFamily
+
+DOMAIN = 50_000
+
+# A "vector" is a dict index -> nonzero weight.
+vectors = st.dictionaries(
+    st.integers(min_value=0, max_value=DOMAIN - 1),
+    st.integers(min_value=-5, max_value=5).filter(lambda w: w != 0),
+    max_size=25,
+)
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+def feed(sketch, vec):
+    for i, w in vec.items():
+        sketch.update(i, w)
+
+
+class TestOneSparseCellProperties:
+    @given(vectors, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_never_wrong(self, vec, seed):
+        cell = OneSparseCell(DOMAIN, HashFamily(seed))
+        feed(cell, vec)
+        try:
+            got = cell.decode()
+        except NotOneSparseError:
+            assert len(vec) != 1
+            return
+        if got is None:
+            assert len(vec) == 0
+        else:
+            idx, w = got
+            assert vec == {idx: w}
+
+    @given(vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_cancels(self, vec, seed):
+        a = OneSparseCell(DOMAIN, HashFamily(seed))
+        b = OneSparseCell(DOMAIN, HashFamily(seed))
+        feed(a, vec)
+        feed(b, vec)
+        a -= b
+        assert a.appears_zero()
+
+
+class TestSparseRecoveryProperties:
+    @given(vectors, seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_recover_all_exact_or_none(self, vec, seed):
+        s = SparseRecoveryStructure(DOMAIN, HashFamily(seed), rows=2, buckets=8)
+        feed(s, vec)
+        out = s.recover_all()
+        assert out is None or out == vec
+
+    @given(vectors, seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_recover_any_genuine(self, vec, seed):
+        s = SparseRecoveryStructure(DOMAIN, HashFamily(seed), rows=2, buckets=8)
+        feed(s, vec)
+        got = s.recover_any()
+        if got is not None:
+            idx, w = got
+            assert vec.get(idx) == w
+
+    @given(vectors, vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_vector_sum(self, va, vb, seed):
+        a = SparseRecoveryStructure(DOMAIN, HashFamily(seed), rows=2, buckets=16)
+        b = SparseRecoveryStructure(DOMAIN, HashFamily(seed), rows=2, buckets=16)
+        feed(a, va)
+        feed(b, vb)
+        a += b
+        merged = {}
+        for v in (va, vb):
+            for i, w in v.items():
+                merged[i] = merged.get(i, 0) + w
+        merged = {i: w for i, w in merged.items() if w != 0}
+        out = a.recover_all()
+        assert out is None or out == merged
+
+
+class TestL0SamplerProperties:
+    @given(vectors, seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_sample_genuine_or_fails_loudly(self, vec, seed):
+        s = L0Sampler(DOMAIN, HashFamily(seed), rows=2, buckets=8)
+        feed(s, vec)
+        try:
+            idx, w = s.sample()
+        except SamplerEmptyError:
+            return  # allowed: empty vector or unlucky decode
+        assert vec.get(idx) == w
+
+    @given(vectors, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_insert_delete_leaves_zero(self, vec, seed):
+        s = L0Sampler(DOMAIN, HashFamily(seed))
+        feed(s, vec)
+        for i, w in vec.items():
+            s.update(i, -w)
+        assert s.appears_zero()
+
+    @given(vectors, vectors, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_difference_sketches_residual(self, va, vb, seed):
+        a = L0Sampler(DOMAIN, HashFamily(seed))
+        b = L0Sampler(DOMAIN, HashFamily(seed))
+        feed(a, va)
+        feed(b, vb)
+        a -= b
+        residual = {}
+        for i, w in va.items():
+            residual[i] = residual.get(i, 0) + w
+        for i, w in vb.items():
+            residual[i] = residual.get(i, 0) - w
+        residual = {i: w for i, w in residual.items() if w != 0}
+        try:
+            idx, w = a.sample()
+            assert residual.get(idx) == w
+        except SamplerEmptyError:
+            pass

@@ -1,0 +1,90 @@
+"""Property tests spanning streams and graph-level sketches.
+
+These check the *end-to-end* invariants: the spanning-forest sketch's
+output is always a subgraph with the right components regardless of
+the insert/delete history, and streams that materialise to the same
+graph decode to the same answers (history independence of linear
+sketches).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.hypergraph_cuts import is_spanning_subgraph
+from repro.sketch.spanning_forest import SpanningForestSketch
+from repro.stream.updates import materialize
+from repro.stream.generators import insert_only
+
+
+@st.composite
+def dynamic_streams(draw, n=10, max_steps=40):
+    """A valid insert/delete stream plus its final graph."""
+    from repro.stream.updates import EdgeUpdate
+
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    live = set()
+    stream = []
+    steps = draw(st.integers(min_value=0, max_value=max_steps))
+    for _ in range(steps):
+        if live and draw(st.booleans()):
+            e = draw(st.sampled_from(sorted(live)))
+            live.discard(e)
+            stream.append(EdgeUpdate.delete(e))
+        else:
+            candidates = [e for e in possible if e not in live]
+            if not candidates:
+                continue
+            e = draw(st.sampled_from(candidates))
+            live.add(e)
+            stream.append(EdgeUpdate.insert(e))
+    return stream, Graph(n, live)
+
+
+class TestSpanningSketchProperties:
+    @given(dynamic_streams(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_decode_is_spanning_subgraph_of_final_graph(self, sg, seed):
+        stream, final = sg
+        sk = SpanningForestSketch(10, seed=seed)
+        for u in stream:
+            sk.update(u.edge, u.sign)
+        decoded = sk.decode()
+        # Every decoded edge is genuine.
+        assert all(final.has_edge(*e) for e in decoded.edges())
+        # Components of the decode never merge what the graph separates.
+        h = Hypergraph.from_graph(final)
+        sub = Hypergraph(10, 2, decoded.edges())
+        comp_of = {}
+        for idx, comp in enumerate(h.components()):
+            for v in comp:
+                comp_of[v] = idx
+        for e in sub.edges():
+            assert comp_of[e[0]] == comp_of[e[1]]
+
+    @given(dynamic_streams(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_history_independence(self, sg, seed):
+        """A dynamic history and the plain insert-only stream of its
+        final graph produce byte-identical sketch state — linearity."""
+        stream, final = sg
+        a = SpanningForestSketch(10, seed=seed)
+        for u in stream:
+            a.update(u.edge, u.sign)
+        b = SpanningForestSketch(10, seed=seed)
+        for u in insert_only(final):
+            b.update(u.edge, u.sign)
+        import numpy as np
+
+        assert np.array_equal(a.grid._w, b.grid._w)
+        assert np.array_equal(a.grid._s, b.grid._s)
+        assert np.array_equal(a.grid._f, b.grid._f)
+
+    @given(dynamic_streams())
+    @settings(max_examples=15, deadline=None)
+    def test_stream_materialisation_consistent(self, sg):
+        stream, final = sg
+        assert materialize(10, stream).edge_set() == set(
+            map(tuple, final.edge_set())
+        )

@@ -1,0 +1,65 @@
+"""Tests for the signed incidence scheme (Section 4.1)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.sketch.incidence import IncidenceScheme
+from repro.util.binomial import EdgeSpace
+
+
+class TestCoefficients:
+    def test_graph_edge_signs(self):
+        scheme = IncidenceScheme.for_graph(5)
+        coeffs = dict(scheme.coefficients((3, 1)))
+        assert coeffs == {1: 1, 3: -1}
+
+    def test_hyperedge_signs(self):
+        scheme = IncidenceScheme.for_hypergraph(6, 3)
+        coeffs = dict(scheme.coefficients((4, 2, 0)))
+        assert coeffs == {0: 2, 2: -1, 4: -1}
+
+    def test_coefficients_sum_to_zero(self):
+        scheme = IncidenceScheme.for_hypergraph(8, 4)
+        for e in [(0, 1), (1, 2, 3), (0, 3, 5, 7)]:
+            assert sum(c for _, c in scheme.coefficients(e)) == 0
+
+    def test_min_vertex_gets_positive(self):
+        scheme = IncidenceScheme.for_hypergraph(8, 4)
+        for e in [(2, 5), (1, 4, 6)]:
+            coeffs = scheme.coefficients(e)
+            assert coeffs[0] == (min(e), len(e) - 1)
+
+
+class TestCutProperty:
+    """The defining property: nonzeros of sum_{v in S} a^v == δ(S)."""
+
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_partial_sums_nonzero_iff_crossing(self, r):
+        scheme = IncidenceScheme.for_hypergraph(6, r)
+        for e in combinations(range(6), r):
+            coeffs = dict(scheme.coefficients(e))
+            for mask in range(1, 1 << 6):
+                S = {v for v in range(6) if mask & (1 << v)}
+                total = sum(coeffs.get(v, 0) for v in S)
+                inside = len(S & set(e))
+                crossing = 0 < inside < len(e)
+                assert (total != 0) == crossing, (e, S)
+
+    def test_internal_edges_cancel(self):
+        scheme = IncidenceScheme.for_graph(4)
+        coeffs = dict(scheme.coefficients((1, 2)))
+        assert coeffs[1] + coeffs[2] == 0
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        scheme = IncidenceScheme.for_hypergraph(7, 3)
+        for e in [(0, 1), (4, 6), (1, 3, 5)]:
+            assert scheme.edge_of(scheme.index_of(e)) == e
+
+    def test_properties(self):
+        scheme = IncidenceScheme(EdgeSpace(9, 3))
+        assert scheme.n == 9
+        assert scheme.r == 3
+        assert scheme.dimension == EdgeSpace(9, 3).dimension

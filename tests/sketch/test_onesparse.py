@@ -1,0 +1,124 @@
+"""Tests for 1-sparse recovery cells."""
+
+import pytest
+
+from repro.errors import IncompatibleSketchError, NotOneSparseError
+from repro.sketch.onesparse import OneSparseCell
+from repro.util.hashing import HashFamily
+
+
+def cell(domain=1000, seed=1) -> OneSparseCell:
+    return OneSparseCell(domain, HashFamily(seed))
+
+
+class TestDecode:
+    def test_zero_vector(self):
+        c = cell()
+        assert c.appears_zero()
+        assert c.decode() is None
+
+    def test_single_insert(self):
+        c = cell()
+        c.update(42, 1)
+        assert c.decode() == (42, 1)
+
+    def test_weighted_coordinate(self):
+        c = cell()
+        c.update(7, 5)
+        assert c.decode() == (7, 5)
+
+    def test_negative_weight(self):
+        c = cell()
+        c.update(7, -3)
+        assert c.decode() == (7, -3)
+
+    def test_insert_then_delete_cancels(self):
+        c = cell()
+        c.update(10, 1)
+        c.update(10, -1)
+        assert c.appears_zero()
+        assert c.decode() is None
+
+    def test_two_coordinates_detected(self):
+        c = cell()
+        c.update(1, 1)
+        c.update(2, 1)
+        with pytest.raises(NotOneSparseError):
+            c.decode()
+
+    def test_zero_weight_nonzero_vector_detected(self):
+        c = cell()
+        c.update(1, 1)
+        c.update(2, -1)
+        with pytest.raises(NotOneSparseError):
+            c.decode()
+
+    def test_many_coordinates_detected(self):
+        c = cell()
+        for i in range(20):
+            c.update(i, 1)
+        with pytest.raises(NotOneSparseError):
+            c.decode()
+
+    def test_decode_or_none_swallows(self):
+        c = cell()
+        c.update(1, 1)
+        c.update(2, 1)
+        assert c.decode_or_none() is None
+
+    def test_reduction_to_one_sparse_recovers(self):
+        c = cell()
+        for i in range(5):
+            c.update(i, 1)
+        for i in range(4):
+            c.update(i, -1)
+        assert c.decode() == (4, 1)
+
+    def test_domain_boundaries(self):
+        c = cell(domain=10)
+        c.update(9, 1)
+        assert c.decode() == (9, 1)
+        with pytest.raises(NotOneSparseError):
+            c.update(10, 1)
+
+    def test_large_coordinate_values(self):
+        big = 10**17
+        c = cell(domain=big + 1)
+        c.update(big, 2)
+        assert c.decode() == (big, 2)
+
+
+class TestLinearity:
+    def test_add(self):
+        a, b = cell(seed=3), cell(seed=3)
+        a.update(5, 1)
+        b.update(5, 2)
+        assert (a + b).decode() == (5, 3)
+
+    def test_sub_recovers_difference(self):
+        a, b = cell(seed=3), cell(seed=3)
+        a.update(5, 1)
+        a.update(6, 1)
+        b.update(5, 1)
+        assert (a - b).decode() == (6, 1)
+
+    def test_incompatible_seed_rejected(self):
+        a, b = cell(seed=1), cell(seed=2)
+        with pytest.raises(IncompatibleSketchError):
+            a += b
+
+    def test_incompatible_domain_rejected(self):
+        a = OneSparseCell(10, HashFamily(1))
+        b = OneSparseCell(20, HashFamily(1))
+        with pytest.raises(IncompatibleSketchError):
+            a -= b
+
+    def test_copy_is_independent(self):
+        a = cell()
+        a.update(3, 1)
+        b = a.copy()
+        b.update(4, 1)
+        assert a.decode() == (3, 1)
+
+    def test_space_counters(self):
+        assert cell().space_counters() == 3

@@ -1,0 +1,82 @@
+"""Tests for the stream file format."""
+
+import io
+
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.generators import cycle_graph, random_hypergraph
+from repro.stream.file_io import read_stream, write_stream
+from repro.stream.generators import insert_only
+from repro.stream.updates import EdgeUpdate, materialize
+
+
+def roundtrip(n, updates, r=2):
+    buf = io.StringIO()
+    write_stream(buf, n, updates, r=r)
+    buf.seek(0)
+    return read_stream(buf)
+
+
+class TestRoundtrip:
+    def test_graph_stream(self):
+        g = cycle_graph(6)
+        updates = insert_only(g)
+        n, r, back = roundtrip(6, updates)
+        assert (n, r) == (6, 2)
+        assert back == updates
+
+    def test_hypergraph_stream(self):
+        h = random_hypergraph(8, 6, r=3, seed=1)
+        updates = insert_only(h)
+        n, r, back = roundtrip(8, updates, r=3)
+        assert r == 3
+        assert materialize(n, back, r=3).edge_set() == h.edge_set()
+
+    def test_deletions_preserved(self):
+        updates = [
+            EdgeUpdate.insert((0, 1)),
+            EdgeUpdate.insert((1, 2)),
+            EdgeUpdate.delete((0, 1)),
+        ]
+        _, _, back = roundtrip(4, updates)
+        assert [u.sign for u in back] == [1, 1, -1]
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = "# hello\n\nn 4\n+ 0 1\n# mid\n- 0 1\n"
+        n, r, updates = read_stream(io.StringIO(text))
+        assert n == 4 and r == 2 and len(updates) == 2
+
+    def test_header_with_rank(self):
+        n, r, _ = read_stream(io.StringIO("n 5 r 4\n+ 0 1 2 3\n"))
+        assert (n, r) == (5, 4)
+
+    def test_missing_header(self):
+        with pytest.raises(StreamError):
+            read_stream(io.StringIO("+ 0 1\n"))
+
+    def test_no_header_at_all(self):
+        with pytest.raises(StreamError):
+            read_stream(io.StringIO("# nothing\n"))
+
+    def test_duplicate_header(self):
+        with pytest.raises(StreamError):
+            read_stream(io.StringIO("n 4\nn 5\n"))
+
+    def test_unknown_op(self):
+        with pytest.raises(StreamError):
+            read_stream(io.StringIO("n 4\n* 0 1\n"))
+
+    def test_bad_vertex(self):
+        with pytest.raises(StreamError):
+            read_stream(io.StringIO("n 4\n+ 0 x\n"))
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(StreamError):
+            read_stream(io.StringIO("n 4\n+ 0 4\n"))
+
+    def test_singleton_edge(self):
+        with pytest.raises(StreamError):
+            read_stream(io.StringIO("n 4\n+ 2\n"))

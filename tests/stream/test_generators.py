@@ -1,0 +1,86 @@
+"""Tests for stream ordering generators."""
+
+import pytest
+
+from repro.graph.generators import complete_graph, cycle_graph, gnp_graph
+from repro.stream.generators import (
+    adversarial_for_certificate,
+    insert_delete_reinsert,
+    insert_only,
+    random_dynamic_stream,
+    with_churn,
+)
+from repro.stream.updates import materialize
+
+
+class TestInsertOnly:
+    def test_final_graph_matches_target(self):
+        g = cycle_graph(6)
+        final = materialize(6, insert_only(g))
+        assert final.edges() == [tuple(e) for e in g.edges()]
+
+    def test_shuffle_is_permutation(self):
+        g = cycle_graph(6)
+        a = insert_only(g, shuffle_seed=1)
+        b = insert_only(g, shuffle_seed=2)
+        assert sorted(u.edge for u in a) == sorted(u.edge for u in b)
+        assert [u.edge for u in a] != [u.edge for u in b]
+
+
+class TestChurn:
+    def test_final_graph_is_target(self):
+        g = cycle_graph(8)
+        decoys = [(0, 4), (1, 5), (2, 6)]
+        stream = with_churn(g, decoys, shuffle_seed=3)
+        final = materialize(8, stream)
+        assert final.edge_set() == g.edge_set()
+
+    def test_decoys_overlapping_target_skipped(self):
+        g = cycle_graph(5)
+        stream = with_churn(g, [(0, 1)], shuffle_seed=1)  # (0,1) is a target edge
+        final = materialize(5, stream)
+        assert final.edge_set() == g.edge_set()
+
+    def test_stream_is_valid(self):
+        g = gnp_graph(8, 0.3, seed=4)
+        decoys = [(i, (i + 4) % 8) for i in range(4)]
+        stream = with_churn(g, decoys, shuffle_seed=5)
+        materialize(8, stream)  # raises on violation
+
+
+class TestInsertDeleteReinsert:
+    def test_final_graph_is_target(self):
+        g = cycle_graph(7)
+        final = materialize(7, insert_delete_reinsert(g, shuffle_seed=1))
+        assert final.edge_set() == g.edge_set()
+
+    def test_stream_length(self):
+        g = cycle_graph(7)
+        assert len(insert_delete_reinsert(g)) == 3 * g.num_edges
+
+
+class TestAdversarial:
+    def test_deletes_follow_inserts(self):
+        g = complete_graph(5)
+        removed = [(0, 1), (0, 2)]
+        stream = adversarial_for_certificate(g, removed)
+        final = materialize(5, stream)
+        assert not final.has_edge((0, 1))
+        assert final.num_edges == g.num_edges - 2
+
+
+class TestRandomDynamic:
+    def test_stream_valid_and_consistent(self):
+        stream, final = random_dynamic_stream(10, 80, p_delete=0.4, seed=6)
+        replayed = materialize(10, stream)
+        assert replayed.edge_set() == final.edge_set()
+
+    def test_contains_deletions(self):
+        stream, _ = random_dynamic_stream(10, 80, p_delete=0.5, seed=7)
+        assert any(u.sign < 0 for u in stream)
+
+    def test_hypergraph_stream(self):
+        stream, final = random_dynamic_stream(10, 50, r=3, seed=8)
+        replayed = materialize(10, stream, r=3)
+        assert replayed.edge_set() == final.edge_set()
+        assert any(len(u.edge) == 3 for u in stream)

@@ -1,0 +1,63 @@
+"""Tests for the stream runner."""
+
+import pytest
+
+from repro.graph.generators import cycle_graph
+from repro.sketch.spanning_forest import SpanningForestSketch
+from repro.stream.generators import insert_only
+from repro.stream.runner import StreamRunner
+from repro.stream.updates import EdgeUpdate
+
+
+class TestRunner:
+    def test_feeds_sketch(self):
+        g = cycle_graph(8)
+        runner = StreamRunner(8)
+        runner.register("forest", SpanningForestSketch(8, seed=1))
+        report = runner.run(insert_only(g))
+        assert report.events == 8
+        assert report.inserts == 8
+        assert report.deletes == 0
+        assert runner["forest"].is_connected()
+
+    def test_space_report(self):
+        runner = StreamRunner(6)
+        runner.register("forest", SpanningForestSketch(6, seed=1))
+        report = runner.run(insert_only(cycle_graph(6)))
+        assert report.space["forest"]["counters"] > 0
+        assert report.space["forest"]["bytes"] > 0
+
+    def test_validates_stream(self):
+        from repro.errors import StreamError
+
+        runner = StreamRunner(4)
+        bad = [EdgeUpdate.insert((0, 1)), EdgeUpdate.insert((0, 1))]
+        with pytest.raises(StreamError):
+            runner.run(bad)
+
+    def test_validation_off(self):
+        runner = StreamRunner(4, validate=False)
+        runner.run([EdgeUpdate.insert((0, 1)), EdgeUpdate.insert((0, 1))])
+        assert runner.live_graph is None
+
+    def test_duplicate_name_rejected(self):
+        runner = StreamRunner(4)
+        runner.register("a", SpanningForestSketch(4, seed=1))
+        with pytest.raises(KeyError):
+            runner.register("a", SpanningForestSketch(4, seed=2))
+
+    def test_final_edges_and_deletes(self):
+        runner = StreamRunner(4)
+        stream = [
+            EdgeUpdate.insert((0, 1)),
+            EdgeUpdate.insert((1, 2)),
+            EdgeUpdate.delete((0, 1)),
+        ]
+        report = runner.run(stream)
+        assert report.deletes == 1
+        assert report.final_edges == 1
+
+    def test_throughput_metric(self):
+        runner = StreamRunner(4)
+        report = runner.run([EdgeUpdate.insert((0, 1))])
+        assert report.updates_per_second > 0

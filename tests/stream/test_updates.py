@@ -1,0 +1,68 @@
+"""Tests for stream events and validation."""
+
+import pytest
+
+from repro.errors import RankError, StreamError
+from repro.stream.updates import (
+    DELETE,
+    INSERT,
+    EdgeUpdate,
+    StreamValidator,
+    materialize,
+)
+
+
+class TestEdgeUpdate:
+    def test_canonicalises_edge(self):
+        u = EdgeUpdate((3, 1), INSERT)
+        assert u.edge == (1, 3)
+
+    def test_factories(self):
+        assert EdgeUpdate.insert((2, 0)).sign == INSERT
+        assert EdgeUpdate.delete((2, 0)).sign == DELETE
+
+    def test_bad_sign(self):
+        with pytest.raises(StreamError):
+            EdgeUpdate((0, 1), 2)
+
+    def test_bad_edge(self):
+        with pytest.raises(RankError):
+            EdgeUpdate((1,), INSERT)
+
+    def test_frozen(self):
+        u = EdgeUpdate.insert((0, 1))
+        with pytest.raises(Exception):
+            u.sign = -1
+
+
+class TestValidator:
+    def test_tracks_live_graph(self):
+        v = StreamValidator(4)
+        v.apply(EdgeUpdate.insert((0, 1)))
+        v.apply(EdgeUpdate.insert((1, 2)))
+        v.apply(EdgeUpdate.delete((0, 1)))
+        assert v.graph.edges() == [(1, 2)]
+
+    def test_double_insert_rejected(self):
+        v = StreamValidator(3)
+        v.apply(EdgeUpdate.insert((0, 1)))
+        with pytest.raises(StreamError):
+            v.apply(EdgeUpdate.insert((1, 0)))
+
+    def test_absent_delete_rejected(self):
+        with pytest.raises(StreamError):
+            StreamValidator(3).apply(EdgeUpdate.delete((0, 1)))
+
+    def test_materialize(self):
+        stream = [
+            EdgeUpdate.insert((0, 1)),
+            EdgeUpdate.insert((1, 2)),
+            EdgeUpdate.delete((1, 2)),
+        ]
+        g = materialize(3, stream)
+        assert g.edges() == [(0, 1)]
+
+    def test_hyperedges(self):
+        stream = [EdgeUpdate.insert((0, 1, 2))]
+        g = materialize(4, stream, r=3)
+        assert g.edges() == [(0, 1, 2)]

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import cycle_graph, planted_separator_graph, random_tree
+from repro.stream.file_io import save_stream_file
+from repro.stream.generators import insert_only
+
+
+@pytest.fixture
+def cycle_stream(tmp_path):
+    path = tmp_path / "cycle.stream"
+    save_stream_file(str(path), 8, insert_only(cycle_graph(8)))
+    return str(path)
+
+
+class TestConnectivity:
+    def test_connected(self, cycle_stream, capsys):
+        assert main(["connectivity", cycle_stream, "--params", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "connected: True" in out
+
+    def test_disconnected(self, tmp_path, capsys):
+        path = tmp_path / "two.stream"
+        path.write_text("n 4\n+ 0 1\n+ 2 3\n")
+        assert main(["connectivity", str(path), "--params", "fast"]) == 0
+        assert "connected: False" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_separator_detected(self, tmp_path, capsys):
+        g, sep = planted_separator_graph(5, 2, seed=1)
+        path = tmp_path / "sep.stream"
+        save_stream_file(str(path), g.n, insert_only(g))
+        code = main(
+            [
+                "query",
+                str(path),
+                "--remove",
+                ",".join(str(v) for v in sep),
+                "--params",
+                "practical",
+            ]
+        )
+        assert code == 0
+        assert "disconnects the graph: True" in capsys.readouterr().out
+
+
+class TestEdgeConnectivity:
+    def test_cycle_lambda_two(self, cycle_stream, capsys):
+        assert main(["edge-connectivity", cycle_stream, "--k-max", "4"]) == 0
+        assert "estimate: 2" in capsys.readouterr().out
+
+
+class TestSparsify:
+    def test_small_sparsifier(self, cycle_stream, capsys):
+        code = main(
+            ["sparsify", cycle_stream, "--k", "3", "--levels", "4", "--params", "fast"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete=True" in out
+
+
+class TestReconstruct:
+    def test_tree_reconstructs(self, tmp_path, capsys):
+        g = random_tree(10, seed=2)
+        path = tmp_path / "tree.stream"
+        save_stream_file(str(path), 10, insert_only(g))
+        assert main(["reconstruct", str(path), "--d", "1"]) == 0
+        out = capsys.readouterr().out
+        assert f"reconstruction: {g.num_edges} edges" in out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        from repro.graph.generators import complete_graph
+
+        g = complete_graph(7)
+        path = tmp_path / "k7.stream"
+        save_stream_file(str(path), 7, insert_only(g))
+        assert main(["reconstruct", str(path), "--d", "1"]) == 1
+
+
+class TestGenerate:
+    def test_generate_then_run(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.stream"
+        assert (
+            main(
+                [
+                    "generate",
+                    "harary",
+                    "--n",
+                    "10",
+                    "--k",
+                    "3",
+                    "-o",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert main(["connectivity", str(out_path), "--params", "fast"]) == 0
+        assert "connected: True" in capsys.readouterr().out
+
+    def test_generate_hypergraph(self, tmp_path):
+        out_path = tmp_path / "h.stream"
+        code = main(
+            [
+                "generate",
+                "hypergraph",
+                "--n",
+                "9",
+                "--m",
+                "7",
+                "--rank",
+                "3",
+                "-o",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert text.startswith("n 9 r 3")
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["connectivity", "/nonexistent.stream"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_stream(self, tmp_path, capsys):
+        path = tmp_path / "bad.stream"
+        path.write_text("+ 0 1\n")
+        assert main(["connectivity", str(path)]) == 2

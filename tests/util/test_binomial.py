@@ -1,0 +1,116 @@
+"""Tests for combinatorial ranking and the hyperedge coordinate space."""
+
+from itertools import combinations
+from math import comb
+
+import pytest
+
+from repro.errors import DomainError, RankError
+from repro.util.binomial import EdgeSpace, binom, colex_rank, colex_unrank
+
+
+class TestBinom:
+    def test_matches_math_comb(self):
+        for n in range(0, 15):
+            for k in range(0, n + 1):
+                assert binom(n, k) == comb(n, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binom(3, 5) == 0
+        assert binom(3, -1) == 0
+        assert binom(-2, 1) == 0
+
+
+class TestColex:
+    def test_rank_unrank_roundtrip_pairs(self):
+        for i, subset in enumerate(
+            sorted(combinations(range(8), 2), key=lambda s: tuple(reversed(s)))
+        ):
+            assert colex_rank(subset) == i
+            assert colex_unrank(i, 2) == subset
+
+    def test_rank_unrank_roundtrip_triples(self):
+        seen = set()
+        for subset in combinations(range(7), 3):
+            r = colex_rank(subset)
+            assert colex_unrank(r, 3) == subset
+            seen.add(r)
+        assert seen == set(range(comb(7, 3)))
+
+    def test_rank_is_dense_from_zero(self):
+        ranks = sorted(colex_rank(s) for s in combinations(range(6), 2))
+        assert ranks == list(range(comb(6, 2)))
+
+
+class TestEdgeSpace:
+    def test_dimension_graph(self):
+        assert EdgeSpace(10, 2).dimension == comb(10, 2)
+
+    def test_dimension_hypergraph(self):
+        es = EdgeSpace(9, 4)
+        assert es.dimension == comb(9, 2) + comb(9, 3) + comb(9, 4)
+
+    def test_bijection_graph(self):
+        es = EdgeSpace(7, 2)
+        indices = set()
+        for e in combinations(range(7), 2):
+            idx = es.index_of(e)
+            assert es.edge_of(idx) == e
+            indices.add(idx)
+        assert indices == set(range(es.dimension))
+
+    def test_bijection_rank3(self):
+        es = EdgeSpace(6, 3)
+        indices = set()
+        for size in (2, 3):
+            for e in combinations(range(6), size):
+                idx = es.index_of(e)
+                assert es.edge_of(idx) == e
+                indices.add(idx)
+        assert indices == set(range(es.dimension))
+
+    def test_unsorted_input_canonicalised(self):
+        es = EdgeSpace(6, 3)
+        assert es.index_of((4, 1, 2)) == es.index_of((1, 2, 4))
+
+    def test_rejects_singleton(self):
+        with pytest.raises(RankError):
+            EdgeSpace(5, 2).index_of((3,))
+
+    def test_rejects_oversized(self):
+        with pytest.raises(RankError):
+            EdgeSpace(5, 2).index_of((1, 2, 3))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            EdgeSpace(5, 2).index_of((2, 2))
+
+    def test_rejects_out_of_range_vertex(self):
+        with pytest.raises(DomainError):
+            EdgeSpace(5, 2).index_of((1, 5))
+
+    def test_rejects_out_of_range_index(self):
+        es = EdgeSpace(5, 2)
+        with pytest.raises(DomainError):
+            es.edge_of(es.dimension)
+        with pytest.raises(DomainError):
+            es.edge_of(-1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DomainError):
+            EdgeSpace(1, 2)
+        with pytest.raises(RankError):
+            EdgeSpace(5, 1)
+        with pytest.raises(RankError):
+            EdgeSpace(5, 6)
+
+    def test_equality_and_hash(self):
+        assert EdgeSpace(5, 2) == EdgeSpace(5, 2)
+        assert EdgeSpace(5, 2) != EdgeSpace(5, 3)
+        assert hash(EdgeSpace(5, 2)) == hash(EdgeSpace(5, 2))
+
+    def test_blocks_are_contiguous_by_size(self):
+        es = EdgeSpace(6, 3)
+        pair_indices = [es.index_of(e) for e in combinations(range(6), 2)]
+        triple_indices = [es.index_of(e) for e in combinations(range(6), 3)]
+        assert max(pair_indices) < min(triple_indices)

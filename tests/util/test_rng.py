@@ -1,0 +1,36 @@
+"""Tests for seed plumbing."""
+
+from repro.util.rng import normalize_seed, rng_from
+
+
+class TestNormalizeSeed:
+    def test_none_is_fixed_default(self):
+        assert normalize_seed(None) == normalize_seed(None)
+
+    def test_values_masked_to_64_bits(self):
+        assert normalize_seed(2**70 + 5) == (2**70 + 5) & ((1 << 64) - 1)
+
+    def test_zero_is_valid(self):
+        assert normalize_seed(0) == 0
+
+
+class TestRngFrom:
+    def test_deterministic(self):
+        a = rng_from(7, 1).integers(0, 10**9)
+        b = rng_from(7, 1).integers(0, 10**9)
+        assert a == b
+
+    def test_label_sensitivity(self):
+        a = rng_from(7, 1).integers(0, 10**9)
+        b = rng_from(7, 2).integers(0, 10**9)
+        assert a != b
+
+    def test_seed_sensitivity(self):
+        a = rng_from(7, 1).integers(0, 10**9)
+        b = rng_from(8, 1).integers(0, 10**9)
+        assert a != b
+
+    def test_none_seed_deterministic(self):
+        assert rng_from(None, 3).integers(0, 10**9) == rng_from(None, 3).integers(
+            0, 10**9
+        )
