@@ -35,8 +35,11 @@ from .core import (
     max_cut_error,
     reconstruct_cut_degenerate,
 )
+from .engine import CheckpointManager, IngestMetrics, ShardedIngestEngine
 from .errors import (
+    CheckpointError,
     DomainError,
+    EngineError,
     IncompatibleSketchError,
     NotOneSparseError,
     RankError,
@@ -44,6 +47,7 @@ from .errors import (
     SamplerEmptyError,
     SketchDecodeError,
     StreamError,
+    WorkerCrashError,
 )
 from .graph import Graph, Hypergraph, WeightedHypergraph
 from .sketch import SkeletonSketch, SpanningForestSketch
@@ -73,6 +77,10 @@ __all__ = [
     "SkeletonSketch",
     "EdgeUpdate",
     "StreamRunner",
+    # ingestion engine
+    "ShardedIngestEngine",
+    "CheckpointManager",
+    "IngestMetrics",
     # errors
     "ReproError",
     "DomainError",
@@ -82,4 +90,7 @@ __all__ = [
     "SamplerEmptyError",
     "IncompatibleSketchError",
     "StreamError",
+    "EngineError",
+    "CheckpointError",
+    "WorkerCrashError",
 ]

@@ -7,6 +7,8 @@ Usage (after installation)::
     python -m repro edge-connectivity STREAM_FILE [--k-max K] [--seed S]
     python -m repro sparsify STREAM_FILE [--epsilon E --k K --levels L]
     python -m repro reconstruct STREAM_FILE --d D [--seed S]
+    python -m repro ingest STREAM_FILE [--shards N --batch-size B]
+                    [--checkpoint-dir D [--resume]] [--metrics-json PATH]
     python -m repro generate {gnp,harary,hypergraph} ... -o STREAM_FILE
 
 Stream files use the text format of :mod:`repro.stream.file_io`.
@@ -120,6 +122,54 @@ def _cmd_reconstruct(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    from .engine.checkpoint import CheckpointManager
+    from .engine.shard import ShardedIngestEngine
+    from .sketch.skeleton import SkeletonSketch
+    from .sketch.spanning_forest import SpanningForestSketch
+
+    n, r, updates = load_stream_file(args.stream)
+    if args.sketch == "skeleton":
+        prototype = SkeletonSketch(n, k=args.k, r=r, seed=args.seed)
+    else:
+        prototype = SpanningForestSketch(n, r=r, seed=args.seed)
+    manager = None
+    if args.checkpoint_dir:
+        manager = CheckpointManager(
+            args.checkpoint_dir, interval=args.checkpoint_interval
+        )
+    elif args.resume:
+        print("error: --resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    engine = ShardedIngestEngine(
+        prototype,
+        shards=args.shards,
+        batch_size=args.batch_size,
+        backend=args.backend,
+        partition_seed=args.seed,
+        checkpoint=manager,
+    )
+    result = engine.ingest(updates, resume=args.resume)
+    metrics = result.metrics
+    print(f"n={n} r={r} events={len(updates)}")
+    if result.resumed_from is not None:
+        print(f"resumed from checkpoint offset {result.resumed_from}")
+    print(metrics.summary())
+    sketch = result.sketch
+    decoded = sketch.decode()
+    label = "skeleton edges" if args.sketch == "skeleton" else "spanning edges"
+    print(f"decode: {decoded.num_edges} {label}")
+    if args.metrics_json:
+        payload = metrics.to_json()
+        if args.metrics_json == "-":
+            print(payload)
+        else:
+            with open(args.metrics_json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     from .graph.generators import gnp_graph, harary_graph, random_hypergraph
 
@@ -180,6 +230,25 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--d", type=int, required=True)
     p.set_defaults(func=_cmd_reconstruct)
+
+    p = sub.add_parser(
+        "ingest",
+        help="high-throughput batched/sharded ingestion (repro.engine)",
+    )
+    p.add_argument("stream", help="stream file (see repro.stream.file_io)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sketch", choices=["forest", "skeleton"], default="forest")
+    p.add_argument("--k", type=int, default=2, help="skeleton layers (sketch=skeleton)")
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--batch-size", type=int, default=512)
+    p.add_argument("--backend", choices=["serial", "process"], default="serial")
+    p.add_argument("--checkpoint-dir", default=None)
+    p.add_argument("--checkpoint-interval", type=int, default=10_000)
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the latest checkpoint in --checkpoint-dir")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write the IngestMetrics report as JSON ('-' for stdout)")
+    p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("generate", help="write a workload stream file")
     gen_sub = p.add_subparsers(dest="family", required=True)

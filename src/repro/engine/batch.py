@@ -1,0 +1,199 @@
+"""Vectorised batch-update kernels for :class:`~repro.sketch.bank.SamplerGrid`.
+
+The scalar ``SamplerGrid.update`` walks ``groups × rows × (depth+1)``
+counter cells in Python per stream event.  The kernel here applies a
+whole *array* of updates at once: the level depths, bucket choices and
+modular cell contributions for every update are computed with numpy
+(:func:`~repro.util.hashing.hash64_many` /
+:func:`~repro.util.prime_field.mul_vec_mod`), grouped by destination
+cell with one argsort per (group, row), and folded into the counter
+arrays with ``np.add.reduceat`` segment sums.
+
+The result is **bit-identical** to applying the same updates one at a
+time (the equivalence tests enforce this across seeds): plain ``int64``
+addition is exact for the weight counters, and the modular counters are
+accumulated in 32-bit halves so that no segment sum can overflow before
+its single final reduction mod ``2^61 - 1``.
+
+:func:`expand_edge_batch` is the bridge from *edge* streams to *row*
+batches: it expands a batch of signed hyperedges into the signed
+incidence-row updates of the paper's Section 4.1 scheme, which is what
+the spanning-forest and skeleton sketches feed through the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DomainError, IncompatibleSketchError, NotOneSparseError
+from ..util.hashing import hash64_many, splitmix64_np, trailing_zeros64_np
+from ..util.prime_field import MERSENNE_61, mul_vec_mod, shl32_vec_mod
+
+_P = MERSENNE_61
+_MASK32 = np.int64(0xFFFFFFFF)
+# Second-seed tweak of HashFamily.field_value (the 128-bit fingerprint
+# hash); must stay in sync with repro.util.hashing.HashFamily.
+_FIELD_LO_TWEAK = 0x5851F42D4C957F2D
+
+
+def _as_update_arrays(
+    members, indices, deltas
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coerce and cross-validate the three parallel update arrays."""
+    m = np.ascontiguousarray(members, dtype=np.int64).ravel()
+    i = np.ascontiguousarray(indices, dtype=np.int64).ravel()
+    d = np.ascontiguousarray(deltas, dtype=np.int64).ravel()
+    if not (m.shape == i.shape == d.shape):
+        raise IncompatibleSketchError(
+            f"update batch arrays disagree in length: "
+            f"{m.size} members, {i.size} indices, {d.size} deltas"
+        )
+    return m, i, d
+
+
+def _rho_many(seed: int, indices: np.ndarray) -> np.ndarray:
+    """Vectorised ``HashFamily.field_value(index, p)`` fingerprints.
+
+    Matches the scalar ``((hi << 64) | lo) % p`` bit-for-bit using
+    ``2^64 ≡ 8 (mod 2^61 - 1)``.
+    """
+    p = np.uint64(_P)
+    hi = hash64_many(seed, indices) % p
+    lo = hash64_many(seed ^ _FIELD_LO_TWEAK, indices) % p
+    return (((hi * np.uint64(8)) % p + lo) % p).astype(np.int64)
+
+
+def _segment_fold_mod(target: np.ndarray, cells: np.ndarray, order: np.ndarray,
+                      starts: np.ndarray, values: np.ndarray) -> None:
+    """Add per-cell segment sums of modular ``values`` into ``target``.
+
+    ``values`` are residues in [0, p); a cell may receive thousands of
+    contributions per batch, whose direct int64 sum would overflow.  The
+    residues are therefore summed as 32-bit halves (safe up to ~2^19
+    contributions per cell per call) and recombined with one Mersenne
+    shift before the single reduction into the target cells.
+    """
+    v = values[order]
+    hi = np.add.reduceat(v >> np.int64(32), starts)
+    lo = np.add.reduceat(v & _MASK32, starts)
+    contrib = (shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64) + lo % _P) % _P
+    total = target[cells] + contrib
+    target[cells] = np.where(total >= _P, total - _P, total)
+
+
+def grid_update_batch(grid, members, indices, deltas) -> int:
+    """Apply ``x_member[index] += delta`` for a whole batch of updates.
+
+    Parameters are parallel 1-D arrays (any integer sequence).  Returns
+    the number of (nonzero-delta) updates applied.  The grid state after
+    this call is bit-identical to applying the same updates through the
+    scalar ``grid.update`` loop, in any order.
+    """
+    m, idx, d = _as_update_arrays(members, indices, deltas)
+    nz = d != 0
+    if not nz.all():
+        m, idx, d = m[nz], idx[nz], d[nz]
+    if m.size == 0:
+        return 0
+    if idx.min() < 0 or idx.max() >= grid.domain:
+        bad = idx[(idx < 0) | (idx >= grid.domain)][0]
+        raise NotOneSparseError(f"coordinate {bad} outside [0, {grid.domain})")
+    if m.min() < 0 or m.max() >= grid.members:
+        bad = m[(m < 0) | (m >= grid.members)][0]
+        raise IncompatibleSketchError(f"member {bad} outside [0, {grid.members})")
+    grid._updates += int(m.size)
+
+    levels, rows, buckets = grid.levels, grid.rows, grid.buckets
+    # Per-update modular cell contributions, shared by every group.
+    d_mod = d % _P
+    cs = mul_vec_mod(d_mod, idx % _P)
+    cf = mul_vec_mod(d_mod, _rho_many(grid._rho.seed, idx))
+
+    lvl_arr = np.arange(levels, dtype=np.int64)
+    salts = np.array(grid._level_salts, dtype=np.uint64)
+    w3 = grid._w.reshape(grid.groups, -1)
+    s3 = grid._s.reshape(grid.groups, -1)
+    f3 = grid._f.reshape(grid.groups, -1)
+    for g in range(grid.groups):
+        depth = np.minimum(
+            trailing_zeros64_np(hash64_many(grid._level_seeds[g], idx)),
+            levels - 1,
+        )
+        mask = lvl_arr[None, :] <= depth[:, None]  # (U, levels)
+        base = (m[:, None] * levels + lvl_arr[None, :]) * rows  # (U, levels)
+        w_flat, s_flat, f_flat = w3[g], s3[g], f3[g]
+        for r in range(rows):
+            h = hash64_many(grid._bucket_seeds[g][r], idx)
+            with np.errstate(over="ignore"):
+                b = (splitmix64_np(h[:, None] ^ salts[None, :])
+                     % np.uint64(buckets)).astype(np.int64)
+            flat = ((base + r) * buckets + b)[mask]
+            if flat.size == 0:
+                continue
+            order = np.argsort(flat, kind="stable")
+            sorted_cells = flat[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
+            )
+            cells = sorted_cells[starts]
+            # Row indices of each surviving (update, level) pair, for
+            # gathering the per-update contribution arrays.
+            src = np.broadcast_to(
+                np.arange(m.size, dtype=np.int64)[:, None], mask.shape
+            )[mask]
+            w_flat[cells] += np.add.reduceat(d[src[order]], starts)
+            _segment_fold_mod(s_flat, cells, order, starts, cs[src])
+            _segment_fold_mod(f_flat, cells, order, starts, cf[src])
+    return int(m.size)
+
+
+def expand_edge_batch(
+    scheme, member_of, updates: Iterable
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand signed hyperedges into signed incidence-row updates.
+
+    ``updates`` yields :class:`~repro.stream.updates.EdgeUpdate`-likes
+    (anything with ``edge`` and ``sign``) or ``(edge, sign)`` pairs.
+    Each edge of cardinality k contributes k rows — coefficient
+    ``k - 1`` for its minimum vertex, ``-1`` for the rest, times the
+    sign — addressed through ``member_of`` (vertex -> grid member).
+    Returns the three parallel arrays :func:`grid_update_batch` takes.
+    """
+    members: List[int] = []
+    indices: List[int] = []
+    deltas: List[int] = []
+    for u in updates:
+        edge, sign = (u.edge, u.sign) if hasattr(u, "edge") else u
+        if sign not in (1, -1):
+            raise DomainError(f"sign must be +1 or -1, got {sign}")
+        index = scheme.index_of(edge)
+        for vertex, coeff in scheme.coefficients(edge):
+            member = member_of.get(vertex)
+            if member is None:
+                raise DomainError(
+                    f"edge {tuple(edge)} touches inactive vertex {vertex}"
+                )
+            members.append(member)
+            indices.append(index)
+            deltas.append(sign * coeff)
+    return (
+        np.array(members, dtype=np.int64),
+        np.array(indices, dtype=np.int64),
+        np.array(deltas, dtype=np.int64),
+    )
+
+
+def iter_event_batches(stream: Iterable, batch_size: int) -> Iterator[List]:
+    """Chunk a stream of events into lists of at most ``batch_size``."""
+    if batch_size < 1:
+        raise DomainError(f"batch_size must be >= 1, got {batch_size}")
+    batch: List = []
+    for event in stream:
+        batch.append(event)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

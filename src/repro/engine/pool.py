@@ -1,0 +1,238 @@
+"""Worker-pool backends for the sharded ingestion engine.
+
+Both backends expose one small contract the engine drives:
+
+* ``submit(shard, updates)`` — hand a batch of edge updates to a shard;
+* ``load(shard, blob)`` — replace a shard's sketch state (resume);
+* ``dump_all()`` — quiesce every shard and return its serialized state
+  (the checkpoint barrier);
+* ``finish()`` — final quiesce; returns ``(sketch, seconds, events)``
+  per shard;
+* ``queue_depth(shard)`` / ``close()``.
+
+:class:`SerialPool` folds batches in-process, immediately — zero
+queueing, useful for deterministic tests and as the vectorised-but-
+single-core fast path.  :class:`ProcessPool` runs one OS process per
+shard over ``multiprocessing`` pipes; batches are pipelined (the parent
+does not wait per batch), and the linear sketches guarantee the final
+merge is independent of any interleaving.  Worker death is detected at
+the next synchronisation point and surfaces as
+:class:`~repro.errors.WorkerCrashError`, which the checkpoint layer
+turns into a resumable condition rather than lost work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import EngineError, WorkerCrashError
+from ..sketch.serialization import dump_sketch, load_sketch
+
+_SYNC_TIMEOUT = 60.0  # seconds to wait on a worker reply before declaring it dead
+
+
+class SerialPool:
+    """In-process backend: one private sketch per shard, fed directly."""
+
+    def __init__(self, sketch_factory: Callable[[], Any], shards: int):
+        self._sketches = [sketch_factory() for _ in range(shards)]
+        self._seconds = [0.0] * shards
+        self._events = [0] * shards
+        self._closed = False
+
+    def submit(self, shard: int, updates: Sequence) -> float:
+        """Fold a batch into the shard's sketch; returns seconds spent."""
+        start = time.perf_counter()
+        self._sketches[shard].update_batch(updates)
+        elapsed = time.perf_counter() - start
+        self._seconds[shard] += elapsed
+        self._events[shard] += len(updates)
+        return elapsed
+
+    def load(self, shard: int, blob: bytes) -> None:
+        load_sketch(self._sketches[shard], blob)
+
+    def dump_all(self) -> List[bytes]:
+        return [dump_sketch(sk) for sk in self._sketches]
+
+    def finish(self) -> List[Tuple[Any, float, int]]:
+        self._closed = True
+        return list(zip(self._sketches, self._seconds, self._events))
+
+    def queue_depth(self, shard: int) -> int:
+        return 0
+
+    def close(self, force: bool = False) -> None:
+        self._closed = True
+
+
+def _worker_main(conn, sketch) -> None:
+    """Shard worker loop: fold batches until told to finish.
+
+    Commands arrive as ``(name, payload)`` tuples; ``dump``/``finish``
+    act as barriers because the pipe delivers in order — by the time
+    the worker answers, every previously submitted batch is folded in.
+    ``crash`` hard-exits the process (the fault-injection hook).
+
+    The loop polls with a timeout and watches for reparenting: under
+    the fork start method every worker inherits the parent-side pipe
+    fds of the whole pool (its own included), so a SIGKILLed parent
+    never produces EOF on ``recv`` — without the ppid watchdog the
+    workers would linger as orphans forever.
+    """
+    seconds = 0.0
+    events = 0
+    parent = os.getppid()
+    try:
+        while True:
+            while not conn.poll(1.0):
+                if os.getppid() != parent:  # parent died; no EOF will come
+                    return
+            cmd, payload = conn.recv()
+            if cmd == "batch":
+                start = time.perf_counter()
+                sketch.update_batch(payload)
+                seconds += time.perf_counter() - start
+                events += len(payload)
+            elif cmd == "load":
+                load_sketch(sketch, payload)
+            elif cmd == "dump":
+                conn.send(("state", dump_sketch(sketch)))
+            elif cmd == "finish":
+                conn.send(("final", (dump_sketch(sketch), seconds, events)))
+                conn.close()
+                return
+            elif cmd == "crash":
+                os._exit(1)
+            else:  # pragma: no cover - defensive
+                conn.send(("error", f"unknown command {cmd!r}"))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        return
+
+
+class ProcessPool:
+    """One ``multiprocessing`` worker per shard, fed over pipes.
+
+    The factory's sketches (and batch payloads) must be picklable —
+    every sketch in :mod:`repro.sketch` is.  The parent keeps a
+    same-seed prototype per shard so worker dumps can be deserialized
+    back into real sketch objects for merging.
+    """
+
+    def __init__(self, sketch_factory: Callable[[], Any], shards: int,
+                 context: Optional[str] = None):
+        ctx = mp.get_context(context) if context else mp.get_context()
+        self._protos = [sketch_factory() for _ in range(shards)]
+        self._conns = []
+        self._procs = []
+        self._pending = [0] * shards
+        self._closed = False
+        for shard in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._protos[shard]),
+                daemon=True,
+                name=f"repro-ingest-shard-{shard}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(self, shard: int, message) -> None:
+        try:
+            self._conns[shard].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError(
+                f"shard {shard} worker is gone (send failed: {exc})"
+            ) from exc
+
+    def _recv(self, shard: int, expect: str):
+        conn = self._conns[shard]
+        if not conn.poll(_SYNC_TIMEOUT):
+            raise WorkerCrashError(
+                f"shard {shard} worker did not respond within {_SYNC_TIMEOUT}s"
+            )
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashError(
+                f"shard {shard} worker died mid-ingest"
+            ) from exc
+        if kind != expect:
+            raise EngineError(
+                f"shard {shard} protocol error: expected {expect!r}, got {kind!r}"
+            )
+        self._pending[shard] = 0
+        return payload
+
+    # -- pool API -------------------------------------------------------
+
+    def submit(self, shard: int, updates: Sequence) -> float:
+        self._send(shard, ("batch", list(updates)))
+        self._pending[shard] += 1
+        return 0.0  # worker-side time is reported at finish()
+
+    def load(self, shard: int, blob: bytes) -> None:
+        self._send(shard, ("load", blob))
+
+    def dump_all(self) -> List[bytes]:
+        """Checkpoint barrier: drain every shard and collect its state."""
+        for shard in range(len(self._conns)):
+            self._send(shard, ("dump", None))
+        return [self._recv(shard, "state") for shard in range(len(self._conns))]
+
+    def finish(self) -> List[Tuple[Any, float, int]]:
+        out: List[Tuple[Any, float, int]] = []
+        for shard in range(len(self._conns)):
+            self._send(shard, ("finish", None))
+        for shard in range(len(self._conns)):
+            blob, seconds, events = self._recv(shard, "final")
+            sketch = load_sketch(self._protos[shard], blob)
+            out.append((sketch, seconds, events))
+        self.close()
+        return out
+
+    def queue_depth(self, shard: int) -> int:
+        """Batches submitted to the shard since its last barrier."""
+        return self._pending[shard]
+
+    def inject_crash(self, shard: int) -> None:
+        """Fault injection: hard-kill one shard worker (tests)."""
+        self._send(shard, ("crash", None))
+
+    def close(self, force: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close(force=True)
+        except Exception:
+            pass
+
+
+def make_pool(backend: str, sketch_factory: Callable[[], Any], shards: int):
+    """Build a worker pool: ``backend`` is ``"serial"`` or ``"process"``."""
+    if backend == "serial":
+        return SerialPool(sketch_factory, shards)
+    if backend == "process":
+        return ProcessPool(sketch_factory, shards)
+    raise EngineError(f"unknown ingest backend {backend!r}")

@@ -53,3 +53,24 @@ class IncompatibleSketchError(ReproError):
 
 class StreamError(ReproError):
     """A dynamic stream violated multigraph-freeness or balance invariants."""
+
+
+class EngineError(ReproError):
+    """Base class for ingestion-engine failures (:mod:`repro.engine`)."""
+
+
+class CheckpointError(EngineError):
+    """A checkpoint file is missing, truncated, corrupted, or was written
+    by an incompatible engine configuration.
+
+    Raised eagerly on restore so that a damaged checkpoint can never be
+    deserialized silently into wrong sketch state.
+    """
+
+
+class WorkerCrashError(EngineError):
+    """A shard worker died (or stopped responding) mid-ingest.
+
+    With checkpointing enabled, the ingest can be resumed from the last
+    checkpoint; without it, the stream must be replayed from the start.
+    """

@@ -9,8 +9,11 @@ from .spanning_forest import SpanningForestSketch, default_rounds
 from .serialization import (
     dump_grid,
     dump_member_state,
+    dump_sketch,
+    iter_grids,
     load_grid,
     load_member_state,
+    load_sketch,
     message_bytes,
 )
 from .sparse_recovery import SparseRecoveryStructure
@@ -30,5 +33,8 @@ __all__ = [
     "load_grid",
     "dump_member_state",
     "load_member_state",
+    "dump_sketch",
+    "load_sketch",
+    "iter_grids",
     "message_bytes",
 ]

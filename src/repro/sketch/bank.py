@@ -159,6 +159,27 @@ class SamplerGrid:
                     fv = int(f_base[lvl, b]) + cf
                     f_base[lvl, b] = fv - _P if fv >= _P else fv
 
+    def update_batch(self, members, indices, deltas) -> int:
+        """Apply a whole array of ``x_member[index] += delta`` updates.
+
+        Parameters are parallel 1-D integer arrays.  The final counter
+        state is bit-identical to looping :meth:`update` over the batch
+        (updates commute), but the hashing, placement, and modular cell
+        arithmetic are vectorised with numpy — the engine's fast path
+        for heavy streams.  Returns the number of nonzero-delta updates
+        applied.  See :func:`repro.engine.batch.grid_update_batch`.
+        """
+        from ..engine.batch import grid_update_batch
+
+        return grid_update_batch(self, members, indices, deltas)
+
+    def reset(self) -> None:
+        """Zero all counters (back to the empty-stream state)."""
+        self._w.fill(0)
+        self._s.fill(0)
+        self._f.fill(0)
+        self._updates = 0
+
     # -- linearity --------------------------------------------------------
 
     def _check_compatible(self, other: "SamplerGrid") -> None:

@@ -150,3 +150,77 @@ def load_member_state(grid: SamplerGrid, blob: bytes) -> int:
 def message_bytes(grid: SamplerGrid, member: int = 0) -> int:
     """Exact on-the-wire size of one player message."""
     return len(dump_member_state(grid, member))
+
+
+# -- whole-sketch state (engine checkpoints, worker shipping) ------------
+
+_SKETCH_MAGIC = b"RPSK"
+
+
+def iter_grids(sketch):
+    """Yield every :class:`SamplerGrid` a composite sketch owns.
+
+    Understands the library's composition conventions: a raw grid, a
+    sketch owning a ``grid`` (:class:`SpanningForestSketch`), and a
+    sketch owning ``layers`` of sub-sketches (:class:`SkeletonSketch`),
+    recursively.  This is what lets the ingestion engine checkpoint and
+    merge any of the streaming sketches without per-type code.
+    """
+    if isinstance(sketch, SamplerGrid):
+        yield sketch
+    elif hasattr(sketch, "grid"):
+        yield sketch.grid
+    elif hasattr(sketch, "layers"):
+        for layer in sketch.layers:
+            yield from iter_grids(layer)
+    else:
+        raise IncompatibleSketchError(
+            f"cannot serialize {type(sketch).__name__}: "
+            "expected a SamplerGrid, .grid, or .layers"
+        )
+
+
+def dump_sketch(sketch) -> bytes:
+    """Serialize the full counter state of any grid-composed sketch.
+
+    The envelope is a magic tag, a grid count, and the length-prefixed
+    :func:`dump_grid` blob of each constituent grid (each carrying its
+    own verified header).
+    """
+    blobs = [dump_grid(g) for g in iter_grids(sketch)]
+    out = [_SKETCH_MAGIC, struct.pack("<I", len(blobs))]
+    for blob in blobs:
+        out.append(struct.pack("<Q", len(blob)))
+        out.append(blob)
+    return b"".join(out)
+
+
+def load_sketch(sketch, blob: bytes, accumulate: bool = False):
+    """Restore (or linearly add, with ``accumulate``) whole-sketch state.
+
+    ``sketch`` must be structurally identical (same constructor
+    parameters and seed) to the dumped one; every constituent grid's
+    header is verified and mismatches raise
+    :class:`~repro.errors.IncompatibleSketchError`.
+    """
+    grids = list(iter_grids(sketch))
+    if blob[:4] != _SKETCH_MAGIC:
+        raise IncompatibleSketchError("not a sketch-state blob (bad magic)")
+    (count,) = struct.unpack_from("<I", blob, 4)
+    if count != len(grids):
+        raise IncompatibleSketchError(
+            f"sketch-state blob has {count} grids, target has {len(grids)}"
+        )
+    offset = 8
+    for grid in grids:
+        if offset + 8 > len(blob):
+            raise IncompatibleSketchError("truncated sketch-state blob")
+        (size,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        if offset + size > len(blob):
+            raise IncompatibleSketchError("truncated sketch-state blob")
+        load_grid(grid, blob[offset:offset + size], accumulate=accumulate)
+        offset += size
+    if offset != len(blob):
+        raise IncompatibleSketchError("trailing bytes in sketch-state blob")
+    return sketch

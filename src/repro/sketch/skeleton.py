@@ -76,6 +76,26 @@ class SkeletonSketch:
         for layer in self.layers:
             layer.update(edge, sign)
 
+    def update_batch(self, updates) -> int:
+        """Apply a batch of signed hyperedge updates to every layer.
+
+        The incidence-row expansion is computed once (all layers share
+        the same edge space and active-vertex mapping) and folded into
+        each layer's grid through the vectorised kernel.  Bit-identical
+        to per-event :meth:`update`.  Returns the number of
+        incidence-row updates applied per layer.
+        """
+        from ..engine.batch import expand_edge_batch
+
+        first = self.layers[0]
+        members, indices, deltas = expand_edge_batch(
+            first.scheme, first._member_of, updates
+        )
+        applied = 0
+        for layer in self.layers:
+            applied = layer.grid.update_batch(members, indices, deltas)
+        return applied
+
     def insert(self, edge: Sequence[int]) -> None:
         """Stream insertion."""
         self.update(edge, 1)
@@ -99,6 +119,13 @@ class SkeletonSketch:
         for mine, theirs in zip(self.layers, other.layers):
             mine -= theirs
         return self
+
+    def copy(self) -> "SkeletonSketch":
+        """An independent deep copy (shares only immutable structure)."""
+        out = SkeletonSketch.__new__(SkeletonSketch)
+        out.__dict__.update(self.__dict__)
+        out.layers = [layer.copy() for layer in self.layers]
+        return out
 
     # -- decoding -----------------------------------------------------------
 

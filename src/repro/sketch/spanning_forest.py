@@ -118,6 +118,24 @@ class SpanningForestSketch:
                 )
             self.grid.update(member, index, sign * coeff)
 
+    def update_batch(self, updates) -> int:
+        """Apply a whole batch of signed hyperedge updates at once.
+
+        ``updates`` is an iterable of
+        :class:`~repro.stream.updates.EdgeUpdate` (or ``(edge, sign)``
+        pairs).  The batch is expanded into signed incidence-row
+        updates and folded through the vectorised grid kernel —
+        bit-identical to calling :meth:`update` per event, but much
+        faster on heavy streams.  Returns the number of incidence-row
+        updates applied.
+        """
+        from ..engine.batch import expand_edge_batch
+
+        members, indices, deltas = expand_edge_batch(
+            self.scheme, self._member_of, updates
+        )
+        return self.grid.update_batch(members, indices, deltas)
+
     def insert(self, edge: Sequence[int]) -> None:
         """Stream insertion of a hyperedge."""
         self.update(edge, 1)
@@ -169,6 +187,13 @@ class SpanningForestSketch:
         self._check_compatible(other)
         self.grid -= other.grid
         return self
+
+    def copy(self) -> "SpanningForestSketch":
+        """An independent deep copy (shares only immutable structure)."""
+        out = SpanningForestSketch.__new__(SpanningForestSketch)
+        out.__dict__.update(self.__dict__)
+        out.grid = self.grid.copy()
+        return out
 
     # -- decoding -----------------------------------------------------------
 

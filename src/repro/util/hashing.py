@@ -81,6 +81,20 @@ def hash64_np(seeds: np.ndarray, value: int) -> np.ndarray:
         return splitmix64_np(seeds.astype(_U64) ^ v)
 
 
+def hash64_many(seed: int, values: np.ndarray) -> np.ndarray:
+    """Hash an array of values under one scalar seed at once.
+
+    The transpose of :func:`hash64_np`: bit-identical to calling
+    :func:`hash64` element-by-element, but vectorised over the values.
+    This is the hot primitive of the batched ingestion engine
+    (:mod:`repro.engine.batch`), which hashes a whole batch of
+    coordinates per (group, row) rather than one coordinate per call.
+    """
+    with np.errstate(over="ignore"):
+        v = splitmix64_np(values.astype(_U64))
+        return splitmix64_np(_U64(seed & _MASK64) ^ v)
+
+
 def trailing_zeros64_np(x: np.ndarray) -> np.ndarray:
     """Count trailing zero bits of each element of a ``uint64`` array.
 

@@ -93,6 +93,47 @@ def scale_vec_mod(vec: np.ndarray, scalar: int) -> np.ndarray:
     return np.array(obj, dtype=np.int64).reshape(vec.shape)
 
 
+def shl32_vec_mod(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``(x * 2**32) mod p`` for residues in ``uint64``.
+
+    Uses the Mersenne rotation: with ``x = q * 2**29 + r``,
+    ``x * 2**32 = q * 2**61 + r * 2**32 ≡ q + r * 2**32 (mod p)``,
+    and every intermediate fits in an unsigned 64-bit word.
+    """
+    x = x.astype(np.uint64)
+    low = (x & np.uint64((1 << 29) - 1)) << np.uint64(32)
+    high = x >> np.uint64(29)
+    return (low + high) % np.uint64(MERSENNE_61)
+
+
+def mul_vec_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact elementwise ``(a * b) mod p`` for residue arrays in [0, p).
+
+    numpy has no 128-bit integers, so the product is assembled from
+    32-bit halves entirely in ``uint64``: with ``a = a1·2^32 + a0`` and
+    ``b = b1·2^32 + b0``,
+
+        a·b = a1·b1·2^64 + (a1·b0 + a0·b1)·2^32 + a0·b0,
+
+    where ``2^64 ≡ 8 (mod p)`` and the middle term reduces through
+    :func:`shl32_vec_mod`.  Every partial product stays below 2^64.
+    Unlike :func:`scale_vec_mod` this never routes through ``object``
+    dtype, which is what keeps the batched update kernel vectorised.
+    Returns an ``int64`` residue array in [0, p).
+    """
+    p = np.uint64(MERSENNE_61)
+    mask32 = np.uint64(0xFFFFFFFF)
+    a = np.asarray(a).astype(np.uint64)
+    b = np.asarray(b).astype(np.uint64)
+    a1, a0 = a >> np.uint64(32), a & mask32
+    b1, b0 = b >> np.uint64(32), b & mask32
+    # a1·b1 < 2^58, times 2^64 ≡ 8: still < 2^61.
+    top = (a1 * b1 * np.uint64(8)) % p
+    cross = shl32_vec_mod((a1 * b0 + a0 * b1) % p)
+    low = (a0 * b0) % p
+    return ((top + cross + low) % p).astype(np.int64)
+
+
 def add_vec_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise ``(a + b) mod p`` on ``int64`` residue arrays."""
     s = a.astype(np.int64) + b.astype(np.int64)

@@ -1,0 +1,39 @@
+"""Smoke-mode run of the ingest-engine benchmark (small n, tier-1 safe).
+
+The full benchmark (``pytest benchmarks/bench_ingest_engine.py``)
+asserts the 5x throughput bar at n >= 256; here the same comparison
+core runs at small n so the benchmark's plumbing — stream generation,
+all three ingest paths, and the bit-identity checks — is exercised on
+every tier-1 run without timing flakiness.
+"""
+
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(_BENCH_DIR))
+
+from bench_ingest_engine import churn_comparison, churn_stream  # noqa: E402
+
+
+class TestBenchSmoke:
+    def test_churn_stream_is_valid(self):
+        from repro.stream.updates import StreamValidator
+
+        stream = churn_stream(24, 0.1, seed=1)
+        validator = StreamValidator(24, 2)
+        for u in stream:
+            validator.apply(u)
+        assert len(stream) > 0
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_smoke_comparison(self, backend):
+        r = churn_comparison(
+            24, p=0.15, seed=2, shards=2, batch_size=64, backend=backend
+        )
+        assert r["batched_identical"]
+        assert r["sharded_identical"]
+        assert r["events"] > 0
+        assert r["scalar_ups"] > 0 and r["batched_ups"] > 0

@@ -1,0 +1,224 @@
+"""Checkpoint round-trips, corruption rejection, and crash recovery.
+
+The acceptance bar: a truncated or bit-flipped checkpoint must raise a
+clear :class:`CheckpointError` — never deserialize silently — and a
+worker killed mid-stream must be recoverable from the latest checkpoint
+with *bit-identical* final answers.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+from repro.engine.shard import ShardedIngestEngine
+from repro.errors import CheckpointError
+from repro.sketch.serialization import dump_sketch
+from repro.sketch.spanning_forest import SpanningForestSketch
+from repro.stream.generators import random_dynamic_stream
+
+
+def sample_checkpoint() -> Checkpoint:
+    sk = SpanningForestSketch(8, seed=1)
+    sk.insert((0, 1))
+    return Checkpoint(
+        offset=37,
+        shard_blobs=[dump_sketch(sk), dump_sketch(zeroed(sk))],
+        meta={"shards": 2, "partition_seed": 0, "sketch": "SpanningForestSketch"},
+    )
+
+
+def zeroed(sk):
+    from repro.engine.shard import zero_clone
+
+    return zero_clone(sk)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        ck = sample_checkpoint()
+        back = decode_checkpoint(encode_checkpoint(ck))
+        assert back.offset == ck.offset
+        assert back.shard_blobs == ck.shard_blobs
+        assert back.meta == ck.meta
+
+    def test_bad_magic(self):
+        data = bytearray(encode_checkpoint(sample_checkpoint()))
+        data[:4] = b"NOPE"
+        with pytest.raises(CheckpointError, match="magic"):
+            decode_checkpoint(bytes(data))
+
+    def test_truncation_rejected(self):
+        data = encode_checkpoint(sample_checkpoint())
+        for cut in (len(data) // 3, len(data) - 1, 10):
+            with pytest.raises(CheckpointError):
+                decode_checkpoint(data[:cut])
+
+    def test_every_bit_flip_region_rejected(self):
+        data = encode_checkpoint(sample_checkpoint())
+        for pos in (6, len(data) // 2, len(data) - 6):
+            flipped = bytearray(data)
+            flipped[pos] ^= 0x40
+            with pytest.raises(CheckpointError):
+                decode_checkpoint(bytes(flipped))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(b"")
+
+
+class TestManager:
+    def test_save_load_latest(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=10)
+        ck = sample_checkpoint()
+        path = mgr.save(ck)
+        assert os.path.exists(path)
+        assert path.endswith(".rpck")
+        loaded = mgr.load_latest()
+        assert loaded.offset == ck.offset
+        assert loaded.shard_blobs == ck.shard_blobs
+
+    def test_empty_directory_gives_none(self, tmp_path):
+        assert CheckpointManager(str(tmp_path / "none")).load_latest() is None
+
+    def test_prune_keeps_newest(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), interval=10, keep=2)
+        for offset in (10, 20, 30):
+            ck = sample_checkpoint()
+            ck.offset = offset
+            mgr.save(ck)
+        names = sorted(os.listdir(tmp_path))
+        assert len(names) == 2
+        assert mgr.load_latest().offset == 30
+
+    def test_corrupted_latest_raises_not_falls_back(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), interval=10)
+        path = mgr.save(sample_checkpoint())
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(data)
+        with pytest.raises(CheckpointError):
+            mgr.load_latest()
+
+    def test_truncated_file_on_disk_rejected(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), interval=10)
+        path = mgr.save(sample_checkpoint())
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            mgr.load_latest()
+
+    def test_no_tmp_droppings(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), interval=10)
+        mgr.save(sample_checkpoint())
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_bad_interval(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(str(tmp_path), interval=0)
+
+
+class TestCrashRecovery:
+    """Kill the ingest mid-stream, restore, and demand identical answers."""
+
+    def _reference(self, stream, seed):
+        sk = SpanningForestSketch(20, seed=seed)
+        for u in stream:
+            sk.update(u.edge, u.sign)
+        return dump_sketch(sk)
+
+    def test_fault_injection_resume_bit_identical(self, tmp_path):
+        seed = 13
+        stream, _ = random_dynamic_stream(20, 300, seed=seed)
+        expected = self._reference(stream, seed)
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=60)
+
+        calls = {"n": 0}
+
+        def die_eventually(shard, batch_index):
+            calls["n"] += 1
+            if calls["n"] > 12:
+                raise RuntimeError("simulated crash")
+
+        crashing = ShardedIngestEngine(
+            SpanningForestSketch(20, seed=seed),
+            shards=3,
+            batch_size=8,
+            checkpoint=mgr,
+            fault_hook=die_eventually,
+        )
+        with pytest.raises(RuntimeError):
+            crashing.ingest(stream)
+        assert mgr.latest_path() is not None  # something was saved pre-crash
+
+        fresh = ShardedIngestEngine(
+            SpanningForestSketch(20, seed=seed),
+            shards=3,
+            batch_size=8,
+            checkpoint=mgr,
+        )
+        result = fresh.ingest(stream, resume=True)
+        assert result.resumed_from is not None
+        assert result.resumed_from > 0
+        assert dump_sketch(result.sketch) == expected
+
+    def test_resume_skips_consumed_prefix(self, tmp_path):
+        seed = 4
+        stream, _ = random_dynamic_stream(16, 200, seed=seed)
+        mgr = CheckpointManager(str(tmp_path), interval=50)
+        first = ShardedIngestEngine(
+            SpanningForestSketch(16, seed=seed), shards=2, batch_size=8,
+            checkpoint=mgr,
+        )
+        full = first.ingest(stream)
+        assert full.metrics.checkpoint.saves > 0
+        resumed = ShardedIngestEngine(
+            SpanningForestSketch(16, seed=seed), shards=2, batch_size=8,
+            checkpoint=mgr,
+        ).ingest(stream, resume=True)
+        assert resumed.resumed_from == mgr.load_latest().offset
+        assert resumed.metrics.events == len(stream) - resumed.resumed_from
+        assert dump_sketch(resumed.sketch) == dump_sketch(full.sketch)
+
+    def test_incompatible_config_rejected(self, tmp_path):
+        seed = 6
+        stream, _ = random_dynamic_stream(12, 120, seed=seed)
+        mgr = CheckpointManager(str(tmp_path), interval=40)
+        ShardedIngestEngine(
+            SpanningForestSketch(12, seed=seed), shards=2, checkpoint=mgr,
+            batch_size=8,
+        ).ingest(stream)
+        wrong_shards = ShardedIngestEngine(
+            SpanningForestSketch(12, seed=seed), shards=3, checkpoint=mgr,
+            batch_size=8,
+        )
+        with pytest.raises(CheckpointError, match="incompatible"):
+            wrong_shards.ingest(stream, resume=True)
+        wrong_seed = ShardedIngestEngine(
+            SpanningForestSketch(12, seed=seed), shards=2, checkpoint=mgr,
+            batch_size=8, partition_seed=99,
+        )
+        with pytest.raises(CheckpointError, match="incompatible"):
+            wrong_seed.ingest(stream, resume=True)
+
+    def test_offset_beyond_stream_rejected(self, tmp_path):
+        seed = 8
+        stream, _ = random_dynamic_stream(12, 150, seed=seed)
+        mgr = CheckpointManager(str(tmp_path), interval=50)
+        ShardedIngestEngine(
+            SpanningForestSketch(12, seed=seed), shards=2, checkpoint=mgr,
+            batch_size=8,
+        ).ingest(stream)
+        short = stream[:10]
+        with pytest.raises(CheckpointError, match="beyond"):
+            ShardedIngestEngine(
+                SpanningForestSketch(12, seed=seed), shards=2, checkpoint=mgr,
+                batch_size=8,
+            ).ingest(short, resume=True)

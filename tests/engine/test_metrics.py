@@ -1,0 +1,97 @@
+"""Ingest metrics: histogram buckets, accounting, and JSON export."""
+
+import json
+
+from repro.engine.metrics import (
+    CheckpointStats,
+    IngestMetrics,
+    ShardStats,
+    batch_size_bucket,
+)
+
+
+class TestBatchSizeBucket:
+    def test_power_of_two_labels(self):
+        assert batch_size_bucket(1) == "1"
+        assert batch_size_bucket(2) == "2"
+        assert batch_size_bucket(3) == "3-4"
+        assert batch_size_bucket(4) == "3-4"
+        assert batch_size_bucket(5) == "5-8"
+        assert batch_size_bucket(512) == "257-512"
+        assert batch_size_bucket(513) == "513-1024"
+
+    def test_boundaries_partition(self):
+        # Every size lands in exactly the bucket that contains it.
+        for size in range(1, 300):
+            label = batch_size_bucket(size)
+            if "-" in label:
+                lo, hi = (int(x) for x in label.split("-"))
+                assert lo <= size <= hi
+            else:
+                assert size == int(label)
+
+
+class TestShardStats:
+    def test_throughput(self):
+        s = ShardStats(shard=0, events=100, batches=2, seconds=0.5)
+        assert s.updates_per_second == 200
+        assert ShardStats(shard=1).updates_per_second == float("inf")
+
+
+class TestIngestMetrics:
+    def make(self):
+        return IngestMetrics(shards=2, backend="serial", batch_size=64)
+
+    def test_observe_batch(self):
+        m = self.make()
+        m.observe_batch(0, 64, 0.1)
+        m.observe_batch(1, 10, 0.05)
+        m.observe_batch(0, 64, 0.1)
+        assert m.events == 138
+        assert m.batches == 3
+        assert m.per_shard[0].events == 128
+        assert m.batch_size_hist == {"33-64": 2, "9-16": 1}
+
+    def test_queue_depth_tracks_max(self):
+        m = self.make()
+        for d in (0, 3, 1):
+            m.observe_queue_depth(d)
+        assert m.max_queue_depth == 3
+
+    def test_checkpoint_stats(self):
+        ck = CheckpointStats()
+        ck.observe(1000, 0.2)
+        ck.observe(1200, 0.3)
+        assert ck.saves == 2
+        assert ck.bytes_last == 1200
+        assert ck.bytes_total == 2200
+        assert abs(ck.seconds_total - 0.5) < 1e-12
+
+    def test_json_round_trip(self):
+        m = self.make()
+        m.observe_batch(0, 5, 0.01)
+        m.wall_seconds = 0.5
+        data = json.loads(m.to_json())
+        assert data["shards"] == 2
+        assert data["events"] == 5
+        assert data["per_shard"][0]["events"] == 5
+        assert data["checkpoint"]["saves"] == 0
+        assert data["updates_per_second"] == 10.0
+
+    def test_histogram_sorted_numerically(self):
+        m = self.make()
+        for size in (1000, 2, 70):
+            m.observe_batch(0, size, 0.0)
+        keys = list(m.to_dict()["batch_size_hist"])
+        lows = [int(k.split("-")[0]) for k in keys]
+        assert lows == sorted(lows)
+
+    def test_summary_mentions_shards(self):
+        m = self.make()
+        m.observe_batch(0, 5, 0.01)
+        m.wall_seconds = 0.1
+        text = m.summary()
+        assert "shard 0" in text and "shard 1" in text
+        assert "checkpoints" not in text  # none saved
+        m.checkpoint.observe(100, 0.01)
+        assert "checkpoints: 1 saved" in m.summary()

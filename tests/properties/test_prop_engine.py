@@ -1,0 +1,87 @@
+"""Property tests for the sharded ingestion engine.
+
+The central property (linearity made operational): for *any* valid
+dynamic stream, *any* shard count, and *any* deterministic partition
+seed, hash-partitioning the stream across k zero-clone sketches and
+merging with ``+=`` yields state bit-identical to one sketch consuming
+the whole stream — including degenerate cases where k exceeds the
+number of events and some shards see nothing at all.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.shard import ShardedIngestEngine, shard_of_edge, zero_clone
+from repro.sketch.serialization import dump_sketch
+from repro.sketch.spanning_forest import SpanningForestSketch
+
+from .test_prop_streams_and_sketches import dynamic_streams
+
+N = 10
+
+
+def single_sketch_state(stream, seed) -> bytes:
+    sketch = SpanningForestSketch(N, seed=seed)
+    for u in stream:
+        sketch.update(u.edge, u.sign)
+    return dump_sketch(sketch)
+
+
+class TestShardingProperties:
+    @given(
+        dynamic_streams(),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_partition_merges_to_single_sketch(
+        self, sg, shards, seed, partition_seed
+    ):
+        stream, _final = sg
+        engine = ShardedIngestEngine(
+            SpanningForestSketch(N, seed=seed),
+            shards=shards,
+            batch_size=7,
+            partition_seed=partition_seed,
+        )
+        result = engine.ingest(stream)
+        assert dump_sketch(result.sketch) == single_sketch_state(stream, seed)
+        assert result.events == len(stream)
+
+    @given(dynamic_streams(max_steps=6), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_more_shards_than_events(self, sg, seed):
+        """Empty shards contribute zero and never corrupt the merge."""
+        stream, _final = sg
+        engine = ShardedIngestEngine(
+            SpanningForestSketch(N, seed=seed), shards=12, batch_size=3
+        )
+        result = engine.ingest(stream)
+        assert dump_sketch(result.sketch) == single_sketch_state(stream, seed)
+
+    @given(dynamic_streams(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_insert_delete_pairs_land_on_same_shard(self, sg, partition_seed):
+        stream, _final = sg
+        assigned = {}
+        for u in stream:
+            shard = shard_of_edge(u.edge, partition_seed, 5)
+            assert assigned.setdefault(u.edge, shard) == shard
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_manual_partition_merge(self, seed):
+        """Explicit zero-clone + manual merge equals the engine's answer
+        (the engine is not doing anything beyond linearity)."""
+        from repro.stream.generators import random_dynamic_stream
+
+        stream, _ = random_dynamic_stream(N, 60, seed=seed % 1000)
+        proto = SpanningForestSketch(N, seed=seed)
+        parts = [zero_clone(proto) for _ in range(3)]
+        for u in stream:
+            parts[shard_of_edge(u.edge, 0, 3)].update(u.edge, u.sign)
+        merged = zero_clone(proto)
+        for part in parts:
+            merged += part
+        assert dump_sketch(merged) == single_sketch_state(stream, seed)

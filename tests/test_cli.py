@@ -123,6 +123,53 @@ class TestGenerate:
         assert text.startswith("n 9 r 3")
 
 
+class TestIngest:
+    def test_basic_ingest(self, cycle_stream, capsys):
+        code = main(["ingest", cycle_stream, "--shards", "2", "--batch-size", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events=8" in out
+        assert "shards=2" in out
+        assert "decode:" in out
+
+    def test_metrics_json_stdout(self, cycle_stream, capsys):
+        import json
+
+        assert main(["ingest", cycle_stream, "--metrics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        data = json.loads(payload)
+        assert data["events"] == 8
+        assert data["shards"] == 1
+
+    def test_metrics_json_file(self, cycle_stream, tmp_path, capsys):
+        import json
+
+        dest = tmp_path / "metrics.json"
+        assert main(["ingest", cycle_stream, "--metrics-json", str(dest)]) == 0
+        data = json.loads(dest.read_text())
+        assert data["events"] == 8
+        assert "written to" in capsys.readouterr().out
+
+    def test_skeleton_sketch(self, cycle_stream, capsys):
+        code = main(["ingest", cycle_stream, "--sketch", "skeleton", "--k", "2"])
+        assert code == 0
+        assert "skeleton edges" in capsys.readouterr().out
+
+    def test_checkpoint_then_resume(self, cycle_stream, tmp_path, capsys):
+        ck = str(tmp_path / "ck")
+        args = ["ingest", cycle_stream, "--checkpoint-dir", ck,
+                "--checkpoint-interval", "3"]
+        assert main(args) == 0
+        assert "checkpoints:" in capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        assert "resumed from checkpoint offset" in capsys.readouterr().out
+
+    def test_resume_without_dir_is_error(self, cycle_stream, capsys):
+        assert main(["ingest", cycle_stream, "--resume"]) == 2
+        assert "checkpoint-dir" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["connectivity", "/nonexistent.stream"]) == 2
