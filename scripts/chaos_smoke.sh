@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Chaos smoke: run the fault-injection suite under several seeds.
+#
+# The `faults` marker selects tests that SIGKILL workers, hang them,
+# and corrupt checkpoints; `--chaos-seed` varies the streams and kill
+# points so recovery is exercised on different schedules, not one
+# hand-picked trace. Usage:
+#
+#   scripts/chaos_smoke.sh            # default seeds 0 1 2
+#   scripts/chaos_smoke.sh 7 11 13    # custom seeds
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+seeds=("$@")
+if [ ${#seeds[@]} -eq 0 ]; then
+    seeds=(0 1 2)
+fi
+
+for seed in "${seeds[@]}"; do
+    echo "=== chaos smoke: seed ${seed} ==="
+    PYTHONPATH=src python -m pytest -q -m faults --chaos-seed="${seed}"
+done
+echo "=== chaos smoke: all ${#seeds[@]} seeds passed ==="

@@ -22,6 +22,7 @@ theorem-by-theorem validation results.
 from ._version import __version__
 from .core import (
     DEFAULT_PARAMS,
+    DegradedResult,
     EdgeConnectivitySketch,
     GraphSparsifierSketch,
     HypergraphConnectivitySketch,
@@ -35,7 +36,13 @@ from .core import (
     max_cut_error,
     reconstruct_cut_degenerate,
 )
-from .engine import CheckpointManager, IngestMetrics, ShardedIngestEngine
+from .engine import (
+    CheckpointManager,
+    IngestMetrics,
+    RetryPolicy,
+    ShardedIngestEngine,
+    SupervisedPool,
+)
 from .errors import (
     CheckpointError,
     DomainError,
@@ -45,13 +52,16 @@ from .errors import (
     RankError,
     ReproError,
     SamplerEmptyError,
+    SamplerFailedError,
+    SamplerZeroError,
     SketchDecodeError,
     StreamError,
+    SupervisionError,
     WorkerCrashError,
 )
 from .graph import Graph, Hypergraph, WeightedHypergraph
 from .sketch import SkeletonSketch, SpanningForestSketch
-from .stream import EdgeUpdate, StreamRunner
+from .stream import BadUpdate, EdgeUpdate, Quarantine, StreamRunner
 
 __all__ = [
     "__version__",
@@ -77,6 +87,12 @@ __all__ = [
     "SkeletonSketch",
     "EdgeUpdate",
     "StreamRunner",
+    # robustness
+    "DegradedResult",
+    "Quarantine",
+    "BadUpdate",
+    "RetryPolicy",
+    "SupervisedPool",
     # ingestion engine
     "ShardedIngestEngine",
     "CheckpointManager",
@@ -88,9 +104,12 @@ __all__ = [
     "SketchDecodeError",
     "NotOneSparseError",
     "SamplerEmptyError",
+    "SamplerZeroError",
+    "SamplerFailedError",
     "IncompatibleSketchError",
     "StreamError",
     "EngineError",
     "CheckpointError",
     "WorkerCrashError",
+    "SupervisionError",
 ]

@@ -9,11 +9,18 @@ Usage (after installation)::
     python -m repro reconstruct STREAM_FILE --d D [--seed S]
     python -m repro ingest STREAM_FILE [--shards N --batch-size B]
                     [--checkpoint-dir D [--resume]] [--metrics-json PATH]
+                    [--retries N [--replay-limit E --replay-spill-dir DIR]]
     python -m repro generate {gnp,harary,hypergraph} ... -o STREAM_FILE
 
 Stream files use the text format of :mod:`repro.stream.file_io`.
 Every command prints a small human-readable report and exits 0 on
-success; malformed inputs exit 2 with a diagnostic.
+success; malformed inputs exit 2 with a diagnostic.  Robustness flags
+(available on the stream-consuming commands): ``--on-bad-update
+{strict,quarantine,drop}`` with ``--quarantine-file`` governs malformed
+input lines; ``--retries N`` (ingest) supervises shard workers with
+checkpoint-replay recovery; ``--degraded-ok`` (query,
+edge-connectivity) accepts weaker answers on sketch decode failure,
+clearly marked ``DEGRADED``.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from .core.sparsifier import HypergraphSparsifierSketch
 from .errors import ReproError
 from .stream.file_io import load_stream_file, save_stream_file
 from .stream.generators import insert_only
+from .stream.quarantine import Quarantine
 
 
 def _params(name: str) -> Params:
@@ -46,8 +54,32 @@ def _feed(sketch, updates) -> None:
         sketch.update(u.edge, u.sign)
 
 
+def _load(args):
+    """Load the stream under the command's bad-update policy.
+
+    With ``--on-bad-update strict`` (the default) this is the classic
+    fail-fast parse.  Under ``quarantine``/``drop``, malformed lines —
+    including balance violations, which the non-strict path also
+    checks — are diverted (to ``--quarantine-file`` when given) and a
+    one-line summary is printed.
+    """
+    policy = getattr(args, "on_bad_update", "strict")
+    if policy == "strict":
+        return load_stream_file(args.stream)
+    qpath = getattr(args, "quarantine_file", None)
+    with Quarantine(qpath) as q:
+        n, r, updates = load_stream_file(
+            args.stream, on_bad_line=policy, quarantine=q, check_balance=True
+        )
+        diverted = len(q) + q.dropped
+        if diverted:
+            where = f" -> {qpath}" if qpath and policy == "quarantine" else ""
+            print(f"bad updates: {diverted} {policy}d{where}")
+    return n, r, updates
+
+
 def _cmd_connectivity(args) -> int:
-    n, r, updates = load_stream_file(args.stream)
+    n, r, updates = _load(args)
     sketch = HypergraphConnectivitySketch(n, r=r, seed=args.seed, params=_params(args.params))
     _feed(sketch, updates)
     comps = sketch.components()
@@ -59,26 +91,38 @@ def _cmd_connectivity(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    n, r, updates = load_stream_file(args.stream)
+    n, r, updates = _load(args)
     removed = [int(x) for x in args.remove.split(",") if x != ""]
     k = args.k if args.k is not None else max(1, len(removed))
     sketch = VertexConnectivityQuerySketch(
         n, k=k, r=r, seed=args.seed, params=_params(args.params)
     )
     _feed(sketch, updates)
-    verdict = sketch.disconnects(removed)
     print(f"n={n} r={r} events={len(updates)} k={k} R={sketch.repetitions}")
+    if args.degraded_ok:
+        result = sketch.disconnects_degraded(removed)
+        verdict = result.value
+        if result.degraded:
+            print(f"DEGRADED ({result.mode}): {result.detail}")
+    else:
+        verdict = sketch.disconnects(removed)
     print(f"removing {removed} disconnects the graph: {verdict}")
     return 0
 
 
 def _cmd_edge_connectivity(args) -> int:
-    n, r, updates = load_stream_file(args.stream)
+    n, r, updates = _load(args)
     sketch = EdgeConnectivitySketch(
         n, k_max=args.k_max, r=r, seed=args.seed, params=_params(args.params)
     )
     _feed(sketch, updates)
-    lam = sketch.estimate()
+    if args.degraded_ok:
+        result = sketch.estimate_degraded()
+        lam = result.value
+        if result.degraded:
+            print(f"DEGRADED ({result.mode}): {result.detail}")
+    else:
+        lam = sketch.estimate()
     suffix = " (at least; saturated the cap)" if lam == args.k_max else ""
     print(f"n={n} r={r} events={len(updates)}")
     print(f"edge connectivity estimate: {lam}{suffix}")
@@ -86,7 +130,7 @@ def _cmd_edge_connectivity(args) -> int:
 
 
 def _cmd_sparsify(args) -> int:
-    n, r, updates = load_stream_file(args.stream)
+    n, r, updates = _load(args)
     sketch = HypergraphSparsifierSketch(
         n,
         r=r,
@@ -106,7 +150,7 @@ def _cmd_sparsify(args) -> int:
 
 
 def _cmd_reconstruct(args) -> int:
-    n, r, updates = load_stream_file(args.stream)
+    n, r, updates = _load(args)
     sketch = LightEdgeRecoverySketch(
         n, k=args.d, r=r, seed=args.seed, params=_params(args.params)
     )
@@ -125,10 +169,11 @@ def _cmd_reconstruct(args) -> int:
 def _cmd_ingest(args) -> int:
     from .engine.checkpoint import CheckpointManager
     from .engine.shard import ShardedIngestEngine
+    from .engine.supervisor import RetryPolicy
     from .sketch.skeleton import SkeletonSketch
     from .sketch.spanning_forest import SpanningForestSketch
 
-    n, r, updates = load_stream_file(args.stream)
+    n, r, updates = _load(args)
     if args.sketch == "skeleton":
         prototype = SkeletonSketch(n, k=args.k, r=r, seed=args.seed)
     else:
@@ -141,6 +186,9 @@ def _cmd_ingest(args) -> int:
     elif args.resume:
         print("error: --resume needs --checkpoint-dir", file=sys.stderr)
         return 2
+    supervision = None
+    if args.retries > 0:
+        supervision = RetryPolicy(max_restarts=args.retries)
     engine = ShardedIngestEngine(
         prototype,
         shards=args.shards,
@@ -148,6 +196,9 @@ def _cmd_ingest(args) -> int:
         backend=args.backend,
         partition_seed=args.seed,
         checkpoint=manager,
+        supervision=supervision,
+        replay_limit=args.replay_limit,
+        replay_spill_dir=args.replay_spill_dir,
     )
     result = engine.ingest(updates, resume=args.resume)
     metrics = result.metrics
@@ -203,6 +254,17 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["theory", "practical", "fast"],
             default="practical",
         )
+        p.add_argument(
+            "--on-bad-update",
+            choices=["strict", "quarantine", "drop"],
+            default="strict",
+            help="malformed stream lines: fail fast (strict), divert with "
+                 "provenance (quarantine), or skip silently (drop)",
+        )
+        p.add_argument(
+            "--quarantine-file", default=None, metavar="PATH",
+            help="JSONL file for quarantined lines (--on-bad-update quarantine)",
+        )
 
     p = sub.add_parser("connectivity", help="is the streamed (hyper)graph connected?")
     common(p)
@@ -212,11 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--remove", required=True, help="comma-separated vertex ids")
     p.add_argument("--k", type=int, default=None, help="query-size bound (default: |remove|)")
+    p.add_argument("--degraded-ok", action="store_true",
+                   help="answer from surviving instances on decode failure "
+                        "(reported as DEGRADED) instead of erroring")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("edge-connectivity", help="estimate λ up to a cap")
     common(p)
     p.add_argument("--k-max", type=int, default=4)
+    p.add_argument("--degraded-ok", action="store_true",
+                   help="fall back to a connectivity-only answer on decode "
+                        "failure (reported as DEGRADED) instead of erroring")
     p.set_defaults(func=_cmd_edge_connectivity)
 
     p = sub.add_parser("sparsify", help="decode a (1+ε) cut sparsifier")
@@ -248,6 +316,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from the latest checkpoint in --checkpoint-dir")
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="write the IngestMetrics report as JSON ('-' for stdout)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="supervise shard workers: restart a dead/hung worker "
+                        "up to N times, restoring from the last barrier and "
+                        "replaying the suffix (0 = unsupervised)")
+    p.add_argument("--replay-limit", type=int, default=250_000,
+                   help="max in-memory replay-log events under --retries")
+    p.add_argument("--replay-spill-dir", default=None, metavar="DIR",
+                   help="spill replay-log segments to DIR instead of forcing "
+                        "early barriers when --replay-limit is hit")
+    p.add_argument("--on-bad-update",
+                   choices=["strict", "quarantine", "drop"], default="strict",
+                   help="malformed stream lines: fail fast, divert, or skip")
+    p.add_argument("--quarantine-file", default=None, metavar="PATH",
+                   help="JSONL file for quarantined lines")
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("generate", help="write a workload stream file")

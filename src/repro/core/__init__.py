@@ -6,6 +6,7 @@ from .connectivity_estimate import (
     VertexConnectivityEstimator,
 )
 from .connectivity_query import VertexConnectivityQuerySketch
+from .degraded import DegradedResult, decode_with_degradation
 from .edge_connectivity_sketch import EdgeConnectivitySketch
 from .hyper_connectivity import (
     HypergraphConnectivitySketch,
@@ -35,4 +36,6 @@ __all__ = [
     "max_cut_error",
     "Params",
     "DEFAULT_PARAMS",
+    "DegradedResult",
+    "decode_with_degradation",
 ]

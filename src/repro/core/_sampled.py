@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import DomainError, StreamError
+from ..errors import DomainError, SketchDecodeError, StreamError
 from ..graph.graph import Graph
 from ..graph.hypergraph import Hypergraph
 from ..sketch.spanning_forest import SpanningForestSketch
@@ -143,6 +143,31 @@ class SampledForestUnion:
     def decode_union_graph(self) -> Graph:
         """H as an ordinary graph (rank-2 inputs only)."""
         return self.decode_union().to_graph()
+
+    def decode_union_accounted(self) -> Tuple[Hypergraph, List[int]]:
+        """Union of per-instance *strict* decodes, with failure accounting.
+
+        Each of the R instances is decoded with ``strict=True`` so that
+        detectable probabilistic failures surface; an instance that
+        fails is *skipped* (the other instances are independently
+        seeded, so the rest of the union stays valid) and its id is
+        returned in the failure list.  The degraded query layer
+        (:mod:`repro.core.degraded`) uses this to answer from the
+        surviving R - m instances instead of dying — with honest
+        reporting of m.  Bypasses the decode caches (strict and cached
+        forests must not mix).
+        """
+        failed: List[int] = []
+        union = Hypergraph(self.n, self.r)
+        for i, sketch in self.sketches.items():
+            try:
+                forest = sketch.decode(strict=True)
+            except SketchDecodeError:
+                failed.append(i)
+                continue
+            for e in forest.edges():
+                union.add_edge(e)
+        return union, failed
 
     # -- accounting -----------------------------------------------------------
 

@@ -26,6 +26,7 @@ from ..errors import DomainError
 from ..graph.traversal import hypergraph_is_connected_excluding
 from ..util.rng import normalize_seed
 from ._sampled import SampledForestUnion
+from .degraded import REASON_PARTIAL_CERTIFICATE, DegradedResult
 from .params import DEFAULT_PARAMS, Params
 
 
@@ -106,6 +107,49 @@ class VertexConnectivityQuerySketch:
                 raise DomainError(f"query vertex {v} outside [0, {self.n})")
         H = self.certificate()
         return not hypergraph_is_connected_excluding(H, S)
+
+    def disconnects_degraded(
+        self, removed: Iterable[int], metrics=None
+    ) -> DegradedResult:
+        """:meth:`disconnects` with honest degradation accounting.
+
+        Decodes every one of the R vertex-sampled instances *strictly*
+        (detectable probabilistic failures surface instead of being
+        silently absorbed).  Instances that fail are skipped — the
+        repetitions are independently seeded, so the surviving union is
+        still a valid (weaker) certificate — and the answer comes back
+        as a :class:`~repro.core.degraded.DegradedResult`: full
+        strength when every instance decoded, otherwise degraded with
+        reason ``partial-certificate`` and the failure count in the
+        detail.  ``metrics`` (an :class:`~repro.engine.metrics.
+        IngestMetrics` or compatible) has ``degraded_queries``
+        incremented per degraded answer.
+        """
+        S = set(removed)
+        if len(S) > self.k:
+            raise DomainError(
+                f"query set has {len(S)} vertices, structure supports <= {self.k}"
+            )
+        for v in S:
+            if not 0 <= v < self.n:
+                raise DomainError(f"query vertex {v} outside [0, {self.n})")
+        H, failed = self._union.decode_union_accounted()
+        answer = not hypergraph_is_connected_excluding(H, S)
+        if not failed:
+            return DegradedResult(value=answer, degraded=False, mode="full")
+        if metrics is not None:
+            metrics.degraded_queries += 1
+        return DegradedResult(
+            value=answer,
+            degraded=True,
+            mode="partial-certificate",
+            reason=REASON_PARTIAL_CERTIFICATE,
+            detail=(
+                f"{len(failed)} of {self.repetitions} sampled instances "
+                f"failed to decode (ids {failed[:8]}{'...' if len(failed) > 8 else ''}); "
+                "answered from the surviving union"
+            ),
+        )
 
     def is_connected(self) -> bool:
         """Whether the sketched graph itself appears connected (S = ∅)."""

@@ -29,6 +29,7 @@ from ..graph.hypergraph import Hypergraph
 from ..graph.hypergraph_cuts import hypergraph_edge_connectivity
 from ..sketch.skeleton import SkeletonSketch
 from ..util.rng import normalize_seed
+from .degraded import DegradedResult, decode_with_degradation
 from .params import DEFAULT_PARAMS, Params
 
 
@@ -96,7 +97,34 @@ class EdgeConnectivitySketch:
         Exact (w.h.p.) whenever λ(G) < k_max; the return value
         ``k_max`` means λ(G) >= k_max.
         """
-        skel = self.skeleton()
+        return self._estimate_from(self.skeleton())
+
+    def estimate_degraded(self, metrics=None) -> DegradedResult:
+        """:meth:`estimate` with the degraded-decoding fallback ladder.
+
+        Primary: a *strict* full k_max-layer skeleton decode (detectable
+        per-layer failures raise instead of silently thinning cuts),
+        then the usual ``min(λ(skeleton), k_max)``.  Fallback: a
+        connectivity-only decode of the first layer, which can still
+        answer ``λ >= 1`` vs ``λ = 0`` — returned as a degraded
+        :class:`~repro.core.degraded.DegradedResult` (mode
+        ``connectivity-only``) whose value is capped at 1.  Raises only
+        when even the fallback cannot decode.
+        """
+
+        def full() -> int:
+            skel = self._skeleton.decode(strict=True)
+            return self._estimate_from(skel)
+
+        def connectivity_only() -> int:
+            forest = self._skeleton.decode_connectivity_only()
+            return min(self._estimate_from(forest), 1)
+
+        return decode_with_degradation(
+            full, [("connectivity-only", connectivity_only)], metrics=metrics
+        )
+
+    def _estimate_from(self, skel: Hypergraph) -> int:
         if skel.num_edges == 0:
             return 0
         if all(len(e) == 2 for e in skel.edge_set()):

@@ -19,16 +19,22 @@ package turns that mathematical property into throughput:
 * :mod:`repro.engine.checkpoint` — periodic atomic checkpoint/restore
   of the per-shard sketch states, so a crashed ingest resumes from the
   last barrier instead of replaying the stream;
+* :mod:`repro.engine.supervisor` — worker supervision: dead/hung shard
+  workers are restarted with backoff + jitter, restored from the last
+  barrier, and replayed from the bounded :mod:`repro.engine.replay`
+  log, bit-identically to an uninterrupted run;
 * :mod:`repro.engine.metrics` — ingest observability (updates/sec per
-  shard, batch-size histogram, merge and checkpoint costs), exposed as
-  dataclasses and JSON.
+  shard, batch-size histogram, merge and checkpoint costs, restart /
+  retry / quarantine counters), exposed as dataclasses and JSON.
 """
 
 from .batch import expand_edge_batch, grid_update_batch, iter_event_batches
 from .checkpoint import Checkpoint, CheckpointManager
 from .metrics import CheckpointStats, IngestMetrics, ShardStats
 from .pool import ProcessPool, SerialPool, make_pool
+from .replay import ReplayLog
 from .shard import IngestResult, ShardedIngestEngine, shard_of_edge, zero_clone
+from .supervisor import RetryPolicy, SupervisedPool
 
 __all__ = [
     "grid_update_batch",
@@ -46,4 +52,7 @@ __all__ = [
     "IngestMetrics",
     "ShardStats",
     "CheckpointStats",
+    "RetryPolicy",
+    "SupervisedPool",
+    "ReplayLog",
 ]

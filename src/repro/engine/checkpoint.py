@@ -18,7 +18,11 @@ file in the same directory followed by ``os.replace``, so a crash
 mid-write can never leave a half-written file under a checkpoint name.
 Restores verify magic, version, CRC, and shard count and raise
 :class:`~repro.errors.CheckpointError` on any mismatch — a damaged
-checkpoint is loudly rejected, never silently deserialized.
+checkpoint is loudly rejected, never silently deserialized.  The
+manager retains ``keep`` generations, and ``load_latest`` falls back
+(with a warning) to the previous generation when the newest fails
+verification, so one corrupt byte costs at most one checkpoint
+interval of replay rather than the whole run.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -130,6 +135,8 @@ class CheckpointManager:
         self.directory = directory
         self.interval = interval
         self.keep = max(1, keep)
+        # Damaged-generation fallbacks observed by the last load_latest().
+        self.last_fallback: List[Tuple[str, str]] = []
 
     # -- paths ----------------------------------------------------------
 
@@ -192,12 +199,44 @@ class CheckpointManager:
             raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
         return decode_checkpoint(data)
 
-    def load_latest(self) -> Optional[Checkpoint]:
-        """The most recent checkpoint, or None when the directory is empty.
+    def load_latest(self, strict: bool = False) -> Optional[Checkpoint]:
+        """The most recent *loadable* checkpoint, or None when empty.
 
-        A damaged latest checkpoint raises :class:`CheckpointError`
-        rather than silently falling back to an older one — the caller
+        By default, a damaged newest checkpoint (truncation, bit flip,
+        CRC mismatch) falls back to the previous retained generation —
+        with ``keep >= 2`` a single corrupt byte no longer makes resume
+        impossible.  Every fallback is announced with a
+        :class:`UserWarning` and recorded in :attr:`last_fallback`
+        (``(bad_path, error_message)`` pairs, newest first), so the
+        caller can surface how much progress was sacrificed.  Only when
+        *every* retained generation is damaged does it raise
+        :class:`CheckpointError`, listing each file's failure.
+
+        With ``strict=True`` the pre-fallback behaviour is restored: a
+        damaged newest checkpoint raises immediately and the caller
         decides whether older state is acceptable.
         """
-        path = self.latest_path()
-        return self.load(path) if path is not None else None
+        self.last_fallback: List[Tuple[str, str]] = []
+        existing = self._existing()
+        if not existing:
+            return None
+        failures: List[Tuple[str, str]] = []
+        for _offset, path in reversed(existing):
+            try:
+                return self.load(path)
+            except CheckpointError as exc:
+                if strict:
+                    raise
+                failures.append((path, str(exc)))
+                self.last_fallback = list(failures)
+                warnings.warn(
+                    f"checkpoint {os.path.basename(path)} is damaged "
+                    f"({exc}); falling back to the previous generation",
+                    stacklevel=2,
+                )
+        detail = "; ".join(
+            f"{os.path.basename(p)}: {msg}" for p, msg in failures
+        )
+        raise CheckpointError(
+            f"every retained checkpoint is damaged ({detail})"
+        )

@@ -89,6 +89,14 @@ class IngestMetrics:
     merge_seconds: float = 0.0
     max_queue_depth: int = 0
     resumed_from: Optional[int] = None
+    # Robustness counters (the supervised/quarantine/degraded paths):
+    # worker restarts performed, operations retried after a recovery,
+    # updates diverted to quarantine, and queries answered in degraded
+    # mode.  All zero on a healthy run — operators alert on nonzero.
+    restarts: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    degraded_queries: int = 0
     batch_size_hist: Dict[str, int] = field(default_factory=dict)
     per_shard: List[ShardStats] = field(default_factory=list)
     checkpoint: CheckpointStats = field(default_factory=CheckpointStats)
@@ -135,6 +143,10 @@ class IngestMetrics:
             "updates_per_second": self.updates_per_second,
             "max_queue_depth": self.max_queue_depth,
             "resumed_from": self.resumed_from,
+            "restarts": self.restarts,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "degraded_queries": self.degraded_queries,
             "batch_size_hist": dict(sorted(
                 self.batch_size_hist.items(), key=lambda kv: int(kv[0].split("-")[0])
             )),
@@ -164,5 +176,11 @@ class IngestMetrics:
             lines.append(
                 f"  checkpoints: {ck.saves} saved, last {ck.bytes_last} bytes, "
                 f"{ck.seconds_total:.3f}s total"
+            )
+        if self.restarts or self.retries or self.quarantined or self.degraded_queries:
+            lines.append(
+                f"  robustness: {self.restarts} restarts, "
+                f"{self.retries} retries, {self.quarantined} quarantined, "
+                f"{self.degraded_queries} degraded queries"
             )
         return "\n".join(lines)

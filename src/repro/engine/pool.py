@@ -10,6 +10,13 @@ Both backends expose one small contract the engine drives:
   per shard;
 * ``queue_depth(shard)`` / ``close()``.
 
+For the supervision layer (:mod:`repro.engine.supervisor`) the barrier
+operations are also exposed per shard in split request/collect form
+(``request_dump``/``collect_dump``, ``request_finish``/
+``collect_finish``) together with ``restart_shard``, so a single dead
+worker can be replaced and re-driven without touching its healthy
+peers.
+
 :class:`SerialPool` folds batches in-process, immediately — zero
 queueing, useful for deterministic tests and as the vectorised-but-
 single-core fast path.  :class:`ProcessPool` runs one OS process per
@@ -17,8 +24,13 @@ shard over ``multiprocessing`` pipes; batches are pipelined (the parent
 does not wait per batch), and the linear sketches guarantee the final
 merge is independent of any interleaving.  Worker death is detected at
 the next synchronisation point and surfaces as
-:class:`~repro.errors.WorkerCrashError`, which the checkpoint layer
-turns into a resumable condition rather than lost work.
+:class:`~repro.errors.WorkerCrashError` carrying the shard index; the
+supervisor turns that into restart + checkpoint-restore + replay, and
+the checkpoint layer into a resumable condition rather than lost work.
+
+Both pools enforce the same lifecycle invariant: any operation after
+``close()``/``finish()`` raises :class:`~repro.errors.EngineError`
+rather than silently acting on torn-down state.
 """
 
 from __future__ import annotations
@@ -38,13 +50,19 @@ class SerialPool:
     """In-process backend: one private sketch per shard, fed directly."""
 
     def __init__(self, sketch_factory: Callable[[], Any], shards: int):
+        self._factory = sketch_factory
         self._sketches = [sketch_factory() for _ in range(shards)]
         self._seconds = [0.0] * shards
         self._events = [0] * shards
         self._closed = False
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineError("SerialPool is closed (use-after-close)")
+
     def submit(self, shard: int, updates: Sequence) -> float:
         """Fold a batch into the shard's sketch; returns seconds spent."""
+        self._ensure_open()
         start = time.perf_counter()
         self._sketches[shard].update_batch(updates)
         elapsed = time.perf_counter() - start
@@ -53,14 +71,45 @@ class SerialPool:
         return elapsed
 
     def load(self, shard: int, blob: bytes) -> None:
+        self._ensure_open()
         load_sketch(self._sketches[shard], blob)
 
+    # -- split barrier API (supervision contract) -----------------------
+
+    def request_dump(self, shard: int) -> None:
+        self._ensure_open()
+
+    def collect_dump(self, shard: int, timeout: Optional[float] = None) -> bytes:
+        self._ensure_open()
+        return dump_sketch(self._sketches[shard])
+
+    def request_finish(self, shard: int) -> None:
+        self._ensure_open()
+
+    def collect_finish(
+        self, shard: int, timeout: Optional[float] = None
+    ) -> Tuple[Any, float, int]:
+        self._ensure_open()
+        return (self._sketches[shard], self._seconds[shard], self._events[shard])
+
+    def restart_shard(self, shard: int) -> None:
+        """Replace the shard's sketch with a fresh zero-state one."""
+        self._ensure_open()
+        self._sketches[shard] = self._factory()
+        self._seconds[shard] = 0.0
+        self._events[shard] = 0
+
+    # -- whole-pool barriers --------------------------------------------
+
     def dump_all(self) -> List[bytes]:
+        self._ensure_open()
         return [dump_sketch(sk) for sk in self._sketches]
 
     def finish(self) -> List[Tuple[Any, float, int]]:
+        self._ensure_open()
+        out = list(zip(self._sketches, self._seconds, self._events))
         self._closed = True
-        return list(zip(self._sketches, self._seconds, self._events))
+        return out
 
     def queue_depth(self, shard: int) -> int:
         return 0
@@ -75,7 +124,8 @@ def _worker_main(conn, sketch) -> None:
     Commands arrive as ``(name, payload)`` tuples; ``dump``/``finish``
     act as barriers because the pipe delivers in order — by the time
     the worker answers, every previously submitted batch is folded in.
-    ``crash`` hard-exits the process (the fault-injection hook).
+    ``crash`` hard-exits the process and ``sleep`` stalls it (the
+    fault-injection hooks for dead and hung workers respectively).
 
     The loop polls with a timeout and watches for reparenting: under
     the fork start method every worker inherits the parent-side pipe
@@ -107,9 +157,12 @@ def _worker_main(conn, sketch) -> None:
                 return
             elif cmd == "crash":
                 os._exit(1)
+            elif cmd == "sleep":
+                time.sleep(payload)
             else:  # pragma: no cover - defensive
                 conn.send(("error", f"unknown command {cmd!r}"))
-    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        # parent died or closed our pipe (e.g. after declaring us hung)
         return
 
 
@@ -119,51 +172,70 @@ class ProcessPool:
     The factory's sketches (and batch payloads) must be picklable —
     every sketch in :mod:`repro.sketch` is.  The parent keeps a
     same-seed prototype per shard so worker dumps can be deserialized
-    back into real sketch objects for merging.
+    back into real sketch objects for merging.  ``sync_timeout`` is the
+    default patience at synchronisation points; the supervisor narrows
+    it per collect call from its per-batch deadline policy.
     """
 
     def __init__(self, sketch_factory: Callable[[], Any], shards: int,
-                 context: Optional[str] = None):
-        ctx = mp.get_context(context) if context else mp.get_context()
+                 context: Optional[str] = None,
+                 sync_timeout: float = _SYNC_TIMEOUT):
+        self._ctx = mp.get_context(context) if context else mp.get_context()
+        self._factory = sketch_factory
+        self._sync_timeout = sync_timeout
         self._protos = [sketch_factory() for _ in range(shards)]
         self._conns = []
         self._procs = []
         self._pending = [0] * shards
         self._closed = False
         for shard in range(shards):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, self._protos[shard]),
-                daemon=True,
-                name=f"repro-ingest-shard-{shard}",
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
+            conn, proc = self._spawn(shard)
+            self._conns.append(conn)
             self._procs.append(proc)
+
+    def _spawn(self, shard: int):
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._factory()),
+            daemon=True,
+            name=f"repro-ingest-shard-{shard}",
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
 
     # -- plumbing -------------------------------------------------------
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineError("ProcessPool is closed (use-after-close)")
+
     def _send(self, shard: int, message) -> None:
+        self._ensure_open()
         try:
             self._conns[shard].send(message)
         except (BrokenPipeError, OSError) as exc:
             raise WorkerCrashError(
-                f"shard {shard} worker is gone (send failed: {exc})"
+                f"shard {shard} worker is gone (send failed: {exc})",
+                shard=shard,
             ) from exc
 
-    def _recv(self, shard: int, expect: str):
+    def _recv(self, shard: int, expect: str, timeout: Optional[float] = None):
+        self._ensure_open()
         conn = self._conns[shard]
-        if not conn.poll(_SYNC_TIMEOUT):
+        patience = self._sync_timeout if timeout is None else timeout
+        if not conn.poll(patience):
             raise WorkerCrashError(
-                f"shard {shard} worker did not respond within {_SYNC_TIMEOUT}s"
+                f"shard {shard} worker did not respond within {patience}s "
+                "(hung or dead)",
+                shard=shard,
             )
         try:
             kind, payload = conn.recv()
         except (EOFError, OSError) as exc:
             raise WorkerCrashError(
-                f"shard {shard} worker died mid-ingest"
+                f"shard {shard} worker died mid-ingest", shard=shard
             ) from exc
         if kind != expect:
             raise EngineError(
@@ -182,20 +254,68 @@ class ProcessPool:
     def load(self, shard: int, blob: bytes) -> None:
         self._send(shard, ("load", blob))
 
+    # -- split barrier API (supervision contract) -----------------------
+
+    def request_dump(self, shard: int) -> None:
+        self._send(shard, ("dump", None))
+
+    def collect_dump(self, shard: int, timeout: Optional[float] = None) -> bytes:
+        return self._recv(shard, "state", timeout=timeout)
+
+    def request_finish(self, shard: int) -> None:
+        self._send(shard, ("finish", None))
+
+    def collect_finish(
+        self, shard: int, timeout: Optional[float] = None
+    ) -> Tuple[Any, float, int]:
+        blob, seconds, events = self._recv(shard, "final", timeout=timeout)
+        sketch = load_sketch(self._protos[shard], blob)
+        return sketch, seconds, events
+
+    def restart_shard(self, shard: int) -> None:
+        """Replace a dead/hung shard worker with a fresh zero-state one.
+
+        The old process is terminated (it may still be alive if merely
+        hung) and its pipe closed; the new worker starts from the
+        factory's zero-state sketch, ready for the supervisor to
+        ``load`` a checkpoint blob and replay the suffix.
+        """
+        self._ensure_open()
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        try:
+            self._conns[shard].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        conn, proc = self._spawn(shard)
+        self._conns[shard] = conn
+        self._procs[shard] = proc
+        self._pending[shard] = 0
+
+    def worker_pid(self, shard: int) -> int:
+        """OS pid of the shard's worker (fault injection / diagnostics)."""
+        return self._procs[shard].pid
+
+    def worker_alive(self, shard: int) -> bool:
+        """Whether the shard's worker process is currently alive."""
+        return self._procs[shard].is_alive()
+
+    # -- whole-pool barriers --------------------------------------------
+
     def dump_all(self) -> List[bytes]:
         """Checkpoint barrier: drain every shard and collect its state."""
         for shard in range(len(self._conns)):
-            self._send(shard, ("dump", None))
-        return [self._recv(shard, "state") for shard in range(len(self._conns))]
+            self.request_dump(shard)
+        return [self.collect_dump(shard) for shard in range(len(self._conns))]
 
     def finish(self) -> List[Tuple[Any, float, int]]:
         out: List[Tuple[Any, float, int]] = []
         for shard in range(len(self._conns)):
-            self._send(shard, ("finish", None))
+            self.request_finish(shard)
         for shard in range(len(self._conns)):
-            blob, seconds, events = self._recv(shard, "final")
-            sketch = load_sketch(self._protos[shard], blob)
-            out.append((sketch, seconds, events))
+            out.append(self.collect_finish(shard))
         self.close()
         return out
 
@@ -206,6 +326,10 @@ class ProcessPool:
     def inject_crash(self, shard: int) -> None:
         """Fault injection: hard-kill one shard worker (tests)."""
         self._send(shard, ("crash", None))
+
+    def inject_hang(self, shard: int, seconds: float) -> None:
+        """Fault injection: stall one shard worker for ``seconds`` (tests)."""
+        self._send(shard, ("sleep", seconds))
 
     def close(self, force: bool = False) -> None:
         if self._closed:
@@ -229,10 +353,11 @@ class ProcessPool:
             pass
 
 
-def make_pool(backend: str, sketch_factory: Callable[[], Any], shards: int):
+def make_pool(backend: str, sketch_factory: Callable[[], Any], shards: int,
+              sync_timeout: float = _SYNC_TIMEOUT):
     """Build a worker pool: ``backend`` is ``"serial"`` or ``"process"``."""
     if backend == "serial":
         return SerialPool(sketch_factory, shards)
     if backend == "process":
-        return ProcessPool(sketch_factory, shards)
+        return ProcessPool(sketch_factory, shards, sync_timeout=sync_timeout)
     raise EngineError(f"unknown ingest backend {backend!r}")

@@ -1,0 +1,159 @@
+"""Bounded replay log: the stream suffix since the last barrier.
+
+The supervision layer's recovery contract is *restore + replay*: a
+restarted shard worker is loaded with the shard's sketch state as of
+the last barrier and then re-fed every event dispatched to that shard
+since.  Linearity makes this exact — the recovered shard is
+bit-identical to one that never crashed.  :class:`ReplayLog` is the
+data structure that makes the replay half possible: it records each
+shard's dispatched events, snapshots the per-shard state blobs at every
+barrier (truncating the logs), and hands both back on demand.
+
+The log is bounded.  In-memory events are capped at ``max_events``
+across all shards; when a ``spill_dir`` is configured, overflowing
+shards spill pickled segments to disk and replay reads them back in
+order, so arbitrarily long barrier gaps stay recoverable at O(1)
+memory.  Without a spill directory the supervisor reacts to
+:meth:`over_limit` by forcing an early in-memory barrier instead —
+bounded replay implies a bounded barrier period, never an unbounded
+buffer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import List, Optional, Sequence
+
+from ..errors import EngineError
+
+_SPILL_CHUNK = 4096  # events per pickled spill segment
+
+
+class ReplayLog:
+    """Per-shard event suffixes plus the barrier state they replay onto.
+
+    Parameters
+    ----------
+    shards:
+        Number of shard logs to maintain.
+    max_events:
+        In-memory event bound across all shards.  Crossing it either
+        triggers spilling (``spill_dir`` set) or flips
+        :meth:`over_limit` so the supervisor forces a barrier.
+    spill_dir:
+        Optional directory for on-disk spill segments (created on first
+        spill; one ``replay-<shard>.spill`` file per shard).
+    """
+
+    def __init__(self, shards: int, max_events: int = 250_000,
+                 spill_dir: Optional[str] = None):
+        if shards < 1:
+            raise EngineError(f"replay log needs shards >= 1, got {shards}")
+        if max_events < 1:
+            raise EngineError(f"replay log needs max_events >= 1, got {max_events}")
+        self.shards = shards
+        self.max_events = max_events
+        self.spill_dir = spill_dir
+        self._mem: List[list] = [[] for _ in range(shards)]
+        self._spilled: List[int] = [0] * shards  # events on disk per shard
+        self._blobs: List[Optional[bytes]] = [None] * shards
+        self.barrier_offset = 0  # stream offset of the last barrier
+        self.barriers = 0
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, shard: int, events: Sequence) -> None:
+        """Append one dispatched batch to the shard's suffix log."""
+        self._mem[shard].extend(events)
+        if self.spill_dir is not None:
+            self._maybe_spill(shard)
+
+    def _spill_path(self, shard: int) -> str:
+        return os.path.join(self.spill_dir, f"replay-{shard:04d}.spill")
+
+    def _maybe_spill(self, shard: int) -> None:
+        budget = max(1, self.max_events // self.shards)
+        mem = self._mem[shard]
+        if len(mem) <= budget:
+            return
+        os.makedirs(self.spill_dir, exist_ok=True)
+        with open(self._spill_path(shard), "ab") as fh:
+            while len(mem) > budget:
+                segment = mem[:_SPILL_CHUNK]
+                del mem[:_SPILL_CHUNK]
+                pickle.dump(segment, fh)
+                self._spilled[shard] += len(segment)
+
+    # -- barriers -------------------------------------------------------
+
+    def barrier(self, shard_blobs: Sequence[bytes], offset: int) -> None:
+        """A consistent barrier: snapshot blobs, truncate every log."""
+        if len(shard_blobs) != self.shards:
+            raise EngineError(
+                f"barrier carries {len(shard_blobs)} blobs for "
+                f"{self.shards} shards"
+            )
+        self._blobs = list(shard_blobs)
+        for shard in range(self.shards):
+            self._mem[shard] = []
+            if self._spilled[shard]:
+                try:
+                    os.remove(self._spill_path(shard))
+                except OSError:  # pragma: no cover - best effort
+                    pass
+                self._spilled[shard] = 0
+        self.barrier_offset = offset
+        self.barriers += 1
+
+    def set_blob(self, shard: int, blob: bytes) -> None:
+        """Record an externally restored state (resume) as the shard's
+        barrier blob."""
+        self._blobs[shard] = blob
+
+    # -- replay ---------------------------------------------------------
+
+    def blob_for(self, shard: int) -> Optional[bytes]:
+        """The shard's state at the last barrier (None = zero state)."""
+        return self._blobs[shard]
+
+    def events_for(self, shard: int) -> list:
+        """Every event dispatched to the shard since the last barrier,
+        in dispatch order (spilled segments first, then in-memory)."""
+        out: list = []
+        if self._spilled[shard]:
+            with open(self._spill_path(shard), "rb") as fh:
+                while True:
+                    try:
+                        out.extend(pickle.load(fh))
+                    except EOFError:
+                        break
+        out.extend(self._mem[shard])
+        return out
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Events logged since the last barrier (memory + disk)."""
+        return sum(len(m) for m in self._mem) + sum(self._spilled)
+
+    @property
+    def memory_events(self) -> int:
+        """Events currently held in memory."""
+        return sum(len(m) for m in self._mem)
+
+    def over_limit(self) -> bool:
+        """True when the in-memory bound is exceeded and nothing spills
+        to disk — the supervisor's cue to force a barrier."""
+        return self.spill_dir is None and self.memory_events > self.max_events
+
+    def close(self) -> None:
+        """Delete any spill files (end of run)."""
+        for shard in range(self.shards):
+            if self._spilled[shard]:
+                try:
+                    os.remove(self._spill_path(shard))
+                except OSError:  # pragma: no cover
+                    pass
+                self._spilled[shard] = 0

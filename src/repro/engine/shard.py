@@ -104,7 +104,21 @@ class ShardedIngestEngine:
     fault_hook:
         Test-only callable ``(shard, batch_index) -> None`` invoked
         before each batch dispatch; raising simulates a mid-stream
-        crash (see the fault-injection tests).
+        crash (see the fault-injection tests).  During ``ingest`` the
+        live pool is reachable as ``engine.pool``, so hooks can inject
+        worker-level faults (SIGKILL, hangs) too.
+    supervision:
+        Optional :class:`~repro.engine.supervisor.RetryPolicy`.  When
+        set, the worker pool is wrapped in a
+        :class:`~repro.engine.supervisor.SupervisedPool`: dead or hung
+        shard workers are restarted with backoff + jitter, restored
+        from the last barrier, and replayed from the bounded replay
+        log — the run completes bit-identically instead of dying with
+        :class:`~repro.errors.WorkerCrashError`.
+    replay_limit, replay_spill_dir:
+        Bounds of the supervision replay log (events in memory, and an
+        optional spill directory for longer barrier gaps).  Ignored
+        without ``supervision``.
     """
 
     def __init__(
@@ -116,6 +130,9 @@ class ShardedIngestEngine:
         partition_seed: int = 0,
         checkpoint: Optional[CheckpointManager] = None,
         fault_hook: Optional[Callable[[int, int], None]] = None,
+        supervision: Optional["RetryPolicy"] = None,
+        replay_limit: int = 250_000,
+        replay_spill_dir: Optional[str] = None,
     ):
         if shards < 1:
             raise EngineError(f"engine needs shards >= 1, got {shards}")
@@ -133,6 +150,10 @@ class ShardedIngestEngine:
         self.partition_seed = partition_seed
         self.checkpoint = checkpoint
         self.fault_hook = fault_hook
+        self.supervision = supervision
+        self.replay_limit = replay_limit
+        self.replay_spill_dir = replay_spill_dir
+        self.pool = None  # the live pool during ingest (fault hooks)
 
     # -- checkpoint compatibility ---------------------------------------
 
@@ -185,6 +206,23 @@ class ShardedIngestEngine:
         wall_start = time.perf_counter()
         pool = make_pool(self.backend, lambda: zero_clone(self.prototype),
                          self.shards)
+        if self.supervision is not None:
+            from .replay import ReplayLog
+            from .supervisor import SupervisedPool
+
+            pool = SupervisedPool(
+                pool,
+                shards=self.shards,
+                policy=self.supervision,
+                replay=ReplayLog(
+                    self.shards,
+                    max_events=self.replay_limit,
+                    spill_dir=self.replay_spill_dir,
+                ),
+                batch_size=self.batch_size,
+                metrics=metrics,
+            )
+        self.pool = pool
         try:
             if restore is not None:
                 for shard, blob in enumerate(restore.shard_blobs):
@@ -243,6 +281,7 @@ class ShardedIngestEngine:
             shard_states = pool.finish()
         finally:
             pool.close(force=True)
+            self.pool = None
 
         merge_start = time.perf_counter()
         merged = zero_clone(self.prototype)

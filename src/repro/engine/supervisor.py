@@ -1,0 +1,243 @@
+"""Supervised worker pools: failures become policy, not run-enders.
+
+The paper's sketches make crash recovery *exact*: a shard's sketch
+state at the last barrier plus the event suffix dispatched since fully
+determines its state now (linearity).  :class:`SupervisedPool` wraps a
+:class:`~repro.engine.pool.ProcessPool` or
+:class:`~repro.engine.pool.SerialPool` and operationalises that:
+
+* **Detection** — every synchronisation point carries a deadline.  The
+  pool's ``sync_timeout`` catches dead workers; a
+  :class:`RetryPolicy.batch_deadline` additionally bounds *hung*
+  workers, scaled by the shard's outstanding batch count (a worker
+  with B un-acked batches gets ``(B + 1) × deadline`` before being
+  declared hung).
+* **Restart** — a failed shard worker is restarted with exponential
+  backoff plus deterministic jitter, up to
+  :class:`RetryPolicy.max_restarts` per shard; an exhausted budget
+  raises :class:`~repro.errors.SupervisionError` (never an infinite
+  restart loop).
+* **Restore + replay** — the fresh worker is loaded with the shard's
+  blob from the last barrier (checkpoint or in-memory) held by the
+  :class:`~repro.engine.replay.ReplayLog`, and re-fed the shard's
+  logged suffix.  The recovered run is bit-identical to an
+  uninterrupted one — the fault-injection tests assert byte equality
+  of the merged sketch, not approximate agreement.
+
+The supervisor also keeps the replay log bounded: when the log
+overflows without a spill directory, it forces an early barrier
+(``dump_all``) instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import SupervisionError, WorkerCrashError
+from ..util.hashing import hash64
+from .replay import ReplayLog
+
+_JITTER_SALT = 0x5D9E_C0DE
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor reacts to dead and hung shard workers.
+
+    Parameters
+    ----------
+    max_restarts:
+        Restart budget *per shard*; exceeding it raises
+        :class:`~repro.errors.SupervisionError`.
+    backoff_base, backoff_factor, backoff_max:
+        Exponential backoff of the pre-restart sleep:
+        ``min(backoff_max, backoff_base * backoff_factor**(attempt-1))``.
+    jitter:
+        Fractional jitter added on top of the backoff delay (0.25 =
+        up to +25%), derived deterministically from ``jitter_seed``,
+        the shard, and the attempt — reproducible under test, yet
+        de-synchronised across shards in production.
+    batch_deadline:
+        Optional per-batch deadline (seconds) applied at
+        synchronisation points; ``None`` falls back to the pool's
+        ``sync_timeout``.
+    jitter_seed:
+        Seed of the deterministic jitter hash.
+    """
+
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    batch_deadline: Optional[float] = None
+    jitter_seed: int = 0
+
+    def backoff_delay(self, shard: int, attempt: int) -> float:
+        """Deterministic backoff-plus-jitter sleep before a restart."""
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter > 0:
+            acc = hash64(self.jitter_seed, _JITTER_SALT)
+            acc = hash64(acc, shard)
+            frac = (hash64(acc, attempt) % 10_000) / 10_000.0
+            delay *= 1.0 + self.jitter * frac
+        return delay
+
+
+class SupervisedPool:
+    """A worker pool whose shard failures are recovered, not raised.
+
+    Drives the same contract as the pools it wraps (``submit`` /
+    ``load`` / ``dump_all`` / ``finish`` / ``queue_depth`` /
+    ``close``), so :class:`~repro.engine.shard.ShardedIngestEngine`
+    uses it transparently.  Construction wires together the inner pool,
+    the policy, and a :class:`~repro.engine.replay.ReplayLog`.
+
+    ``metrics`` (an :class:`~repro.engine.metrics.IngestMetrics`) gets
+    ``restarts`` and ``retries`` incremented as recovery happens, so
+    operators can alert on silent instability.
+    """
+
+    def __init__(
+        self,
+        inner,
+        shards: int,
+        policy: RetryPolicy,
+        replay: Optional[ReplayLog] = None,
+        batch_size: int = 512,
+        metrics=None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.shards = shards
+        self.policy = policy
+        self.replay = replay if replay is not None else ReplayLog(shards)
+        self.batch_size = max(1, batch_size)
+        self.metrics = metrics
+        self._sleep = sleep
+        self._restarts = [0] * shards
+        self._consumed = 0
+
+    # -- recovery core --------------------------------------------------
+
+    def _note_retry(self) -> None:
+        if self.metrics is not None:
+            self.metrics.retries += 1
+
+    def _recover(self, shard: int) -> None:
+        """Restart the shard worker and rebuild its exact state.
+
+        Backoff + jitter precedes each attempt; a recovery that itself
+        crashes consumes further budget.  On return the shard worker
+        holds precisely the sketch state an uninterrupted worker would.
+        """
+        while True:
+            self._restarts[shard] += 1
+            attempt = self._restarts[shard]
+            if attempt > self.policy.max_restarts:
+                raise SupervisionError(
+                    f"shard {shard} exhausted its restart budget "
+                    f"({self.policy.max_restarts}); giving up"
+                )
+            if self.metrics is not None:
+                self.metrics.restarts += 1
+            self._sleep(self.policy.backoff_delay(shard, attempt))
+            try:
+                self.inner.restart_shard(shard)
+                blob = self.replay.blob_for(shard)
+                if blob is not None:
+                    self.inner.load(shard, blob)
+                events = self.replay.events_for(shard)
+                for i in range(0, len(events), self.batch_size):
+                    self.inner.submit(shard, events[i:i + self.batch_size])
+                return
+            except WorkerCrashError:
+                continue  # the replacement died too; spend more budget
+
+    def _timeout_for(self, shard: int) -> Optional[float]:
+        if self.policy.batch_deadline is None:
+            return None
+        return self.policy.batch_deadline * (self.inner.queue_depth(shard) + 1)
+
+    def _request(self, shard: int, request: Callable[[int], None]) -> None:
+        try:
+            request(shard)
+        except WorkerCrashError:
+            self._note_retry()
+            self._recover(shard)
+            request(shard)
+
+    def _collect(self, shard: int, collect, request) -> Any:
+        while True:
+            try:
+                return collect(shard, timeout=self._timeout_for(shard))
+            except WorkerCrashError:
+                self._note_retry()
+                self._recover(shard)
+                try:
+                    request(shard)
+                except WorkerCrashError:
+                    continue  # recover again on the next loop
+
+    # -- pool contract --------------------------------------------------
+
+    def submit(self, shard: int, updates: Sequence) -> float:
+        self.replay.record(shard, updates)
+        self._consumed += len(updates)
+        try:
+            seconds = self.inner.submit(shard, updates)
+        except WorkerCrashError:
+            self._note_retry()
+            self._recover(shard)  # replay includes the batch just logged
+            seconds = 0.0
+        if self.replay.over_limit():
+            # Bounded replay: force an early barrier rather than let
+            # the in-memory suffix grow without bound.
+            self.dump_all()
+        return seconds
+
+    def load(self, shard: int, blob: bytes) -> None:
+        self.replay.set_blob(shard, blob)
+        self._request(shard, lambda s: self.inner.load(s, blob))
+
+    def dump_all(self) -> List[bytes]:
+        blobs: List[Optional[bytes]] = [None] * self.shards
+        for shard in range(self.shards):
+            self._request(shard, self.inner.request_dump)
+        for shard in range(self.shards):
+            blobs[shard] = self._collect(
+                shard, self.inner.collect_dump, self.inner.request_dump
+            )
+        self.replay.barrier(blobs, self._consumed)
+        return list(blobs)
+
+    def finish(self) -> List[Tuple[Any, float, int]]:
+        out: List[Optional[Tuple[Any, float, int]]] = [None] * self.shards
+        for shard in range(self.shards):
+            self._request(shard, self.inner.request_finish)
+        for shard in range(self.shards):
+            out[shard] = self._collect(
+                shard, self.inner.collect_finish, self.inner.request_finish
+            )
+        self.replay.close()
+        self.inner.close()
+        return list(out)
+
+    def queue_depth(self, shard: int) -> int:
+        return self.inner.queue_depth(shard)
+
+    def close(self, force: bool = False) -> None:
+        self.replay.close()
+        self.inner.close(force=force)
+
+    # -- observability --------------------------------------------------
+
+    @property
+    def restarts(self) -> List[int]:
+        """Restart count per shard so far."""
+        return list(self._restarts)

@@ -44,7 +44,22 @@ class SamplerEmptyError(SketchDecodeError):
     Either the sketched vector is identically zero, or (with small
     probability) every subsampling level failed to isolate a coordinate.
     Callers that expect possibly-zero vectors should catch this.
+    The two cases are distinguished by the subclasses below — benign
+    :class:`SamplerZeroError` vs genuinely probabilistic
+    :class:`SamplerFailedError` — so recovery layers can retry or
+    degrade only on real failures.
     """
+
+
+class SamplerZeroError(SamplerEmptyError):
+    """The sketched vector appears identically zero (benign: nothing to
+    sample, e.g. a component with no outgoing edges)."""
+
+
+class SamplerFailedError(SamplerEmptyError):
+    """The vector is nonzero but every subsampling level failed to
+    isolate a coordinate — the detectable probabilistic decode failure
+    that the degraded-decoding layer retries or falls back on."""
 
 
 class IncompatibleSketchError(ReproError):
@@ -71,6 +86,18 @@ class CheckpointError(EngineError):
 class WorkerCrashError(EngineError):
     """A shard worker died (or stopped responding) mid-ingest.
 
-    With checkpointing enabled, the ingest can be resumed from the last
-    checkpoint; without it, the stream must be replayed from the start.
+    Carries the failing ``shard`` index when known, so the supervision
+    layer (:mod:`repro.engine.supervisor`) can restart exactly that
+    worker.  Unsupervised, with checkpointing enabled, the ingest can
+    be resumed from the last checkpoint; without it, the stream must be
+    replayed from the start.
     """
+
+    def __init__(self, message: str, shard=None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class SupervisionError(EngineError):
+    """Supervised recovery was attempted but exhausted its retry budget
+    (or the failure is not recoverable by restart + replay)."""

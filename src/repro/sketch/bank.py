@@ -30,6 +30,8 @@ from ..errors import (
     IncompatibleSketchError,
     NotOneSparseError,
     SamplerEmptyError,
+    SamplerFailedError,
+    SamplerZeroError,
 )
 from ..util.hashing import (
     HashFamily,
@@ -419,7 +421,7 @@ class SummedSketch:
         decode failure.
         """
         if self.appears_zero():
-            raise SamplerEmptyError("summed vector appears to be zero")
+            raise SamplerZeroError("summed vector appears to be zero")
         for lvl in range(self._grid.levels):
             support = self._recover_level(lvl)
             if support:
@@ -434,7 +436,7 @@ class SummedSketch:
                         continue
                     if got is not None:
                         return got
-        raise SamplerEmptyError("no subsampling level decoded")
+        raise SamplerFailedError("no subsampling level decoded")
 
     def sample_or_none(self) -> Optional[Tuple[int, int]]:
         """Like :meth:`sample` but None for zero vectors / failures."""

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import IncompatibleSketchError, SamplerEmptyError
+from ..errors import (
+    IncompatibleSketchError,
+    SamplerEmptyError,
+    SamplerFailedError,
+    SamplerZeroError,
+)
 from ..util.hashing import HashFamily, trailing_zeros64
 from .sparse_recovery import SparseRecoveryStructure
 
@@ -136,7 +141,7 @@ class L0Sampler:
         (unlucky) total recovery failure.
         """
         if self.appears_zero():
-            raise SamplerEmptyError("sketched vector appears to be zero")
+            raise SamplerZeroError("sketched vector appears to be zero")
         for stage in self._stages:
             support = stage.recover_all()
             if support:
@@ -146,7 +151,7 @@ class L0Sampler:
             got = stage.recover_any()
             if got is not None:
                 return got
-        raise SamplerEmptyError("all subsampling levels failed to decode")
+        raise SamplerFailedError("all subsampling levels failed to decode")
 
     def recover_support(self) -> Optional[Dict[int, int]]:
         """Exact support if the level-0 structure certifies it, else None."""

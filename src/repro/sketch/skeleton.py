@@ -129,11 +129,15 @@ class SkeletonSketch:
 
     # -- decoding -----------------------------------------------------------
 
-    def decode_layers(self) -> List[Hypergraph]:
+    def decode_layers(self, strict: bool = False) -> List[Hypergraph]:
         """The peeled spanning graphs ``F_1, ..., F_k``.
 
         Non-destructive: each layer sketch is temporarily reduced by
         the previously recovered forests and restored afterwards.
+        ``strict`` propagates to each layer's
+        :meth:`~repro.sketch.spanning_forest.SpanningForestSketch.
+        decode`, so detectable per-layer decode failures raise instead
+        of silently thinning the skeleton.
         """
         forests: List[Hypergraph] = []
         recovered: List[Tuple[int, ...]] = []
@@ -142,7 +146,7 @@ class SkeletonSketch:
             for e in recovered:
                 layer.update(e, -1)
             try:
-                forest = layer.decode()
+                forest = layer.decode(strict=strict)
             finally:
                 for e in recovered:
                     layer.update(e, 1)
@@ -150,13 +154,23 @@ class SkeletonSketch:
             recovered.extend(forest.edges())
         return forests
 
-    def decode(self) -> Hypergraph:
+    def decode(self, strict: bool = False) -> Hypergraph:
         """The k-skeleton ``F_1 ∪ ... ∪ F_k``."""
         skeleton = Hypergraph(self.n, self.r)
-        for forest in self.decode_layers():
+        for forest in self.decode_layers(strict=strict):
             for e in forest.edges():
                 skeleton.add_edge(e)
         return skeleton
+
+    def decode_connectivity_only(self, strict: bool = False) -> Hypergraph:
+        """Degraded fallback: a spanning graph from the first layer only.
+
+        Preserves connectivity/component structure but none of the
+        higher cut sizes — the weaker-but-available answer when the
+        full k-layer peel fails to decode (see
+        :mod:`repro.core.degraded`).
+        """
+        return self.layers[0].decode(strict=strict)
 
     # -- accounting -----------------------------------------------------------
 

@@ -197,18 +197,28 @@ class SpanningForestSketch:
 
     # -- decoding -----------------------------------------------------------
 
-    def decode(self) -> Hypergraph:
+    def decode(self, strict: bool = False) -> Hypergraph:
         """Borůvka-decode a spanning graph of the sketched (hyper)graph.
 
         Returns a hypergraph on the ambient ``n`` vertices containing
         the recovered spanning edges.  Every returned hyperedge is a
         genuine edge of the sketched graph (fingerprint-verified); with
         the default parameters the result spans every component w.h.p.
-        Decode failures are silent in the sense that an undersized
-        sketch may return a forest with too many components — callers
-        that need certainty compare component counts against other
-        information (see the theorem-validation benchmarks).
+
+        With ``strict=False`` (default) decode failures are silent in
+        the sense that an undersized sketch may return a forest with
+        too many components — callers that need certainty compare
+        component counts against other information (see the
+        theorem-validation benchmarks).  With ``strict=True`` the
+        *detectable* probabilistic failure — a component whose summed
+        sketch is provably nonzero but no subsampling level isolates a
+        coordinate — raises :class:`~repro.errors.SamplerFailedError`
+        (a :class:`~repro.errors.SketchDecodeError`) instead of being
+        swallowed, which is what the degraded-decoding layer
+        (:mod:`repro.core.degraded`) retries and falls back on.
         """
+        from ..errors import SamplerFailedError, SamplerZeroError
+
         forest = Hypergraph(self.n, self.r)
         uf = UnionFind(len(self.vertices))
         members_by_root: Dict[int, List[int]] = {
@@ -222,8 +232,13 @@ class SpanningForestSketch:
             for root in roots:
                 members = members_by_root[root]
                 summed = self.grid.summed(group, members)
-                got = summed.sample_or_none()
-                if got is None:
+                try:
+                    got = summed.sample()
+                except SamplerZeroError:
+                    continue  # no outgoing edge: benign (isolated component)
+                except SamplerFailedError:
+                    if strict:
+                        raise
                     continue
                 index, _weight = got
                 found.append(self.scheme.edge_of(index))

@@ -13,10 +13,14 @@ from .generators import (
     random_dynamic_stream,
     with_churn,
 )
+from .quarantine import POLICIES, BadUpdate, Quarantine
 from .runner import RunReport, StreamRunner
 from .updates import DELETE, INSERT, EdgeUpdate, StreamValidator, materialize
 
 __all__ = [
+    "BadUpdate",
+    "Quarantine",
+    "POLICIES",
     "EdgeUpdate",
     "StreamValidator",
     "materialize",

@@ -19,13 +19,31 @@ Example::
 The format exists so streams are artifacts: workloads can be generated
 once, checked in, replayed through the CLI (:mod:`repro.cli`) or any
 sketch, and shared across language implementations.
+
+Malformed files raise :class:`~repro.errors.StreamError` with the
+offending 1-based line number by default; under the ``quarantine`` or
+``drop`` policies (see :mod:`repro.stream.quarantine`) bad event lines
+are diverted or skipped instead, so one rotten producer cannot kill a
+whole replay.  Header problems are always fatal — without ``n`` there
+is no domain to validate against.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, TextIO, Tuple
+from typing import Iterable, List, Optional, Set, TextIO, Tuple
 
 from ..errors import StreamError
+from .quarantine import (
+    REASON_ABSENT_DELETE,
+    REASON_DOMAIN,
+    REASON_DOUBLE_INSERT,
+    REASON_PARSE,
+    REASON_RANK,
+    BadUpdate,
+    Quarantine,
+    check_policy,
+    handle_bad_update,
+)
 from .updates import EdgeUpdate
 
 
@@ -42,19 +60,41 @@ def write_stream(
     return count
 
 
-def read_stream(fh: TextIO) -> Tuple[int, int, List[EdgeUpdate]]:
+def read_stream(
+    fh: TextIO,
+    on_bad_line: str = "strict",
+    quarantine: Optional[Quarantine] = None,
+    check_balance: bool = False,
+) -> Tuple[int, int, List[EdgeUpdate]]:
     """Parse a stream file; returns ``(n, r, updates)``.
 
-    Raises :class:`~repro.errors.StreamError` on malformed input with
-    the offending line number.
+    Parameters
+    ----------
+    on_bad_line:
+        ``"strict"`` (default) raises :class:`~repro.errors.StreamError`
+        at the first malformed *event* line, with its line number.
+        ``"quarantine"`` diverts each bad line into ``quarantine`` (a
+        :class:`~repro.stream.quarantine.Quarantine`, required) and
+        keeps parsing; ``"drop"`` skips bad lines silently.  Header
+        problems (missing, duplicate, or unparsable ``n`` line) are
+        fatal under every policy.
+    check_balance:
+        Also enforce the dynamic-model invariants while parsing: a
+        double insertion or a deletion of an absent edge becomes a
+        line-numbered error (or a quarantined record), instead of
+        surfacing much later inside a sketch.
     """
+    check_policy(on_bad_line)
     n = None
     r = 2
     updates: List[EdgeUpdate] = []
+    live: Set[Tuple[int, ...]] = set()
+    saw_content = False
     for lineno, raw in enumerate(fh, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
+        saw_content = True
         parts = line.split()
         if parts[0] == "n":
             if n is not None:
@@ -66,29 +106,69 @@ def read_stream(fh: TextIO) -> Tuple[int, int, List[EdgeUpdate]]:
             except (IndexError, ValueError) as exc:
                 raise StreamError(f"line {lineno}: bad header {line!r}") from exc
             continue
+
+        def bad(reason: str, detail: str) -> None:
+            handle_bad_update(
+                on_bad_line,
+                BadUpdate(line=lineno, reason=reason, detail=detail, raw=line),
+                quarantine,
+                exc=StreamError(f"line {lineno}: {detail}"),
+            )
+
         if parts[0] not in ("+", "-"):
-            raise StreamError(f"line {lineno}: unknown op {parts[0]!r}")
+            bad(REASON_PARSE, f"unknown op {parts[0]!r}")
+            continue
         if n is None:
             raise StreamError(f"line {lineno}: event before 'n' header")
         try:
             verts = tuple(int(p) for p in parts[1:])
-        except ValueError as exc:
-            raise StreamError(f"line {lineno}: bad vertex in {line!r}") from exc
+        except ValueError:
+            bad(REASON_PARSE, f"bad vertex in {line!r}")
+            continue
         if len(verts) < 2:
-            raise StreamError(f"line {lineno}: hyperedge needs >= 2 vertices")
+            bad(REASON_RANK, "hyperedge needs >= 2 vertices")
+            continue
+        if len(verts) > r:
+            bad(REASON_RANK, f"hyperedge has {len(verts)} vertices, rank bound is {r}")
+            continue
         if any(v < 0 or v >= n for v in verts):
-            raise StreamError(f"line {lineno}: vertex outside [0, {n})")
+            bad(REASON_DOMAIN, f"vertex outside [0, {n})")
+            continue
         sign = 1 if parts[0] == "+" else -1
+        edge = tuple(sorted(set(verts)))
+        if check_balance:
+            if sign > 0:
+                if edge in live:
+                    bad(REASON_DOUBLE_INSERT, f"double insertion of {edge}")
+                    continue
+                live.add(edge)
+            else:
+                if edge not in live:
+                    bad(REASON_ABSENT_DELETE, f"deletion of absent edge {edge}")
+                    continue
+                live.discard(edge)
         updates.append(EdgeUpdate(verts, sign))
     if n is None:
+        if not saw_content:
+            raise StreamError("stream file is empty (no 'n' header)")
         raise StreamError("stream file has no 'n' header")
     return n, r, updates
 
 
-def load_stream_file(path: str) -> Tuple[int, int, List[EdgeUpdate]]:
+def load_stream_file(
+    path: str,
+    on_bad_line: str = "strict",
+    quarantine: Optional[Quarantine] = None,
+    check_balance: bool = False,
+) -> Tuple[int, int, List[EdgeUpdate]]:
     """Read a stream from a file path."""
     with open(path) as fh:
-        return read_stream(fh)
+        return read_stream(
+            fh,
+            on_bad_line=on_bad_line,
+            quarantine=quarantine,
+            check_balance=check_balance,
+        )
 
 
 def save_stream_file(

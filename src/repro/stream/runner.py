@@ -25,8 +25,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..errors import EngineError
+from ..errors import DomainError, EngineError, StreamError
 from ..graph.hypergraph import Hypergraph
+from .quarantine import (
+    REASON_ABSENT_DELETE,
+    REASON_DOMAIN,
+    REASON_DOUBLE_INSERT,
+    BadUpdate,
+    Quarantine,
+    check_policy,
+    handle_bad_update,
+)
 from .updates import EdgeUpdate, StreamValidator
 
 
@@ -39,12 +48,16 @@ class RunReport:
     isolates the time spent inside each sketch's update path, so engine
     speedups are measurable per sketch instead of being averaged into
     the aggregate.  ``seconds`` is kept as an alias of ``wall_seconds``
-    for backward compatibility.
+    for backward compatibility.  ``quarantined`` / ``dropped`` count
+    events diverted by the ``on_bad_update`` policy; such events never
+    reach any sketch.
     """
 
     events: int = 0
     inserts: int = 0
     deletes: int = 0
+    quarantined: int = 0
+    dropped: int = 0
     wall_seconds: float = 0.0
     sketch_seconds: Dict[str, float] = field(default_factory=dict)
     final_edges: int = 0
@@ -84,6 +97,18 @@ class StreamRunner:
         When > 1, each sketch is ingested through a sharded engine
         (implies batching; ``batch_size`` defaults to 512).  Registered
         sketches must expose ``update_batch``/``copy``/``+=``.
+    on_bad_update:
+        What to do with an event the validator rejects (double
+        insertion, deletion of an absent edge, domain violation):
+        ``"strict"`` (default) raises as before; ``"quarantine"``
+        diverts the event into ``quarantine`` with its 1-based stream
+        position and keeps running; ``"drop"`` skips it silently.
+        Diverted events never reach any registered sketch.  Requires
+        ``validate=True`` for the non-strict policies (without the
+        validator there is nothing to classify).
+    quarantine:
+        The :class:`~repro.stream.quarantine.Quarantine` sink for the
+        ``"quarantine"`` policy (and the drop counter for ``"drop"``).
     """
 
     def __init__(
@@ -93,14 +118,24 @@ class StreamRunner:
         validate: bool = True,
         batch_size: Optional[int] = None,
         shards: int = 1,
+        on_bad_update: str = "strict",
+        quarantine: Optional[Quarantine] = None,
     ):
         if shards < 1:
             raise EngineError(f"runner needs shards >= 1, got {shards}")
+        check_policy(on_bad_update)
+        if on_bad_update != "strict" and not validate:
+            raise StreamError(
+                f"on_bad_update={on_bad_update!r} needs validate=True "
+                "(the validator is what classifies bad updates)"
+            )
         self.n = n
         self.r = r
         self.validate = validate
         self.batch_size = batch_size
         self.shards = shards
+        self.on_bad_update = on_bad_update
+        self.quarantine = quarantine
         self._validator = StreamValidator(n, r) if validate else None
         self._sketches: Dict[str, Any] = {}
 
@@ -151,15 +186,46 @@ class StreamRunner:
 
     # -- running --------------------------------------------------------
 
+    def _divert(self, position: int, event: EdgeUpdate,
+                exc: Exception, report: RunReport) -> None:
+        """Route one validator-rejected event through the policy."""
+        if isinstance(exc, DomainError):
+            reason = REASON_DOMAIN
+        elif event.sign > 0:
+            reason = REASON_DOUBLE_INSERT
+        else:
+            reason = REASON_ABSENT_DELETE
+        op = "+" if event.sign > 0 else "-"
+        handle_bad_update(
+            self.on_bad_update,
+            BadUpdate(
+                line=position,
+                reason=reason,
+                detail=str(exc),
+                raw=f"{op} {' '.join(str(v) for v in event.edge)}",
+                source="stream",
+            ),
+            self.quarantine,
+            exc=exc,
+        )
+        if self.on_bad_update == "quarantine":
+            report.quarantined += 1
+        else:
+            report.dropped += 1
+
     def run(self, stream: Iterable[EdgeUpdate]) -> RunReport:
         """Apply a stream to every registered sketch."""
         report = RunReport()
         report.sketch_seconds = {name: 0.0 for name in self._sketches}
         start = time.perf_counter()
         events: List[EdgeUpdate] = []
-        for event in stream:
+        for position, event in enumerate(stream, start=1):
             if self._validator is not None:
-                self._validator.apply(event)
+                try:
+                    self._validator.apply(event)
+                except (StreamError, DomainError) as exc:
+                    self._divert(position, event, exc, report)
+                    continue
             events.append(event)
             report.events += 1
             if event.sign > 0:

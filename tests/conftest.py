@@ -18,6 +18,22 @@ from repro.graph.graph import Graph
 from repro.graph.hypergraph import Hypergraph
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="workload seed for the fault-injection tests (-m faults); "
+             "the chaos smoke job sweeps several",
+    )
+
+
+@pytest.fixture
+def chaos_seed(request) -> int:
+    """Seed of the deterministic chaos workload (see --chaos-seed)."""
+    return request.config.getoption("--chaos-seed")
+
+
 @pytest.fixture
 def fast_params() -> Params:
     """Small constants so sketch-heavy tests stay quick."""

@@ -1,0 +1,113 @@
+"""Fault-injection harness for the supervised ingestion engine.
+
+Not a test module (the ``test_*``/``bench_*`` collection globs skip
+it): these are the building blocks the ``-m faults`` tests and the
+chaos smoke job compose.  Everything is deterministic in a seed — a
+chaos run that fails is rerunnable bit-for-bit.
+
+The injectable faults mirror the failure model in docs/engine.md:
+
+* :class:`KillWorkerOnce` — SIGKILL one shard's worker process at the
+  Nth dispatched batch (process backend);
+* :class:`HangWorkerOnce` — stall one worker long enough to trip the
+  supervisor's per-batch deadline;
+* :func:`flip_byte` — corrupt one byte of a file in place (checkpoint
+  damage);
+* :func:`make_stream` / :func:`reference_sketch` — a deterministic
+  workload and its uninterrupted ground truth, so recovery tests can
+  assert byte equality of sketch state rather than approximate
+  agreement.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+from repro.graph.generators import random_connected_graph
+from repro.sketch.serialization import dump_sketch
+from repro.sketch.spanning_forest import SpanningForestSketch
+from repro.stream.generators import with_churn
+
+
+def make_stream(n: int = 24, extra: int = 18, seed: int = 0):
+    """A deterministic insert+churn stream over a connected graph."""
+    g = random_connected_graph(n, extra, seed=seed)
+    churn = [(0, n - 1), (1, n - 2), (2, n - 3)]
+    return n, list(with_churn(g, churn, shuffle_seed=seed))
+
+
+def make_prototype(n: int, seed: int = 0) -> SpanningForestSketch:
+    """The sketch prototype used across the fault tests."""
+    return SpanningForestSketch(n, seed=seed, rounds=6, rows=2, buckets=8)
+
+
+def reference_sketch(prototype, events) -> bytes:
+    """Ground truth: the serialized state of an uninterrupted scalar run."""
+    clean = prototype.copy()
+    for grid in _iter_grids(clean):
+        grid.reset()
+    for u in events:
+        clean.update(u.edge, u.sign)
+    return dump_sketch(clean)
+
+
+def _iter_grids(sketch):
+    from repro.sketch.serialization import iter_grids
+
+    return iter_grids(sketch)
+
+
+class KillWorkerOnce:
+    """Engine fault hook: SIGKILL one shard worker at the Nth batch.
+
+    Usable only with the process backend; reaches the live pool through
+    ``engine.pool`` (unwrapping a supervisor if present) to find the
+    victim pid.  Records what it killed in :attr:`killed`.
+    """
+
+    def __init__(self, engine, shard: int = 0, at_batch: int = 1):
+        self.engine = engine
+        self.shard = shard
+        self.at_batch = at_batch
+        self.killed: list = []
+
+    def __call__(self, shard: int, batch_index: int) -> None:
+        if self.killed or batch_index != self.at_batch:
+            return
+        pool = self.engine.pool
+        inner = getattr(pool, "inner", pool)
+        pid = inner.worker_pid(self.shard)
+        os.kill(pid, signal.SIGKILL)
+        inner._procs[self.shard].join(timeout=5.0)
+        self.killed.append(pid)
+
+
+class HangWorkerOnce:
+    """Engine fault hook: stall one shard worker past its deadline."""
+
+    def __init__(self, engine, shard: int = 0, at_batch: int = 1,
+                 seconds: float = 2.0):
+        self.engine = engine
+        self.shard = shard
+        self.at_batch = at_batch
+        self.seconds = seconds
+        self.hung: list = []
+
+    def __call__(self, shard: int, batch_index: int) -> None:
+        if self.hung or batch_index != self.at_batch:
+            return
+        pool = self.engine.pool
+        inner = getattr(pool, "inner", pool)
+        inner.inject_hang(self.shard, self.seconds)
+        self.hung.append(self.shard)
+
+
+def flip_byte(path: str, offset: int = -8) -> None:
+    """Corrupt one byte of a file in place (negative offsets from EOF)."""
+    with open(path, "r+b") as fh:
+        fh.seek(offset, os.SEEK_END if offset < 0 else os.SEEK_SET)
+        pos = fh.tell()
+        byte = fh.read(1)
+        fh.seek(pos)
+        fh.write(bytes([byte[0] ^ 0xFF]))

@@ -16,6 +16,7 @@ _BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
 sys.path.insert(0, os.path.abspath(_BENCH_DIR))
 
 from bench_ingest_engine import churn_comparison, churn_stream  # noqa: E402
+from bench_recovery import recovery_comparison  # noqa: E402
 
 
 class TestBenchSmoke:
@@ -37,3 +38,10 @@ class TestBenchSmoke:
         assert r["sharded_identical"]
         assert r["events"] > 0
         assert r["scalar_ups"] > 0 and r["batched_ups"] > 0
+
+    @pytest.mark.faults
+    def test_smoke_recovery_comparison(self):
+        r = recovery_comparison(24, p=0.15, seed=2, shards=2, batch_size=16)
+        assert r["supervised_identical"]
+        assert r["recovered_identical"]
+        assert r["restarts"] >= 1

@@ -125,6 +125,91 @@ class TestManager:
             CheckpointManager(str(tmp_path), interval=0)
 
 
+class TestGenerationFallback:
+    """A damaged newest checkpoint falls back to the previous generation."""
+
+    def _save_two(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), interval=10, keep=2)
+        older = sample_checkpoint()
+        older.offset = 10
+        mgr.save(older)
+        newer = sample_checkpoint()
+        newer.offset = 20
+        newest_path = mgr.save(newer)
+        return mgr, newest_path
+
+    def test_bit_flip_in_newest_falls_back(self, tmp_path):
+        mgr, newest = self._save_two(tmp_path)
+        data = bytearray(open(newest, "rb").read())
+        data[len(data) // 2] ^= 0x01
+        with open(newest, "wb") as fh:
+            fh.write(data)
+        with pytest.warns(UserWarning, match="falling back"):
+            loaded = mgr.load_latest()
+        assert loaded.offset == 10
+        assert len(mgr.last_fallback) == 1
+        bad_path, message = mgr.last_fallback[0]
+        assert bad_path == newest
+        assert "checksum" in message
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        mgr, newest = self._save_two(tmp_path)
+        data = open(newest, "rb").read()
+        with open(newest, "wb") as fh:
+            fh.write(data[: len(data) // 3])
+        with pytest.warns(UserWarning):
+            assert mgr.load_latest().offset == 10
+
+    def test_strict_mode_raises_immediately(self, tmp_path):
+        mgr, newest = self._save_two(tmp_path)
+        with open(newest, "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(CheckpointError):
+            mgr.load_latest(strict=True)
+
+    def test_all_generations_damaged_raises_with_detail(self, tmp_path):
+        mgr, newest = self._save_two(tmp_path)
+        for name in os.listdir(tmp_path):
+            with open(os.path.join(tmp_path, name), "wb") as fh:
+                fh.write(b"not a checkpoint")
+        with pytest.warns(UserWarning):
+            with pytest.raises(CheckpointError, match="every retained"):
+                mgr.load_latest()
+        assert len(mgr.last_fallback) == 2
+
+    def test_healthy_newest_means_no_fallback(self, tmp_path):
+        mgr, _ = self._save_two(tmp_path)
+        assert mgr.load_latest().offset == 20
+        assert mgr.last_fallback == []
+
+    def test_engine_resume_survives_corrupt_newest(self, tmp_path):
+        """Acceptance: bit-flip the newest checkpoint, resume anyway."""
+        stream, _ = random_dynamic_stream(14, 160, seed=11)
+        proto = SpanningForestSketch(14, seed=11)
+        want = None
+
+        clean = ShardedIngestEngine(proto, shards=2, batch_size=16)
+        want = dump_sketch(clean.ingest(stream).sketch)
+
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=40, keep=2)
+        engine = ShardedIngestEngine(proto, shards=2, batch_size=16,
+                                     checkpoint=mgr)
+        engine.ingest(stream)
+        newest = mgr.latest_path()
+        data = bytearray(open(newest, "rb").read())
+        data[-6] ^= 0xFF
+        with open(newest, "wb") as fh:
+            fh.write(data)
+
+        resumed = ShardedIngestEngine(proto, shards=2, batch_size=16,
+                                      checkpoint=mgr)
+        with pytest.warns(UserWarning, match="falling back"):
+            result = resumed.ingest(stream, resume=True)
+        assert result.resumed_from is not None
+        assert result.resumed_from < len(stream)
+        assert dump_sketch(result.sketch) == want
+
+
 class TestCrashRecovery:
     """Kill the ingest mid-stream, restore, and demand identical answers."""
 

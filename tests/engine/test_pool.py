@@ -48,6 +48,36 @@ class TestSerialPool:
         other.load(0, blob)
         assert other.dump_all()[0] == blob
 
+    def test_use_after_close_raises(self):
+        pool = SerialPool(factory(), 1)
+        pool.close()
+        for op in (
+            lambda: pool.submit(0, [EdgeUpdate.insert((0, 1))]),
+            lambda: pool.load(0, b""),
+            pool.dump_all,
+            pool.finish,
+            lambda: pool.restart_shard(0),
+        ):
+            with pytest.raises(EngineError, match="use-after-close"):
+                op()
+
+    def test_use_after_finish_raises(self):
+        pool = SerialPool(factory(), 1)
+        pool.finish()
+        with pytest.raises(EngineError, match="use-after-close"):
+            pool.submit(0, [EdgeUpdate.insert((0, 1))])
+
+    def test_restart_shard_resets_to_zero_state(self):
+        pool = SerialPool(factory(), 2)
+        pool.submit(0, [EdgeUpdate.insert((2, 5))])
+        dirty = pool.dump_all()[0]
+        pool.restart_shard(0)
+        fresh = pool.dump_all()[0]
+        assert fresh != dirty
+        other = SerialPool(factory(), 1)
+        assert other.dump_all()[0] == fresh
+        pool.close()
+
 
 class TestProcessPool:
     def test_bit_identical_to_serial(self):
@@ -84,3 +114,39 @@ class TestProcessPool:
         pool = ProcessPool(factory(), 1)
         pool.close()
         pool.close(force=True)
+
+    def test_use_after_close_raises(self):
+        pool = ProcessPool(factory(), 1)
+        pool.close()
+        with pytest.raises(EngineError, match="use-after-close"):
+            pool.submit(0, [EdgeUpdate.insert((0, 1))])
+        with pytest.raises(EngineError, match="use-after-close"):
+            pool.dump_all()
+
+    @pytest.mark.faults
+    def test_restart_shard_replaces_dead_worker(self):
+        pool = ProcessPool(factory(), 2)
+        try:
+            baseline = pool.dump_all()
+            pool.inject_crash(0)
+            with pytest.raises(WorkerCrashError) as info:
+                pool.dump_all()
+            assert info.value.shard == 0
+            pool.restart_shard(0)
+            assert pool.worker_alive(0)
+            # The replacement starts from zero state; peers untouched.
+            blobs = pool.dump_all()
+            assert blobs == baseline
+        finally:
+            pool.close(force=True)
+
+    @pytest.mark.faults
+    def test_hung_worker_detected_with_timeout(self):
+        pool = ProcessPool(factory(), 1, sync_timeout=0.3)
+        try:
+            pool.inject_hang(0, 30.0)
+            pool.request_dump(0)
+            with pytest.raises(WorkerCrashError, match="did not respond"):
+                pool.collect_dump(0, timeout=0.3)
+        finally:
+            pool.close(force=True)

@@ -1,0 +1,99 @@
+"""The bounded replay log: recording, barriers, spilling, bounds."""
+
+import os
+
+import pytest
+
+from repro.engine.replay import ReplayLog
+from repro.errors import EngineError
+from repro.stream.updates import EdgeUpdate
+
+
+def events(lo, hi):
+    return [EdgeUpdate.insert((i, i + 1)) for i in range(lo, hi)]
+
+
+class TestRecording:
+    def test_events_for_preserves_dispatch_order(self):
+        log = ReplayLog(2)
+        log.record(0, events(0, 3))
+        log.record(1, events(10, 12))
+        log.record(0, events(3, 5))
+        assert log.events_for(0) == events(0, 5)
+        assert log.events_for(1) == events(10, 12)
+        assert log.pending_events == 7
+
+    def test_barrier_truncates_and_snapshots(self):
+        log = ReplayLog(2)
+        log.record(0, events(0, 4))
+        log.barrier([b"a", b"b"], offset=4)
+        assert log.events_for(0) == []
+        assert log.blob_for(0) == b"a"
+        assert log.blob_for(1) == b"b"
+        assert log.barrier_offset == 4
+        assert log.barriers == 1
+        log.record(0, events(4, 6))
+        assert log.events_for(0) == events(4, 6)
+
+    def test_blob_defaults_to_none_meaning_zero_state(self):
+        log = ReplayLog(1)
+        assert log.blob_for(0) is None
+
+    def test_set_blob_records_resume_state(self):
+        log = ReplayLog(2)
+        log.set_blob(1, b"resumed")
+        assert log.blob_for(1) == b"resumed"
+
+    def test_barrier_shape_checked(self):
+        log = ReplayLog(3)
+        with pytest.raises(EngineError, match="blobs"):
+            log.barrier([b"x"], offset=0)
+
+    def test_config_validation(self):
+        with pytest.raises(EngineError):
+            ReplayLog(0)
+        with pytest.raises(EngineError):
+            ReplayLog(1, max_events=0)
+
+
+class TestBounds:
+    def test_over_limit_without_spill_dir(self):
+        log = ReplayLog(1, max_events=5)
+        log.record(0, events(0, 5))
+        assert not log.over_limit()
+        log.record(0, events(5, 7))
+        assert log.over_limit()
+        log.barrier([b""], offset=7)
+        assert not log.over_limit()
+
+    def test_spill_keeps_memory_bounded_and_replay_exact(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        log = ReplayLog(2, max_events=8, spill_dir=spill)
+        all_events = events(0, 50)
+        for i in range(0, 50, 5):
+            log.record(0, all_events[i:i + 5])
+        # Memory stays at the per-shard budget; the rest went to disk.
+        assert len(log._mem[0]) <= max(1, 8 // 2)
+        assert log._spilled[0] > 0
+        assert os.path.exists(os.path.join(spill, "replay-0000.spill"))
+        # Replay returns everything, in order, across the disk boundary.
+        assert log.events_for(0) == all_events
+        assert not log.over_limit()  # spilling substitutes for barriers
+        assert log.pending_events == 50
+
+    def test_barrier_deletes_spill_files(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        log = ReplayLog(1, max_events=4, spill_dir=spill)
+        log.record(0, events(0, 20))
+        path = os.path.join(spill, "replay-0000.spill")
+        assert os.path.exists(path)
+        log.barrier([b""], offset=20)
+        assert not os.path.exists(path)
+        assert log.events_for(0) == []
+
+    def test_close_removes_spill_files(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        log = ReplayLog(1, max_events=4, spill_dir=spill)
+        log.record(0, events(0, 20))
+        log.close()
+        assert not os.path.exists(os.path.join(spill, "replay-0000.spill"))

@@ -80,3 +80,63 @@ class TestParsing:
     def test_singleton_edge(self):
         with pytest.raises(StreamError):
             read_stream(io.StringIO("n 4\n+ 2\n"))
+
+
+class TestPathologicalInputs:
+    """Each malformed shape gets its own line-numbered diagnostic."""
+
+    def message(self, text, **kwargs):
+        with pytest.raises(StreamError) as info:
+            read_stream(io.StringIO(text), **kwargs)
+        return str(info.value)
+
+    def test_empty_file(self):
+        msg = self.message("")
+        assert msg == "stream file is empty (no 'n' header)"
+
+    def test_whitespace_and_comments_only(self):
+        # Comment-only files are "empty" too — nothing was parseable.
+        msg = self.message("# just a comment\n\n   \n")
+        assert msg == "stream file is empty (no 'n' header)"
+
+    def test_events_but_no_header(self):
+        # Distinct from the empty case: there WAS content, out of order.
+        msg = self.message("+ 0 1\n")
+        assert msg == "line 1: event before 'n' header"
+
+    def test_header_only_token(self):
+        msg = self.message("n\n")
+        assert msg.startswith("line 1: bad header")
+        assert "'n'" in msg
+
+    def test_header_with_non_integer_count(self):
+        msg = self.message("n five\n")
+        assert msg.startswith("line 1: bad header")
+
+    def test_duplicate_insert_with_balance_check(self):
+        msg = self.message("n 4\n+ 0 1\n+ 1 0\n", check_balance=True)
+        assert msg == "line 3: double insertion of (0, 1)"
+
+    def test_delete_before_insert_with_balance_check(self):
+        msg = self.message("n 4\n- 2 3\n", check_balance=True)
+        assert msg == "line 2: deletion of absent edge (2, 3)"
+
+    def test_non_integer_tokens(self):
+        msg = self.message("n 4\n+ 0 x\n")
+        assert msg == "line 2: bad vertex in '+ 0 x'"
+
+    def test_all_messages_distinct(self):
+        """The five pathologies map to five different diagnostics."""
+        cases = {
+            "empty": self.message(""),
+            "header-only": self.message("n\n"),
+            "dup-insert": self.message("n 4\n+ 0 1\n+ 0 1\n",
+                                       check_balance=True),
+            "del-before-ins": self.message("n 4\n- 0 1\n",
+                                           check_balance=True),
+            "non-integer": self.message("n 4\n+ 0 x\n"),
+        }
+        assert len(set(cases.values())) == len(cases)
+        for name, msg in cases.items():
+            if name != "empty":
+                assert "line " in msg, f"{name} lacks a line number: {msg}"
