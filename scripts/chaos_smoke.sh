@@ -2,9 +2,13 @@
 # Chaos smoke: run the fault-injection suite under several seeds.
 #
 # The `faults` marker selects tests that SIGKILL workers, hang them,
-# and corrupt checkpoints; `--chaos-seed` varies the streams and kill
-# points so recovery is exercised on different schedules, not one
-# hand-picked trace. Usage:
+# corrupt checkpoints, and flip bits in live sampler banks; the seed
+# sweep varies the streams, kill points, and bit-flip targets so
+# recovery and detection are exercised on different schedules, not one
+# hand-picked trace. The second invocation per seed is the bit-flip
+# injection mode: the audit suite alone, proving detection →
+# localization → exclusion → correct answer for each seed's flip.
+# Usage:
 #
 #   scripts/chaos_smoke.sh            # default seeds 0 1 2
 #   scripts/chaos_smoke.sh 7 11 13    # custom seeds
@@ -19,5 +23,7 @@ fi
 for seed in "${seeds[@]}"; do
     echo "=== chaos smoke: seed ${seed} ==="
     PYTHONPATH=src python -m pytest -q -m faults --chaos-seed="${seed}"
+    echo "=== chaos smoke (bit-flip mode): seed ${seed} ==="
+    PYTHONPATH=src python -m pytest -q tests/audit -m faults --chaos-seed="${seed}"
 done
 echo "=== chaos smoke: all ${#seeds[@]} seeds passed ==="

@@ -20,6 +20,21 @@ theorem-by-theorem validation results.
 """
 
 from ._version import __version__
+from .audit import (
+    AmplifiedResult,
+    AuditReport,
+    CertifiedResult,
+    SketchAuditor,
+    amplify_votes,
+    audit_sketch,
+    certify_connectivity,
+    certify_edge_connectivity,
+    certify_skeleton,
+    certify_spanning_forest,
+    run_amplified,
+    verified_merge,
+    verified_restore,
+)
 from .core import (
     DEFAULT_PARAMS,
     DegradedResult,
@@ -48,7 +63,9 @@ from .errors import (
     DomainError,
     EngineError,
     IncompatibleSketchError,
+    IntegrityError,
     NotOneSparseError,
+    PayloadCorruptionError,
     RankError,
     ReproError,
     SamplerEmptyError,
@@ -93,6 +110,20 @@ __all__ = [
     "BadUpdate",
     "RetryPolicy",
     "SupervisedPool",
+    # integrity & certification
+    "SketchAuditor",
+    "AuditReport",
+    "audit_sketch",
+    "verified_merge",
+    "verified_restore",
+    "CertifiedResult",
+    "certify_spanning_forest",
+    "certify_connectivity",
+    "certify_skeleton",
+    "certify_edge_connectivity",
+    "AmplifiedResult",
+    "amplify_votes",
+    "run_amplified",
     # ingestion engine
     "ShardedIngestEngine",
     "CheckpointManager",
@@ -112,4 +143,6 @@ __all__ = [
     "CheckpointError",
     "WorkerCrashError",
     "SupervisionError",
+    "IntegrityError",
+    "PayloadCorruptionError",
 ]

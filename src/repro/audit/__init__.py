@@ -1,0 +1,54 @@
+"""Sketch integrity auditing, result certification, and amplification.
+
+Three robustness layers over the linear-sketch machinery:
+
+* :mod:`~repro.audit.digest` / :mod:`~repro.audit.integrity` — detect
+  and *localize* out-of-band corruption of counter banks via
+  incrementally maintained homomorphic digests; verified merge and
+  checkpoint-restore assert the linearity invariant.
+* :mod:`~repro.audit.certify` — query answers that carry witness edges
+  re-verified independently of the decode path.
+* :mod:`~repro.audit.amplify` — failure-probability amplification by
+  majority vote over independent sketch repetitions.
+"""
+
+from .amplify import AmplifiedResult, amplify_votes, run_amplified
+from .certify import (
+    CertifiedResult,
+    certify_connectivity,
+    certify_edge_connectivity,
+    certify_skeleton,
+    certify_spanning_forest,
+)
+from .digest import GridDigest, attach_digest
+from .integrity import (
+    AuditReport,
+    Corruption,
+    GridRef,
+    SketchAuditor,
+    audit_sketch,
+    named_grids,
+    verified_merge,
+    verified_restore,
+)
+
+__all__ = [
+    "AmplifiedResult",
+    "AuditReport",
+    "CertifiedResult",
+    "Corruption",
+    "GridDigest",
+    "GridRef",
+    "SketchAuditor",
+    "amplify_votes",
+    "attach_digest",
+    "audit_sketch",
+    "certify_connectivity",
+    "certify_edge_connectivity",
+    "certify_skeleton",
+    "certify_spanning_forest",
+    "named_grids",
+    "run_amplified",
+    "verified_merge",
+    "verified_restore",
+]

@@ -10,6 +10,8 @@ Usage (after installation)::
     python -m repro ingest STREAM_FILE [--shards N --batch-size B]
                     [--checkpoint-dir D [--resume]] [--metrics-json PATH]
                     [--retries N [--replay-limit E --replay-spill-dir DIR]]
+                    [--verify]
+    python -m repro audit CKPT_FILE_OR_DIR [...]
     python -m repro generate {gnp,harary,hypergraph} ... -o STREAM_FILE
 
 Stream files use the text format of :mod:`repro.stream.file_io`.
@@ -20,7 +22,12 @@ success; malformed inputs exit 2 with a diagnostic.  Robustness flags
 input lines; ``--retries N`` (ingest) supervises shard workers with
 checkpoint-replay recovery; ``--degraded-ok`` (query,
 edge-connectivity) accepts weaker answers on sketch decode failure,
-clearly marked ``DEGRADED``.
+clearly marked ``DEGRADED``.  Integrity flags: ``--certify``
+(connectivity, edge-connectivity) re-verifies the answer's witness
+independently of the decode; ``--amplify R`` majority-votes over R
+independent sketches with reported confidence; ``ingest --verify``
+checks shard merges and barrier dumps; the ``audit`` subcommand
+verifies checkpoints at rest.
 """
 
 from __future__ import annotations
@@ -80,6 +87,22 @@ def _load(args):
 
 def _cmd_connectivity(args) -> int:
     n, r, updates = _load(args)
+    if args.amplify:
+        from .audit.amplify import run_amplified
+
+        result = run_amplified(
+            lambda seed: HypergraphConnectivitySketch(
+                n, r=r, seed=seed, params=_params(args.params)
+            ),
+            updates,
+            lambda s: s.is_connected(),
+            repetitions=args.amplify,
+            base_seed=args.seed,
+        )
+        print(f"n={n} r={r} events={len(updates)}")
+        print(result.summary())
+        print(f"connected: {result.value} (confidence {result.confidence:.3f})")
+        return 0
     sketch = HypergraphConnectivitySketch(n, r=r, seed=args.seed, params=_params(args.params))
     _feed(sketch, updates)
     comps = sketch.components()
@@ -87,6 +110,13 @@ def _cmd_connectivity(args) -> int:
     print(f"connected: {len(comps) == 1}")
     print(f"components ({len(comps)}): {comps}")
     print(f"sketch: {sketch.space_counters()} counters")
+    if args.certify:
+        from .audit.certify import certify_connectivity
+
+        cert = certify_connectivity(sketch._sketch)
+        print(cert.summary())
+        if not cert.verified:
+            return 1
     return 0
 
 
@@ -112,10 +142,39 @@ def _cmd_query(args) -> int:
 
 def _cmd_edge_connectivity(args) -> int:
     n, r, updates = _load(args)
+    if args.amplify:
+        from .audit.amplify import run_amplified
+
+        result = run_amplified(
+            lambda seed: EdgeConnectivitySketch(
+                n, k_max=args.k_max, r=r, seed=seed, params=_params(args.params)
+            ),
+            updates,
+            lambda s: s.estimate(),
+            repetitions=args.amplify,
+            base_seed=args.seed,
+        )
+        lam = result.value
+        print(f"n={n} r={r} events={len(updates)}")
+        print(result.summary())
+        suffix = " (at least; saturated the cap)" if lam == args.k_max else ""
+        print(f"edge connectivity estimate: {lam}{suffix} "
+              f"(confidence {result.confidence:.3f})")
+        return 0
     sketch = EdgeConnectivitySketch(
         n, k_max=args.k_max, r=r, seed=args.seed, params=_params(args.params)
     )
     _feed(sketch, updates)
+    if args.certify:
+        from .audit.certify import certify_edge_connectivity
+
+        cert = certify_edge_connectivity(sketch)
+        lam = cert.value
+        suffix = " (at least; saturated the cap)" if lam == args.k_max else ""
+        print(f"n={n} r={r} events={len(updates)}")
+        print(cert.summary())
+        print(f"edge connectivity estimate: {lam}{suffix}")
+        return 0 if cert.verified else 1
     if args.degraded_ok:
         result = sketch.estimate_degraded()
         lam = result.value
@@ -199,6 +258,8 @@ def _cmd_ingest(args) -> int:
         supervision=supervision,
         replay_limit=args.replay_limit,
         replay_spill_dir=args.replay_spill_dir,
+        verify_merges=args.verify,
+        verify_dumps=args.verify,
     )
     result = engine.ingest(updates, resume=args.resume)
     metrics = result.metrics
@@ -218,6 +279,64 @@ def _cmd_ingest(args) -> int:
             with open(args.metrics_json, "w") as fh:
                 fh.write(payload + "\n")
             print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    """Verify checkpoint/sketch blobs on disk without deserializing.
+
+    Walks each path (files, or directories scanned for ``ckpt-*.rpck``),
+    verifies the checkpoint envelope CRC and every constituent sketch
+    blob's payload CRC, and reports per file.  Exit codes: 0 all clean,
+    1 corruption found, 2 nothing to audit / unreadable input.
+    """
+    import os
+
+    from .engine.checkpoint import decode_checkpoint
+    from .sketch.serialization import verify_sketch_blob
+
+    files: List[str] = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.startswith("ckpt-") and name.endswith(".rpck")
+            )
+        else:
+            files.append(path)
+    if not files:
+        print("error: no checkpoint files to audit", file=sys.stderr)
+        return 2
+    corrupt = 0
+    for path in files:
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            print(f"{path}: UNREADABLE ({exc})")
+            corrupt += 1
+            continue
+        try:
+            if data[:4] == b"RPSK":
+                grids = verify_sketch_blob(data)
+                print(f"{path}: OK (sketch blob, {grids} grids verified)")
+            else:
+                ck = decode_checkpoint(data)
+                grids = 0
+                for shard, blob in enumerate(ck.shard_blobs):
+                    grids += verify_sketch_blob(blob)
+                print(
+                    f"{path}: OK (offset {ck.offset}, {ck.shards} shards, "
+                    f"{grids} grids verified)"
+                )
+        except ReproError as exc:
+            print(f"{path}: CORRUPT ({exc})")
+            corrupt += 1
+    if corrupt:
+        print(f"audit: {corrupt} of {len(files)} files failed verification")
+        return 1
+    print(f"audit: all {len(files)} files verified")
     return 0
 
 
@@ -268,6 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("connectivity", help="is the streamed (hyper)graph connected?")
     common(p)
+    p.add_argument("--certify", action="store_true",
+                   help="re-verify the answer independently of the decode "
+                        "(witness edges + boundary-zero checks); exits 1 if "
+                        "verification fails")
+    p.add_argument("--amplify", type=int, default=0, metavar="R",
+                   help="majority-vote over R independently seeded sketches "
+                        "and report the empirical confidence")
     p.set_defaults(func=_cmd_connectivity)
 
     p = sub.add_parser("query", help="does removing a vertex set disconnect it?")
@@ -285,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degraded-ok", action="store_true",
                    help="fall back to a connectivity-only answer on decode "
                         "failure (reported as DEGRADED) instead of erroring")
+    p.add_argument("--certify", action="store_true",
+                   help="re-verify every skeleton layer independently of the "
+                        "decode; exits 1 if verification fails")
+    p.add_argument("--amplify", type=int, default=0, metavar="R",
+                   help="majority-vote over R independently seeded sketches "
+                        "and report the empirical confidence")
     p.set_defaults(func=_cmd_edge_connectivity)
 
     p = sub.add_parser("sparsify", help="decode a (1+ε) cut sparsifier")
@@ -330,7 +462,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="malformed stream lines: fail fast, divert, or skip")
     p.add_argument("--quarantine-file", default=None, metavar="PATH",
                    help="JSONL file for quarantined lines")
+    p.add_argument("--verify", action="store_true",
+                   help="integrity mode: verify every shard merge against "
+                        "the linearity invariant and (under --retries) "
+                        "CRC-check every barrier dump before trusting it")
     p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "audit",
+        help="verify checkpoint/sketch blobs on disk (CRC + structure)",
+    )
+    p.add_argument("paths", nargs="+",
+                   help="checkpoint files or directories of ckpt-*.rpck")
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("generate", help="write a workload stream file")
     gen_sub = p.add_subparsers(dest="family", required=True)

@@ -144,22 +144,32 @@ class SampledForestUnion:
         """H as an ordinary graph (rank-2 inputs only)."""
         return self.decode_union().to_graph()
 
-    def decode_union_accounted(self) -> Tuple[Hypergraph, List[int]]:
+    def decode_union_accounted(
+        self, exclude: Sequence[int] = ()
+    ) -> Tuple[Hypergraph, List[int]]:
         """Union of per-instance *strict* decodes, with failure accounting.
 
         Each of the R instances is decoded with ``strict=True`` so that
         detectable probabilistic failures surface; an instance that
         fails is *skipped* (the other instances are independently
         seeded, so the rest of the union stays valid) and its id is
-        returned in the failure list.  The degraded query layer
-        (:mod:`repro.core.degraded`) uses this to answer from the
-        surviving R - m instances instead of dying — with honest
-        reporting of m.  Bypasses the decode caches (strict and cached
-        forests must not mix).
+        returned in the failure list.  ``exclude`` lists instance ids to
+        skip without attempting a decode — the integrity auditor routes
+        instances with corrupted banks here, so a damaged counter can
+        never contribute edges to the certificate.  Excluded ids are
+        reported in the failure list alongside genuine decode failures.
+        The degraded query layer (:mod:`repro.core.degraded`) uses this
+        to answer from the surviving R - m instances instead of dying —
+        with honest reporting of m.  Bypasses the decode caches (strict
+        and cached forests must not mix).
         """
+        excluded = set(exclude)
         failed: List[int] = []
         union = Hypergraph(self.n, self.r)
         for i, sketch in self.sketches.items():
+            if i in excluded:
+                failed.append(i)
+                continue
             try:
                 forest = sketch.decode(strict=True)
             except SketchDecodeError:

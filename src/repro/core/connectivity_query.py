@@ -26,7 +26,7 @@ from ..errors import DomainError
 from ..graph.traversal import hypergraph_is_connected_excluding
 from ..util.rng import normalize_seed
 from ._sampled import SampledForestUnion
-from .degraded import REASON_PARTIAL_CERTIFICATE, DegradedResult
+from .degraded import REASON_CORRUPTION, REASON_PARTIAL_CERTIFICATE, DegradedResult
 from .params import DEFAULT_PARAMS, Params
 
 
@@ -109,7 +109,8 @@ class VertexConnectivityQuerySketch:
         return not hypergraph_is_connected_excluding(H, S)
 
     def disconnects_degraded(
-        self, removed: Iterable[int], metrics=None
+        self, removed: Iterable[int], metrics=None,
+        exclude_instances: Iterable[int] = (),
     ) -> DegradedResult:
         """:meth:`disconnects` with honest degradation accounting.
 
@@ -121,9 +122,14 @@ class VertexConnectivityQuerySketch:
         as a :class:`~repro.core.degraded.DegradedResult`: full
         strength when every instance decoded, otherwise degraded with
         reason ``partial-certificate`` and the failure count in the
-        detail.  ``metrics`` (an :class:`~repro.engine.metrics.
-        IngestMetrics` or compatible) has ``degraded_queries``
-        incremented per degraded answer.
+        detail.  ``exclude_instances`` lists instance ids to drop
+        *before* decoding — the route for
+        :meth:`~repro.audit.integrity.AuditReport.corrupted_instances`
+        findings, so a bank the audit flagged can never contribute
+        edges; exclusions make the answer degraded with reason
+        ``corruption-excluded``.  ``metrics`` (an
+        :class:`~repro.engine.metrics.IngestMetrics` or compatible) has
+        ``degraded_queries`` incremented per degraded answer.
         """
         S = set(removed)
         if len(S) > self.k:
@@ -133,21 +139,24 @@ class VertexConnectivityQuerySketch:
         for v in S:
             if not 0 <= v < self.n:
                 raise DomainError(f"query vertex {v} outside [0, {self.n})")
-        H, failed = self._union.decode_union_accounted()
+        excluded = sorted(set(exclude_instances))
+        H, failed = self._union.decode_union_accounted(exclude=excluded)
         answer = not hypergraph_is_connected_excluding(H, S)
         if not failed:
             return DegradedResult(value=answer, degraded=False, mode="full")
         if metrics is not None:
             metrics.degraded_queries += 1
+        reason = REASON_CORRUPTION if excluded else REASON_PARTIAL_CERTIFICATE
         return DegradedResult(
             value=answer,
             degraded=True,
             mode="partial-certificate",
-            reason=REASON_PARTIAL_CERTIFICATE,
+            reason=reason,
             detail=(
                 f"{len(failed)} of {self.repetitions} sampled instances "
-                f"failed to decode (ids {failed[:8]}{'...' if len(failed) > 8 else ''}); "
-                "answered from the surviving union"
+                f"unavailable (ids {failed[:8]}{'...' if len(failed) > 8 else ''}"
+                + (f"; {len(excluded)} excluded as corrupted" if excluded else "")
+                + "); answered from the surviving union"
             ),
         )
 

@@ -34,6 +34,7 @@ from ..errors import SketchDecodeError
 REASON_DECODE_FAILED = "decode-failed"          # primary decode raised
 REASON_PARTIAL_CERTIFICATE = "partial-certificate"  # some instances skipped
 REASON_CONNECTIVITY_ONLY = "connectivity-only"  # weaker query substituted
+REASON_CORRUPTION = "corruption-excluded"       # audit excluded instances
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ from ..graph.hypergraph import Hypergraph
 from ..graph.hypergraph_cuts import hypergraph_edge_connectivity
 from ..sketch.skeleton import SkeletonSketch
 from ..util.rng import normalize_seed
-from .degraded import DegradedResult, decode_with_degradation
+from .degraded import REASON_CORRUPTION, DegradedResult, decode_with_degradation
 from .params import DEFAULT_PARAMS, Params
 
 
@@ -99,30 +99,64 @@ class EdgeConnectivitySketch:
         """
         return self._estimate_from(self.skeleton())
 
-    def estimate_degraded(self, metrics=None) -> DegradedResult:
+    def estimate_degraded(
+        self, metrics=None, exclude_layers: Sequence[int] = ()
+    ) -> DegradedResult:
         """:meth:`estimate` with the degraded-decoding fallback ladder.
 
         Primary: a *strict* full k_max-layer skeleton decode (detectable
         per-layer failures raise instead of silently thinning cuts),
         then the usual ``min(λ(skeleton), k_max)``.  Fallback: a
-        connectivity-only decode of the first layer, which can still
-        answer ``λ >= 1`` vs ``λ = 0`` — returned as a degraded
+        connectivity-only decode of the first surviving layer, which can
+        still answer ``λ >= 1`` vs ``λ = 0`` — returned as a degraded
         :class:`~repro.core.degraded.DegradedResult` (mode
         ``connectivity-only``) whose value is capped at 1.  Raises only
         when even the fallback cannot decode.
+
+        ``exclude_layers`` lists layer indices an integrity audit
+        flagged as corrupted: those layers are dropped before decoding
+        (see :meth:`~repro.sketch.skeleton.SkeletonSketch.decode_layers`),
+        the estimate cap shrinks to ``k_max - len(exclude_layers)``, and
+        the answer comes back degraded (mode ``partial-skeleton``,
+        reason ``corruption-excluded``) even when every surviving layer
+        decodes — a thinner skeleton is never a full-strength answer.
         """
+        exclude = sorted(set(exclude_layers))
+        cap = self.k_max - len(exclude)
+        if cap < 1:
+            raise DomainError(
+                f"cannot exclude {len(exclude)} of {self.k_max} skeleton "
+                "layers; no layer left to estimate from"
+            )
 
         def full() -> int:
-            skel = self._skeleton.decode(strict=True)
-            return self._estimate_from(skel)
+            skel = self._skeleton.decode(strict=True, skip=exclude)
+            return min(self._estimate_from(skel), cap)
 
         def connectivity_only() -> int:
-            forest = self._skeleton.decode_connectivity_only()
+            forest = self._skeleton.decode_connectivity_only(skip=exclude)
             return min(self._estimate_from(forest), 1)
 
-        return decode_with_degradation(
+        result = decode_with_degradation(
             full, [("connectivity-only", connectivity_only)], metrics=metrics
         )
+        if exclude and not result.degraded:
+            if metrics is not None:
+                metrics.degraded_queries += 1
+            return DegradedResult(
+                value=result.value,
+                degraded=True,
+                mode="partial-skeleton",
+                reason=REASON_CORRUPTION,
+                detail=(
+                    f"{len(exclude)} of {self.k_max} skeleton layers "
+                    f"excluded as corrupted (ids {exclude[:8]}"
+                    f"{'...' if len(exclude) > 8 else ''}); estimate capped "
+                    f"at {cap}"
+                ),
+                attempts=result.attempts,
+            )
+        return result
 
     def _estimate_from(self, skel: Hypergraph) -> int:
         if skel.num_edges == 0:

@@ -65,20 +65,27 @@ def _rho_many(seed: int, indices: np.ndarray) -> np.ndarray:
     return (((hi * np.uint64(8)) % p + lo) % p).astype(np.int64)
 
 
-def _segment_fold_mod(target: np.ndarray, cells: np.ndarray, order: np.ndarray,
-                      starts: np.ndarray, values: np.ndarray) -> None:
-    """Add per-cell segment sums of modular ``values`` into ``target``.
+def _segment_contrib_mod(order: np.ndarray, starts: np.ndarray,
+                         values: np.ndarray) -> np.ndarray:
+    """Per-cell segment sums of modular ``values``, as residues in [0, p).
 
     ``values`` are residues in [0, p); a cell may receive thousands of
     contributions per batch, whose direct int64 sum would overflow.  The
     residues are therefore summed as 32-bit halves (safe up to ~2^19
     contributions per cell per call) and recombined with one Mersenne
-    shift before the single reduction into the target cells.
+    shift into a single residue per cell.  Exposing the residues (rather
+    than folding in place) lets the integrity digest observe exactly
+    what the bank receives.
     """
     v = values[order]
     hi = np.add.reduceat(v >> np.int64(32), starts)
     lo = np.add.reduceat(v & _MASK32, starts)
-    contrib = (shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64) + lo % _P) % _P
+    return (shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64) + lo % _P) % _P
+
+
+def _scatter_add_mod(target: np.ndarray, cells: np.ndarray,
+                     contrib: np.ndarray) -> None:
+    """Add per-cell residue contributions into the flat counter array."""
     total = target[cells] + contrib
     target[cells] = np.where(total >= _P, total - _P, total)
 
@@ -113,6 +120,7 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
 
     lvl_arr = np.arange(levels, dtype=np.int64)
     salts = np.array(grid._level_salts, dtype=np.uint64)
+    digest = grid._digest
     w3 = grid._w.reshape(grid.groups, -1)
     s3 = grid._s.reshape(grid.groups, -1)
     f3 = grid._f.reshape(grid.groups, -1)
@@ -143,9 +151,14 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
             src = np.broadcast_to(
                 np.arange(m.size, dtype=np.int64)[:, None], mask.shape
             )[mask]
-            w_flat[cells] += np.add.reduceat(d[src[order]], starts)
-            _segment_fold_mod(s_flat, cells, order, starts, cs[src])
-            _segment_fold_mod(f_flat, cells, order, starts, cf[src])
+            dw = np.add.reduceat(d[src[order]], starts)
+            w_flat[cells] += dw
+            cs_contrib = _segment_contrib_mod(order, starts, cs[src])
+            cf_contrib = _segment_contrib_mod(order, starts, cf[src])
+            _scatter_add_mod(s_flat, cells, cs_contrib)
+            _scatter_add_mod(f_flat, cells, cf_contrib)
+            if digest is not None:
+                digest.observe_cells(g, r, cells, dw, cs_contrib, cf_contrib)
     return int(m.size)
 
 

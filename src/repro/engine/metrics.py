@@ -97,6 +97,12 @@ class IngestMetrics:
     retries: int = 0
     quarantined: int = 0
     degraded_queries: int = 0
+    # Integrity counters (the audit subsystem): digest audit passes run
+    # (including verified merges/restores) and localized corruption
+    # findings.  ``corruption_detected`` nonzero means a bank or blob
+    # diverged from its digest — page someone.
+    audits: int = 0
+    corruption_detected: int = 0
     batch_size_hist: Dict[str, int] = field(default_factory=dict)
     per_shard: List[ShardStats] = field(default_factory=list)
     checkpoint: CheckpointStats = field(default_factory=CheckpointStats)
@@ -147,6 +153,8 @@ class IngestMetrics:
             "retries": self.retries,
             "quarantined": self.quarantined,
             "degraded_queries": self.degraded_queries,
+            "audits": self.audits,
+            "corruption_detected": self.corruption_detected,
             "batch_size_hist": dict(sorted(
                 self.batch_size_hist.items(), key=lambda kv: int(kv[0].split("-")[0])
             )),
@@ -182,5 +190,10 @@ class IngestMetrics:
                 f"  robustness: {self.restarts} restarts, "
                 f"{self.retries} retries, {self.quarantined} quarantined, "
                 f"{self.degraded_queries} degraded queries"
+            )
+        if self.audits or self.corruption_detected:
+            lines.append(
+                f"  integrity: {self.audits} audits, "
+                f"{self.corruption_detected} corruption findings"
             )
         return "\n".join(lines)

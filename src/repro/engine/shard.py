@@ -119,6 +119,20 @@ class ShardedIngestEngine:
         Bounds of the supervision replay log (events in memory, and an
         optional spill directory for longer barrier gaps).  Ignored
         without ``supervision``.
+    verify_merges:
+        When True, the final reduce runs through
+        :func:`~repro.audit.integrity.verified_merge`: each shard fold
+        into the accumulator is checked against the linearity invariant
+        (digest of the merged banks must equal the sum of the operand
+        digests), so a shard whose counters were corrupted in flight
+        raises :class:`~repro.errors.IntegrityError` instead of
+        poisoning the answer.  Costs one digest recompute per shard
+        merge.
+    verify_dumps:
+        When True (and ``supervision`` is set), every barrier blob is
+        CRC-verified before becoming a recovery baseline; a corrupted
+        dump triggers worker restart + replay instead of entering the
+        checkpoint.  Ignored without supervision.
     """
 
     def __init__(
@@ -133,6 +147,8 @@ class ShardedIngestEngine:
         supervision: Optional["RetryPolicy"] = None,
         replay_limit: int = 250_000,
         replay_spill_dir: Optional[str] = None,
+        verify_merges: bool = False,
+        verify_dumps: bool = False,
     ):
         if shards < 1:
             raise EngineError(f"engine needs shards >= 1, got {shards}")
@@ -153,6 +169,8 @@ class ShardedIngestEngine:
         self.supervision = supervision
         self.replay_limit = replay_limit
         self.replay_spill_dir = replay_spill_dir
+        self.verify_merges = verify_merges
+        self.verify_dumps = verify_dumps
         self.pool = None  # the live pool during ingest (fault hooks)
 
     # -- checkpoint compatibility ---------------------------------------
@@ -221,6 +239,7 @@ class ShardedIngestEngine:
                 ),
                 batch_size=self.batch_size,
                 metrics=metrics,
+                verify_dumps=self.verify_dumps,
             )
         self.pool = pool
         try:
@@ -285,8 +304,14 @@ class ShardedIngestEngine:
 
         merge_start = time.perf_counter()
         merged = zero_clone(self.prototype)
+        if self.verify_merges:
+            from ..audit.integrity import verified_merge
         for shard, (sketch, seconds, shard_events) in enumerate(shard_states):
-            merged += sketch
+            if self.verify_merges:
+                verified_merge(merged, sketch, label=f"shard[{shard}]",
+                               metrics=metrics)
+            else:
+                merged += sketch
             # Process workers report their own fold time at finish.
             if metrics.per_shard[shard].seconds == 0.0:
                 metrics.per_shard[shard].seconds = seconds

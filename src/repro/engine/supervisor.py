@@ -101,6 +101,15 @@ class SupervisedPool:
     ``metrics`` (an :class:`~repro.engine.metrics.IngestMetrics`) gets
     ``restarts`` and ``retries`` incremented as recovery happens, so
     operators can alert on silent instability.
+
+    With ``verify_dumps=True`` every barrier blob a worker ships is
+    structurally verified (payload CRCs re-checked via
+    :func:`~repro.sketch.serialization.verify_sketch_blob`) before it
+    becomes the shard's recovery baseline.  A corrupted blob — damaged
+    in worker memory or in transit over the pipe — is treated exactly
+    like a dead worker: the shard is restarted, restored from the
+    *previous* good barrier, replayed, and re-asked to dump, spending
+    restart budget rather than poisoning the checkpoint.
     """
 
     def __init__(
@@ -112,6 +121,7 @@ class SupervisedPool:
         batch_size: int = 512,
         metrics=None,
         sleep: Callable[[float], None] = time.sleep,
+        verify_dumps: bool = False,
     ):
         self.inner = inner
         self.shards = shards
@@ -119,6 +129,7 @@ class SupervisedPool:
         self.replay = replay if replay is not None else ReplayLog(shards)
         self.batch_size = max(1, batch_size)
         self.metrics = metrics
+        self.verify_dumps = verify_dumps
         self._sleep = sleep
         self._restarts = [0] * shards
         self._consumed = 0
@@ -205,14 +216,42 @@ class SupervisedPool:
         self.replay.set_blob(shard, blob)
         self._request(shard, lambda s: self.inner.load(s, blob))
 
+    def _collect_verified_dump(self, shard: int) -> bytes:
+        """Collect one shard's barrier blob, verifying CRCs if asked.
+
+        Corruption consumes restart budget exactly like a crash, so a
+        shard that only ever ships damaged blobs terminates in
+        :class:`~repro.errors.SupervisionError` instead of looping.
+        """
+        from ..errors import IntegrityError
+        from ..sketch.serialization import verify_sketch_blob
+
+        while True:
+            blob = self._collect(
+                shard, self.inner.collect_dump, self.inner.request_dump
+            )
+            if not self.verify_dumps:
+                return blob
+            try:
+                verify_sketch_blob(blob)
+            except IntegrityError:
+                if self.metrics is not None:
+                    self.metrics.audits += 1
+                    self.metrics.corruption_detected += 1
+                self._note_retry()
+                self._recover(shard)
+                self._request(shard, self.inner.request_dump)
+                continue
+            if self.metrics is not None:
+                self.metrics.audits += 1
+            return blob
+
     def dump_all(self) -> List[bytes]:
         blobs: List[Optional[bytes]] = [None] * self.shards
         for shard in range(self.shards):
             self._request(shard, self.inner.request_dump)
         for shard in range(self.shards):
-            blobs[shard] = self._collect(
-                shard, self.inner.collect_dump, self.inner.request_dump
-            )
+            blobs[shard] = self._collect_verified_dump(shard)
         self.replay.barrier(blobs, self._consumed)
         return list(blobs)
 

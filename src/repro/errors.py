@@ -66,6 +66,33 @@ class IncompatibleSketchError(ReproError):
     """Two sketches with different seeds/shapes were combined linearly."""
 
 
+class IntegrityError(ReproError):
+    """Sketch state failed an integrity check (out-of-band corruption).
+
+    Raised by the :mod:`repro.audit` layer when counter banks no longer
+    match their maintained content digests, or when a merge violates
+    the linearity invariant — i.e. the data was mutated by something
+    *other* than the sketch update path (bit rot, a buggy writer, a
+    torn restore).  Distinct from :class:`SketchDecodeError`: decode
+    failures are the allowed probabilistic mode; integrity failures
+    mean the state itself can no longer be trusted.  Carries the
+    localized ``findings`` (sketch, instance, group, row) when known.
+    """
+
+    def __init__(self, message: str, findings=()):
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
+class PayloadCorruptionError(IntegrityError):
+    """A serialized sketch payload failed its CRC.
+
+    The blob's counter bytes were damaged in transit or at rest; the
+    header may still parse, so this is raised *before* any counters are
+    deserialized into a live grid.
+    """
+
+
 class StreamError(ReproError):
     """A dynamic stream violated multigraph-freeness or balance invariants."""
 

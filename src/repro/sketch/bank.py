@@ -106,6 +106,10 @@ class SamplerGrid:
         self._tiebreak_seeds = [derive_seed(self.seed, 3, g) for g in range(groups)]
         self._rho = HashFamily(derive_seed(self.seed, 4))
         self._updates = 0
+        #: Optional :class:`~repro.audit.digest.GridDigest`, attached by
+        #: the integrity layer; every mutation path below keeps it in
+        #: lockstep with the counter arrays when present.
+        self._digest = None
 
     # -- streaming ------------------------------------------------------
 
@@ -138,6 +142,8 @@ class SamplerGrid:
                 f"member {member} outside [0, {self.members})"
             )
         self._updates += 1
+        if self._digest is not None:
+            self._digest.observe_update(self, member, index, delta)
         i_mod = index % _P
         rho = self._rho.field_value(index, _P)
         cs = (delta * i_mod) % _P
@@ -181,6 +187,8 @@ class SamplerGrid:
         self._s.fill(0)
         self._f.fill(0)
         self._updates = 0
+        if self._digest is not None:
+            self._digest.reset()
 
     # -- linearity --------------------------------------------------------
 
@@ -196,11 +204,21 @@ class SamplerGrid:
         ):
             raise IncompatibleSketchError("sampler grids incompatible")
 
+    def _digest_of(self, other: "SamplerGrid"):
+        """The other operand's digest (computed on demand for merges)."""
+        if other._digest is not None:
+            return other._digest
+        from ..audit.digest import GridDigest
+
+        return GridDigest.compute(other)
+
     def __iadd__(self, other: "SamplerGrid") -> "SamplerGrid":
         self._check_compatible(other)
         self._w += other._w
         self._s = _add_mod(self._s, other._s)
         self._f = _add_mod(self._f, other._f)
+        if self._digest is not None:
+            self._digest.absorb(self._digest_of(other))
         return self
 
     def __isub__(self, other: "SamplerGrid") -> "SamplerGrid":
@@ -208,6 +226,8 @@ class SamplerGrid:
         self._w -= other._w
         self._s = _sub_mod(self._s, other._s)
         self._f = _sub_mod(self._f, other._f)
+        if self._digest is not None:
+            self._digest.absorb(self._digest_of(other), sign=-1)
         return self
 
     def copy(self) -> "SamplerGrid":
@@ -216,6 +236,7 @@ class SamplerGrid:
         out._w = self._w.copy()
         out._s = self._s.copy()
         out._f = self._f.copy()
+        out._digest = None if self._digest is None else self._digest.copy()
         return out
 
     # -- distributed-player plumbing (Section 2 communication model) -----
@@ -233,6 +254,12 @@ class SamplerGrid:
         self._w[:, member] += state["w"]
         self._s[:, member] = _add_mod(self._s[:, member], state["s"])
         self._f[:, member] = _add_mod(self._f[:, member], state["f"])
+        if self._digest is not None:
+            # Message payloads are CRC-verified upstream; accept the
+            # merged state as the new trusted baseline.
+            from ..audit.digest import GridDigest
+
+            self._digest = GridDigest.compute(self)
 
     # -- decoding -----------------------------------------------------------
 

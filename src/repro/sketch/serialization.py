@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import Dict, Tuple
 
 import numpy as np
 
-from ..errors import IncompatibleSketchError
+from ..errors import IncompatibleSketchError, PayloadCorruptionError
 from .bank import SamplerGrid
 
 _MAGIC = b"RPRS"
@@ -49,10 +50,15 @@ def _header_for(grid: SamplerGrid) -> Dict[str, int]:
 
 
 def _pack(header: Dict[str, int], arrays: Tuple[np.ndarray, ...]) -> bytes:
+    payloads = [np.ascontiguousarray(arr, dtype="<i8").tobytes() for arr in arrays]
+    crc = 0
+    for data in payloads:
+        crc = zlib.crc32(data, crc)
+    # Fixed-width hex so the message size stays data-independent.
+    header = dict(header, crc=f"{crc:08x}")
     head = json.dumps(header, sort_keys=True).encode("utf-8")
     out = [_MAGIC, struct.pack("<I", len(head)), head]
-    for arr in arrays:
-        data = np.ascontiguousarray(arr, dtype="<i8").tobytes()
+    for data in payloads:
         out.append(struct.pack("<Q", len(data)))
         out.append(data)
     return b"".join(out)
@@ -70,15 +76,22 @@ def _unpack(blob: bytes, count: int) -> Tuple[Dict[str, int], Tuple[np.ndarray, 
         )
     offset += head_len
     arrays = []
+    crc = 0
     for _ in range(count):
         (size,) = struct.unpack_from("<Q", blob, offset)
         offset += 8
-        arrays.append(
-            np.frombuffer(blob, dtype="<i8", count=size // 8, offset=offset).copy()
-        )
+        data = blob[offset:offset + size]
+        crc = zlib.crc32(data, crc)
+        arrays.append(np.frombuffer(data, dtype="<i8", count=size // 8).copy())
         offset += size
     if offset != len(blob):
         raise IncompatibleSketchError("trailing bytes in sketch blob")
+    expected_crc = header.pop("crc", None)
+    if expected_crc is not None and expected_crc != f"{crc:08x}":
+        raise PayloadCorruptionError(
+            f"sketch blob payload CRC mismatch "
+            f"(stored {expected_crc}, computed {crc:08x})"
+        )
     return header, tuple(arrays)
 
 
@@ -118,6 +131,12 @@ def load_grid(grid: SamplerGrid, blob: bytes, accumulate: bool = False) -> Sampl
         grid._w = w.astype(np.int64)
         grid._s = s.astype(np.int64)
         grid._f = f.astype(np.int64)
+    if grid._digest is not None:
+        # The blob's payload CRC already vouched for the bytes; rebase
+        # the maintained digest on the restored counters.
+        from ..audit.digest import GridDigest
+
+        grid._digest = GridDigest.compute(grid)
     return grid
 
 
@@ -193,6 +212,34 @@ def dump_sketch(sketch) -> bytes:
         out.append(struct.pack("<Q", len(blob)))
         out.append(blob)
     return b"".join(out)
+
+
+def verify_sketch_blob(blob: bytes) -> int:
+    """Structurally verify a :func:`dump_sketch` blob without a target.
+
+    Walks the envelope and re-checks every constituent grid blob's
+    payload CRC (no counters are deserialized into any live grid).
+    Returns the number of grids verified.  Raises
+    :class:`~repro.errors.PayloadCorruptionError` on a CRC mismatch and
+    :class:`~repro.errors.IncompatibleSketchError` on structural damage
+    (bad magic, truncation, trailing bytes).
+    """
+    if blob[:4] != _SKETCH_MAGIC:
+        raise IncompatibleSketchError("not a sketch-state blob (bad magic)")
+    (count,) = struct.unpack_from("<I", blob, 4)
+    offset = 8
+    for _ in range(count):
+        if offset + 8 > len(blob):
+            raise IncompatibleSketchError("truncated sketch-state blob")
+        (size,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        if offset + size > len(blob):
+            raise IncompatibleSketchError("truncated sketch-state blob")
+        _unpack(blob[offset:offset + size], 3)
+        offset += size
+    if offset != len(blob):
+        raise IncompatibleSketchError("trailing bytes in sketch-state blob")
+    return count
 
 
 def load_sketch(sketch, blob: bytes, accumulate: bool = False):

@@ -129,7 +129,9 @@ class SkeletonSketch:
 
     # -- decoding -----------------------------------------------------------
 
-    def decode_layers(self, strict: bool = False) -> List[Hypergraph]:
+    def decode_layers(
+        self, strict: bool = False, skip: Sequence[int] = ()
+    ) -> List[Hypergraph]:
         """The peeled spanning graphs ``F_1, ..., F_k``.
 
         Non-destructive: each layer sketch is temporarily reduced by
@@ -137,11 +139,19 @@ class SkeletonSketch:
         ``strict`` propagates to each layer's
         :meth:`~repro.sketch.spanning_forest.SpanningForestSketch.
         decode`, so detectable per-layer decode failures raise instead
-        of silently thinning the skeleton.
+        of silently thinning the skeleton.  ``skip`` lists layer
+        indices to leave undecoded (their slot in the result is an
+        empty graph) — the route for layers an integrity audit flagged
+        as corrupted; the remaining layers still peel correctly because
+        the peel only ever subtracts forests that *were* decoded.
         """
+        skipped = set(skip)
         forests: List[Hypergraph] = []
         recovered: List[Tuple[int, ...]] = []
-        for layer in self.layers:
+        for i, layer in enumerate(self.layers):
+            if i in skipped:
+                forests.append(Hypergraph(self.n, self.r))
+                continue
             # Peel: layer currently sketches G; subtract known forests.
             for e in recovered:
                 layer.update(e, -1)
@@ -154,23 +164,38 @@ class SkeletonSketch:
             recovered.extend(forest.edges())
         return forests
 
-    def decode(self, strict: bool = False) -> Hypergraph:
-        """The k-skeleton ``F_1 ∪ ... ∪ F_k``."""
+    def decode(self, strict: bool = False, skip: Sequence[int] = ()) -> Hypergraph:
+        """The k-skeleton ``F_1 ∪ ... ∪ F_k``.
+
+        With ``skip`` (corrupted-layer exclusion) the result is only a
+        (k - len(skip))-skeleton — still a subgraph preserving cuts up
+        to the reduced threshold.
+        """
         skeleton = Hypergraph(self.n, self.r)
-        for forest in self.decode_layers(strict=strict):
+        for forest in self.decode_layers(strict=strict, skip=skip):
             for e in forest.edges():
                 skeleton.add_edge(e)
         return skeleton
 
-    def decode_connectivity_only(self, strict: bool = False) -> Hypergraph:
-        """Degraded fallback: a spanning graph from the first layer only.
+    def decode_connectivity_only(
+        self, strict: bool = False, skip: Sequence[int] = ()
+    ) -> Hypergraph:
+        """Degraded fallback: a spanning graph from one layer only.
 
         Preserves connectivity/component structure but none of the
         higher cut sizes — the weaker-but-available answer when the
         full k-layer peel fails to decode (see
-        :mod:`repro.core.degraded`).
+        :mod:`repro.core.degraded`).  Uses the first layer not in
+        ``skip`` (so a corrupted layer 0 doesn't take the fallback
+        down with it).
         """
-        return self.layers[0].decode(strict=strict)
+        skipped = set(skip)
+        for i, layer in enumerate(self.layers):
+            if i not in skipped:
+                return layer.decode(strict=strict)
+        raise IncompatibleSketchError(
+            "every skeleton layer is excluded; nothing left to decode"
+        )
 
     # -- accounting -----------------------------------------------------------
 

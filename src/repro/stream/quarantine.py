@@ -28,6 +28,7 @@ operators can aggregate across layers.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 from typing import IO, List, Optional
 
@@ -103,6 +104,11 @@ class Quarantine:
 
     def close(self) -> None:
         if self._fh is not None:
+            # Quarantine records are the forensic trail of an unhealthy
+            # run — make them durable, not just buffered, before the
+            # process (possibly crashing) lets go of the file.
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
 

@@ -62,6 +62,13 @@ class RunReport:
     sketch_seconds: Dict[str, float] = field(default_factory=dict)
     final_edges: int = 0
     space: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Integrity accounting (the ``audit_every`` option): digest audit
+    # passes run and human-readable descriptions of any corruption
+    # found.  A nonzero findings list always co-occurs with an
+    # :class:`~repro.errors.IntegrityError` from :meth:`StreamRunner
+    # .run` — the report is for post-mortem, not for ignoring.
+    audits: int = 0
+    corruption_findings: List[str] = field(default_factory=list)
 
     @property
     def seconds(self) -> float:
@@ -109,6 +116,16 @@ class StreamRunner:
     quarantine:
         The :class:`~repro.stream.quarantine.Quarantine` sink for the
         ``"quarantine"`` policy (and the drop counter for ``"drop"``).
+    audit_every:
+        When set, every registered sketch gets an integrity digest
+        attached at registration (see :mod:`repro.audit`) and is
+        audited every ``audit_every`` dispatched events, plus once at
+        end of stream.  Corruption — counters mutated outside the
+        update path — raises :class:`~repro.errors.IntegrityError`
+        with localized findings (also recorded in
+        :attr:`RunReport.corruption_findings`).  The sharded path
+        additionally verifies every shard merge against the linearity
+        invariant.
     """
 
     def __init__(
@@ -120,9 +137,14 @@ class StreamRunner:
         shards: int = 1,
         on_bad_update: str = "strict",
         quarantine: Optional[Quarantine] = None,
+        audit_every: Optional[int] = None,
     ):
         if shards < 1:
             raise EngineError(f"runner needs shards >= 1, got {shards}")
+        if audit_every is not None and audit_every < 1:
+            raise EngineError(
+                f"audit_every must be >= 1 events, got {audit_every}"
+            )
         check_policy(on_bad_update)
         if on_bad_update != "strict" and not validate:
             raise StreamError(
@@ -136,31 +158,79 @@ class StreamRunner:
         self.shards = shards
         self.on_bad_update = on_bad_update
         self.quarantine = quarantine
+        self.audit_every = audit_every
         self._validator = StreamValidator(n, r) if validate else None
         self._sketches: Dict[str, Any] = {}
+        self._auditors: Dict[str, Any] = {}
 
     def register(self, name: str, sketch: Any) -> Any:
         """Attach a sketch (must expose ``update(edge, sign)``)."""
         if name in self._sketches:
             raise KeyError(f"duplicate sketch name {name!r}")
         self._sketches[name] = sketch
+        if self.audit_every is not None:
+            from ..audit.integrity import SketchAuditor
+
+            # Baseline now: the sketch's state at registration is
+            # trusted, everything after must flow through update paths.
+            self._auditors[name] = SketchAuditor(sketch, name)
         return sketch
 
     def __getitem__(self, name: str) -> Any:
         return self._sketches[name]
 
+    # -- integrity ------------------------------------------------------
+
+    def _audit_pass(self, report: RunReport) -> None:
+        """Audit every registered sketch; corruption is fatal.
+
+        Findings land in :attr:`RunReport.corruption_findings` before
+        the raise, so a caller catching the
+        :class:`~repro.errors.IntegrityError` still gets the full
+        localization in the report it holds.
+        """
+        from ..errors import IntegrityError
+
+        findings: List[str] = []
+        for auditor in self._auditors.values():
+            result = auditor.audit()
+            report.audits += 1
+            findings.extend(f.describe() for f in result.findings)
+        if findings:
+            report.corruption_findings.extend(findings)
+            raise IntegrityError(
+                f"stream-runner integrity audit failed: "
+                + "; ".join(findings[:8])
+                + ("; ..." if len(findings) > 8 else ""),
+                findings=tuple(findings),
+            )
+
+    def _maybe_audit(self, dispatched: int, last_audit: int,
+                     report: RunReport) -> int:
+        if (
+            self.audit_every is not None
+            and dispatched - last_audit >= self.audit_every
+        ):
+            self._audit_pass(report)
+            return dispatched
+        return last_audit
+
     # -- dispatch strategies --------------------------------------------
 
     def _run_scalar(self, events: List[EdgeUpdate], report: RunReport) -> None:
-        for event in events:
+        last_audit = 0
+        for dispatched, event in enumerate(events, start=1):
             for name, sketch in self._sketches.items():
                 start = time.perf_counter()
                 sketch.update(event.edge, event.sign)
                 report.sketch_seconds[name] += time.perf_counter() - start
+            last_audit = self._maybe_audit(dispatched, last_audit, report)
 
     def _run_batched(self, events: List[EdgeUpdate], report: RunReport) -> None:
         from ..engine.batch import iter_event_batches
 
+        dispatched = 0
+        last_audit = 0
         for batch in iter_event_batches(events, self.batch_size):
             for name, sketch in self._sketches.items():
                 start = time.perf_counter()
@@ -170,6 +240,8 @@ class StreamRunner:
                     for event in batch:
                         sketch.update(event.edge, event.sign)
                 report.sketch_seconds[name] += time.perf_counter() - start
+            dispatched += len(batch)
+            last_audit = self._maybe_audit(dispatched, last_audit, report)
 
     def _run_sharded(self, events: List[EdgeUpdate], report: RunReport) -> None:
         from ..engine.shard import ShardedIngestEngine
@@ -178,7 +250,8 @@ class StreamRunner:
         for name, sketch in self._sketches.items():
             start = time.perf_counter()
             engine = ShardedIngestEngine(
-                sketch, shards=self.shards, batch_size=batch_size
+                sketch, shards=self.shards, batch_size=batch_size,
+                verify_merges=self.audit_every is not None,
             )
             result = engine.ingest(events)
             sketch += result.sketch
@@ -238,6 +311,8 @@ class StreamRunner:
             self._run_batched(events, report)
         else:
             self._run_scalar(events, report)
+        if self._auditors:
+            self._audit_pass(report)  # end-of-stream audit
         report.wall_seconds = time.perf_counter() - start
         if self._validator is not None:
             report.final_edges = self._validator.graph.num_edges

@@ -1,0 +1,124 @@
+"""Confidence amplification: votes, ties, failures, reproducibility."""
+
+import math
+
+import pytest
+
+from repro.audit.amplify import AmplifiedResult, amplify_votes, run_amplified
+from repro.core.hyper_connectivity import HypergraphConnectivitySketch
+from repro.core.params import Params
+from repro.errors import SketchDecodeError
+from repro.graph.generators import cycle_graph
+
+
+class TestAmplifyVotes:
+    def test_unanimous(self):
+        result = amplify_votes([True] * 7)
+        assert result.value is True
+        assert result.agreeing == 7
+        assert result.confidence == 1.0
+        assert result.error_bound == pytest.approx(math.exp(-2 * 7 * 0.25))
+        assert result.failed == 0
+
+    def test_majority_with_dissent(self):
+        result = amplify_votes([3, 3, 3, 4, 3])
+        assert result.value == 3
+        assert result.agreeing == 4
+        assert result.confidence == pytest.approx(0.8)
+        assert 0 < result.error_bound < 1
+
+    def test_tie_breaks_deterministically(self):
+        a = amplify_votes([1, 2])
+        b = amplify_votes([2, 1])
+        assert a.value == b.value == 1  # lexicographically smallest repr
+        assert a.confidence == 0.5
+        assert a.error_bound == 1.0  # the bound is vacuous on a split vote
+
+    def test_failures_counted_but_not_voting(self):
+        result = amplify_votes([True, True, False], failed=2)
+        assert result.repetitions == 5
+        assert result.successful == 3
+        assert result.failed == 2
+        assert result.confidence == pytest.approx(2 / 3)
+
+    def test_all_failed_raises(self):
+        with pytest.raises(SketchDecodeError):
+            amplify_votes([], failed=4)
+
+    def test_unhashable_votes_supported(self):
+        result = amplify_votes([[1, 2], [1, 2], [3]])
+        assert result.value == [1, 2]
+
+    def test_result_refuses_truthiness(self):
+        result = amplify_votes([True])
+        with pytest.raises(TypeError):
+            bool(result)
+        assert "amplified over" in result.summary()
+
+
+class TestRunAmplified:
+    def make_runner(self, n=10):
+        g = cycle_graph(n)
+        events = [(e, +1) for e in g.edges()]
+
+        def make_sketch(seed):
+            return HypergraphConnectivitySketch(
+                n, r=2, seed=seed, params=Params.practical()
+            )
+
+        return events, make_sketch
+
+    def test_connectivity_amplifies_true(self):
+        events, make_sketch = self.make_runner()
+        result = run_amplified(
+            make_sketch, events, lambda s: s.is_connected(),
+            repetitions=5, base_seed=7,
+        )
+        assert result.value is True
+        assert result.confidence == 1.0
+        assert result.repetitions == 5
+
+    def test_deterministic_in_base_seed(self):
+        events, make_sketch = self.make_runner()
+        runs = [
+            run_amplified(make_sketch, events, lambda s: s.is_connected(),
+                          repetitions=3, base_seed=11)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_decode_failures_become_failed_votes(self):
+        events, make_sketch = self.make_runner()
+        calls = []
+
+        def flaky_query(sketch):
+            calls.append(1)
+            if len(calls) % 2 == 0:
+                raise SketchDecodeError("injected Monte Carlo failure")
+            return sketch.is_connected()
+
+        result = run_amplified(make_sketch, events, flaky_query,
+                               repetitions=6, base_seed=3)
+        assert result.failed == 3
+        assert result.successful == 3
+        assert result.value is True
+
+    def test_zero_repetitions_rejected(self):
+        events, make_sketch = self.make_runner()
+        with pytest.raises(SketchDecodeError):
+            run_amplified(make_sketch, events, lambda s: s.is_connected(),
+                          repetitions=0)
+
+    def test_scalar_fallback_without_update_batch(self):
+        class ParityCounter:
+            def __init__(self):
+                self.total = 0
+
+            def update(self, edge, sign):
+                self.total += sign
+
+        events = [((0, 1), +1), ((1, 2), +1), ((0, 1), -1)]
+        result = run_amplified(lambda seed: ParityCounter(), events,
+                               lambda s: s.total, repetitions=3, base_seed=1)
+        assert result.value == 1
+        assert result.confidence == 1.0

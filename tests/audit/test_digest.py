@@ -1,0 +1,144 @@
+"""The homomorphic grid digest: maintenance parity and detection power.
+
+The digest's whole value rests on one equivalence: the incrementally
+maintained digest after any sequence of legitimate mutations (scalar
+updates, batched kernel folds, merges, subtractions, member-state
+merges, resets) equals a from-scratch recompute over the final arrays.
+These tests pin that equivalence across every mutation path, then the
+detection side: any single flipped bit anywhere in any counter bank
+diverges the recompute from the maintained value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit.digest import GridDigest, attach_digest
+from repro.sketch.bank import SamplerGrid
+from repro.util.hashing import hash64
+
+
+def make_grid(seed=7, **kw):
+    params = dict(groups=2, members=5, domain=64, rows=2, buckets=4, levels=3)
+    params.update(kw)
+    return SamplerGrid(seed=seed, **params)
+
+
+def random_updates(count, seed, members=5, domain=64):
+    for i in range(count):
+        m = hash64(seed, 2 * i) % members
+        idx = hash64(seed, 2 * i + 1) % domain
+        delta = (hash64(seed, 3 * i + 2) % 9) - 4
+        yield int(m), int(idx), int(delta)
+
+
+class TestMaintenanceParity:
+    def test_scalar_updates_match_recompute(self):
+        grid = make_grid()
+        attach_digest(grid)
+        for m, idx, d in random_updates(200, seed=3):
+            if d:
+                grid.update(m, idx, d)
+        assert grid._digest == GridDigest.compute(grid)
+
+    def test_batched_updates_match_recompute(self):
+        grid = make_grid()
+        attach_digest(grid)
+        ups = [u for u in random_updates(300, seed=5) if u[2]]
+        m, i, d = (np.array(x, dtype=np.int64) for x in zip(*ups))
+        grid.update_batch(m, i, d)
+        assert grid._digest == GridDigest.compute(grid)
+
+    def test_scalar_and_batched_agree(self):
+        a, b = make_grid(), make_grid()
+        attach_digest(a)
+        attach_digest(b)
+        ups = [u for u in random_updates(150, seed=9) if u[2]]
+        for m, idx, d in ups:
+            a.update(m, idx, d)
+        m, i, d = (np.array(x, dtype=np.int64) for x in zip(*ups))
+        b.update_batch(m, i, d)
+        assert a._digest == b._digest
+
+    def test_merge_absorbs_algebraically(self):
+        a, b = make_grid(), make_grid()
+        attach_digest(a)
+        attach_digest(b)
+        for m, idx, d in random_updates(100, seed=11):
+            if d:
+                a.update(m, idx, d)
+        for m, idx, d in random_updates(100, seed=13):
+            if d:
+                b.update(m, idx, d)
+        a += b
+        assert a._digest == GridDigest.compute(a)
+        a -= b
+        assert a._digest == GridDigest.compute(a)
+
+    def test_merge_computes_missing_operand_digest(self):
+        a, b = make_grid(), make_grid()
+        attach_digest(a)  # b has no digest attached
+        for m, idx, d in random_updates(80, seed=17):
+            if d:
+                b.update(m, idx, d)
+        a += b
+        assert a._digest == GridDigest.compute(a)
+
+    def test_reset_and_copy(self):
+        grid = make_grid()
+        attach_digest(grid)
+        for m, idx, d in random_updates(60, seed=19):
+            if d:
+                grid.update(m, idx, d)
+        clone = grid.copy()
+        # Independent digests: mutating the clone leaves the original's
+        # digest in sync with the original's arrays.
+        clone.update(0, 1, 3)
+        assert grid._digest == GridDigest.compute(grid)
+        assert clone._digest == GridDigest.compute(clone)
+        grid.reset()
+        assert grid._digest == GridDigest.compute(grid)
+        assert grid._digest == GridDigest.zero_for(grid)
+
+
+class TestDetection:
+    @pytest.mark.parametrize("array", ["_w", "_s", "_f"])
+    @pytest.mark.parametrize("bit", [0, 17, 40, 60, 63])
+    def test_single_bit_flip_detected_and_localized(self, array, bit):
+        grid = make_grid()
+        attach_digest(grid)
+        for m, idx, d in random_updates(120, seed=23):
+            if d:
+                grid.update(m, idx, d)
+        arr = getattr(grid, array)
+        flat = arr.reshape(-1)
+        pos = hash64(bit, 99) % flat.size
+        flip = (1 << bit) if bit < 63 else -(1 << 63)
+        flat[pos] ^= flip
+        mism = grid._digest.mismatches(GridDigest.compute(grid))
+        assert len(mism) == 1
+        g, row, kind = mism[0]
+        cells_per_group = arr.size // grid.groups
+        assert g == pos // cells_per_group
+        assert row == ((pos % cells_per_group) // grid.buckets) % grid.rows
+        assert kind == ("w" if array == "_w" else "s/f")
+
+    def test_no_false_positives_across_seeds(self):
+        for seed in range(5):
+            grid = make_grid(seed=100 + seed)
+            attach_digest(grid)
+            for m, idx, d in random_updates(80, seed=seed):
+                if d:
+                    grid.update(m, idx, d)
+            assert grid._digest.mismatches(GridDigest.compute(grid)) == []
+
+    def test_digest_survives_pickle(self):
+        import pickle
+
+        grid = make_grid()
+        attach_digest(grid)
+        for m, idx, d in random_updates(50, seed=29):
+            if d:
+                grid.update(m, idx, d)
+        restored = pickle.loads(pickle.dumps(grid._digest))
+        assert restored == grid._digest
+        assert restored == GridDigest.compute(grid)

@@ -111,3 +111,54 @@ def flip_byte(path: str, offset: int = -8) -> None:
         byte = fh.read(1)
         fh.seek(pos)
         fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+def flip_bank_bit(sketch, seed: int = 0) -> dict:
+    """Flip one deterministic bit in one live counter bank.
+
+    The victim grid, array (w/s/f), cell, and bit are all derived from
+    ``seed``, so a failing chaos run replays exactly.  Returns where the
+    damage landed — ``label``/``instance``/``group``/``row`` match the
+    coordinates :meth:`repro.audit.integrity.SketchAuditor.audit`
+    reports, so tests can assert localization, not just detection.
+    """
+    from repro.audit.integrity import named_grids
+    from repro.util.hashing import hash64
+
+    refs = list(named_grids(sketch, "sketch"))
+    ref = refs[hash64(seed, 0xB17) % len(refs)]
+    grid = ref.grid
+    arrays = {"w": grid._w, "s": grid._s, "f": grid._f}
+    name = ("w", "s", "f")[hash64(seed, 0xA44) % 3]
+    arr = arrays[name]
+    flat = hash64(seed, 0xCE11) % arr.size
+    bit = hash64(seed, 0xF11B) % 64
+    arr.reshape(-1)[flat] ^= (1 << bit) - (1 << 64 if bit == 63 else 0)
+    cells_per_group = arr.size // grid.groups
+    within = flat % cells_per_group
+    group = flat // cells_per_group
+    row = (within // grid.buckets) % grid.rows
+    return {
+        "label": ref.label,
+        "instance": ref.instance if ref.instance is not None else group,
+        "array": name,
+        "group": group,
+        "row": row,
+        "bit": bit,
+    }
+
+
+def flip_blob_byte(blob: bytes, seed: int = 0) -> bytes:
+    """Flip one deterministic bit in the payload half of a sketch blob.
+
+    Targets the second half of the blob — counter payload for any
+    realistically sized sketch — so the damage is the kind the payload
+    CRC (not the envelope structure checks) must catch.
+    """
+    from repro.util.hashing import hash64
+
+    data = bytearray(blob)
+    lo = len(data) // 2
+    pos = lo + hash64(seed, 0x0FF5) % (len(data) - lo)
+    data[pos] ^= 1 << (hash64(seed, 0xB0B0) % 8)
+    return bytes(data)

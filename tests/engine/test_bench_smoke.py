@@ -15,6 +15,7 @@ import pytest
 _BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
 sys.path.insert(0, os.path.abspath(_BENCH_DIR))
 
+from bench_audit import audit_overhead_run, detection_sweep  # noqa: E402
 from bench_ingest_engine import churn_comparison, churn_stream  # noqa: E402
 from bench_recovery import recovery_comparison  # noqa: E402
 
@@ -45,3 +46,17 @@ class TestBenchSmoke:
         assert r["supervised_identical"]
         assert r["recovered_identical"]
         assert r["restarts"] >= 1
+
+    @pytest.mark.parametrize("kind", ["forest", "skeleton", "vertex-query"])
+    def test_smoke_audit_detection(self, kind):
+        """E21a core at small scale: every flip detected and localized."""
+        r = detection_sweep(kind, n=16, flips=8, seed=5)
+        assert r["detection_rate"] == 1.0
+        assert r["localization_rate"] == 1.0
+
+    def test_smoke_audit_overhead_plumbing(self):
+        """E21b core at small scale (no timing bar — that's the full
+        benchmark's job; here only the cadence accounting is checked)."""
+        r = audit_overhead_run(32, cycles=2, audit_every=128, batch_size=32)
+        assert r["passes"] >= 2  # at least one periodic + the final pass
+        assert r["audit_secs"] > 0 and r["ingest_secs"] > 0

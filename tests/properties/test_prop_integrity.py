@@ -1,0 +1,143 @@
+"""Property tests for the integrity layer's core equivalences.
+
+Two families of properties:
+
+* **Verified-path transparency** — for any valid dynamic stream, the
+  integrity-checked operations (verified merges, CRC-checked dump /
+  accumulate-restore) produce state bit-identical to the plain
+  operations they wrap, for every sketch shape (bare grid, spanning
+  forest, multi-layer skeleton).  The checks must never perturb what
+  they check.
+* **Digest soundness** — the incrementally maintained digest agrees
+  with a from-scratch recompute after any stream and any merge tree,
+  i.e. the auditor has no false positives on legitimate histories.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.digest import GridDigest, attach_digest
+from repro.audit.integrity import (
+    SketchAuditor,
+    verified_merge,
+    verified_restore,
+)
+from repro.engine.shard import ShardedIngestEngine, shard_of_edge, zero_clone
+from repro.sketch.serialization import dump_grid, dump_sketch, load_grid
+from repro.sketch.skeleton import SkeletonSketch
+from repro.sketch.spanning_forest import SpanningForestSketch
+
+from .test_prop_streams_and_sketches import dynamic_streams
+
+N = 10
+
+
+def make_sketch(kind, seed):
+    if kind == "forest":
+        return SpanningForestSketch(N, seed=seed, rounds=4, rows=2, buckets=8)
+    return SkeletonSketch(N, k=2, seed=seed, rounds=4, rows=2, buckets=8)
+
+
+def single_run_state(kind, stream, seed) -> bytes:
+    sketch = make_sketch(kind, seed)
+    for u in stream:
+        sketch.update(u.edge, u.sign)
+    return dump_sketch(sketch)
+
+
+class TestVerifiedPathTransparency:
+    @given(
+        dynamic_streams(),
+        st.sampled_from(["forest", "skeleton"]),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sharded_ingest_with_verified_merges_is_bit_identical(
+        self, sg, kind, shards, seed
+    ):
+        stream, _final = sg
+        engine = ShardedIngestEngine(
+            make_sketch(kind, seed), shards=shards, batch_size=7,
+            verify_merges=True,
+        )
+        result = engine.ingest(stream)
+        assert dump_sketch(result.sketch) == single_run_state(kind, stream, seed)
+
+    @given(
+        dynamic_streams(),
+        st.sampled_from(["forest", "skeleton"]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_shard_dump_then_verified_accumulate_restore(self, sg, kind, seed):
+        """Checkpoint round trip: shard, dump each part, fold the blobs
+        back into a zero sketch with ``accumulate=True`` — bit-identical
+        to the single-shard run, through the CRC- and linearity-checked
+        restore path."""
+        stream, _final = sg
+        proto = make_sketch(kind, seed)
+        parts = [zero_clone(proto) for _ in range(3)]
+        for u in stream:
+            parts[shard_of_edge(u.edge, 0, 3)].update(u.edge, u.sign)
+        merged = zero_clone(proto)
+        for part in parts:
+            verified_restore(merged, dump_sketch(part), accumulate=True)
+        assert dump_sketch(merged) == single_run_state(kind, stream, seed)
+
+    @given(dynamic_streams(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_verified_merge_tree_matches_plain_merge(self, sg, seed):
+        stream, _final = sg
+        proto = make_sketch("forest", seed)
+        parts = [zero_clone(proto) for _ in range(4)]
+        for u in stream:
+            parts[shard_of_edge(u.edge, 0, 4)].update(u.edge, u.sign)
+        plain = zero_clone(proto)
+        checked = zero_clone(proto)
+        for part in parts:
+            plain += part.copy()
+            verified_merge(checked, part)
+        assert dump_sketch(checked) == dump_sketch(plain)
+
+    @given(dynamic_streams(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_grid_dump_accumulate_roundtrip(self, sg, seed):
+        """The bare-grid satellite: dump/load with ``accumulate=True``
+        equals ``+=``, CRC verified, digest kept in sync."""
+        stream, _final = sg
+        proto = make_sketch("forest", seed)
+        a, b = zero_clone(proto), zero_clone(proto)
+        for i, u in enumerate(stream):
+            (a if i % 2 else b).update(u.edge, u.sign)
+        attach_digest(a.grid)
+        load_grid(a.grid, dump_grid(b.grid), accumulate=True)
+        expected = zero_clone(proto)
+        for u in stream:
+            expected.update(u.edge, u.sign)
+        assert dump_grid(a.grid) == dump_grid(expected.grid)
+        assert a.grid._digest == GridDigest.compute(a.grid)
+
+
+class TestDigestSoundness:
+    @given(
+        dynamic_streams(),
+        st.sampled_from(["forest", "skeleton"]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_no_false_positives_on_any_legitimate_history(
+        self, sg, kind, seed
+    ):
+        stream, _final = sg
+        sketch = make_sketch(kind, seed)
+        auditor = SketchAuditor(sketch, kind)
+        half = len(stream) // 2
+        for u in stream[:half]:
+            sketch.update(u.edge, u.sign)
+        assert auditor.audit().ok
+        other = zero_clone(sketch)
+        for u in stream[half:]:
+            other.update(u.edge, u.sign)
+        sketch += other
+        assert auditor.audit().ok
