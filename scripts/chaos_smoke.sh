@@ -2,28 +2,44 @@
 # Chaos smoke: run the fault-injection suite under several seeds.
 #
 # The `faults` marker selects tests that SIGKILL workers, hang them,
-# corrupt checkpoints, and flip bits in live sampler banks; the seed
-# sweep varies the streams, kill points, and bit-flip targets so
-# recovery and detection are exercised on different schedules, not one
-# hand-picked trace. The second invocation per seed is the bit-flip
-# injection mode: the audit suite alone, proving detection →
-# localization → exclusion → correct answer for each seed's flip.
+# corrupt checkpoints, flip bits in live sampler banks, and drop /
+# duplicate / corrupt referee protocol frames; the seed sweep varies
+# the streams, kill points, bit-flip targets, and channel schedules so
+# recovery and detection are exercised on different traces, not one
+# hand-picked one. Per seed, three invocations: the full fault suite,
+# the bit-flip injection mode (audit suite alone, proving detection →
+# localization → exclusion → correct answer), and the referee mode
+# (comm suite alone, proving exact sketch recovery over the lossy
+# channel or an honestly flagged degraded answer).
 # Usage:
 #
-#   scripts/chaos_smoke.sh            # default seeds 0 1 2
-#   scripts/chaos_smoke.sh 7 11 13    # custom seeds
+#   scripts/chaos_smoke.sh                    # default seeds 0 1 2
+#   scripts/chaos_smoke.sh 7 11 13            # custom seeds
+#   scripts/chaos_smoke.sh referee           # referee mode only, default seeds
+#   scripts/chaos_smoke.sh referee 7 11 13   # referee mode only, custom seeds
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+mode=all
+if [ $# -gt 0 ] && [ "$1" = "referee" ]; then
+    mode=referee
+    shift
+fi
+
 seeds=("$@")
 if [ ${#seeds[@]} -eq 0 ]; then
     seeds=(0 1 2)
 fi
 
 for seed in "${seeds[@]}"; do
-    echo "=== chaos smoke: seed ${seed} ==="
-    PYTHONPATH=src python -m pytest -q -m faults --chaos-seed="${seed}"
-    echo "=== chaos smoke (bit-flip mode): seed ${seed} ==="
-    PYTHONPATH=src python -m pytest -q tests/audit -m faults --chaos-seed="${seed}"
+    if [ "${mode}" = "all" ]; then
+        echo "=== chaos smoke: seed ${seed} ==="
+        PYTHONPATH=src python -m pytest -q -m faults --chaos-seed="${seed}"
+        echo "=== chaos smoke (bit-flip mode): seed ${seed} ==="
+        PYTHONPATH=src python -m pytest -q tests/audit -m faults --chaos-seed="${seed}"
+    fi
+    echo "=== chaos smoke (referee mode): seed ${seed} ==="
+    PYTHONPATH=src python -m pytest -q tests/comm -m faults --chaos-seed="${seed}"
 done
-echo "=== chaos smoke: all ${#seeds[@]} seeds passed ==="
+echo "=== chaos smoke (${mode}): all ${#seeds[@]} seeds passed ==="

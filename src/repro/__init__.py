@@ -58,12 +58,21 @@ from .engine import (
     ShardedIngestEngine,
     SupervisedPool,
 )
+from .comm import (
+    CommMetrics,
+    FaultProfile,
+    RefereeResult,
+    RefereeSession,
+    SpanningForestProtocol,
+)
 from .errors import (
     CheckpointError,
+    CommError,
     DomainError,
     EngineError,
     IncompatibleSketchError,
     IntegrityError,
+    MessageCorruptionError,
     NotOneSparseError,
     PayloadCorruptionError,
     RankError,
@@ -128,6 +137,12 @@ __all__ = [
     "ShardedIngestEngine",
     "CheckpointManager",
     "IngestMetrics",
+    # distributed referee
+    "SpanningForestProtocol",
+    "RefereeSession",
+    "RefereeResult",
+    "FaultProfile",
+    "CommMetrics",
     # errors
     "ReproError",
     "DomainError",
@@ -145,4 +160,6 @@ __all__ = [
     "SupervisionError",
     "IntegrityError",
     "PayloadCorruptionError",
+    "CommError",
+    "MessageCorruptionError",
 ]

@@ -11,6 +11,9 @@ Usage (after installation)::
                     [--checkpoint-dir D [--resume]] [--metrics-json PATH]
                     [--retries N [--replay-limit E --replay-spill-dir DIR]]
                     [--verify]
+    python -m repro referee STREAM_FILE [--loss L --dup D --reorder R
+                    --corrupt C --delay Y --retries N --chaos-seed S]
+                    [--certify] [--degraded-ok] [--metrics-json PATH]
     python -m repro audit CKPT_FILE_OR_DIR [...]
     python -m repro generate {gnp,harary,hypergraph} ... -o STREAM_FILE
 
@@ -282,6 +285,59 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_referee(args) -> int:
+    """Distributed referee protocol over a (possibly lossy) channel.
+
+    Materializes the streamed graph, hands each vertex its local
+    adjacency as a player input, and runs the fault-tolerant
+    multi-round referee exchange with the requested chaos profile.
+    Exit codes: 0 complete (or degraded with ``--degraded-ok``), 1
+    degraded answer or failed certification, 2 bad input.
+    """
+    from .comm.referee import RefereeSession
+    from .comm.simultaneous import SpanningForestProtocol
+    from .comm.transport import FaultProfile
+    from .engine.supervisor import RetryPolicy
+    from .stream.updates import materialize
+
+    n, r, updates = _load(args)
+    h = materialize(n, updates, r=r)
+    profile = FaultProfile(
+        loss=args.loss,
+        duplicate=args.dup,
+        reorder=args.reorder,
+        corrupt=args.corrupt,
+        delay=args.delay,
+    )
+    proto = SpanningForestProtocol(n, r=r, seed=args.seed, params=_params(args.params))
+    session = RefereeSession(
+        proto,
+        profile=profile,
+        policy=RetryPolicy(max_restarts=args.retries,
+                           backoff_base=0.0, jitter=0.0),
+        chaos_seed=args.chaos_seed,
+        max_rounds=args.max_rounds,
+        certify=args.certify,
+    )
+    result = session.run(h)
+    print(f"n={n} r={r} events={len(updates)} players={n}")
+    print(result.summary())
+    print(session.metrics.summary())
+    if args.metrics_json:
+        payload = session.metrics.to_json()
+        if args.metrics_json == "-":
+            print(payload)
+        else:
+            with open(args.metrics_json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"metrics written to {args.metrics_json}")
+    if result.certificate is not None and not result.certificate.verified:
+        return 1
+    if result.degraded and not args.degraded_ok:
+        return 1
+    return 0
+
+
 def _cmd_audit(args) -> int:
     """Verify checkpoint/sketch blobs on disk without deserializing.
 
@@ -467,6 +523,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "the linearity invariant and (under --retries) "
                         "CRC-check every barrier dump before trusting it")
     p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "referee",
+        help="distributed referee protocol over a lossy channel (repro.comm)",
+    )
+    common(p)
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="per-copy message loss rate in [0, 1]")
+    p.add_argument("--dup", type=float, default=0.0,
+                   help="message duplication rate in [0, 1]")
+    p.add_argument("--reorder", type=float, default=0.0,
+                   help="per-round delivery reordering rate in [0, 1]")
+    p.add_argument("--corrupt", type=float, default=0.0,
+                   help="per-copy single-bit corruption rate in [0, 1]")
+    p.add_argument("--delay", type=float, default=0.0,
+                   help="per-copy extra-round delay rate in [0, 1]")
+    p.add_argument("--retries", type=int, default=8, metavar="N",
+                   help="per-player retransmit budget before the referee "
+                        "answers in degraded mode from the survivors")
+    p.add_argument("--max-rounds", type=int, default=None, metavar="R",
+                   help="round deadline: hard cap on protocol rounds")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed of the deterministic fault schedule")
+    p.add_argument("--certify", action="store_true",
+                   help="re-verify the final answer's witness independently "
+                        "of the decode; exits 1 if verification fails")
+    p.add_argument("--degraded-ok", action="store_true",
+                   help="exit 0 even when the answer is degraded (missing "
+                        "players are always reported)")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write the CommMetrics report as JSON ('-' for stdout)")
+    p.set_defaults(func=_cmd_referee)
 
     p = sub.add_parser(
         "audit",

@@ -1,0 +1,106 @@
+"""Observability for the fault-tolerant referee protocol.
+
+One :class:`CommMetrics` per :class:`~repro.comm.referee.RefereeSession`
+run: protocol progress (rounds, retransmit requests and performances),
+receiver decisions (accepted / duplicate-ignored / corrupt-rejected),
+degradation outcomes, and the raw per-channel
+:class:`~repro.comm.transport.ChannelStats` for the uplink (player →
+referee data) and downlink (referee → player nacks).  All fault
+counters are zero on a clean run — operators alert on nonzero, and the
+CLI exports the whole report via ``referee --metrics-json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .transport import ChannelStats
+
+
+@dataclass
+class CommMetrics:
+    """The full ledger of one referee-protocol session."""
+
+    players: int = 0
+    rounds: int = 0
+    # Protocol-level counters.
+    envelopes_sent: int = 0        # player transmissions incl. retransmits
+    retransmit_requests: int = 0   # per-player nacks the referee issued
+    retransmits: int = 0           # retransmissions players performed
+    nacks_lost: int = 0            # nack frames lost/corrupted in flight
+    backoff_seconds: float = 0.0   # deterministic backoff budget consumed
+    # Receiver decisions.
+    accepted: int = 0
+    duplicates_ignored: int = 0
+    corrupt_rejected: int = 0
+    # Outcome.
+    degraded_answers: int = 0
+    missing_players: int = 0
+    # Channel-level truth (what the simulated wire actually did).
+    uplink: ChannelStats = field(default_factory=ChannelStats)
+    downlink: ChannelStats = field(default_factory=ChannelStats)
+
+    @property
+    def total_bytes_sent(self) -> int:
+        """Wire bytes offered in both directions (incl. overhead)."""
+        return self.uplink.bytes_sent + self.downlink.bytes_sent
+
+    @property
+    def total_bits_sent(self) -> int:
+        return 8 * self.total_bytes_sent
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "players": self.players,
+            "rounds": self.rounds,
+            "envelopes_sent": self.envelopes_sent,
+            "retransmit_requests": self.retransmit_requests,
+            "retransmits": self.retransmits,
+            "nacks_lost": self.nacks_lost,
+            "backoff_seconds": self.backoff_seconds,
+            "accepted": self.accepted,
+            "duplicates_ignored": self.duplicates_ignored,
+            "corrupt_rejected": self.corrupt_rejected,
+            "degraded_answers": self.degraded_answers,
+            "missing_players": self.missing_players,
+            "total_bytes_sent": self.total_bytes_sent,
+            "uplink": self.uplink.to_dict(),
+            "downlink": self.downlink.to_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """Compact human-readable multi-line report."""
+        up, down = self.uplink, self.downlink
+        lines = [
+            f"players={self.players} rounds={self.rounds} "
+            f"envelopes={self.envelopes_sent} "
+            f"accepted={self.accepted}",
+            f"  uplink: {up.sent} sent / {up.delivered} delivered "
+            f"({up.dropped} dropped, {up.duplicated} duped, "
+            f"{up.corrupted} corrupted, {up.delayed} delayed, "
+            f"{up.reordered_rounds} reordered rounds)",
+        ]
+        if down.sent:
+            lines.append(
+                f"  downlink: {down.sent} nacks / {down.delivered} delivered "
+                f"({self.nacks_lost} lost)"
+            )
+        if self.retransmits or self.retransmit_requests:
+            lines.append(
+                f"  recovery: {self.retransmit_requests} requests, "
+                f"{self.retransmits} retransmits, "
+                f"{self.duplicates_ignored} duplicates ignored, "
+                f"{self.corrupt_rejected} corrupt rejected"
+            )
+        if self.degraded_answers:
+            lines.append(
+                f"  DEGRADED: answered without {self.missing_players} "
+                f"player(s)"
+            )
+        lines.append(f"  wire: {self.total_bytes_sent} bytes total")
+        return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Reliable framing over unreliable channels: envelopes, acks, dedup.
+
+The wire unit of the ideal protocol is a bare
+:func:`~repro.sketch.serialization.dump_member_state` blob.  This
+module wraps it in the minimal envelope that makes the exchange
+repairable when the channel misbehaves:
+
+* **Envelope** — magic + version + ``(player, seq)`` + CRC32 over the
+  whole frame.  ``seq`` counts the player's transmissions (0 = the
+  simultaneous round, k = the k-th retransmission), so a late
+  duplicate of an old copy is distinguishable from a fresh resend.
+* **NACK frames** — the referee's retransmit requests: the round
+  number and the player ids still missing, CRC-framed the same way
+  (an ack channel is just as lossy as the data channel).
+* **ReliableReceiver** — the referee-side fold point.  Frames failing
+  any check are *rejected and counted*, never folded; a player whose
+  column already arrived is ignored (idempotent delivery — the
+  columns combine linearly, so folding a duplicate would silently
+  double the player's contribution, which is exactly the historical
+  ``referee_decode_bytes`` bug this layer fixes).
+
+Frame integrity is checked twice on purpose: the envelope CRC covers
+the whole frame cheaply, and the member-state payload carries its own
+CRC from the serialization layer — a frame that survives one check
+but not the other is still rejected.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import (
+    IncompatibleSketchError,
+    MessageCorruptionError,
+    PayloadCorruptionError,
+)
+from ..sketch.serialization import load_member_state, peek_member
+
+_ENVELOPE_MAGIC = b"RPEV"
+_NACK_MAGIC = b"RPNK"
+_VERSION = 1
+_ENV_HEAD = struct.Struct("<HIIQ")   # version, player, seq, payload length
+_NACK_HEAD = struct.Struct("<HIH")   # version, round, player count
+_CRC = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One framed player message: who sent it, which transmission."""
+
+    player: int
+    seq: int
+    payload: bytes
+
+
+def encode_envelope(env: Envelope) -> bytes:
+    """Frame a player message for the wire."""
+    head = _ENV_HEAD.pack(_VERSION, env.player, env.seq, len(env.payload))
+    crc = zlib.crc32(head + env.payload)
+    return b"".join([_ENVELOPE_MAGIC, head, _CRC.pack(crc), env.payload])
+
+
+def decode_envelope(frame: bytes) -> Envelope:
+    """Parse and verify a frame; damage raises
+    :class:`~repro.errors.MessageCorruptionError`."""
+    fixed = 4 + _ENV_HEAD.size + _CRC.size
+    if len(frame) < fixed:
+        raise MessageCorruptionError("envelope truncated")
+    if frame[:4] != _ENVELOPE_MAGIC:
+        raise MessageCorruptionError("bad envelope magic")
+    head = frame[4:4 + _ENV_HEAD.size]
+    version, player, seq, length = _ENV_HEAD.unpack(head)
+    if version != _VERSION:
+        raise MessageCorruptionError(f"unsupported envelope version {version}")
+    (crc,) = _CRC.unpack_from(frame, 4 + _ENV_HEAD.size)
+    payload = frame[fixed:]
+    if len(payload) != length:
+        raise MessageCorruptionError(
+            f"envelope payload length mismatch (declared {length}, "
+            f"got {len(payload)})"
+        )
+    if zlib.crc32(head + payload) != crc:
+        raise MessageCorruptionError("envelope CRC mismatch")
+    return Envelope(player=player, seq=seq, payload=payload)
+
+
+def encode_nack(round_no: int, players: Sequence[int]) -> bytes:
+    """Frame a retransmit request for ``players``."""
+    body = _NACK_HEAD.pack(_VERSION, round_no, len(players))
+    body += b"".join(struct.pack("<I", p) for p in players)
+    return b"".join([_NACK_MAGIC, body, _CRC.pack(zlib.crc32(body))])
+
+
+def decode_nack(frame: bytes) -> Tuple[int, Tuple[int, ...]]:
+    """Parse and verify a retransmit request -> (round, players)."""
+    if len(frame) < 4 + _NACK_HEAD.size + _CRC.size:
+        raise MessageCorruptionError("nack truncated")
+    if frame[:4] != _NACK_MAGIC:
+        raise MessageCorruptionError("bad nack magic")
+    body = frame[4:-_CRC.size]
+    (crc,) = _CRC.unpack_from(frame, len(frame) - _CRC.size)
+    if zlib.crc32(body) != crc:
+        raise MessageCorruptionError("nack CRC mismatch")
+    version, round_no, count = _NACK_HEAD.unpack_from(body)
+    if version != _VERSION:
+        raise MessageCorruptionError(f"unsupported nack version {version}")
+    if len(body) != _NACK_HEAD.size + 4 * count:
+        raise MessageCorruptionError("nack player list truncated")
+    players = struct.unpack_from(f"<{count}I", body, _NACK_HEAD.size)
+    return round_no, tuple(int(p) for p in players)
+
+
+class ReliableReceiver:
+    """Referee-side frame acceptance: verify, dedup, fold exactly once.
+
+    Folds each player's column into ``grid`` at most once, no matter
+    how many copies (retransmissions, channel duplicates, delayed
+    stragglers) arrive.  ``metrics`` (a
+    :class:`~repro.comm.metrics.CommMetrics`) is the reject/accept
+    ledger.
+    """
+
+    def __init__(self, grid, metrics=None):
+        self.grid = grid
+        self.metrics = metrics
+        self.accepted: Dict[int, int] = {}  # player -> seq of the folded copy
+
+    def _reject(self) -> None:
+        if self.metrics is not None:
+            self.metrics.corrupt_rejected += 1
+
+    def receive(self, frame: bytes) -> Optional[int]:
+        """Process one arriving frame; return the player id if its
+        column was folded, else ``None`` (duplicate or rejected)."""
+        try:
+            env = decode_envelope(frame)
+        except MessageCorruptionError:
+            self._reject()
+            return None
+        if env.player in self.accepted:
+            if self.metrics is not None:
+                self.metrics.duplicates_ignored += 1
+            return None
+        try:
+            if peek_member(env.payload) != env.player:
+                # A frame claiming one player but carrying another's
+                # column: routed or spliced wrong — never fold it.
+                self._reject()
+                return None
+            load_member_state(self.grid, env.payload)
+        except (PayloadCorruptionError, IncompatibleSketchError):
+            self._reject()
+            return None
+        self.accepted[env.player] = env.seq
+        if self.metrics is not None:
+            self.metrics.accepted += 1
+        return env.player
+
+    def missing(self, players: Sequence[int]) -> Tuple[int, ...]:
+        """The subset of ``players`` whose column has not arrived."""
+        return tuple(p for p in players if p not in self.accepted)

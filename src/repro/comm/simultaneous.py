@@ -19,11 +19,12 @@ and bits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import CommError
 from ..graph.hypergraph import Hypergraph
 from ..sketch.spanning_forest import SpanningForestSketch
 from ..util.rng import normalize_seed
@@ -32,7 +33,14 @@ from ..core.params import DEFAULT_PARAMS, Params
 
 @dataclass
 class ProtocolResult:
-    """Outcome of one simultaneous-protocol run."""
+    """Outcome of one simultaneous-protocol run.
+
+    ``missing_players`` is empty on a complete exchange; when the
+    referee decoded from a partial message set, it lists the player
+    ids whose columns never arrived — the verdict then describes the
+    surviving columns only and must not be read as a statement about
+    the whole graph.
+    """
 
     spanning_graph: Hypergraph
     components: List[List[int]]
@@ -41,6 +49,12 @@ class ProtocolResult:
     message_bits: int        # 64-bit words -> bits
     total_bits: int          # n players
     players: int
+    missing_players: Tuple[int, ...] = field(default=())
+
+    @property
+    def complete(self) -> bool:
+        """True iff every player's column reached the referee."""
+        return not self.missing_players
 
 
 class SpanningForestProtocol:
@@ -89,10 +103,29 @@ class SpanningForestProtocol:
         return sketch.grid.extract_member(vertex)
 
     def referee_decode(self, messages: Dict[int, Dict[str, np.ndarray]]) -> ProtocolResult:
-        """Combine the n messages and answer connectivity."""
+        """Combine the received messages and answer connectivity.
+
+        A partial ``messages`` dict is decoded from the columns that
+        did arrive, but the shortfall is *surfaced*:
+        ``missing_players`` lists every absent player id, so a short
+        read can no longer masquerade as a disconnected-graph verdict.
+        An empty dict raises :class:`~repro.errors.CommError` — there
+        is nothing to decode at all.
+        """
+        if not messages:
+            raise CommError(
+                "referee received no messages: nothing to decode "
+                f"(expected {self.n} players)"
+            )
+        unknown = [v for v in messages if not 0 <= v < self.n]
+        if unknown:
+            raise CommError(
+                f"messages from players outside 0..{self.n - 1}: {unknown}"
+            )
         sketch = self._fresh_sketch()
         for vertex, message in messages.items():
             sketch.grid.add_member_state(vertex, message)
+        missing = tuple(v for v in range(self.n) if v not in messages)
         spanning = sketch.decode()
         components = sketch.components_of_decode()
         sample = next(iter(messages.values()))
@@ -105,6 +138,7 @@ class SpanningForestProtocol:
             message_bits=64 * words,
             total_bits=64 * words * len(messages),
             players=len(messages),
+            missing_players=missing,
         )
 
     def run(self, hypergraph: Hypergraph) -> ProtocolResult:
@@ -129,16 +163,35 @@ class SpanningForestProtocol:
         return dump_member_state(sketch.grid, vertex)
 
     def referee_decode_bytes(self, blobs: Sequence[bytes]) -> ProtocolResult:
-        """Decode from serialized messages (header-verified)."""
-        from ..sketch.serialization import load_member_state
+        """Decode from serialized messages (header-verified).
 
+        Duplicated blobs are folded exactly **once**: the columns
+        combine linearly, so adding a player's column twice would
+        silently double its contribution and corrupt the sketch.
+        Blobs repeating an already-seen player are skipped (their
+        bytes still count toward ``total_bits`` — they did cross the
+        wire).  Missing players are surfaced as in
+        :meth:`referee_decode`.
+        """
+        from ..sketch.serialization import load_member_state, peek_member
+
+        if not blobs:
+            raise CommError(
+                "referee received no message blobs: nothing to decode "
+                f"(expected {self.n} players)"
+            )
         sketch = self._fresh_sketch()
         members = set()
         for blob in blobs:
-            members.add(load_member_state(sketch.grid, blob))
+            member = peek_member(blob)
+            if member in members:
+                continue  # duplicate delivery: fold each column once
+            load_member_state(sketch.grid, blob)
+            members.add(member)
+        missing = tuple(v for v in range(self.n) if v not in members)
         spanning = sketch.decode()
         components = sketch.components_of_decode()
-        size = max(len(b) for b in blobs) if blobs else 0
+        size = max(len(b) for b in blobs)
         return ProtocolResult(
             spanning_graph=spanning,
             components=components,
@@ -147,6 +200,7 @@ class SpanningForestProtocol:
             message_bits=8 * size,
             total_bits=8 * sum(len(b) for b in blobs),
             players=len(members),
+            missing_players=missing,
         )
 
     def run_serialized(self, hypergraph: Hypergraph) -> ProtocolResult:

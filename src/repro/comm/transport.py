@@ -1,0 +1,202 @@
+"""Deterministic fault-injecting channels for the referee protocol.
+
+The simultaneous model (Section 2) assumes every player message
+reaches the referee exactly once, intact.  Real transports drop,
+duplicate, delay, reorder, and corrupt.  This module simulates such a
+channel *deterministically*: every fault decision — whether a packet
+is lost, how long a copy is delayed, which bit a corruption flips —
+is derived by hashing a chaos seed with the packet's send counter, so
+a failure scenario is a pure function of ``(traffic, FaultProfile,
+seed)`` and any observed misbehaviour can be replayed bit-for-bit
+from its seed.
+
+The channel is round-based to match the protocol it serves: ``send``
+enqueues copies for future rounds, ``deliver`` advances one round and
+returns what arrives in it.  Nothing here inspects packet contents;
+framing and integrity live one layer up in
+:mod:`repro.comm.reliable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..util.hashing import derive_seed
+
+_SALT_COPIES = 0x01
+_SALT_LOSS = 0x02
+_SALT_DELAY = 0x03
+_SALT_DELAY_LEN = 0x04
+_SALT_CORRUPT = 0x05
+_SALT_BIT = 0x06
+_SALT_ORDER = 0x07
+_SALT_SHUFFLE = 0x08
+
+_RATE_GRAIN = 1_000_000
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-packet fault rates of a simulated channel.
+
+    Each rate is an independent probability in ``[0, 1]`` applied to
+    every physical copy of a packet (duplication first creates the
+    copies, then loss/delay/corruption strike each copy on its own):
+
+    ``loss``
+        the copy never arrives;
+    ``duplicate``
+        the packet is sent twice (the transport-level duplicate the
+        receiver must dedup);
+    ``reorder``
+        a delivery round's packets arrive in shuffled order;
+    ``corrupt``
+        one bit of the copy is flipped in flight;
+    ``delay``
+        the copy arrives ``1..max_delay`` rounds late instead of next
+        round.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 2
+
+    def __post_init__(self):
+        from ..errors import CommError
+
+        for name in ("loss", "duplicate", "reorder", "corrupt", "delay"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise CommError(f"fault rate {name}={rate} outside [0, 1]")
+        if self.max_delay < 1:
+            raise CommError(f"max_delay must be >= 1, got {self.max_delay}")
+
+    @classmethod
+    def ideal(cls) -> "FaultProfile":
+        """The fault-free channel of the paper's model."""
+        return cls()
+
+    @property
+    def faulty(self) -> bool:
+        """True if any fault rate is nonzero."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in ("loss", "duplicate", "reorder", "corrupt", "delay")
+        )
+
+
+@dataclass
+class ChannelStats:
+    """What one channel did to the traffic that crossed it."""
+
+    sent: int = 0            # send() calls (logical packets)
+    delivered: int = 0       # copies handed out by deliver()
+    dropped: int = 0
+    duplicated: int = 0      # packets that gained an extra copy
+    corrupted: int = 0       # copies with a bit flipped
+    delayed: int = 0         # copies held back extra rounds
+    reordered_rounds: int = 0  # rounds whose arrival order was shuffled
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class SimulatedChannel:
+    """A round-based unidirectional channel with seeded fault injection.
+
+    Parameters
+    ----------
+    profile:
+        The :class:`FaultProfile` to apply.
+    seed:
+        Chaos seed; equal seeds (and traffic) yield the identical
+        fault schedule.
+    lane:
+        Distinguishes channels sharing one seed (e.g. uplink vs ack
+        downlink) so their schedules are independent.
+    """
+
+    def __init__(self, profile: FaultProfile, seed: int = 0, lane: int = 0):
+        self.profile = profile
+        self._seed = derive_seed(seed, 0xC4A5, lane)
+        self._round = 0
+        self._counter = 0
+        self._order = 0
+        self._pending: Dict[int, List[Tuple[int, bytes]]] = {}
+        self.stats = ChannelStats()
+
+    # -- seeded draws ---------------------------------------------------
+
+    def _hit(self, salt: int, copy: int, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        h = derive_seed(self._seed, salt, self._counter, copy)
+        return (h % _RATE_GRAIN) / _RATE_GRAIN < rate
+
+    def _flip_bit(self, data: bytes, copy: int) -> bytes:
+        pos = derive_seed(self._seed, _SALT_BIT, self._counter, copy) % (len(data) * 8)
+        out = bytearray(data)
+        out[pos // 8] ^= 1 << (pos % 8)
+        return bytes(out)
+
+    # -- the wire -------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Enqueue one packet; faults decide what actually arrives."""
+        self._counter += 1
+        self.stats.sent += 1
+        self.stats.bytes_sent += len(data)
+        copies = 1
+        if self._hit(_SALT_COPIES, 0, self.profile.duplicate):
+            copies = 2
+            self.stats.duplicated += 1
+        for copy in range(copies):
+            if self._hit(_SALT_LOSS, copy, self.profile.loss):
+                self.stats.dropped += 1
+                continue
+            hold = 0
+            if self._hit(_SALT_DELAY, copy, self.profile.delay):
+                hold = 1 + derive_seed(
+                    self._seed, _SALT_DELAY_LEN, self._counter, copy
+                ) % self.profile.max_delay
+                self.stats.delayed += 1
+            payload = data
+            if data and self._hit(_SALT_CORRUPT, copy, self.profile.corrupt):
+                payload = self._flip_bit(data, copy)
+                self.stats.corrupted += 1
+            self._order += 1
+            due = self._round + 1 + hold
+            self._pending.setdefault(due, []).append((self._order, payload))
+
+    def deliver(self) -> List[bytes]:
+        """Advance one round and return the packets arriving in it."""
+        self._round += 1
+        entries = sorted(self._pending.pop(self._round, []))
+        if len(entries) > 1 and self._hit(_SALT_ORDER, 0, self.profile.reorder):
+            # Deterministic Fisher-Yates keyed on (seed, round).
+            for i in range(len(entries) - 1, 0, -1):
+                j = derive_seed(self._seed, _SALT_SHUFFLE, self._round, i) % (i + 1)
+                entries[i], entries[j] = entries[j], entries[i]
+            self.stats.reordered_rounds += 1
+        out = [data for _, data in entries]
+        self.stats.delivered += len(out)
+        self.stats.bytes_delivered += sum(len(d) for d in out)
+        return out
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        """Rounds elapsed (deliveries performed)."""
+        return self._round
+
+    @property
+    def in_flight(self) -> int:
+        """Copies enqueued for a future round (e.g. delayed stragglers)."""
+        return sum(len(v) for v in self._pending.values())

@@ -128,3 +128,22 @@ class WorkerCrashError(EngineError):
 class SupervisionError(EngineError):
     """Supervised recovery was attempted but exhausted its retry budget
     (or the failure is not recoverable by restart + replay)."""
+
+
+class CommError(ReproError):
+    """Base class for distributed-protocol failures (:mod:`repro.comm`).
+
+    Raised when a referee exchange cannot proceed at all — no messages
+    to decode, a malformed session, an exhausted protocol — as opposed
+    to per-message damage, which is :class:`MessageCorruptionError`
+    (rejected and retransmitted, not raised, on the reliable path).
+    """
+
+
+class MessageCorruptionError(CommError):
+    """A protocol message failed its frame checks.
+
+    Bad magic, truncated frame, envelope CRC mismatch, or a payload
+    that does not belong to the player the envelope claims.  The
+    reliable receiver *rejects* such messages (the sender retransmits);
+    this is only raised to callers decoding frames directly."""

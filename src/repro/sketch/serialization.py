@@ -148,6 +148,21 @@ def dump_member_state(grid: SamplerGrid, member: int) -> bytes:
     return _pack(header, (state["w"], state["s"], state["f"]))
 
 
+def peek_member(blob: bytes) -> int:
+    """The member index a serialized player message belongs to.
+
+    Parses and CRC-verifies the blob without touching any grid, so a
+    receiver can dedup or route a message *before* folding it in —
+    folding is a linear add, and adding the same column twice corrupts
+    the sketch.
+    """
+    header, _ = _unpack(blob, 3)
+    member = header.get("member")
+    if member is None:
+        raise IncompatibleSketchError("blob is not a member-state message")
+    return int(member)
+
+
 def load_member_state(grid: SamplerGrid, blob: bytes) -> int:
     """Merge a serialized player message into a referee grid.
 

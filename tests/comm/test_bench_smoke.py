@@ -1,0 +1,38 @@
+"""Smoke-mode run of the referee-faults benchmark (small n, tier-1 safe).
+
+The full benchmark (``pytest benchmarks/bench_referee_faults.py``)
+asserts the ≥ 0.99 success bar at 20% loss over 30 chaos seeds; here
+the same sweep cores run at small n / few trials so the benchmark's
+plumbing — payload precompute, the session loop, the
+silently-wrong accounting — is exercised on every tier-1 run.
+"""
+
+import os
+import sys
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(_BENCH_DIR))
+
+from bench_referee_faults import (  # noqa: E402
+    budget_exhaustion_sweep,
+    referee_fault_sweep,
+)
+
+
+class TestRefereeBenchSmoke:
+    def test_fault_sweep_core(self):
+        rows = referee_fault_sweep(
+            n=10, edges=15, losses=(0.0, 0.2), trials=5, retries=8
+        )
+        by_loss = {r["loss"]: r for r in rows}
+        assert by_loss[0.0]["success_rate"] == 1.0
+        assert by_loss[0.0]["mean_rounds"] == 1.0
+        assert by_loss[0.0]["bits_ratio"] <= 1.01
+        assert all(r["silently_wrong"] == 0 for r in rows)
+
+    def test_budget_exhaustion_core(self):
+        out = budget_exhaustion_sweep(
+            n=10, edges=15, loss=0.8, retries=1, trials=5
+        )
+        assert out["degraded"] + out["complete"] == out["trials"]
+        assert out["flagged"] == out["degraded"]

@@ -1,0 +1,131 @@
+"""Tests for envelope framing, nack frames, and the dedup receiver."""
+
+import pytest
+
+from repro.comm.reliable import (
+    Envelope,
+    ReliableReceiver,
+    decode_envelope,
+    decode_nack,
+    encode_envelope,
+    encode_nack,
+)
+from repro.comm.metrics import CommMetrics
+from repro.comm.simultaneous import SpanningForestProtocol
+from repro.errors import MessageCorruptionError
+from repro.sketch.serialization import dump_grid
+
+
+def _proto_and_payload(n=6, seed=21):
+    proto = SpanningForestProtocol(n, seed=seed)
+    payload = proto.player_message_bytes(0, [(0, 1), (0, 4)])
+    return proto, payload
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        env = Envelope(player=7, seq=3, payload=b"column-bytes")
+        assert decode_envelope(encode_envelope(env)) == env
+
+    def test_empty_payload_round_trip(self):
+        env = Envelope(player=0, seq=0, payload=b"")
+        assert decode_envelope(encode_envelope(env)) == env
+
+    def test_truncated_rejected(self):
+        frame = encode_envelope(Envelope(1, 0, b"payload"))
+        with pytest.raises(MessageCorruptionError):
+            decode_envelope(frame[:10])
+        with pytest.raises(MessageCorruptionError):
+            decode_envelope(frame[:-3])
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_envelope(Envelope(1, 0, b"payload")))
+        frame[0] ^= 0xFF
+        with pytest.raises(MessageCorruptionError):
+            decode_envelope(bytes(frame))
+
+    @pytest.mark.parametrize("position", [5, 12, 20, 25])
+    def test_any_flipped_bit_rejected(self, position):
+        frame = bytearray(encode_envelope(Envelope(1, 2, b"some payload")))
+        frame[position] ^= 0x01
+        with pytest.raises(MessageCorruptionError):
+            decode_envelope(bytes(frame))
+
+
+class TestNack:
+    def test_round_trip(self):
+        frame = encode_nack(4, (3, 1, 9))
+        assert decode_nack(frame) == (4, (3, 1, 9))
+
+    def test_empty_player_list(self):
+        assert decode_nack(encode_nack(1, ())) == (1, ())
+
+    def test_corruption_rejected(self):
+        frame = bytearray(encode_nack(2, (0, 5)))
+        frame[-1] ^= 0x10
+        with pytest.raises(MessageCorruptionError):
+            decode_nack(bytes(frame))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(MessageCorruptionError):
+            decode_nack(encode_nack(2, (0, 5))[:6])
+
+
+class TestReliableReceiver:
+    def test_accepts_and_folds_once(self):
+        proto, payload = _proto_and_payload()
+        metrics = CommMetrics()
+        reference = proto._fresh_sketch()
+        from repro.sketch.serialization import load_member_state
+
+        load_member_state(reference.grid, payload)
+
+        sketch = proto._fresh_sketch()
+        receiver = ReliableReceiver(sketch.grid, metrics)
+        frame = encode_envelope(Envelope(0, 0, payload))
+        assert receiver.receive(frame) == 0
+        # Duplicate copies (same or later seq) are ignored, not folded.
+        assert receiver.receive(frame) is None
+        assert receiver.receive(encode_envelope(Envelope(0, 1, payload))) is None
+        assert metrics.accepted == 1
+        assert metrics.duplicates_ignored == 2
+        assert dump_grid(sketch.grid) == dump_grid(reference.grid)
+
+    def test_corrupt_frame_rejected_not_raised(self):
+        proto, payload = _proto_and_payload()
+        metrics = CommMetrics()
+        receiver = ReliableReceiver(proto._fresh_sketch().grid, metrics)
+        frame = bytearray(encode_envelope(Envelope(0, 0, payload)))
+        frame[30] ^= 0x04
+        assert receiver.receive(bytes(frame)) is None
+        assert metrics.corrupt_rejected == 1
+        assert metrics.accepted == 0
+
+    def test_player_payload_mismatch_rejected(self):
+        """An envelope claiming player 2 but carrying player 0's
+        column must never be folded under either identity."""
+        proto, payload = _proto_and_payload()
+        metrics = CommMetrics()
+        sketch = proto._fresh_sketch()
+        receiver = ReliableReceiver(sketch.grid, metrics)
+        frame = encode_envelope(Envelope(2, 0, payload))
+        assert receiver.receive(frame) is None
+        assert metrics.corrupt_rejected == 1
+        assert sketch.grid.appears_zero()
+
+    def test_incompatible_payload_rejected(self):
+        proto, _ = _proto_and_payload()
+        other = SpanningForestProtocol(6, seed=999)
+        foreign = other.player_message_bytes(1, [(1, 2)])
+        metrics = CommMetrics()
+        receiver = ReliableReceiver(proto._fresh_sketch().grid, metrics)
+        assert receiver.receive(encode_envelope(Envelope(1, 0, foreign))) is None
+        assert metrics.corrupt_rejected == 1
+
+    def test_missing_tracks_unseen_players(self):
+        proto, payload = _proto_and_payload()
+        receiver = ReliableReceiver(proto._fresh_sketch().grid)
+        players = list(range(6))
+        assert receiver.missing(players) == tuple(players)
+        receiver.receive(encode_envelope(Envelope(0, 0, payload)))
+        assert receiver.missing(players) == (1, 2, 3, 4, 5)

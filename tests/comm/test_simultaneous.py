@@ -98,3 +98,117 @@ class TestSerializedProtocol:
         blob = sender.player_message_bytes(0, [(0, 1)])
         with pytest.raises(IncompatibleSketchError):
             receiver.referee_decode_bytes([blob])
+
+
+class TestPartialMessages:
+    """Regressions: short reads must be surfaced, not decoded silently."""
+
+    def test_complete_run_reports_no_missing_players(self):
+        h = random_connected_hypergraph(10, 14, r=3, seed=21)
+        result = SpanningForestProtocol(10, r=3, seed=22).run(h)
+        assert result.missing_players == ()
+        assert result.complete
+
+    def test_partial_dict_surfaces_missing_players(self):
+        h = random_connected_hypergraph(10, 14, r=3, seed=23)
+        proto = SpanningForestProtocol(10, r=3, seed=24)
+        messages = {
+            v: proto.player_message(v, sorted(h.incident_edges(v)))
+            for v in range(10)
+            if v not in (3, 7)
+        }
+        result = proto.referee_decode(messages)
+        assert result.missing_players == (3, 7)
+        assert not result.complete
+        assert result.players == 8
+
+    def test_partial_bytes_surfaces_missing_players(self):
+        h = random_connected_hypergraph(10, 14, r=3, seed=25)
+        proto = SpanningForestProtocol(10, r=3, seed=26)
+        blobs = [
+            proto.player_message_bytes(v, sorted(h.incident_edges(v)))
+            for v in range(10)
+            if v != 4
+        ]
+        result = proto.referee_decode_bytes(blobs)
+        assert result.missing_players == (4,)
+        assert not result.complete
+
+    def test_empty_messages_raise_comm_error(self):
+        from repro.errors import CommError
+
+        proto = SpanningForestProtocol(8, seed=27)
+        with pytest.raises(CommError):
+            proto.referee_decode({})
+        with pytest.raises(CommError):
+            proto.referee_decode_bytes([])
+
+    def test_out_of_range_player_rejected(self):
+        from repro.errors import CommError
+
+        proto = SpanningForestProtocol(4, seed=28)
+        msg = proto.player_message(0, [(0, 1)])
+        with pytest.raises(CommError):
+            proto.referee_decode({9: msg})
+
+
+class TestDuplicateBlobs:
+    """Regression: a duplicated blob must be folded exactly once —
+    the old decoder deduped the player *count* but still folded the
+    state twice, silently corrupting the sketch."""
+
+    def test_duplicate_blob_state_identical_to_single_fold(self):
+        from repro.sketch.serialization import dump_grid, load_member_state
+
+        h = random_connected_hypergraph(9, 12, r=3, seed=31)
+        proto = SpanningForestProtocol(9, r=3, seed=32)
+        blobs = [
+            proto.player_message_bytes(v, sorted(h.incident_edges(v)))
+            for v in range(9)
+        ]
+        reference = proto._fresh_sketch()
+        for blob in blobs:
+            load_member_state(reference.grid, blob)
+
+        doubled = blobs + [blobs[0], blobs[4], blobs[4]]
+        deduped = proto._fresh_sketch()
+        seen = set()
+        from repro.sketch.serialization import peek_member
+
+        for blob in doubled:
+            m = peek_member(blob)
+            if m not in seen:
+                load_member_state(deduped.grid, blob)
+                seen.add(m)
+        assert dump_grid(deduped.grid) == dump_grid(reference.grid)
+
+        result = proto.referee_decode_bytes(doubled)
+        assert result.players == 9
+        assert result.missing_players == ()
+        assert result.is_connected == h.is_connected()
+
+    def test_duplicate_blob_verdict_matches_clean_run(self):
+        h = random_connected_hypergraph(12, 18, r=3, seed=33)
+        proto = SpanningForestProtocol(12, r=3, seed=34)
+        blobs = [
+            proto.player_message_bytes(v, sorted(h.incident_edges(v)))
+            for v in range(12)
+        ]
+        clean = proto.referee_decode_bytes(blobs)
+        noisy = proto.referee_decode_bytes(blobs * 3)
+        assert noisy.is_connected == clean.is_connected
+        assert noisy.components == clean.components
+        assert noisy.spanning_graph == clean.spanning_graph
+        assert noisy.players == clean.players
+        # The duplicates did cross the wire: accounting reflects them.
+        assert noisy.total_bits == 3 * clean.total_bits
+
+    def test_peek_member_reads_header_only(self):
+        from repro.errors import IncompatibleSketchError
+        from repro.sketch.serialization import dump_grid, peek_member
+
+        proto = SpanningForestProtocol(5, seed=35)
+        blob = proto.player_message_bytes(3, [(2, 3)])
+        assert peek_member(blob) == 3
+        with pytest.raises(IncompatibleSketchError):
+            peek_member(dump_grid(proto._fresh_sketch().grid))
