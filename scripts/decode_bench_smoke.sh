@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Decode-bench regression smoke: fail if the E23 speedup bar regresses.
+#
+# Runs the `decodebench`-marked benchmarks, which assert
+#   * batched spanning-forest decode >= 5x the scalar reference at
+#     n >= 256 (bench_e23_batch_decode_speedup), and
+#   * bit-identical forests / skeleton layers / untouched sketch state
+#     on every compared size,
+# so a kernel change that silently slows the batch path below the bar
+# — or worse, diverges from the scalar path — fails CI here instead of
+# surfacing in EXPERIMENTS.md later.
+#
+# Usage:
+#
+#   scripts/decode_bench_smoke.sh              # the E23 suite
+#   scripts/decode_bench_smoke.sh -k speedup   # extra pytest args pass through
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== decode bench regression (pytest -m decodebench) =="
+python -m pytest benchmarks/bench_query_engine.py -m decodebench -q "$@"
+
+echo "decode bench smoke: speedup bar and bit-identity hold"

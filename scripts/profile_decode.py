@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Profile the decode/query engine: per-kernel timing + cProfile dump.
+
+Runs one spanning-forest (or skeleton) decode over a G(n,p) churn
+stream under both decode paths, prints the QueryMetrics breakdown
+(kernel vs scalar seconds, cells verified, cache hit rates) and the
+top cProfile entries of the batch path — the first place to look when
+the E23 speedup bar regresses.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_decode.py [--n N] [--p P]
+        [--seed S] [--sketch {forest,skeleton}] [--k K] [--repeats R]
+        [--top T] [--cache]
+"""
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.engine.query import (  # noqa: E402
+    SummedCache,
+    batch_decode,
+    collect_query_metrics,
+    scalar_decode,
+)
+from repro.graph.generators import gnp_graph  # noqa: E402
+from repro.sketch.skeleton import SkeletonSketch  # noqa: E402
+from repro.sketch.spanning_forest import SpanningForestSketch  # noqa: E402
+from repro.stream.generators import with_churn  # noqa: E402
+
+
+def build_sketch(args):
+    target = gnp_graph(args.n, args.p, seed=args.seed)
+    decoys = gnp_graph(args.n, args.p, seed=args.seed + 1).edges()
+    stream = with_churn(target, decoys, shuffle_seed=args.seed)
+    if args.sketch == "skeleton":
+        sketch = SkeletonSketch(args.n, k=args.k, seed=args.seed)
+        decode = sketch.decode_layers
+    else:
+        sketch = SpanningForestSketch(args.n, seed=args.seed)
+        decode = sketch.decode
+    sketch.update_batch(stream)
+    return sketch, decode, len(stream)
+
+
+def timed(decode, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        decode()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=256)
+    ap.add_argument("--p", type=float, default=0.05)
+    ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument("--sketch", choices=["forest", "skeleton"],
+                    default="forest")
+    ap.add_argument("--k", type=int, default=3,
+                    help="skeleton layers (--sketch skeleton)")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--top", type=int, default=20,
+                    help="cProfile rows to print")
+    ap.add_argument("--cache", action="store_true",
+                    help="attach a SummedCache and report its hit rate")
+    args = ap.parse_args(argv)
+
+    sketch, decode, events = build_sketch(args)
+    grid = (sketch.layers[0].grid if args.sketch == "skeleton"
+            else sketch.grid)
+    cache = None
+    if args.cache:
+        cache = SummedCache(capacity=8192)
+        grid.attach_summed_cache(cache)
+
+    print(f"{args.sketch} n={args.n} p={args.p} events={events}")
+
+    with collect_query_metrics() as qm_scalar:
+        with scalar_decode():
+            scalar_best = timed(decode, args.repeats)
+    print(f"\nscalar path: best of {args.repeats} = {scalar_best * 1e3:.1f}ms")
+    print(qm_scalar.summary())
+
+    with collect_query_metrics() as qm_batch:
+        with batch_decode():
+            batch_best = timed(decode, args.repeats)
+    print(f"\nbatch path: best of {args.repeats} = {batch_best * 1e3:.1f}ms "
+          f"(speedup {scalar_best / batch_best:.2f}x)")
+    print(qm_batch.summary())
+    if cache is not None:
+        print(f"cache: {cache.stats()}")
+
+    print(f"\ncProfile of one batch decode (top {args.top} by cumulative):")
+    profiler = cProfile.Profile()
+    with batch_decode():
+        profiler.enable()
+        decode()
+        profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
+    if cache is not None:
+        grid.detach_summed_cache()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,8 +54,11 @@ from .core import (
 from .engine import (
     CheckpointManager,
     IngestMetrics,
+    QueryExecutor,
+    QueryMetrics,
     RetryPolicy,
     ShardedIngestEngine,
+    SummedCache,
     SupervisedPool,
 )
 from .comm import (
@@ -137,6 +140,10 @@ __all__ = [
     "ShardedIngestEngine",
     "CheckpointManager",
     "IngestMetrics",
+    # decode/query engine
+    "QueryExecutor",
+    "QueryMetrics",
+    "SummedCache",
     # distributed referee
     "SpanningForestProtocol",
     "RefereeSession",

@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..graph.hypergraph import Hypergraph
 from ..graph.union_find import UnionFind
 
@@ -99,10 +101,35 @@ def _boundary_failures(
     sketch, components: List[List[int]]
 ) -> Tuple[List[str], int]:
     """The completeness check: every claimed component, every group."""
+    from ..sketch.bank import batch_decode_default
+
     failures: List[str] = []
     checks = 0
     grid = sketch.grid
     member_of = sketch._member_of
+    member_lists = [[member_of[v] for v in comp] for comp in components]
+    if batch_decode_default() and member_lists:
+        # Batch path: one summed_many + appears_zero_many pass per
+        # group covers every component at once.  The reported checks
+        # and failures match the scalar loop exactly (a component's
+        # count stops at its first nonzero group).
+        zero = np.stack([
+            grid.summed_many(group, member_lists).appears_zero_many()
+            for group in range(grid.groups)
+        ])
+        for ci, comp in enumerate(components):
+            nonzero_groups = np.flatnonzero(~zero[:, ci])
+            if nonzero_groups.size:
+                group = int(nonzero_groups[0])
+                checks += group + 1
+                failures.append(
+                    f"claimed component {{{comp[0]}, ...}} (size "
+                    f"{len(comp)}) has a nonzero boundary sketch in "
+                    f"group {group}: an outgoing edge was missed"
+                )
+            else:
+                checks += grid.groups
+        return failures, checks
     for comp in components:
         members = [member_of[v] for v in comp]
         for group in range(grid.groups):
@@ -214,17 +241,18 @@ def certify_skeleton(
                     f"layer {i}: witness edge {e} already appeared in an "
                     "earlier layer (layers must be edge-disjoint)"
                 )
-        # Boundary-zero against the peeled graph this layer spans.
-        for e in recovered:
-            layer.update(e, -1)
+        # Boundary-zero against the peeled graph this layer spans
+        # (peel and restore in one vectorised batch each way).
+        if recovered:
+            layer.update_batch([(e, -1) for e in recovered])
         try:
             components = _active_components(layer, usable)
             boundary_failures, boundary_checks = _boundary_failures(
                 layer, components
             )
         finally:
-            for e in recovered:
-                layer.update(e, 1)
+            if recovered:
+                layer.update_batch([(e, 1) for e in recovered])
         failures.extend(f"layer {i}: {f}" for f in boundary_failures)
         checks += boundary_checks
         witness.extend(edges_i)

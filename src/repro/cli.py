@@ -30,7 +30,12 @@ clearly marked ``DEGRADED``.  Integrity flags: ``--certify``
 independently of the decode; ``--amplify R`` majority-votes over R
 independent sketches with reported confidence; ``ingest --verify``
 checks shard merges and barrier dumps; the ``audit`` subcommand
-verifies checkpoints at rest.
+verifies checkpoints at rest.  Performance flags: query-bearing
+commands decode through the vectorised batch kernels by default;
+``--scalar-decode`` selects the scalar reference path (bit-identical
+answers), ``ingest --no-decode`` skips the post-ingest decode, and
+``--metrics-json`` exports the decode :class:`~repro.engine.query.
+QueryMetrics` alongside any engine metrics.
 """
 
 from __future__ import annotations
@@ -86,6 +91,15 @@ def _load(args):
             where = f" -> {qpath}" if qpath and policy == "quarantine" else ""
             print(f"bad updates: {diverted} {policy}d{where}")
     return n, r, updates
+
+
+def _write_metrics_json(path: str, payload: str) -> None:
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"metrics written to {path}")
 
 
 def _cmd_connectivity(args) -> int:
@@ -270,18 +284,19 @@ def _cmd_ingest(args) -> int:
     if result.resumed_from is not None:
         print(f"resumed from checkpoint offset {result.resumed_from}")
     print(metrics.summary())
-    sketch = result.sketch
-    decoded = sketch.decode()
-    label = "skeleton edges" if args.sketch == "skeleton" else "spanning edges"
-    print(f"decode: {decoded.num_edges} {label}")
+    if args.decode:
+        sketch = result.sketch
+        decoded = sketch.decode()
+        label = "skeleton edges" if args.sketch == "skeleton" else "spanning edges"
+        print(f"decode: {decoded.num_edges} {label}")
     if args.metrics_json:
-        payload = metrics.to_json()
-        if args.metrics_json == "-":
-            print(payload)
-        else:
-            with open(args.metrics_json, "w") as fh:
-                fh.write(payload + "\n")
-            print(f"metrics written to {args.metrics_json}")
+        import json
+
+        data = metrics.to_dict()
+        data["query"] = args._query_metrics.to_dict()
+        _write_metrics_json(
+            args.metrics_json, json.dumps(data, indent=2, sort_keys=True)
+        )
     return 0
 
 
@@ -324,13 +339,13 @@ def _cmd_referee(args) -> int:
     print(result.summary())
     print(session.metrics.summary())
     if args.metrics_json:
-        payload = session.metrics.to_json()
-        if args.metrics_json == "-":
-            print(payload)
-        else:
-            with open(args.metrics_json, "w") as fh:
-                fh.write(payload + "\n")
-            print(f"metrics written to {args.metrics_json}")
+        import json
+
+        data = session.metrics.to_dict()
+        data["query"] = args._query_metrics.to_dict()
+        _write_metrics_json(
+            args.metrics_json, json.dumps(data, indent=2, sort_keys=True)
+        )
     if result.certificate is not None and not result.certificate.verified:
         return 1
     if result.degraded and not args.degraded_ok:
@@ -440,6 +455,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--quarantine-file", default=None, metavar="PATH",
             help="JSONL file for quarantined lines (--on-bad-update quarantine)",
         )
+        p.add_argument(
+            "--scalar-decode", action="store_true",
+            help="decode with the scalar reference path instead of the "
+                 "vectorised batch kernels (bit-identical answers; an "
+                 "escape hatch for debugging and benchmarking)",
+        )
+        p.add_argument(
+            "--metrics-json", default=None, metavar="PATH",
+            help="write the metrics report (including decode QueryMetrics) "
+                 "as JSON ('-' for stdout)",
+        )
 
     p = sub.add_parser("connectivity", help="is the streamed (hyper)graph connected?")
     common(p)
@@ -522,6 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="integrity mode: verify every shard merge against "
                         "the linearity invariant and (under --retries) "
                         "CRC-check every barrier dump before trusting it")
+    p.add_argument("--decode", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="decode the merged sketch after ingest "
+                        "(--no-decode to skip)")
+    p.add_argument("--scalar-decode", action="store_true",
+                   help="decode with the scalar reference path instead of "
+                        "the vectorised batch kernels (bit-identical)")
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser(
@@ -552,8 +585,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degraded-ok", action="store_true",
                    help="exit 0 even when the answer is degraded (missing "
                         "players are always reported)")
-    p.add_argument("--metrics-json", default=None, metavar="PATH",
-                   help="write the CommMetrics report as JSON ('-' for stdout)")
     p.set_defaults(func=_cmd_referee)
 
     p = sub.add_parser(
@@ -584,14 +615,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every query-bearing subcommand runs the vectorised batch decode by
+    default; ``--scalar-decode`` flips the process to the scalar
+    reference path (bit-identical answers).  Decode-side
+    :class:`~repro.engine.query.QueryMetrics` are collected for the
+    whole command and exported through ``--metrics-json`` (commands
+    with engine metrics of their own nest them under ``"query"``).
+    """
+    from .engine.query import collect_query_metrics
+    from .sketch.bank import set_batch_decode
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    previous = set_batch_decode(not getattr(args, "scalar_decode", False))
     try:
-        return args.func(args)
+        with collect_query_metrics() as qm:
+            args._query_metrics = qm
+            code = args.func(args)
+        path = getattr(args, "metrics_json", None)
+        if path and args.command not in ("ingest", "referee"):
+            _write_metrics_json(path, qm.to_json())
+        return code
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        set_batch_decode(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,18 @@ from ..util.rng import normalize_seed
 from .params import DEFAULT_PARAMS, Params
 
 
+def _strict_decode_unit(sketch):
+    """Strict-decode one instance; None on a detectable decode failure.
+
+    Module-level (picklable) so a process-backed
+    :class:`~repro.engine.query.QueryExecutor` can fan instances out.
+    """
+    try:
+        return sketch.decode(strict=True)
+    except SketchDecodeError:
+        return None
+
+
 class SampledForestUnion:
     """R vertex-sampled spanning-forest sketches plus the union decode.
 
@@ -145,7 +157,7 @@ class SampledForestUnion:
         return self.decode_union().to_graph()
 
     def decode_union_accounted(
-        self, exclude: Sequence[int] = ()
+        self, exclude: Sequence[int] = (), executor=None
     ) -> Tuple[Hypergraph, List[int]]:
         """Union of per-instance *strict* decodes, with failure accounting.
 
@@ -162,17 +174,33 @@ class SampledForestUnion:
         to answer from the surviving R - m instances instead of dying —
         with honest reporting of m.  Bypasses the decode caches (strict
         and cached forests must not mix).
+
+        The instances are independently seeded, so an optional
+        :class:`~repro.engine.query.QueryExecutor` fans their strict
+        decodes across its backend; results are collected in instance
+        order, identical to the sequential loop.
         """
         excluded = set(exclude)
         failed: List[int] = []
         union = Hypergraph(self.n, self.r)
-        for i, sketch in self.sketches.items():
+        attempted = [
+            (i, sketch)
+            for i, sketch in self.sketches.items()
+            if i not in excluded
+        ]
+        if executor is not None:
+            forests = executor.map(
+                _strict_decode_unit, [sk for _, sk in attempted]
+            )
+        else:
+            forests = [_strict_decode_unit(sk) for _, sk in attempted]
+        decoded = {i: forest for (i, _), forest in zip(attempted, forests)}
+        for i in self.sketches:
             if i in excluded:
                 failed.append(i)
                 continue
-            try:
-                forest = sketch.decode(strict=True)
-            except SketchDecodeError:
+            forest = decoded[i]
+            if forest is None:
                 failed.append(i)
                 continue
             for e in forest.edges():

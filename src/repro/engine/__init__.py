@@ -25,13 +25,27 @@ package turns that mathematical property into throughput:
   log, bit-identically to an uninterrupted run;
 * :mod:`repro.engine.metrics` — ingest observability (updates/sec per
   shard, batch-size histogram, merge and checkpoint costs, restart /
-  retry / quarantine counters), exposed as dataclasses and JSON.
+  retry / quarantine counters), exposed as dataclasses and JSON;
+* :mod:`repro.engine.query` — the read-side counterpart: fans
+  independent decode units across serial/multiprocessing backends
+  (:class:`QueryExecutor`), decode observability
+  (:class:`QueryMetrics`), the summed-boundary-sketch LRU
+  (:class:`SummedCache`), and the scalar/batch decode-path switches.
 """
 
 from .batch import expand_edge_batch, grid_update_batch, iter_event_batches
 from .checkpoint import Checkpoint, CheckpointManager
 from .metrics import CheckpointStats, IngestMetrics, ShardStats
 from .pool import ProcessPool, SerialPool, make_pool
+from .query import (
+    QueryExecutor,
+    QueryMetrics,
+    SummedCache,
+    batch_decode,
+    collect_query_metrics,
+    make_executor,
+    scalar_decode,
+)
 from .replay import ReplayLog
 from .shard import IngestResult, ShardedIngestEngine, shard_of_edge, zero_clone
 from .supervisor import RetryPolicy, SupervisedPool
@@ -55,4 +69,11 @@ __all__ = [
     "RetryPolicy",
     "SupervisedPool",
     "ReplayLog",
+    "QueryExecutor",
+    "QueryMetrics",
+    "SummedCache",
+    "make_executor",
+    "collect_query_metrics",
+    "scalar_decode",
+    "batch_decode",
 ]

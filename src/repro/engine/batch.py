@@ -28,14 +28,20 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 import numpy as np
 
 from ..errors import DomainError, IncompatibleSketchError, NotOneSparseError
-from ..util.hashing import hash64_many, splitmix64_np, trailing_zeros64_np
-from ..util.prime_field import MERSENNE_61, mul_vec_mod, shl32_vec_mod
+from ..util.hashing import (
+    field_value_many,
+    hash64_many,
+    splitmix64_np,
+    trailing_zeros64_np,
+)
+from ..util.prime_field import (
+    MERSENNE_61,
+    mul_vec_mod,
+    scatter_add_mod,
+    segment_sum_mod,
+)
 
 _P = MERSENNE_61
-_MASK32 = np.int64(0xFFFFFFFF)
-# Second-seed tweak of HashFamily.field_value (the 128-bit fingerprint
-# hash); must stay in sync with repro.util.hashing.HashFamily.
-_FIELD_LO_TWEAK = 0x5851F42D4C957F2D
 
 
 def _as_update_arrays(
@@ -51,43 +57,6 @@ def _as_update_arrays(
             f"{m.size} members, {i.size} indices, {d.size} deltas"
         )
     return m, i, d
-
-
-def _rho_many(seed: int, indices: np.ndarray) -> np.ndarray:
-    """Vectorised ``HashFamily.field_value(index, p)`` fingerprints.
-
-    Matches the scalar ``((hi << 64) | lo) % p`` bit-for-bit using
-    ``2^64 ≡ 8 (mod 2^61 - 1)``.
-    """
-    p = np.uint64(_P)
-    hi = hash64_many(seed, indices) % p
-    lo = hash64_many(seed ^ _FIELD_LO_TWEAK, indices) % p
-    return (((hi * np.uint64(8)) % p + lo) % p).astype(np.int64)
-
-
-def _segment_contrib_mod(order: np.ndarray, starts: np.ndarray,
-                         values: np.ndarray) -> np.ndarray:
-    """Per-cell segment sums of modular ``values``, as residues in [0, p).
-
-    ``values`` are residues in [0, p); a cell may receive thousands of
-    contributions per batch, whose direct int64 sum would overflow.  The
-    residues are therefore summed as 32-bit halves (safe up to ~2^19
-    contributions per cell per call) and recombined with one Mersenne
-    shift into a single residue per cell.  Exposing the residues (rather
-    than folding in place) lets the integrity digest observe exactly
-    what the bank receives.
-    """
-    v = values[order]
-    hi = np.add.reduceat(v >> np.int64(32), starts)
-    lo = np.add.reduceat(v & _MASK32, starts)
-    return (shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64) + lo % _P) % _P
-
-
-def _scatter_add_mod(target: np.ndarray, cells: np.ndarray,
-                     contrib: np.ndarray) -> None:
-    """Add per-cell residue contributions into the flat counter array."""
-    total = target[cells] + contrib
-    target[cells] = np.where(total >= _P, total - _P, total)
 
 
 def grid_update_batch(grid, members, indices, deltas) -> int:
@@ -111,12 +80,14 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
         bad = m[(m < 0) | (m >= grid.members)][0]
         raise IncompatibleSketchError(f"member {bad} outside [0, {grid.members})")
     grid._updates += int(m.size)
+    if grid._summed_cache is not None:
+        grid._touch_members(np.unique(m))
 
     levels, rows, buckets = grid.levels, grid.rows, grid.buckets
     # Per-update modular cell contributions, shared by every group.
     d_mod = d % _P
     cs = mul_vec_mod(d_mod, idx % _P)
-    cf = mul_vec_mod(d_mod, _rho_many(grid._rho.seed, idx))
+    cf = mul_vec_mod(d_mod, field_value_many(grid._rho.seed, idx, _P))
 
     lvl_arr = np.arange(levels, dtype=np.int64)
     salts = np.array(grid._level_salts, dtype=np.uint64)
@@ -153,10 +124,10 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
             )[mask]
             dw = np.add.reduceat(d[src[order]], starts)
             w_flat[cells] += dw
-            cs_contrib = _segment_contrib_mod(order, starts, cs[src])
-            cf_contrib = _segment_contrib_mod(order, starts, cf[src])
-            _scatter_add_mod(s_flat, cells, cs_contrib)
-            _scatter_add_mod(f_flat, cells, cf_contrib)
+            cs_contrib = segment_sum_mod(cs[src], order, starts)
+            cf_contrib = segment_sum_mod(cf[src], order, starts)
+            scatter_add_mod(s_flat, cells, cs_contrib)
+            scatter_add_mod(f_flat, cells, cf_contrib)
             if digest is not None:
                 digest.observe_cells(g, r, cells, dw, cs_contrib, cf_contrib)
     return int(m.size)

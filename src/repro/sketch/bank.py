@@ -22,6 +22,8 @@ which is the hot path of the library.
 
 from __future__ import annotations
 
+import time
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,17 +36,103 @@ from ..errors import (
     SamplerZeroError,
 )
 from ..util.hashing import (
+    _FIELD_TWEAK,
     HashFamily,
     derive_seed,
+    field_value_many,
     hash64,
+    hash64_many,
+    hash64_np,
     splitmix64,
+    splitmix64_np,
     trailing_zeros64,
+    trailing_zeros64_np,
 )
-from ..util.prime_field import MERSENNE_61
+from ..util.prime_field import (
+    MERSENNE_61,
+    inv_vec_mod,
+    mul_vec_mod,
+    scatter_add_mod,
+    segment_sum_mod,
+    shl32_vec_mod,
+)
 from .l0 import default_levels
 
 _P = MERSENNE_61
 _ROW_SALT = 0xA5A5A5A5A5A5A5A5
+
+# -- decode-path configuration -------------------------------------------
+
+#: Process-wide default for the query path: batch (vectorised) decode
+#: when True, the scalar reference path when False.  Both are
+#: bit-identical; the switch exists as an escape hatch (CLI
+#: ``--scalar-decode``) and for benchmarking the kernels against their
+#: reference implementation.
+_BATCH_DECODE = True
+
+#: Optional :class:`~repro.engine.query.QueryMetrics` sink.  When set,
+#: the decode entry points below record cell counts and kernel/scalar
+#: timings into it.  Kept as a module global (not threaded through
+#: every decode signature) so instrumentation has zero cost when off.
+_QUERY_METRICS = None
+
+
+def set_batch_decode(enabled: bool) -> bool:
+    """Set the process-wide decode-path default; returns the old value."""
+    global _BATCH_DECODE
+    previous = _BATCH_DECODE
+    _BATCH_DECODE = bool(enabled)
+    return previous
+
+
+def batch_decode_default() -> bool:
+    """Whether decodes currently default to the vectorised batch path."""
+    return _BATCH_DECODE
+
+
+def set_query_metrics(metrics) -> object:
+    """Install (or clear, with None) the decode metrics sink; returns
+    the previous sink.  See :mod:`repro.engine.query` for the context
+    manager most callers want."""
+    global _QUERY_METRICS
+    previous = _QUERY_METRICS
+    _QUERY_METRICS = metrics
+    return previous
+
+
+# -- scalar-path memoization ---------------------------------------------
+#
+# The remaining scalar decode path (and the per-coordinate subtract
+# helpers) repeatedly invert the same handful of cell weights — they
+# are almost always in ±{1..r} — and re-hash the same coordinates'
+# fingerprints.  Both are pure functions of their arguments, so small
+# LRUs turn them into dictionary hits.
+
+@lru_cache(maxsize=4096)
+def _inv_mod_cached(w_mod: int) -> int:
+    """``pow(w_mod, p-2, p)``, memoized over the few weights seen."""
+    return pow(w_mod, _P - 2, _P)
+
+
+@lru_cache(maxsize=65536)
+def _rho_cached(seed: int, index: int) -> int:
+    """Memoized :meth:`HashFamily.field_value` fingerprint residue."""
+    hi = hash64(seed, index)
+    lo = hash64(seed ^ _FIELD_TWEAK, index)
+    return ((hi << 64) | lo) % _P
+
+
+def _note_cache(cache, hit: bool) -> None:
+    """Account a summed-cache lookup on the cache and metrics sink."""
+    metrics = _QUERY_METRICS
+    if hit:
+        cache.hits += 1
+        if metrics is not None:
+            metrics.cache_hits += 1
+    else:
+        cache.misses += 1
+        if metrics is not None:
+            metrics.cache_misses += 1
 
 
 class SamplerGrid:
@@ -110,6 +198,14 @@ class SamplerGrid:
         #: the integrity layer; every mutation path below keeps it in
         #: lockstep with the counter arrays when present.
         self._digest = None
+        #: Optional :class:`~repro.engine.query.SummedCache` plus the
+        #: member-epoch bookkeeping that invalidates its entries.  Every
+        #: mutation path calls :meth:`_touch_members` / :meth:`_touch_all`
+        #: when a cache is attached (and skips the bookkeeping entirely
+        #: when not).
+        self._summed_cache = None
+        self._epoch = 0
+        self._member_epoch = None
 
     # -- streaming ------------------------------------------------------
 
@@ -144,8 +240,10 @@ class SamplerGrid:
         self._updates += 1
         if self._digest is not None:
             self._digest.observe_update(self, member, index, delta)
+        if self._summed_cache is not None:
+            self._touch_members([member])
         i_mod = index % _P
-        rho = self._rho.field_value(index, _P)
+        rho = _rho_cached(self._rho.seed, index)
         cs = (delta * i_mod) % _P
         cf = (delta * rho) % _P
         w, s, f = self._w, self._s, self._f
@@ -189,6 +287,36 @@ class SamplerGrid:
         self._updates = 0
         if self._digest is not None:
             self._digest.reset()
+        self._touch_all()
+
+    # -- summed-sketch cache plumbing -----------------------------------
+
+    def attach_summed_cache(self, cache) -> None:
+        """Attach a :class:`~repro.engine.query.SummedCache`.
+
+        The grid starts tracking per-member modification epochs so that
+        cached boundary sketches invalidate exactly when one of their
+        members changes (update, merge, restore, reset).
+        """
+        self._summed_cache = cache
+        if self._member_epoch is None:
+            self._member_epoch = np.zeros(self.members, dtype=np.int64)
+
+    def detach_summed_cache(self) -> None:
+        """Detach the cache (epoch bookkeeping stops)."""
+        self._summed_cache = None
+
+    def _touch_members(self, members) -> None:
+        """Mark members dirty for the summed cache (if attached)."""
+        if self._summed_cache is not None:
+            self._epoch += 1
+            self._member_epoch[members] = self._epoch
+
+    def _touch_all(self) -> None:
+        """Mark every member dirty (merge/restore/reset paths)."""
+        if self._summed_cache is not None:
+            self._epoch += 1
+            self._member_epoch[:] = self._epoch
 
     # -- linearity --------------------------------------------------------
 
@@ -219,6 +347,7 @@ class SamplerGrid:
         self._f = _add_mod(self._f, other._f)
         if self._digest is not None:
             self._digest.absorb(self._digest_of(other))
+        self._touch_all()
         return self
 
     def __isub__(self, other: "SamplerGrid") -> "SamplerGrid":
@@ -228,6 +357,7 @@ class SamplerGrid:
         self._f = _sub_mod(self._f, other._f)
         if self._digest is not None:
             self._digest.absorb(self._digest_of(other), sign=-1)
+        self._touch_all()
         return self
 
     def copy(self) -> "SamplerGrid":
@@ -237,6 +367,12 @@ class SamplerGrid:
         out._s = self._s.copy()
         out._f = self._f.copy()
         out._digest = None if self._digest is None else self._digest.copy()
+        # A copy diverges from the original immediately; sharing a
+        # summed cache would serve the original's sums for the copy's
+        # keys.  Copies start uncached.
+        out._summed_cache = None
+        out._epoch = 0
+        out._member_epoch = None
         return out
 
     # -- distributed-player plumbing (Section 2 communication model) -----
@@ -254,6 +390,7 @@ class SamplerGrid:
         self._w[:, member] += state["w"]
         self._s[:, member] = _add_mod(self._s[:, member], state["s"])
         self._f[:, member] = _add_mod(self._f[:, member], state["f"])
+        self._touch_members([member])
         if self._digest is not None:
             # Message payloads are CRC-verified upstream; accept the
             # merged state as the new trusted baseline.
@@ -275,6 +412,38 @@ class SamplerGrid:
         m = slice(None) if member is None else member
         return (g, m)
 
+    def _fold_members(
+        self, group: int, idx: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sum the members' counter slices into one (L, R, B) triple.
+
+        The weight counters sum exactly in ``int64``; the modular
+        counters are folded through the pairwise-reduction kernel
+        (32-bit halves, one final Mersenne recombination) so no
+        intermediate overflows — bit-identical to the historical
+        member-at-a-time ``add_mod`` fold, but one vectorised pass.
+        Consults the attached summed cache when present.
+        """
+        cache = self._summed_cache
+        if cache is not None:
+            key = (group, idx.tobytes())
+            entry = cache.get(key)
+            if entry is not None and bool(
+                (self._member_epoch[idx] <= entry[3]).all()
+            ):
+                _note_cache(cache, hit=True)
+                return entry[0].copy(), entry[1].copy(), entry[2].copy()
+            if entry is not None:
+                cache.discard(key)
+            _note_cache(cache, hit=False)
+        w = self._w[group, idx].sum(axis=0)
+        s = _fold_mod(self._s[group, idx])
+        f = _fold_mod(self._f[group, idx])
+        if cache is not None:
+            cache.put(key, (w, s, f, self._epoch))
+            return w.copy(), s.copy(), f.copy()
+        return w, s, f
+
     def summed(self, group: int, members: Sequence[int]) -> "SummedSketch":
         """Sketch of the *sum* of the given members' vectors in ``group``.
 
@@ -284,16 +453,70 @@ class SamplerGrid:
         idx = np.fromiter(members, dtype=np.int64)
         if idx.size == 0:
             raise IncompatibleSketchError("summed() needs at least one member")
-        w = self._w[group, idx].sum(axis=0)
-        # Fold the modular counters pairwise so intermediate values stay
-        # below 2p and never overflow int64.
-        shape = self._s.shape[2:]
-        s = np.zeros(shape, dtype=np.int64)
-        f = np.zeros(shape, dtype=np.int64)
-        for i in idx:
-            s = _add_mod(s, self._s[group, i])
-            f = _add_mod(f, self._f[group, i])
+        w, s, f = self._fold_members(group, idx)
         return SummedSketch(grid=self, group=group, w=w, s=s, f=f)
+
+    def summed_many(
+        self, group: int, components: Sequence[Sequence[int]]
+    ) -> "SummedBatch":
+        """Boundary sketches of *all* components of ``group`` at once.
+
+        ``components`` is a sequence of nonempty member lists (one per
+        spanning-forest component / certification part).  All sums are
+        computed in a single segment-sum pass: the member slices are
+        gathered in component order and reduced with
+        ``np.add.reduceat`` (exact for weights, 32-bit-half folded for
+        the modular counters), rather than one :meth:`summed` call per
+        component.  Returns a :class:`SummedBatch` whose per-component
+        decodes are bit-identical to ``self.summed(group, c).sample()``.
+        """
+        comps = [np.fromiter(c, dtype=np.int64) for c in components]
+        if not comps:
+            raise IncompatibleSketchError("summed_many() needs components")
+        for c in comps:
+            if c.size == 0:
+                raise IncompatibleSketchError(
+                    "summed_many() components must be nonempty"
+                )
+        shape = self._w.shape[2:]
+        n_comp = len(comps)
+        w = np.empty((n_comp,) + shape, dtype=np.int64)
+        s = np.empty((n_comp,) + shape, dtype=np.int64)
+        f = np.empty((n_comp,) + shape, dtype=np.int64)
+        cache = self._summed_cache
+        if cache is not None:
+            miss: List[int] = []
+            for ci, idx in enumerate(comps):
+                key = (group, idx.tobytes())
+                entry = cache.get(key)
+                if entry is not None and bool(
+                    (self._member_epoch[idx] <= entry[3]).all()
+                ):
+                    _note_cache(cache, hit=True)
+                    w[ci], s[ci], f[ci] = entry[0], entry[1], entry[2]
+                    continue
+                if entry is not None:
+                    cache.discard(key)
+                _note_cache(cache, hit=False)
+                miss.append(ci)
+        else:
+            miss = list(range(n_comp))
+        if miss:
+            gathered = np.concatenate([comps[ci] for ci in miss])
+            sizes = np.array([comps[ci].size for ci in miss], dtype=np.int64)
+            starts = np.zeros(len(miss), dtype=np.int64)
+            np.cumsum(sizes[:-1], out=starts[1:])
+            ws = np.add.reduceat(self._w[group, gathered], starts, axis=0)
+            ss = _fold_segments_mod(self._s[group, gathered], starts)
+            fs = _fold_segments_mod(self._f[group, gathered], starts)
+            w[miss], s[miss], f[miss] = ws, ss, fs
+            if cache is not None:
+                for k, ci in enumerate(miss):
+                    cache.put(
+                        (group, comps[ci].tobytes()),
+                        (ws[k], ss[k], fs[k], self._epoch),
+                    )
+        return SummedBatch(grid=self, group=group, w=w, s=s, f=f)
 
     def member_sketch(self, group: int, member: int) -> "SummedSketch":
         """The single-member sketch as a decodable view."""
@@ -323,6 +546,32 @@ def _add_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def _sub_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     d = a - b
     return np.where(d < 0, d + _P, d)
+
+
+def _fold_mod(vals: np.ndarray) -> np.ndarray:
+    """Reduce axis 0 of an array of canonical residues, mod p.
+
+    Residues are summed as 32-bit halves (the high half of a residue is
+    < 2^29, so even millions of summands cannot overflow ``int64``) and
+    recombined with one Mersenne shift — the vectorised equivalent of
+    folding the slices pairwise with ``add_mod``.
+    """
+    mask32 = np.int64(0xFFFFFFFF)
+    hi = (vals >> np.int64(32)).sum(axis=0)
+    lo = (vals & mask32).sum(axis=0)
+    return (
+        shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64) + lo % _P
+    ) % _P
+
+
+def _fold_segments_mod(vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Segmented :func:`_fold_mod` along axis 0 (``np.add.reduceat``)."""
+    mask32 = np.int64(0xFFFFFFFF)
+    hi = np.add.reduceat(vals >> np.int64(32), starts, axis=0)
+    lo = np.add.reduceat(vals & mask32, starts, axis=0)
+    return (
+        shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64) + lo % _P
+    ) % _P
 
 
 class SummedSketch:
@@ -357,19 +606,31 @@ class SummedSketch:
     # -- mutation ---------------------------------------------------------
 
     def subtract(self, index: int, weight: int) -> None:
-        """Remove ``weight`` units of ``index`` from the view (peeling)."""
+        """Remove ``weight`` units of ``index`` from the view (peeling).
+
+        Vectorised over the coordinate's subsampling levels: one bucket
+        hash per row covers every level at once, and the modular cells
+        fold the (canonical) contribution with a branchless conditional
+        subtract — bit-identical to the historical per-cell loop.
+        """
         if weight == 0:
             return
-        i_mod = index % _P
-        rho = self._grid._rho.field_value(index, _P)
-        cs = (-weight * i_mod) % _P
-        cf = (-weight * rho) % _P
-        for lvl in range(self._depth_of(index) + 1):
-            for r in range(self._grid.rows):
-                b = self._bucket_of(r, lvl, index)
-                self._w[lvl, r, b] -= weight
-                self._s[lvl, r, b] = (int(self._s[lvl, r, b]) + cs) % _P
-                self._f[lvl, r, b] = (int(self._f[lvl, r, b]) + cf) % _P
+        grid = self._grid
+        cs = np.int64((-weight * (index % _P)) % _P)
+        cf = np.int64((-weight * _rho_cached(grid._rho.seed, index)) % _P)
+        depth = self._depth_of(index)
+        lvls = np.arange(depth + 1)
+        salts = np.array(grid._level_salts[: depth + 1], dtype=np.uint64)
+        for r in range(grid.rows):
+            h = np.uint64(hash64(grid._bucket_seeds[self.group][r], index))
+            with np.errstate(over="ignore"):
+                bs = (splitmix64_np(h ^ salts)
+                      % np.uint64(grid.buckets)).astype(np.int64)
+            self._w[lvls, r, bs] -= weight
+            s_new = self._s[lvls, r, bs] + cs
+            self._s[lvls, r, bs] = np.where(s_new >= _P, s_new - _P, s_new)
+            f_new = self._f[lvls, r, bs] + cf
+            self._f[lvls, r, bs] = np.where(f_new >= _P, f_new - _P, f_new)
 
     def copy(self) -> "SummedSketch":
         return SummedSketch(
@@ -391,11 +652,11 @@ class SummedSketch:
         if w == 0 or w % _P == 0:
             raise NotOneSparseError("nonzero cell with zero weight")
         w_mod = w % _P
-        j = (s * pow(w_mod, _P - 2, _P)) % _P
+        j = (s * _inv_mod_cached(w_mod)) % _P
         if j >= self._grid.domain:
             raise NotOneSparseError("index outside domain")
         j = int(j)
-        if (w_mod * self._grid._rho.field_value(j, _P)) % _P != f:
+        if (w_mod * _rho_cached(self._grid._rho.seed, j)) % _P != f:
             raise NotOneSparseError("fingerprint mismatch")
         # Structural consistency: the coordinate must genuinely live in
         # this cell, else the decode is a (vanishingly rare) collision.
@@ -429,15 +690,21 @@ class SummedSketch:
         return {j: w for j, w in recovered.items() if w != 0}
 
     def _subtract_at_level(self, lvl: int, index: int, weight: int) -> None:
-        i_mod = index % _P
-        rho = self._grid._rho.field_value(index, _P)
-        cs = (-weight * i_mod) % _P
-        cf = (-weight * rho) % _P
-        for r in range(self._grid.rows):
-            b = self._bucket_of(r, lvl, index)
-            self._w[lvl, r, b] -= weight
-            self._s[lvl, r, b] = (int(self._s[lvl, r, b]) + cs) % _P
-            self._f[lvl, r, b] = (int(self._f[lvl, r, b]) + cf) % _P
+        grid = self._grid
+        cs = np.int64((-weight * (index % _P)) % _P)
+        cf = np.int64((-weight * _rho_cached(grid._rho.seed, index)) % _P)
+        salt = np.uint64(grid._level_salts[lvl])
+        seeds = np.array(grid._bucket_seeds[self.group], dtype=np.uint64)
+        h = hash64_np(seeds, index)
+        with np.errstate(over="ignore"):
+            bs = (splitmix64_np(h ^ salt)
+                  % np.uint64(grid.buckets)).astype(np.int64)
+        rs = np.arange(grid.rows)
+        self._w[lvl, rs, bs] -= weight
+        s_new = self._s[lvl, rs, bs] + cs
+        self._s[lvl, rs, bs] = np.where(s_new >= _P, s_new - _P, s_new)
+        f_new = self._f[lvl, rs, bs] + cf
+        self._f[lvl, rs, bs] = np.where(f_new >= _P, f_new - _P, f_new)
 
     def sample(self) -> Tuple[int, int]:
         """A verified nonzero ``(index, weight)`` of the summed vector.
@@ -447,23 +714,31 @@ class SummedSketch:
         Raises :class:`SamplerEmptyError` on a zero vector or total
         decode failure.
         """
-        if self.appears_zero():
-            raise SamplerZeroError("summed vector appears to be zero")
-        for lvl in range(self._grid.levels):
-            support = self._recover_level(lvl)
-            if support:
-                j = min(support, key=lambda i: (self._tiebreak(i), i))
-                return j, support[j]
-        for lvl in range(self._grid.levels):
-            for r in range(self._grid.rows):
-                for b in range(self._grid.buckets):
-                    try:
-                        got = self._decode_cell(lvl, r, b)
-                    except NotOneSparseError:
-                        continue
-                    if got is not None:
-                        return got
-        raise SamplerFailedError("no subsampling level decoded")
+        metrics = _QUERY_METRICS
+        t0 = time.perf_counter() if metrics is not None else 0.0
+        try:
+            if self.appears_zero():
+                raise SamplerZeroError("summed vector appears to be zero")
+            for lvl in range(self._grid.levels):
+                support = self._recover_level(lvl)
+                if support:
+                    j = min(support, key=lambda i: (self._tiebreak(i), i))
+                    return j, support[j]
+            # Rare fallback (no level fully recovered): one batched
+            # verification pass over every nonzero original cell, first
+            # hit in (level, row, bucket) scan order — the same kernel
+            # the batch path uses, not a cell-by-cell re-decode.
+            got = _scan_verified_cells(
+                self._grid, self.group,
+                self._w[None], self._s[None], self._f[None],
+            )[0]
+            if got is not None:
+                return got
+            raise SamplerFailedError("no subsampling level decoded")
+        finally:
+            if metrics is not None:
+                metrics.scalar_queries += 1
+                metrics.scalar_seconds += time.perf_counter() - t0
 
     def sample_or_none(self) -> Optional[Tuple[int, int]]:
         """Like :meth:`sample` but None for zero vectors / failures."""
@@ -500,3 +775,334 @@ class SummedSketch:
                 # everything — yields an estimate.
                 return len(support) * (2 ** lvl)
         return None
+
+
+# -- batched decode kernels ----------------------------------------------
+
+
+def _verify_cells(
+    grid: SamplerGrid,
+    group: int,
+    w: np.ndarray,
+    s: np.ndarray,
+    f: np.ndarray,
+    lvl_idx: np.ndarray,
+    r_idx: np.ndarray,
+    b_idx: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised one-sparse verification of a flat batch of cells.
+
+    Inputs are parallel 1-D arrays: each position is one candidate cell
+    — raw weight, index-sum residue, fingerprint residue, and the
+    (level, row, bucket) address it was read from.  Performs exactly
+    the checks of ``SummedSketch._decode_cell`` across the whole batch:
+
+    * nonzero weight residue (``w % p != 0``),
+    * candidate index ``j = s · w^(p-2) mod p`` inside the domain
+      (batched Fermat inversion over the few distinct weights),
+    * fingerprint equation ``w · rho(j) ≡ f (mod p)``,
+    * structural placement (``depth(j) >= level`` and the row's bucket
+      hash maps ``j`` to the cell's bucket).
+
+    Returns ``(valid, j, w)``: a boolean mask plus the decoded index
+    and raw weight arrays (meaningful where ``valid``).
+    """
+    w_mod = w % _P
+    # Invert the few distinct weight residues through the scalar LRU:
+    # boundary weights are small signed counts, so the unique set is
+    # tiny and the memoized pow() beats a 61-step vectorised Fermat
+    # ladder (whose per-step numpy overhead dominates at these sizes).
+    uniq, positions = np.unique(w_mod, return_inverse=True)
+    uniq_inv = np.array(
+        [_inv_mod_cached(int(u)) for u in uniq], dtype=np.uint64
+    )
+    j = mul_vec_mod(s, uniq_inv[positions])
+    valid = (w_mod != 0) & (j < grid.domain)
+    rho = field_value_many(grid._rho.seed, j, _P)
+    valid &= mul_vec_mod(w_mod, rho) == f
+    depth = np.minimum(
+        trailing_zeros64_np(hash64_many(grid._level_seeds[group], j)),
+        grid.levels - 1,
+    )
+    valid &= depth >= lvl_idx
+    salts = np.array(grid._level_salts, dtype=np.uint64)
+    bucket_ok = np.zeros(j.shape, dtype=bool)
+    for r in range(grid.rows):
+        rm = r_idx == r
+        if not rm.any():
+            continue
+        h = hash64_many(grid._bucket_seeds[group][r], j[rm])
+        with np.errstate(over="ignore"):
+            b = (splitmix64_np(h ^ salts[lvl_idx[rm]])
+                 % np.uint64(grid.buckets)).astype(np.int64)
+        bucket_ok[rm] = b == b_idx[rm]
+    valid &= bucket_ok
+    return valid, j, w
+
+
+def _scan_verified_cells(
+    grid: SamplerGrid,
+    group: int,
+    w: np.ndarray,
+    s: np.ndarray,
+    f: np.ndarray,
+) -> List[Optional[Tuple[int, int]]]:
+    """First verified single-cell decode per component (fallback scan).
+
+    ``w, s, f`` have shape ``(components, levels, rows, buckets)``.
+    One batched verification pass over every nonzero cell; per
+    component the winner is the first valid cell in the scalar
+    fallback's (level, row, bucket) scan order — ``np.nonzero`` emits
+    candidates in exactly that row-major order, so the first valid
+    occurrence per component is the scalar answer.
+    """
+    n_comp = w.shape[0]
+    out: List[Optional[Tuple[int, int]]] = [None] * n_comp
+    mask = (w != 0) | (s != 0) | (f != 0)
+    c_idx, l_idx, r_idx, b_idx = np.nonzero(mask)
+    if c_idx.size == 0:
+        return out
+    valid, j, wv = _verify_cells(
+        grid, group, w[mask], s[mask], f[mask], l_idx, r_idx, b_idx
+    )
+    if not valid.any():
+        return out
+    c_v, j_v, w_v = c_idx[valid], j[valid], wv[valid]
+    uniq, first = np.unique(c_v, return_index=True)
+    for c, k in zip(uniq, first):
+        out[int(c)] = (int(j_v[k]), int(w_v[k]))
+    return out
+
+
+class SummedBatch:
+    """A batch of decodable boundary sketches, one per component.
+
+    Counter arrays have shape ``(components, levels, rows, buckets)``
+    and share one group's hash context, so every component's decode
+    runs through the same vectorised kernels: a single verification
+    pass across all (component, row, bucket) cells per peeling sweep,
+    batched Fermat inversion of the cell weights, and vectorised
+    fingerprint/placement checks.  :meth:`sample_many` is bit-identical
+    per component to ``SummedSketch.sample`` on the same counters (the
+    batch peel reaches the scalar peel's fixpoint — verified decodes
+    commute — and ties, scan orders, and failure modes match exactly).
+    """
+
+    __slots__ = ("_grid", "group", "_w", "_s", "_f")
+
+    #: Per-component outcome tags of :meth:`sample_many`.
+    OK = "ok"
+    ZERO = "zero"
+    FAILED = "failed"
+
+    def __init__(self, grid: SamplerGrid, group: int, w, s, f):
+        self._grid = grid
+        self.group = group
+        self._w = w
+        self._s = s
+        self._f = f
+
+    @property
+    def count(self) -> int:
+        """Number of components in the batch."""
+        return self._w.shape[0]
+
+    def sketch_at(self, comp: int) -> SummedSketch:
+        """Component ``comp`` as an independent scalar-decodable view."""
+        return SummedSketch(
+            self._grid, self.group,
+            self._w[comp].copy(), self._s[comp].copy(), self._f[comp].copy(),
+        )
+
+    def appears_zero_many(self) -> np.ndarray:
+        """Boolean array: which components' counters all vanish."""
+        n = self.count
+        return ~(
+            self._w.reshape(n, -1).any(axis=1)
+            | self._s.reshape(n, -1).any(axis=1)
+            | self._f.reshape(n, -1).any(axis=1)
+        )
+
+    def _recover_levels_many(
+        self, active: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Peel every subsampling level of every active component at once.
+
+        The level slices of a summed sketch peel independently (a
+        subtraction at level ℓ only touches level-ℓ cells), so the
+        sweep loop treats each (component, level) pair as one *unit*
+        ``u = pos * levels + lvl`` and verifies all units' candidate
+        cells in a single kernel call per sweep — the sweep count
+        becomes the maximum any unit needs, not the sum over levels.
+        Unit ``u``'s state after sweep ``t`` equals the level-by-level
+        loop's state after its sweep ``t`` (units never interact, and a
+        stalled unit stays stalled), so per-unit outcomes are
+        bit-identical to ``SummedSketch._recover_level``.
+
+        Returns ``(residual, rec_unit, rec_j, rec_w, cells_seen)``:
+        per-unit residual flags (True = the unit did not peel to zero)
+        plus the flat recovery log and the number of candidate cells
+        examined.
+        """
+        grid = self._grid
+        rows, buckets, levels = grid.rows, grid.buckets, grid.levels
+        n_units = active.size * levels
+        sw = self._w[active].reshape(n_units, rows, buckets).copy()
+        ss = self._s[active].reshape(n_units, rows, buckets).copy()
+        sf = self._f[active].reshape(n_units, rows, buckets).copy()
+        w_flat = sw.reshape(-1)
+        s_flat = ss.reshape(-1)
+        f_flat = sf.reshape(-1)
+        rec_u: List[np.ndarray] = []
+        rec_j: List[np.ndarray] = []
+        rec_w: List[np.ndarray] = []
+        salts = np.array(grid._level_salts, dtype=np.uint64)
+        cells_seen = 0
+        guard = 4 * rows * buckets + 8
+        while guard > 0:
+            guard -= 1
+            mask = (sw != 0) | (ss != 0) | (sf != 0)
+            u_idx, r_idx, b_idx = np.nonzero(mask)
+            if u_idx.size == 0:
+                break
+            cells_seen += u_idx.size
+            lvl_idx = u_idx % levels
+            valid, j, wv = _verify_cells(
+                grid, self.group, sw[mask], ss[mask], sf[mask],
+                lvl_idx, r_idx, b_idx,
+            )
+            if not valid.any():
+                break
+            u_v, j_v, w_v = u_idx[valid], j[valid], wv[valid]
+            # The scalar sweep subtracts each decode immediately, so a
+            # later cell holding the same coordinate never re-decodes
+            # it; the batch verifies against the pre-sweep state
+            # instead, so dedupe per (unit, coordinate), keeping the
+            # first hit in scan order.
+            key = u_v * np.int64(grid.domain) + j_v
+            _, first = np.unique(key, return_index=True)
+            u_u, j_u, w_u = u_v[first], j_v[first], w_v[first]
+            lvl_u = lvl_idx[valid][first]
+            rec_u.append(u_u)
+            rec_j.append(j_u)
+            rec_w.append(w_u)
+            neg = (-w_u) % _P
+            cs = mul_vec_mod(neg, j_u)
+            cf = mul_vec_mod(neg, field_value_many(grid._rho.seed, j_u, _P))
+            for r in range(rows):
+                h = hash64_many(grid._bucket_seeds[self.group][r], j_u)
+                with np.errstate(over="ignore"):
+                    b = (splitmix64_np(h ^ salts[lvl_u])
+                         % np.uint64(buckets)).astype(np.int64)
+                flat = (u_u * rows + r) * buckets + b
+                order = np.argsort(flat, kind="stable")
+                sorted_cells = flat[order]
+                starts = np.flatnonzero(
+                    np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
+                )
+                cells = sorted_cells[starts]
+                w_flat[cells] -= np.add.reduceat(w_u[order], starts)
+                scatter_add_mod(s_flat, cells,
+                                segment_sum_mod(cs, order, starts))
+                scatter_add_mod(f_flat, cells,
+                                segment_sum_mod(cf, order, starts))
+        residual = (
+            sw.reshape(n_units, -1).any(axis=1)
+            | ss.reshape(n_units, -1).any(axis=1)
+            | sf.reshape(n_units, -1).any(axis=1)
+        )
+        if rec_u:
+            ru = np.concatenate(rec_u)
+            rj = np.concatenate(rec_j)
+            rw = np.concatenate(rec_w)
+        else:
+            ru = rj = rw = np.empty(0, dtype=np.int64)
+        return residual, ru, rj, rw, cells_seen
+
+    def sample_many(self) -> List[Tuple[str, Optional[Tuple[int, int]]]]:
+        """Decode every component; per-component scalar-parity outcomes.
+
+        Returns one ``(status, payload)`` pair per component:
+
+        * ``("zero", None)`` — counters vanish (scalar raises
+          :class:`SamplerZeroError`),
+        * ``("ok", (index, weight))`` — a verified nonzero coordinate,
+          exactly the pair ``SummedSketch.sample`` would return,
+        * ``("failed", None)`` — no level decoded (scalar raises
+          :class:`SamplerFailedError`).
+        """
+        grid = self._grid
+        t0 = time.perf_counter()
+        n = self.count
+        results: List[Optional[Tuple[str, Optional[Tuple[int, int]]]]] = (
+            [None] * n
+        )
+        zero = self.appears_zero_many()
+        for c in np.flatnonzero(zero):
+            results[int(c)] = (self.ZERO, None)
+        active = np.flatnonzero(~zero).astype(np.int64)
+        cells_total = 0
+        tb_seed = grid._tiebreak_seeds[self.group]
+        unresolved: List[int] = []
+        if active.size:
+            levels = grid.levels
+            residual, ru, rj, rw, cells_total = (
+                self._recover_levels_many(active)
+            )
+            order = np.argsort(ru, kind="stable")
+            ru_s, rj_s, rw_s = ru[order], rj[order], rw[order]
+            bounds = np.searchsorted(
+                ru_s, np.arange(active.size * levels + 1)
+            )
+            # One tiebreak-hash pass over the whole recovery log beats
+            # a kernel call per resolved support.
+            tb_s = (
+                hash64_many(tb_seed, rj_s).tolist() if rj_s.size else []
+            )
+            rj_list = rj_s.tolist()
+            for pos in range(active.size):
+                res: Optional[Tuple[int, int]] = None
+                # Shallowest level with a nonempty certified support
+                # wins — the scalar level scan, read off the joint peel.
+                for lvl in range(levels):
+                    u = pos * levels + lvl
+                    if residual[u]:
+                        continue
+                    lo, hi = bounds[u], bounds[u + 1]
+                    if lo == hi:
+                        continue
+                    sup: Dict[int, int] = {}
+                    tb_of: Dict[int, int] = {}
+                    for jj, ww, tb in zip(
+                        rj_list[lo:hi], rw_s[lo:hi], tb_s[lo:hi]
+                    ):
+                        sup[jj] = sup.get(jj, 0) + int(ww)
+                        tb_of[jj] = tb
+                    sup = {jj: ww for jj, ww in sup.items() if ww != 0}
+                    if not sup:
+                        continue
+                    # min over (tiebreak hash, index) — the scalar
+                    # winner comparison, verbatim.
+                    j = min(sup, key=lambda i: (tb_of[i], i))
+                    res = (j, sup[j])
+                    break
+                if res is not None:
+                    results[int(active[pos])] = (self.OK, res)
+                else:
+                    unresolved.append(pos)
+        if unresolved:
+            remaining = active[unresolved]
+            fallback = _scan_verified_cells(
+                grid, self.group,
+                self._w[remaining], self._s[remaining], self._f[remaining],
+            )
+            for c, got in zip(remaining, fallback):
+                results[int(c)] = (
+                    (self.OK, got) if got is not None else (self.FAILED, None)
+                )
+        metrics = _QUERY_METRICS
+        if metrics is not None:
+            metrics.batch_queries += n
+            metrics.cells_decoded += cells_total
+            metrics.kernel_seconds += time.perf_counter() - t0
+        return results

@@ -137,6 +137,8 @@ def load_grid(grid: SamplerGrid, blob: bytes, accumulate: bool = False) -> Sampl
         from ..audit.digest import GridDigest
 
         grid._digest = GridDigest.compute(grid)
+    # Restoring replaces (or shifts) every member's counters at once.
+    grid._touch_all()
     return grid
 
 

@@ -152,14 +152,15 @@ class SkeletonSketch:
             if i in skipped:
                 forests.append(Hypergraph(self.n, self.r))
                 continue
-            # Peel: layer currently sketches G; subtract known forests.
-            for e in recovered:
-                layer.update(e, -1)
+            # Peel: layer currently sketches G; subtract known forests
+            # in one vectorised batch (and restore the same way).
+            if recovered:
+                layer.update_batch([(e, -1) for e in recovered])
             try:
                 forest = layer.decode(strict=strict)
             finally:
-                for e in recovered:
-                    layer.update(e, 1)
+                if recovered:
+                    layer.update_batch([(e, 1) for e in recovered])
             forests.append(forest)
             recovered.extend(forest.edges())
         return forests

@@ -218,6 +218,7 @@ class SpanningForestSketch:
         (:mod:`repro.core.degraded`) retries and falls back on.
         """
         from ..errors import SamplerFailedError, SamplerZeroError
+        from .bank import SummedBatch, batch_decode_default
 
         forest = Hypergraph(self.n, self.r)
         uf = UnionFind(len(self.vertices))
@@ -229,19 +230,39 @@ class SpanningForestSketch:
                 break
             roots = list(members_by_root.keys())
             found: List[Hyperedge] = []
-            for root in roots:
-                members = members_by_root[root]
-                summed = self.grid.summed(group, members)
-                try:
-                    got = summed.sample()
-                except SamplerZeroError:
-                    continue  # no outgoing edge: benign (isolated component)
-                except SamplerFailedError:
-                    if strict:
-                        raise
-                    continue
-                index, _weight = got
-                found.append(self.scheme.edge_of(index))
+            if batch_decode_default():
+                # One kernel call decodes every component of the round:
+                # the boundary sketches are summed in a single segment
+                # pass and sampled together, bit-identical per
+                # component to the scalar loop below.
+                batch = self.grid.summed_many(
+                    group, [members_by_root[root] for root in roots]
+                )
+                for status, payload in batch.sample_many():
+                    if status == SummedBatch.ZERO:
+                        continue  # no outgoing edge: benign
+                    if status == SummedBatch.FAILED:
+                        if strict:
+                            raise SamplerFailedError(
+                                "no subsampling level decoded"
+                            )
+                        continue
+                    index, _weight = payload
+                    found.append(self.scheme.edge_of(index))
+            else:
+                for root in roots:
+                    members = members_by_root[root]
+                    summed = self.grid.summed(group, members)
+                    try:
+                        got = summed.sample()
+                    except SamplerZeroError:
+                        continue  # no outgoing edge: benign (isolated component)
+                    except SamplerFailedError:
+                        if strict:
+                            raise
+                        continue
+                    index, _weight = got
+                    found.append(self.scheme.edge_of(index))
             merged_any = False
             for edge in found:
                 member_ids = [self._member_of[v] for v in edge]

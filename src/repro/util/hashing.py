@@ -29,6 +29,10 @@ _GOLDEN = 0x9E3779B97F4A7C15
 _MIX1 = 0xBF58476D1CE4E5B9
 _MIX2 = 0x94D049BB133111EB
 
+#: Second-seed tweak of :meth:`HashFamily.field_value` (the 128-bit
+#: fingerprint hash); shared by the scalar and vectorised paths.
+_FIELD_TWEAK = 0x5851F42D4C957F2D
+
 
 def splitmix64(x: int) -> int:
     """One splitmix64 finalisation round on a 64-bit integer."""
@@ -93,6 +97,22 @@ def hash64_many(seed: int, values: np.ndarray) -> np.ndarray:
     with np.errstate(over="ignore"):
         v = splitmix64_np(values.astype(_U64))
         return splitmix64_np(_U64(seed & _MASK64) ^ v)
+
+
+def field_value_many(seed: int, values: np.ndarray, p: int) -> np.ndarray:
+    """Vectorised :meth:`HashFamily.field_value` over an array of inputs.
+
+    Matches the scalar ``((hi << 64) | lo) % p`` bit-for-bit for the
+    Mersenne prime ``p = 2^61 - 1`` using ``2^64 ≡ 8 (mod p)``.  This
+    is the fingerprint primitive of both the batched update kernel
+    (:mod:`repro.engine.batch`) and the batched decode kernels
+    (:mod:`repro.sketch.bank`).
+    """
+    pv = np.uint64(p)
+    hi = hash64_many(seed, values) % pv
+    lo = hash64_many(seed ^ _FIELD_TWEAK, values) % pv
+    with np.errstate(over="ignore"):
+        return (((hi * np.uint64((1 << 64) % p)) % pv + lo) % pv).astype(np.int64)
 
 
 def trailing_zeros64_np(x: np.ndarray) -> np.ndarray:
@@ -165,7 +185,7 @@ class HashFamily:
         reduction so the modular bias is below 2^-64.
         """
         hi = hash64(self.seed, x)
-        lo = hash64(self.seed ^ 0x5851F42D4C957F2D, x)
+        lo = hash64(self.seed ^ _FIELD_TWEAK, x)
         return ((hi << 64) | lo) % p
 
     def coin(self, x: int, log2_prob: int) -> bool:

@@ -134,6 +134,47 @@ def mul_vec_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return ((top + cross + low) % p).astype(np.int64)
 
 
+def pow_vec_mod(base: np.ndarray, exponent: int) -> np.ndarray:
+    """Elementwise ``base**exponent mod p`` by square-and-multiply.
+
+    ``base`` is an array of residues in [0, p); the exponent is a
+    single nonnegative Python integer shared by every element.  Runs in
+    ``O(log exponent)`` calls to :func:`mul_vec_mod`, fully vectorised —
+    this is the batched-Fermat primitive the decode kernels use to
+    invert whole arrays of cell weights at once.
+    """
+    if exponent < 0:
+        raise ValueError(f"pow_vec_mod needs exponent >= 0, got {exponent}")
+    base = np.asarray(base, dtype=np.int64) % np.int64(MERSENNE_61)
+    result = np.ones_like(base)
+    e = exponent
+    while e:
+        if e & 1:
+            result = mul_vec_mod(result, base)
+        e >>= 1
+        if e:
+            base = mul_vec_mod(base, base)
+    return result
+
+
+def inv_vec_mod(a: np.ndarray) -> np.ndarray:
+    """Elementwise multiplicative inverse mod p via batched Fermat.
+
+    Zero elements map to zero (callers mask them out — a decode cell
+    with ``w ≡ 0`` is never a valid 1-sparse cell anyway).  The input
+    is first compressed through ``np.unique``: decode batches invert
+    thousands of cell weights that take only a handful of distinct
+    values (±1..r times small multiplicities), so the square-and-
+    multiply ladder runs on the tiny unique set and the result is
+    scattered back.
+    """
+    a = np.asarray(a, dtype=np.int64) % np.int64(MERSENNE_61)
+    uniq, inverse = np.unique(a, return_inverse=True)
+    inv_uniq = pow_vec_mod(uniq, MERSENNE_61 - 2)
+    inv_uniq[uniq == 0] = 0
+    return inv_uniq[inverse].reshape(a.shape)
+
+
 def add_vec_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise ``(a + b) mod p`` on ``int64`` residue arrays."""
     s = a.astype(np.int64) + b.astype(np.int64)
@@ -146,6 +187,37 @@ def sub_vec_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     d = a.astype(np.int64) - b.astype(np.int64)
     d = np.where(d < 0, d + MERSENNE_61, d)
     return d.astype(np.int64)
+
+
+def segment_sum_mod(values: np.ndarray, order: np.ndarray,
+                    starts: np.ndarray) -> np.ndarray:
+    """Per-segment sums of modular ``values``, as residues in [0, p).
+
+    ``values[order]`` is scanned in segments beginning at ``starts``
+    (the :func:`np.add.reduceat` convention).  A segment may hold
+    thousands of residues whose direct int64 sum would overflow, so the
+    residues are summed as 32-bit halves (safe up to ~2^19 residues per
+    segment per call) and recombined with one Mersenne shift into a
+    single canonical residue per segment.  Shared by the batched update
+    kernel (:mod:`repro.engine.batch`) and the batched decode kernels
+    (:mod:`repro.sketch.bank`).
+    """
+    v = values[order]
+    mask32 = np.int64(0xFFFFFFFF)
+    hi = np.add.reduceat(v >> np.int64(32), starts)
+    lo = np.add.reduceat(v & mask32, starts)
+    return (shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64)
+            + lo % MERSENNE_61) % MERSENNE_61
+
+
+def scatter_add_mod(target: np.ndarray, cells: np.ndarray,
+                    contrib: np.ndarray) -> None:
+    """Add per-cell residue contributions into a flat residue array.
+
+    ``cells`` must be unique indices; ``contrib`` canonical residues.
+    """
+    total = target[cells] + contrib
+    target[cells] = np.where(total >= MERSENNE_61, total - MERSENNE_61, total)
 
 
 def sum_mod(values: Iterable[int]) -> int:

@@ -17,6 +17,11 @@ sys.path.insert(0, os.path.abspath(_BENCH_DIR))
 
 from bench_audit import audit_overhead_run, detection_sweep  # noqa: E402
 from bench_ingest_engine import churn_comparison, churn_stream  # noqa: E402
+from bench_query_engine import (  # noqa: E402
+    cache_comparison,
+    decode_comparison,
+    skeleton_comparison,
+)
 from bench_recovery import recovery_comparison  # noqa: E402
 
 
@@ -60,3 +65,20 @@ class TestBenchSmoke:
         r = audit_overhead_run(32, cycles=2, audit_every=128, batch_size=32)
         assert r["passes"] >= 2  # at least one periodic + the final pass
         assert r["audit_secs"] > 0 and r["ingest_secs"] > 0
+
+    def test_smoke_decode_comparison(self):
+        """E23a core at small scale: bit-identity and non-destructive
+        decode on both paths (the 5x bar is the full benchmark's job)."""
+        r = decode_comparison(24, p=0.15, seed=2, repeats=1)
+        assert r["identical"]
+        assert r["state_untouched"]
+        assert r["edges"] > 0
+
+    def test_smoke_skeleton_comparison(self):
+        r = skeleton_comparison(24, k=2, p=0.15, seed=2, repeats=1)
+        assert r["identical"]
+
+    def test_smoke_cache_comparison(self):
+        r = cache_comparison(24, p=0.15, seed=2)
+        assert r["identical"]
+        assert r["hits"] > 0

@@ -1,0 +1,166 @@
+"""Unit tests for the batched decode kernels (repro.sketch.bank).
+
+The kernels under test: ``SamplerGrid.summed_many`` (one segment-sum
+pass over all components), ``SummedBatch.sample_many`` (joint
+verification + peeling across every (component, level, row, bucket)
+cell), and the cache/epoch plumbing they share with the scalar path.
+The bit-identity *properties* live in
+``tests/properties/test_prop_query.py``; here are the deterministic
+edge cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.query import SummedCache, batch_decode, scalar_decode
+from repro.errors import IncompatibleSketchError, SamplerEmptyError
+from repro.sketch.bank import SummedBatch, batch_decode_default, set_batch_decode
+from repro.sketch.serialization import dump_sketch, load_sketch
+from repro.sketch.spanning_forest import SpanningForestSketch
+
+
+def _triangle_plus_isolated(n=8, seed=5):
+    """Vertices 0-2 form a triangle; the rest are isolated."""
+    sk = SpanningForestSketch(n, seed=seed)
+    for e in ((0, 1), (1, 2), (0, 2)):
+        sk.update(e, 1)
+    return sk
+
+
+class TestSummedMany:
+    def test_matches_summed_per_component(self):
+        sk = _triangle_plus_isolated()
+        grid = sk.grid
+        components = [[0, 1, 2], [3], [4, 5], [6, 7]]
+        for group in range(grid.groups):
+            batch = grid.summed_many(group, components)
+            assert batch.count == len(components)
+            for ci, comp in enumerate(components):
+                ref = grid.summed(group, comp)
+                got = batch.sketch_at(ci)
+                assert np.array_equal(ref._w, got._w)
+                assert np.array_equal(ref._s, got._s)
+                assert np.array_equal(ref._f, got._f)
+
+    def test_empty_component_list_rejected(self):
+        sk = _triangle_plus_isolated()
+        with pytest.raises(IncompatibleSketchError):
+            sk.grid.summed_many(0, [])
+        with pytest.raises(IncompatibleSketchError):
+            sk.grid.summed_many(0, [[0], []])
+
+    def test_zero_detection(self):
+        sk = _triangle_plus_isolated()
+        # {0,1,2} is a closed component: boundary zero.  {0,1} has the
+        # two edges to vertex 2 outstanding; {3} sees nothing at all.
+        batch = sk.grid.summed_many(0, [[0, 1, 2], [0, 1], [3]])
+        zero = batch.appears_zero_many()
+        assert list(zero) == [True, False, True]
+
+
+class TestSampleMany:
+    def test_statuses_match_scalar_taxonomy(self):
+        sk = _triangle_plus_isolated()
+        grid = sk.grid
+        components = [[0, 1, 2], [0, 1], [3]]
+        batch = grid.summed_many(0, components)
+        outcomes = batch.sample_many()
+        for (status, payload), comp in zip(outcomes, components):
+            try:
+                expected = ("ok", grid.summed(0, comp).sample())
+            except SamplerEmptyError as exc:
+                name = type(exc).__name__
+                expected = (
+                    ("zero", None) if name == "SamplerZeroError"
+                    else ("failed", None)
+                )
+            assert (status, payload if status == "ok" else None) == expected
+
+    def test_zero_component_is_zero_status(self):
+        sk = _triangle_plus_isolated()
+        batch = sk.grid.summed_many(0, [[3], [0, 1, 2]])
+        outcomes = batch.sample_many()
+        assert outcomes[0] == (SummedBatch.ZERO, None)
+        assert outcomes[1] == (SummedBatch.ZERO, None)
+
+    def test_decoded_edges_are_genuine(self):
+        sk = _triangle_plus_isolated()
+        batch = sk.grid.summed_many(0, [[0], [1], [2]])
+        for status, payload in batch.sample_many():
+            assert status == SummedBatch.OK
+            index, weight = payload
+            edge = sk.scheme.edge_of(index)
+            assert set(edge) <= {0, 1, 2}
+            assert weight != 0
+
+    def test_batch_is_nondestructive(self):
+        sk = _triangle_plus_isolated()
+        before = dump_sketch(sk)
+        batch = sk.grid.summed_many(0, [[0, 1], [2]])
+        batch.sample_many()
+        batch.sample_many()  # twice: the peel must work on scratch
+        assert dump_sketch(sk) == before
+
+
+class TestDecodePathDefault:
+    def test_set_batch_decode_returns_previous(self):
+        old = set_batch_decode(False)
+        try:
+            assert not batch_decode_default()
+            prev = set_batch_decode(True)
+            assert prev is False
+            assert batch_decode_default()
+        finally:
+            set_batch_decode(old)
+
+    def test_forest_decode_same_under_both_defaults(self):
+        sk = _triangle_plus_isolated()
+        with scalar_decode():
+            a = sorted(sk.decode().edges())
+        with batch_decode():
+            b = sorted(sk.decode().edges())
+        assert a == b
+        assert len(a) == 2  # a spanning tree of the triangle
+
+
+class TestEpochInvalidation:
+    def test_restore_invalidates_cache(self):
+        sk = _triangle_plus_isolated()
+        cache = SummedCache()
+        sk.grid.attach_summed_cache(cache)
+        try:
+            reference = sorted(sk.decode().edges())
+            blob = dump_sketch(sk)
+            # Restoring INTO the cached grid replaces every member's
+            # counters at once, so every cached sum must expire.
+            misses_before = cache.misses
+            load_sketch(sk, blob)
+            assert sorted(sk.decode().edges()) == reference
+            assert cache.misses > misses_before
+            # Merges bump the epochs the same way.
+            other = _triangle_plus_isolated()
+            misses_before = cache.misses
+            sk += other
+            sk -= other
+            assert sorted(sk.decode().edges()) == reference
+            assert cache.misses > misses_before
+        finally:
+            sk.grid.detach_summed_cache()
+
+    def test_targeted_invalidation_only_touched_members(self):
+        sk = _triangle_plus_isolated()
+        cache = SummedCache()
+        sk.grid.attach_summed_cache(cache)
+        try:
+            components = [[0, 1, 2], [3], [4, 5]]
+            sk.grid.summed_many(0, components)
+            assert cache.misses == len(components)
+            # Touch only vertex 3's member row.
+            sk.update((3, 4), 1)
+            sk.update((3, 4), -1)
+            sk.grid.summed_many(0, components)
+            # {0,1,2} still served from cache; [3] and [4,5] recomputed.
+            assert cache.hits >= 1
+            assert cache.misses >= len(components) + 2
+        finally:
+            sk.grid.detach_summed_cache()
