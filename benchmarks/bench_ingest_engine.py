@@ -14,7 +14,7 @@ sharded engine (serial and process backends), plus state equality.
 
 import time
 
-from _report import record
+from _report import record, record_bench
 
 from repro.engine.shard import ShardedIngestEngine
 from repro.graph.generators import gnp_graph
@@ -107,6 +107,18 @@ def bench_e19_batched_speedup(benchmark):
         rows,
         notes="Engine bar: batched >= 5x scalar at n >= 256; all paths "
         "bit-identical to the scalar loop.",
+    )
+    record_bench(
+        "ingest",
+        {
+            "n": r["n"],
+            "events": r["events"],
+            "scalar_ups": round(r["scalar_ups"]),
+            "batched_ups": round(r["batched_ups"]),
+            "sharded_ups": round(r["sharded_ups"]),
+            "speedup_batched": round(r["speedup_batched"], 2),
+        },
+        notes="E19a headline row (largest n)",
     )
 
     stream = churn_stream(256, 0.05, seed=3)

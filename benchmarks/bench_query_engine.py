@@ -20,7 +20,7 @@ is the reusable core: the smoke test in
 import time
 
 import pytest
-from _report import record
+from _report import record, record_bench
 
 from repro.engine.query import SummedCache, batch_decode, scalar_decode
 from repro.graph.generators import gnp_graph
@@ -156,6 +156,17 @@ def bench_e23_batch_decode_speedup(benchmark):
         rows,
         notes="Engine bar: batched >= 5x scalar at n >= 256; identical "
         "forests and untouched sketch state on both paths.",
+    )
+    record_bench(
+        "query",
+        {
+            "n": r["n"],
+            "forest_edges": r["edges"],
+            "scalar_ms": round(r["scalar_secs"] * 1e3, 2),
+            "batch_ms": round(r["batch_secs"] * 1e3, 2),
+            "speedup": round(r["speedup"], 2),
+        },
+        notes="E23a headline row (largest n)",
     )
 
     sketch = _ingested_forest(256, 0.05, seed=3)

@@ -93,13 +93,11 @@ def _load(args):
     return n, r, updates
 
 
-def _write_metrics_json(path: str, payload: str) -> None:
-    if path == "-":
-        print(payload)
-    else:
-        with open(path, "w") as fh:
-            fh.write(payload + "\n")
-        print(f"metrics written to {path}")
+def _write_metrics_json(path: str, sections) -> None:
+    """Export named metrics sections in the shared envelope schema."""
+    from .engine.metrics import write_metrics_json
+
+    write_metrics_json(path, sections)
 
 
 def _cmd_connectivity(args) -> int:
@@ -290,12 +288,9 @@ def _cmd_ingest(args) -> int:
         label = "skeleton edges" if args.sketch == "skeleton" else "spanning edges"
         print(f"decode: {decoded.num_edges} {label}")
     if args.metrics_json:
-        import json
-
-        data = metrics.to_dict()
-        data["query"] = args._query_metrics.to_dict()
         _write_metrics_json(
-            args.metrics_json, json.dumps(data, indent=2, sort_keys=True)
+            args.metrics_json,
+            {"ingest": metrics, "query": args._query_metrics},
         )
     return 0
 
@@ -339,12 +334,9 @@ def _cmd_referee(args) -> int:
     print(result.summary())
     print(session.metrics.summary())
     if args.metrics_json:
-        import json
-
-        data = session.metrics.to_dict()
-        data["query"] = args._query_metrics.to_dict()
         _write_metrics_json(
-            args.metrics_json, json.dumps(data, indent=2, sort_keys=True)
+            args.metrics_json,
+            {"comm": session.metrics, "query": args._query_metrics},
         )
     if result.certificate is not None and not result.certificate.verified:
         return 1
@@ -408,6 +400,147 @@ def _cmd_audit(args) -> int:
         print(f"audit: {corrupt} of {len(files)} files failed verification")
         return 1
     print(f"audit: all {len(files)} files verified")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the long-lived sketch server (:mod:`repro.service`).
+
+    Binds, prints a ``serving on HOST:PORT`` ready line, and serves
+    until drained — by SIGTERM/SIGINT or a ``drain``/``shutdown``
+    command.  Drain lets in-flight requests complete, answers new
+    mutating requests with the typed ``draining`` error, writes a final
+    checkpoint per sketch, and exits 0; ``--resume`` restores every
+    sketch from its latest checkpoint on the way up.
+    """
+    import asyncio
+
+    from .service.registry import SketchRegistry
+    from .service.server import SketchServer
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    registry = SketchRegistry(
+        checkpoint_dir=args.checkpoint_dir,
+        keep=args.keep,
+        hash_cache=args.hash_cache,
+    )
+    server = SketchServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        checkpoint_interval=args.checkpoint_interval,
+        snapshot_interval=args.snapshot_interval,
+        resume=args.resume,
+        ingest_chunk=args.ingest_chunk,
+    )
+
+    def ready(srv):
+        restored = (
+            f" (restored {len(srv.restored)} sketches)" if srv.restored else ""
+        )
+        print(f"serving on {srv.host}:{srv.port}{restored}", flush=True)
+
+    asyncio.run(server.run(ready=ready))
+    m = server.metrics
+    print(
+        f"drained: {m.requests_total} requests, "
+        f"{m.sessions_opened} sessions, "
+        f"{m.rejected_draining} draining rejections"
+    )
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Drive a running server with mixed ingest/query load."""
+    import asyncio
+
+    from .service.loadgen import LoadConfig, run_loadgen
+
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        sketches=args.sketches,
+        kind=args.sketch,
+        n=args.n,
+        k=args.k,
+        seed=args.seed,
+        connections=args.connections,
+        batches=args.batches,
+        batch_size=args.batch_size,
+        delete_fraction=args.delete_fraction,
+        queries_per_batch=args.queries_per_batch,
+        fresh_fraction=args.fresh_fraction,
+        ramp_seconds=args.ramp,
+        create=args.create,
+    )
+    report = asyncio.run(run_loadgen(config))
+    lat = report["latency"]
+    print(
+        f"loadgen: {report['events']} events + {report['queries']} queries "
+        f"over {report['connections']} connections in "
+        f"{report['wall_seconds']:.2f}s"
+    )
+    print(
+        f"throughput: {report['ops_per_second']:,.0f} ops/s "
+        f"({report['events_per_second']:,.0f} events/s)"
+    )
+    for kind in ("ingest_batch", "query_snapshot", "query_fresh"):
+        s = lat[kind]
+        if s["count"]:
+            print(
+                f"{kind}: p50 {s['p50_seconds'] * 1e3:.2f}ms "
+                f"p99 {s['p99_seconds'] * 1e3:.2f}ms (n={s['count']})"
+            )
+    if report["draining_rejections"] or report["disconnected"]:
+        print(
+            f"drain: {report['draining_rejections']} typed rejections, "
+            f"{report['disconnected']} connections closed"
+        )
+    if args.metrics_json:
+        _write_metrics_json(
+            args.metrics_json,
+            {"loadgen": report, "query": args._query_metrics},
+        )
+    return 0
+
+
+def _cmd_ctl(args) -> int:
+    """One-shot control commands against a running server."""
+    import asyncio
+    import json
+
+    from .service.client import ServiceClient
+
+    async def go():
+        async with await ServiceClient.connect(args.host, args.port) as c:
+            if args.action == "stats":
+                return await c.stats()
+            if args.action == "list":
+                return {"sketches": await c.list()}
+            if args.action == "checkpoint":
+                return {"paths": await c.checkpoint(args.name)}
+            if args.action == "audit":
+                if not args.name:
+                    raise ReproError("ctl audit needs --name")
+                return {"report": await c.audit(args.name)}
+            if args.action == "query":
+                if not args.name:
+                    raise ReproError("ctl query needs --name")
+                return await c.query(
+                    args.name, op=args.op, consistency=args.consistency
+                )
+            if args.action == "drain":
+                await c.drain()
+                return {"draining": True}
+            await c.shutdown()
+            return {"draining": True, "stopping": True}
+
+    result = asyncio.run(go())
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.action == "audit" and not result["report"]["ok"]:
+        return 1
     return 0
 
 
@@ -595,6 +728,84 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint files or directories of ckpt-*.rpck")
     p.set_defaults(func=_cmd_audit)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived async sketch server (repro.service)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; the bound port is printed)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="directory for per-sketch checkpoint subdirectories")
+    p.add_argument("--resume", action="store_true",
+                   help="restore every sketch from its latest checkpoint")
+    p.add_argument("--checkpoint-interval", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="checkpoint cron period (0 disables the cron; the "
+                        "final drain checkpoint still runs)")
+    p.add_argument("--snapshot-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="snapshot cron period: how often stale serving "
+                        "snapshots are re-decoded (0 disables; snapshot "
+                        "queries then trail until a fresh query decodes)")
+    p.add_argument("--keep", type=int, default=2,
+                   help="checkpoint generations retained per sketch")
+    p.add_argument("--ingest-chunk", type=int, default=8192,
+                   help="max pairs folded per worker-thread hop, so big "
+                        "ingest batches never stall snapshot queries")
+    p.add_argument("--hash-cache", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="attach the placement-table ingest fast path to "
+                        "every sketch (--no-hash-cache to save memory)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running sketch server with mixed ingest/query load",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--sketches", type=int, default=1)
+    p.add_argument("--sketch", choices=["forest", "skeleton"], default="forest")
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--connections", type=int, default=4)
+    p.add_argument("--batches", type=int, default=50,
+                   help="ingest batches per connection")
+    p.add_argument("--batch-size", type=int, default=2048)
+    p.add_argument("--delete-fraction", type=float, default=0.2,
+                   help="fraction of each batch that deletes live edges")
+    p.add_argument("--queries-per-batch", type=float, default=1.0)
+    p.add_argument("--fresh-fraction", type=float, default=0.005,
+                   help="fraction of queries demanding a fresh decode")
+    p.add_argument("--ramp", type=float, default=0.0, metavar="SECONDS",
+                   help="stagger connection starts over this period")
+    p.add_argument("--create", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="create the target sketches first (--no-create when "
+                        "the server already has them)")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write the client-side report as JSON ('-' for stdout)")
+    p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "ctl",
+        help="one-shot control commands against a running sketch server",
+    )
+    p.add_argument("action",
+                   choices=["stats", "list", "checkpoint", "audit",
+                            "query", "drain", "shutdown"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--name", default=None,
+                   help="target sketch (audit/query; optional for checkpoint)")
+    p.add_argument("--op", default="connected",
+                   choices=["connected", "components", "edges", "layers"])
+    p.add_argument("--consistency", default="fresh",
+                   choices=["fresh", "snapshot"])
+    p.set_defaults(func=_cmd_ctl)
+
     p = sub.add_parser("generate", help="write a workload stream file")
     gen_sub = p.add_subparsers(dest="family", required=True)
     g1 = gen_sub.add_parser("gnp")
@@ -635,8 +846,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args._query_metrics = qm
             code = args.func(args)
         path = getattr(args, "metrics_json", None)
-        if path and args.command not in ("ingest", "referee"):
-            _write_metrics_json(path, qm.to_json())
+        if path and args.command not in ("ingest", "referee", "loadgen"):
+            _write_metrics_json(path, {"query": qm})
         return code
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

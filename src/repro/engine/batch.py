@@ -39,6 +39,7 @@ from ..util.prime_field import (
     mul_vec_mod,
     scatter_add_mod,
     segment_sum_mod,
+    shl32_vec_mod,
 )
 
 _P = MERSENNE_61
@@ -89,12 +90,18 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
     cs = mul_vec_mod(d_mod, idx % _P)
     cf = mul_vec_mod(d_mod, field_value_many(grid._rho.seed, idx, _P))
 
-    lvl_arr = np.arange(levels, dtype=np.int64)
-    salts = np.array(grid._level_salts, dtype=np.uint64)
     digest = grid._digest
     w3 = grid._w.reshape(grid.groups, -1)
     s3 = grid._s.reshape(grid.groups, -1)
     f3 = grid._f.reshape(grid.groups, -1)
+    cache = getattr(grid, "_hash_cache", None)
+    if cache is not None:
+        return _grid_update_batch_cached(
+            grid, cache, m, idx, d, cs, cf, digest, w3, s3, f3
+        )
+
+    lvl_arr = np.arange(levels, dtype=np.int64)
+    salts = np.array(grid._level_salts, dtype=np.uint64)
     for g in range(grid.groups):
         depth = np.minimum(
             trailing_zeros64_np(hash64_many(grid._level_seeds[g], idx)),
@@ -126,6 +133,115 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
             w_flat[cells] += dw
             cs_contrib = segment_sum_mod(cs[src], order, starts)
             cf_contrib = segment_sum_mod(cf[src], order, starts)
+            scatter_add_mod(s_flat, cells, cs_contrib)
+            scatter_add_mod(f_flat, cells, cf_contrib)
+            if digest is not None:
+                digest.observe_cells(g, r, cells, dw, cs_contrib, cf_contrib)
+    return int(m.size)
+
+
+_MASK32 = np.int64(0xFFFFFFFF)
+
+
+def _cell_sums_bincount(flat, ncells, d_halves, cs_halves, cf_halves):
+    """Per-cell folds via dense ``np.bincount`` instead of a sort.
+
+    Every value is split into 32-bit halves summed as float64 bincount
+    weights — each half is below ``2^32`` and a cell receives far fewer
+    than ``2^21`` contributions, so the float64 sums are exact integers
+    and recombining them reproduces the sort-and-reduceat segment sums
+    bit for bit (int64 addition wraps identically mod ``2^64``; the
+    modular halves recombine exactly as :func:`segment_sum_mod` does).
+    Returns ``(cells, dw, cs_contrib, cf_contrib)`` with ``cells``
+    ascending, matching the sorted path's output order.
+    """
+    counts = np.bincount(flat, minlength=ncells)
+    cells = np.flatnonzero(counts)
+
+    def halves_sum(hi_vals, lo_vals):
+        hi = np.bincount(flat, weights=hi_vals, minlength=ncells)[cells]
+        lo = np.bincount(flat, weights=lo_vals, minlength=ncells)[cells]
+        return hi.astype(np.int64), lo.astype(np.int64)
+
+    d_hi, d_lo = halves_sum(*d_halves)
+    dw = np.left_shift(d_hi, 32) + d_lo
+
+    def mod_sum(halves):
+        hi, lo = halves_sum(*halves)
+        return (
+            shl32_vec_mod(hi.astype(np.uint64)).astype(np.int64)
+            + lo % _P
+        ) % _P
+
+    return cells, dw, mod_sum(cs_halves), mod_sum(cf_halves)
+
+
+def _as_halves(values):
+    """Split int64 values into (hi, lo) float64 bincount weights."""
+    return (
+        (values >> np.int64(32)).astype(np.float64),
+        (values & _MASK32).astype(np.float64),
+    )
+
+
+def _grid_update_batch_cached(
+    grid, cache, m, idx, d, cs, cf, digest, w3, s3, f3
+) -> int:
+    """The placement-table variant of the batch kernel.
+
+    Instead of rehashing every coordinate per (group, row) and masking
+    a dense ``(U, levels)`` grid, the depths come from one gather and
+    the surviving ``(update, level)`` pairs are materialised explicitly
+    (on average ``E[depth] + 1 ≈ 2`` pairs per update instead of
+    ``levels`` dense slots).  The pair enumeration order — update-major,
+    level ascending — is exactly the dense path's mask-flattening
+    order, and the per-cell folds are the same exact/modular segment
+    sums, so the resulting counters (and digest observations) are
+    bit-identical to the hashing kernel.
+
+    When the batch is dense relative to the counter array the per-cell
+    folds run through :func:`_cell_sums_bincount` (no sort at all);
+    sparse batches keep the ``argsort`` + ``reduceat`` path, whose
+    cost scales with the batch instead of the grid.
+    """
+    levels, rows, buckets = grid.levels, grid.rows, grid.buckets
+    cell_stride = levels * rows * buckets
+    u_arange = np.arange(m.size, dtype=np.int64)
+    for g in range(grid.groups):
+        depth = cache.depth[g][idx]
+        counts = depth + 1
+        cum = np.cumsum(counts)
+        src = np.repeat(u_arange, counts)
+        lvl = np.arange(cum[-1], dtype=np.int64) - np.repeat(cum - counts, counts)
+        key = idx[src] * levels + lvl
+        base = m[src] * cell_stride
+        d_pairs = d[src]
+        cs_pairs = cs[src]
+        cf_pairs = cf[src]
+        w_flat, s_flat, f_flat = w3[g], s3[g], f3[g]
+        off_g = cache.off[g]
+        dense = w_flat.size <= 8 * src.size
+        if dense:
+            d_halves = _as_halves(d_pairs)
+            cs_halves = _as_halves(cs_pairs)
+            cf_halves = _as_halves(cf_pairs)
+        for r in range(rows):
+            flat = base + off_g[r][key]
+            if dense:
+                cells, dw, cs_contrib, cf_contrib = _cell_sums_bincount(
+                    flat, w_flat.size, d_halves, cs_halves, cf_halves
+                )
+            else:
+                order = np.argsort(flat, kind="stable")
+                sorted_cells = flat[order]
+                starts = np.flatnonzero(
+                    np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
+                )
+                cells = sorted_cells[starts]
+                dw = np.add.reduceat(d_pairs[order], starts)
+                cs_contrib = segment_sum_mod(cs_pairs, order, starts)
+                cf_contrib = segment_sum_mod(cf_pairs, order, starts)
+            w_flat[cells] += dw
             scatter_add_mod(s_flat, cells, cs_contrib)
             scatter_add_mod(f_flat, cells, cf_contrib)
             if digest is not None:
@@ -167,6 +283,61 @@ def expand_edge_batch(
         np.array(indices, dtype=np.int64),
         np.array(deltas, dtype=np.int64),
     )
+
+
+def expand_pair_batch(
+    scheme, member_lut: np.ndarray, us, vs, signs
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`expand_edge_batch` for rank-2 (graph) edges.
+
+    ``us, vs, signs`` are parallel integer arrays — one signed edge
+    ``{u, v}`` per position — and ``member_lut`` maps vertex id to grid
+    member (-1 for inactive vertices).  Size-2 subsets rank first in
+    the colex coordinate order for every ``r >= 2``, so the coordinate
+    of ``{u < v}`` is the closed form ``u + v(v-1)/2`` and the whole
+    expansion (coefficients ``+sign`` for the minimum vertex, ``-sign``
+    for the other, in :func:`expand_edge_batch`'s per-edge order) runs
+    without any per-event Python.  Returns the three parallel arrays
+    :func:`grid_update_batch` takes — bit-identical to the generic
+    expansion of the same edges.
+    """
+    u = np.ascontiguousarray(us, dtype=np.int64).ravel()
+    v = np.ascontiguousarray(vs, dtype=np.int64).ravel()
+    s = np.ascontiguousarray(signs, dtype=np.int64).ravel()
+    if not (u.shape == v.shape == s.shape):
+        raise IncompatibleSketchError(
+            f"pair batch arrays disagree in length: "
+            f"{u.size} us, {v.size} vs, {s.size} signs"
+        )
+    if u.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    if (np.abs(s) != 1).any():
+        bad = s[np.abs(s) != 1][0]
+        raise DomainError(f"sign must be +1 or -1, got {bad}")
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    if lo.min() < 0 or hi.max() >= scheme.n:
+        raise DomainError(
+            f"pair batch mentions a vertex outside [0, {scheme.n})"
+        )
+    if (lo == hi).any():
+        bad = lo[lo == hi][0]
+        raise DomainError(f"hyperedge ({bad}, {bad}) has repeated vertices")
+    m_lo = member_lut[lo]
+    m_hi = member_lut[hi]
+    if m_lo.min() < 0 or m_hi.min() < 0:
+        bad = lo[m_lo < 0][0] if (m_lo < 0).any() else hi[m_hi < 0][0]
+        raise DomainError(f"edge batch touches inactive vertex {bad}")
+    idx = lo + (hi * (hi - 1)) // 2
+    members = np.empty(2 * u.size, dtype=np.int64)
+    members[0::2] = m_lo
+    members[1::2] = m_hi
+    indices = np.repeat(idx, 2)
+    deltas = np.empty(2 * u.size, dtype=np.int64)
+    deltas[0::2] = s
+    deltas[1::2] = -s
+    return members, indices, deltas
 
 
 def iter_event_batches(stream: Iterable, batch_size: int) -> Iterator[List]:

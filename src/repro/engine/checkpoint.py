@@ -42,6 +42,22 @@ _VERSION = 1
 _SUFFIX = ".rpck"
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk (rename durability).
+
+    Platforms without directory fds (Windows) silently skip — the
+    rename there is already as durable as the platform offers.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 @dataclass
 class Checkpoint:
     """One restored (or about-to-be-saved) ingest barrier."""
@@ -169,7 +185,11 @@ class CheckpointManager:
 
         The bytes are written to a ``.tmp`` file in the same directory,
         flushed and fsynced, then renamed into place, so readers only
-        ever see complete files.
+        ever see complete files.  The *directory* is fsynced after the
+        rename: on ext4/xfs a rename is only durable once the directory
+        entry itself reaches disk, so without this a crash shortly
+        after ``save`` could roll the directory back to a state where
+        the checkpoint never existed.
         """
         os.makedirs(self.directory, exist_ok=True)
         path = self._path_for(ck.offset)
@@ -180,6 +200,7 @@ class CheckpointManager:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_directory(self.directory)
         self._prune()
         return path
 

@@ -13,7 +13,56 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
+
+#: Version tag of the shared metrics-export envelope (see
+#: :func:`metrics_payload`).  Bump only on breaking layout changes.
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+def metrics_payload(sections: Dict[str, object]) -> Dict[str, object]:
+    """Wrap named metrics objects in the stable export envelope.
+
+    Every ``--metrics-json`` emitter (CLI ingest/referee/query, the
+    service ``stats`` command) shares this shape::
+
+        {"schema": "repro-metrics/1",
+         "sections": {"ingest": {...}, "query": {...}, ...}}
+
+    Section values with a ``to_dict`` method are converted; plain dicts
+    pass through.  Known section names: ``ingest``
+    (:class:`IngestMetrics`), ``query``
+    (:class:`~repro.engine.query.QueryMetrics`), ``comm``
+    (:class:`~repro.comm.metrics.CommMetrics`), ``server`` and
+    ``sketches`` (the service layer).
+    """
+    converted = {}
+    for name, obj in sections.items():
+        converted[name] = obj.to_dict() if hasattr(obj, "to_dict") else obj
+    return {"schema": METRICS_SCHEMA, "sections": converted}
+
+
+def write_metrics_json(
+    path: str,
+    sections: Dict[str, object],
+    echo: Callable[[str], None] = print,
+) -> Dict[str, object]:
+    """Serialize a metrics envelope to ``path`` (``'-'`` = stdout).
+
+    The single exporter behind every metrics flag: builds the
+    :func:`metrics_payload` envelope, pretty-prints it with sorted
+    keys, and either prints it (``path == '-'``) or writes the file
+    and echoes a confirmation line.  Returns the payload dict.
+    """
+    payload = metrics_payload(sections)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        echo(text)
+    else:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        echo(f"metrics written to {path}")
+    return payload
 
 
 def batch_size_bucket(size: int) -> str:

@@ -130,6 +130,57 @@ class SupervisionError(EngineError):
     (or the failure is not recoverable by restart + replay)."""
 
 
+class ServiceError(ReproError):
+    """Base class for sketch-server failures (:mod:`repro.service`).
+
+    Every service error carries a stable machine-readable ``code`` that
+    travels in protocol error responses, so clients can branch on the
+    failure class (``draining`` vs ``no-such-sketch`` vs ``internal``)
+    without parsing prose.
+    """
+
+    code = "internal"
+
+    def __init__(self, message: str, code: str = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class ProtocolFrameError(ServiceError):
+    """A protocol frame violated the wire format (bad magic, oversized
+    header/payload, malformed JSON header, short read)."""
+
+    code = "bad-frame"
+
+
+class BadRequestError(ServiceError):
+    """A well-framed request with invalid contents — unknown command,
+    missing arguments, malformed update payload."""
+
+    code = "bad-request"
+
+
+class NoSuchSketchError(ServiceError):
+    """The request names a sketch the registry does not hold."""
+
+    code = "no-such-sketch"
+
+
+class SketchExistsError(ServiceError):
+    """``create`` named a sketch that already exists (and the request
+    did not allow adoption of the existing one)."""
+
+    code = "sketch-exists"
+
+
+class DrainingError(ServiceError):
+    """The server is draining: in-flight work completes, but new ingest
+    (and other mutating commands) are rejected with this typed error."""
+
+    code = "draining"
+
+
 class CommError(ReproError):
     """Base class for distributed-protocol failures (:mod:`repro.comm`).
 

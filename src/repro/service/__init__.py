@@ -1,0 +1,38 @@
+"""The sketch serving layer: a long-lived async server over the engine.
+
+Everything below this package exists because the sketches are *linear*:
+updates commute and merges are addition, so many named, independently
+parameterised sketches can absorb interleaved ingest from concurrent
+sessions and answer connectivity / k-skeleton queries at any moment,
+with results bit-identical to a serial replay of the same updates.
+The server is the "cell" the ROADMAP's north star describes — the
+piece that turns the library into a serving system:
+
+* :mod:`repro.service.protocol` — length-prefixed JSON/binary wire
+  format (one frame = JSON header + optional binary payload) plus the
+  packed array codec for rank-2 ingest batches;
+* :mod:`repro.service.registry` — the named-sketch registry: per-name
+  asyncio locks, ingest funneled through the vectorised batch kernels
+  (placement-table fast path), epoch-tagged decoded snapshots, and
+  checkpoint/restore through the engine's
+  :class:`~repro.engine.checkpoint.CheckpointManager`;
+* :mod:`repro.service.server` — the asyncio server: sessions, command
+  dispatch, the background checkpoint/snapshot crons, graceful drain
+  (SIGTERM), and crash-safe resume;
+* :mod:`repro.service.metrics` — server-level counters (sessions,
+  in-flight requests, per-command latency histograms), exported by the
+  ``stats`` command in the shared ``repro-metrics/1`` envelope;
+* :mod:`repro.service.client` — the asyncio client library;
+* :mod:`repro.service.loadgen` — a configurable mixed ingest/query
+  load generator (ramp, churn, client-side latency percentiles).
+
+Run a server with ``python -m repro serve``, drive it with
+``python -m repro loadgen`` / ``repro ctl``; see ``docs/service.md``
+for the protocol spec and the ops runbook.
+"""
+
+from .client import ServiceClient
+from .registry import SketchRegistry
+from .server import SketchServer
+
+__all__ = ["ServiceClient", "SketchRegistry", "SketchServer"]

@@ -1,0 +1,169 @@
+"""Asyncio client library for the sketch server.
+
+:class:`ServiceClient` speaks the frame protocol over one TCP
+connection, correlates responses by request id, and re-raises server
+error responses as the matching :class:`~repro.errors.ServiceError`
+subclass (so ``except DrainingError`` works the same against a remote
+server as against an in-process registry).  The typed helpers mirror
+the command set; :meth:`request` is the escape hatch for raw commands.
+
+Requests on one client are serialised (one frame in flight at a time);
+open several clients for concurrency — the server handles each
+connection as an independent session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional, Tuple
+
+from ..errors import (
+    BadRequestError,
+    DrainingError,
+    NoSuchSketchError,
+    ProtocolFrameError,
+    ServiceError,
+    SketchExistsError,
+)
+from .protocol import encode_frame, encode_pairs, read_frame
+
+_ERROR_TYPES = {
+    cls.code: cls
+    for cls in (
+        ProtocolFrameError,
+        BadRequestError,
+        NoSuchSketchError,
+        SketchExistsError,
+        DrainingError,
+    )
+}
+
+
+def error_from_response(header: Dict[str, object]) -> ServiceError:
+    """Rebuild the typed exception a ``ok: false`` response encodes."""
+    code = header.get("error", "internal")
+    message = header.get("message", "service error")
+    cls = _ERROR_TYPES.get(code)
+    if cls is not None:
+        return cls(message)
+    return ServiceError(message, code=code)
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.SketchServer`."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0):
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.close()
+
+    # -- core ------------------------------------------------------------
+
+    async def request(
+        self, cmd: str, payload: bytes = b"", **args
+    ) -> Tuple[Dict[str, object], bytes]:
+        """Send one command; return (response header, response payload).
+
+        Raises the typed :class:`~repro.errors.ServiceError` the server
+        answered with, or :class:`~repro.errors.ProtocolFrameError` if
+        the connection died mid-exchange.
+        """
+        req_id = next(self._ids)
+        header = {"id": req_id, "cmd": cmd}
+        header.update(args)
+        async with self._lock:
+            self._writer.write(encode_frame(header, payload))
+            await self._writer.drain()
+            frame = await read_frame(self._reader)
+        if frame is None:
+            raise ProtocolFrameError(
+                f"connection closed before response to {cmd!r}"
+            )
+        resp, resp_payload = frame
+        if not resp.get("ok"):
+            raise error_from_response(resp)
+        return resp, resp_payload
+
+    # -- typed helpers ---------------------------------------------------
+
+    async def hello(self) -> Dict[str, object]:
+        resp, _ = await self.request("hello")
+        return resp
+
+    async def create(self, name: str, **config) -> Dict[str, object]:
+        resp, _ = await self.request("create", name=name, config=config)
+        return resp["sketch"]
+
+    async def ingest_pairs(self, name: str, us, vs, signs) -> int:
+        """Ship a packed rank-2 batch; returns the sketch's new offset."""
+        resp, _ = await self.request(
+            "ingest-batch", payload=encode_pairs(us, vs, signs), name=name
+        )
+        return resp["events"]
+
+    async def ingest_updates(self, name: str, updates) -> int:
+        """Ship a general hyperedge batch ``[(sign, [v...]), ...]``."""
+        resp, _ = await self.request(
+            "ingest-batch",
+            name=name,
+            updates=[[int(s), list(map(int, e))] for s, e in updates],
+        )
+        return resp["events"]
+
+    async def query(
+        self, name: str, op: str = "connected", consistency: str = "fresh"
+    ) -> Dict[str, object]:
+        resp, _ = await self.request(
+            "query", name=name, op=op, consistency=consistency
+        )
+        return resp
+
+    async def checkpoint(
+        self, name: Optional[str] = None
+    ) -> Dict[str, Optional[str]]:
+        args = {} if name is None else {"name": name}
+        resp, _ = await self.request("checkpoint", **args)
+        return resp["paths"]
+
+    async def audit(self, name: str) -> Dict[str, object]:
+        resp, _ = await self.request("audit", name=name)
+        return resp["report"]
+
+    async def dump(self, name: str) -> Tuple[int, bytes]:
+        """Fetch the sketch's serialized blob (offset, RPSK bytes)."""
+        resp, payload = await self.request("dump", name=name)
+        return resp["events"], payload
+
+    async def list(self):
+        resp, _ = await self.request("list")
+        return resp["sketches"]
+
+    async def stats(self) -> Dict[str, object]:
+        resp, _ = await self.request("stats")
+        return resp["metrics"]
+
+    async def drain(self) -> None:
+        await self.request("drain")
+
+    async def shutdown(self) -> None:
+        await self.request("shutdown")

@@ -1,0 +1,399 @@
+"""The named-sketch registry behind the server.
+
+Each registered name owns one sketch (spanning-forest or k-skeleton),
+an :class:`asyncio.Lock` serialising its mutating commands, an ingest
+metrics object, and an epoch-tagged *decoded snapshot*.  The snapshot
+is the serving trick that makes query tails flat: because updates are
+linear, the decode of the sketch at event offset ``t`` is a pure
+function of the ingested prefix, so the registry decodes once per
+change epoch (on demand for ``fresh`` queries, or from the server's
+background refresher for ``snapshot`` ones) and every read in between
+is a dictionary lookup.  Every query answer carries the ``as_of``
+offset it was decoded at, so consistency is visible to clients, and a
+``fresh`` answer at offset ``t`` is bit-identical to a serial replay
+of the first ``t`` events — the property the service test-suite
+asserts under concurrent interleaved traffic.
+
+Checkpoints reuse the engine's :class:`~repro.engine.checkpoint.
+CheckpointManager`, one subdirectory per sketch name; the checkpoint
+meta embeds the sketch's construction config, so a restart can rebuild
+and restore every sketch (crash-safe resume) without any side channel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.checkpoint import Checkpoint, CheckpointManager
+from ..engine.metrics import IngestMetrics
+from ..errors import (
+    BadRequestError,
+    CheckpointError,
+    NoSuchSketchError,
+    SketchExistsError,
+)
+from ..graph.union_find import UnionFind
+from ..sketch.serialization import dump_sketch, iter_grids, load_sketch
+from ..sketch.skeleton import SkeletonSketch
+from ..sketch.spanning_forest import SpanningForestSketch
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: Construction parameters a ``create`` request may set, with defaults.
+_CONFIG_DEFAULTS = {
+    "kind": "forest",
+    "n": None,
+    "r": 2,
+    "k": 2,
+    "seed": 0,
+    "rounds": None,
+    "rows": 2,
+    "buckets": 8,
+    "levels": None,
+}
+
+
+def normalize_config(args: Dict[str, object]) -> Dict[str, object]:
+    """Validate and normalise a sketch construction config."""
+    unknown = set(args) - set(_CONFIG_DEFAULTS)
+    if unknown:
+        raise BadRequestError(f"unknown sketch parameters {sorted(unknown)}")
+    config = dict(_CONFIG_DEFAULTS)
+    config.update(args)
+    if config["kind"] not in ("forest", "skeleton"):
+        raise BadRequestError(
+            f"kind must be 'forest' or 'skeleton', got {config['kind']!r}"
+        )
+    if not isinstance(config["n"], int) or config["n"] < 2:
+        raise BadRequestError("sketch config needs an integer n >= 2")
+    return config
+
+
+def build_sketch(config: Dict[str, object]):
+    """Construct a sketch from a normalised config dict."""
+    kwargs = dict(
+        n=config["n"],
+        r=config["r"],
+        seed=config["seed"],
+        rounds=config["rounds"],
+        rows=config["rows"],
+        buckets=config["buckets"],
+        levels=config["levels"],
+    )
+    if config["kind"] == "skeleton":
+        return SkeletonSketch(k=config["k"], **kwargs)
+    return SpanningForestSketch(**kwargs)
+
+
+class SketchRecord:
+    """One served sketch: state, lock, metrics, snapshot, checkpoints."""
+
+    def __init__(self, name: str, config: Dict[str, object], sketch):
+        self.name = name
+        self.config = config
+        self.sketch = sketch
+        self.lock = asyncio.Lock()
+        self.created_at = time.time()
+        #: Edge events ingested (the stream offset checkpoints record).
+        self.events = 0
+        self.ingest = IngestMetrics(shards=1, backend="service", batch_size=0)
+        #: Latest decoded snapshot (None until first decode) — a dict
+        #: with ``offset``, ``connected``, ``components``, ``edges``.
+        self.snapshot: Optional[Dict[str, object]] = None
+        self.last_checkpoint_events = -1
+        self.audits = 0
+
+    @property
+    def vertices(self) -> Tuple[int, ...]:
+        sk = self.sketch
+        return sk.vertices if hasattr(sk, "vertices") else sk.layers[0].vertices
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "config": dict(self.config),
+            "events": self.events,
+            "space_bytes": self.sketch.space_bytes(),
+            "snapshot_offset": (
+                self.snapshot["offset"] if self.snapshot else None
+            ),
+            "last_checkpoint_events": self.last_checkpoint_events,
+            "created_at": self.created_at,
+        }
+
+
+class SketchRegistry:
+    """Registry of named sketches plus their checkpoint managers.
+
+    ``hash_cache=True`` (the default) attaches the placement-table
+    ingest fast path to every created/restored sketch — the tables are
+    pooled per (seed, geometry), so many sketches of the same shape
+    share one set.  ``summed_cache_capacity`` attaches a
+    :class:`~repro.engine.query.SummedCache` to every grid so repeated
+    decodes of lightly-changed sketches reuse component boundary sums.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        keep: int = 2,
+        hash_cache: bool = True,
+        hash_cache_max_bytes: int = 1 << 28,
+        summed_cache_capacity: int = 8192,
+    ):
+        self.checkpoint_dir = checkpoint_dir
+        self.keep = keep
+        self.hash_cache = hash_cache
+        self.hash_cache_max_bytes = hash_cache_max_bytes
+        self.summed_cache_capacity = summed_cache_capacity
+        self._records: Dict[str, SketchRecord] = {}
+        self._managers: Dict[str, CheckpointManager] = {}
+
+    # -- lookup ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def names(self) -> List[str]:
+        return sorted(self._records)
+
+    def records(self) -> List[SketchRecord]:
+        return [self._records[name] for name in self.names()]
+
+    def get(self, name: str) -> SketchRecord:
+        record = self._records.get(name)
+        if record is None:
+            raise NoSuchSketchError(f"no sketch named {name!r}")
+        return record
+
+    # -- lifecycle ------------------------------------------------------
+
+    def create(self, name: str, args: Dict[str, object]) -> SketchRecord:
+        """Register a new named sketch built from ``args``."""
+        config = self.validate_create(name, args)
+        sketch = self.prepare_sketch(config)
+        return self.admit(name, config, sketch)
+
+    def validate_create(
+        self, name: str, args: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Cheap create-time checks: name syntax, uniqueness, config."""
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise BadRequestError(
+                f"invalid sketch name {name!r} (want [A-Za-z0-9][A-Za-z0-9_.-]*, "
+                "max 64 chars)"
+            )
+        if name in self._records:
+            raise SketchExistsError(f"sketch {name!r} already exists")
+        return normalize_config(args)
+
+    def prepare_sketch(self, config: Dict[str, object]):
+        """Build a sketch and attach its serving accelerators.
+
+        This is the expensive half of ``create`` (placement tables can
+        take hundreds of milliseconds); the server runs it on a worker
+        thread so the event loop keeps serving.
+        """
+        sketch = build_sketch(config)
+        self._prepare(sketch)
+        return sketch
+
+    def admit(
+        self, name: str, config: Dict[str, object], sketch
+    ) -> SketchRecord:
+        """Register an already-prepared sketch under ``name``."""
+        if name in self._records:
+            raise SketchExistsError(f"sketch {name!r} already exists")
+        record = SketchRecord(name, config, sketch)
+        self._records[name] = record
+        return record
+
+    def _prepare(self, sketch) -> None:
+        """Attach the serving-path accelerators to a sketch's grids."""
+        if self.hash_cache:
+            try:
+                sketch.attach_hash_cache(max_bytes=self.hash_cache_max_bytes)
+            except Exception:
+                # Oversized domain: serve through the hashing kernel.
+                pass
+        if self.summed_cache_capacity:
+            from ..engine.query import SummedCache
+
+            for grid in iter_grids(sketch):
+                grid.attach_summed_cache(
+                    SummedCache(capacity=self.summed_cache_capacity)
+                )
+
+    # -- ingest ---------------------------------------------------------
+
+    def ingest_pairs(self, record: SketchRecord, us, vs, signs) -> int:
+        """Fold a packed rank-2 batch into a record's sketch.
+
+        Must run under ``record.lock``.  Returns the number of edge
+        events applied and advances the record's stream offset.
+        """
+        t0 = time.perf_counter()
+        record.sketch.update_batch_pairs(us, vs, signs)
+        count = int(len(us))
+        record.events += count
+        record.ingest.observe_batch(0, count, time.perf_counter() - t0)
+        return count
+
+    def ingest_updates(self, record: SketchRecord, updates) -> int:
+        """Fold a general hyperedge batch ``[[sign, [v...]], ...]``."""
+        try:
+            batch = [(tuple(edge), int(sign)) for sign, edge in updates]
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(
+                f"malformed updates payload: {exc}"
+            ) from exc
+        t0 = time.perf_counter()
+        record.sketch.update_batch(batch)
+        count = len(batch)
+        record.events += count
+        record.ingest.observe_batch(0, count, time.perf_counter() - t0)
+        return count
+
+    # -- snapshots (the query path) -------------------------------------
+
+    def refresh_snapshot(self, record: SketchRecord) -> Dict[str, object]:
+        """Decode the record's sketch at its current offset.
+
+        Must run under ``record.lock`` (the skeleton peel temporarily
+        mutates layer grids).  No-op when the snapshot is current.
+        """
+        snap = record.snapshot
+        if snap is not None and snap["offset"] == record.events:
+            return snap
+        sketch = record.sketch
+        if isinstance(sketch, SkeletonSketch):
+            layers = sketch.decode_layers()
+            edges = sorted(
+                {tuple(e) for forest in layers for e in forest.edges()}
+            )
+            layer_edges = [sorted(tuple(e) for e in f.edges()) for f in layers]
+        else:
+            forest = sketch.decode()
+            edges = sorted(tuple(e) for e in forest.edges())
+            layer_edges = None
+        vertices = record.vertices
+        uf = UnionFind(record.config["n"])
+        for e in edges:
+            uf.union_many(list(e))
+        groups: Dict[int, List[int]] = {}
+        for v in vertices:
+            groups.setdefault(uf.find(v), []).append(v)
+        components = sorted(sorted(g) for g in groups.values())
+        snap = {
+            "offset": record.events,
+            "connected": len(components) == 1,
+            "components": components,
+            "edges": edges,
+        }
+        if layer_edges is not None:
+            snap["layers"] = layer_edges
+        record.snapshot = snap
+        return snap
+
+    # -- checkpoints -----------------------------------------------------
+
+    def manager_for(self, name: str) -> Optional[CheckpointManager]:
+        if self.checkpoint_dir is None:
+            return None
+        mgr = self._managers.get(name)
+        if mgr is None:
+            import os
+
+            mgr = CheckpointManager(
+                os.path.join(self.checkpoint_dir, name),
+                interval=1,
+                keep=self.keep,
+            )
+            self._managers[name] = mgr
+        return mgr
+
+    def checkpoint(self, record: SketchRecord) -> Optional[str]:
+        """Persist a record's state (under its lock); returns the path.
+
+        No-op (returns None) without a checkpoint directory or when
+        nothing changed since the last save.
+        """
+        mgr = self.manager_for(record.name)
+        if mgr is None or record.events == record.last_checkpoint_events:
+            return None
+        t0 = time.perf_counter()
+        blob = dump_sketch(record.sketch)
+        ck = Checkpoint(
+            offset=record.events,
+            shard_blobs=[blob],
+            meta={"service": dict(record.config), "saved_at": time.time()},
+        )
+        path = mgr.save(ck)
+        record.last_checkpoint_events = record.events
+        record.ingest.checkpoint.observe(len(blob), time.perf_counter() - t0)
+        return path
+
+    def restore_all(self) -> List[str]:
+        """Rebuild every sketch found under the checkpoint directory.
+
+        Used by ``serve --resume``: each subdirectory is one sketch
+        name; its latest loadable checkpoint (with generation fallback)
+        supplies the construction config and counter state.  Returns
+        the restored names; raises :class:`~repro.errors.
+        CheckpointError` when a directory exists but holds no loadable
+        generation.
+        """
+        import os
+
+        if self.checkpoint_dir is None or not os.path.isdir(self.checkpoint_dir):
+            return []
+        restored = []
+        for name in sorted(os.listdir(self.checkpoint_dir)):
+            sub = os.path.join(self.checkpoint_dir, name)
+            if not os.path.isdir(sub) or not _NAME_RE.match(name):
+                continue
+            mgr = self.manager_for(name)
+            ck = mgr.load_latest()
+            if ck is None:
+                continue
+            meta = ck.meta.get("service")
+            if not isinstance(meta, dict):
+                raise CheckpointError(
+                    f"checkpoint for {name!r} lacks service config meta"
+                )
+            config = normalize_config(meta)
+            sketch = build_sketch(config)
+            load_sketch(sketch, ck.shard_blobs[0])
+            self._prepare(sketch)
+            record = SketchRecord(name, config, sketch)
+            record.events = ck.offset
+            record.last_checkpoint_events = ck.offset
+            self._records[name] = record
+            restored.append(name)
+        return restored
+
+    # -- audits ----------------------------------------------------------
+
+    def audit(self, record: SketchRecord) -> Dict[str, object]:
+        """Run an integrity audit over the record's sketch.
+
+        The first audit on a sketch baselines its content digests
+        (trivially passing) and enables digest maintenance on every
+        subsequent update — an explicit opt-in, since maintaining
+        digests costs ingest throughput.  Must run under
+        ``record.lock``.
+        """
+        from ..audit.integrity import audit_sketch
+
+        report = audit_sketch(
+            record.sketch, label=record.name, metrics=record.ingest
+        )
+        record.audits += 1
+        return {
+            "ok": report.ok,
+            "grids_audited": report.grids_audited,
+            "findings": [f.describe() for f in report.findings],
+        }

@@ -1,0 +1,467 @@
+"""The asyncio sketch server: sessions, crons, drain, resume.
+
+One :class:`SketchServer` owns a :class:`~repro.service.registry.
+SketchRegistry` and serves the frame protocol of
+:mod:`repro.service.protocol` over TCP.  The event loop is single
+threaded, so sketch state can never tear; the per-name locks exist for
+*logical* consistency — an ingest batch, a fresh-decode query, a
+checkpoint, or an audit each holds its sketch's lock across every
+await it spans, so commands interleave per batch, never mid-batch.
+
+Two background crons run alongside the sessions: the **checkpoint
+cron** persists every dirty sketch through the engine's
+:class:`~repro.engine.checkpoint.CheckpointManager` (atomic tmp +
+rename + file and directory fsync), and the **snapshot cron** re-decodes
+sketches whose serving snapshot went stale, so ``consistency:
+"snapshot"`` queries stay O(lookup) even under heavy ingest.
+
+Shutdown is a *drain*: on SIGTERM (or the ``drain``/``shutdown``
+commands) the listener closes, in-flight requests complete, new
+mutating requests are rejected with the typed ``draining`` error, every
+sketch gets a final checkpoint, and the process exits 0.  Starting with
+``resume=True`` rebuilds every sketch from its latest checkpoint —
+state round-trips bit-identically, which the test-suite asserts by
+comparing ``dump`` blobs across a kill/restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from typing import Dict, Optional
+
+from ..engine.metrics import metrics_payload
+from ..engine.query import QueryMetrics, collect_query_metrics, make_executor
+from ..errors import (
+    BadRequestError,
+    DrainingError,
+    ProtocolFrameError,
+    ReproError,
+    ServiceError,
+    SketchExistsError,
+)
+from ..sketch.serialization import dump_sketch
+from .metrics import ServerMetrics
+from .protocol import PROTOCOL_VERSION, decode_pairs, encode_frame, read_frame
+from .registry import SketchRegistry
+
+SERVER_VERSION = 1
+
+#: Commands that mutate registry or sketch state and are therefore
+#: refused once the server starts draining.
+_MUTATING = frozenset({"create", "ingest-batch"})
+
+
+class SketchServer:
+    """A long-lived asyncio server over a sketch registry."""
+
+    def __init__(
+        self,
+        registry: SketchRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_interval: float = 5.0,
+        snapshot_interval: float = 1.0,
+        resume: bool = False,
+        ingest_chunk: int = 8192,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.checkpoint_interval = checkpoint_interval
+        self.snapshot_interval = snapshot_interval
+        self.resume = resume
+        self.ingest_chunk = max(1, ingest_chunk)
+        self.metrics = ServerMetrics()
+        self.query_metrics = QueryMetrics()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._sessions: set = set()
+        self._cron_tasks: list = []
+        self._snapshot_executor = make_executor("serial")
+        self._creating: set = set()
+        self.restored: list = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    async def start(self) -> None:
+        """Bind the listener, resume state, and launch the crons."""
+        if self.resume:
+            self.restored = self.registry.restore_all()
+        self._server = await asyncio.start_server(
+            self._handle_session, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.checkpoint_interval > 0 and self.registry.checkpoint_dir:
+            self._cron_tasks.append(
+                asyncio.ensure_future(self._checkpoint_cron())
+            )
+        if self.snapshot_interval > 0:
+            self._cron_tasks.append(
+                asyncio.ensure_future(self._snapshot_cron())
+            )
+
+    async def run(
+        self, install_signal_handlers: bool = True, ready=None
+    ) -> None:
+        """Serve until drained.  ``ready(server)`` fires once bound."""
+        # Sketch compute runs on worker threads; shrink the GIL switch
+        # interval so the event loop (snapshot queries, framing) gets
+        # scheduled promptly between their Python bytecodes instead of
+        # stalling up to the default 5ms per handoff.
+        import sys
+
+        previous_switch = sys.getswitchinterval()
+        sys.setswitchinterval(0.0005)
+        await self.start()
+        loop = asyncio.get_running_loop()
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.begin_drain)
+                except NotImplementedError:  # pragma: no cover
+                    pass
+        if ready is not None:
+            ready(self)
+        try:
+            with collect_query_metrics(self.query_metrics):
+                await self._draining.wait()
+                await self._shutdown()
+        finally:
+            sys.setswitchinterval(previous_switch)
+        self._stopped.set()
+
+    def begin_drain(self) -> None:
+        """Flip into draining mode (idempotent, safe from a signal)."""
+        self._draining.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def _shutdown(self) -> None:
+        """Drain: stop accepting, settle in-flight, final checkpoints."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._cron_tasks:
+            task.cancel()
+        for task in self._cron_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        # Sessions observe the draining flag and wind down on their own
+        # (mutating requests now answer the typed ``draining`` error);
+        # wait for in-flight work to settle, then close idle sessions.
+        deadline = time.monotonic() + 10.0
+        settled = 0
+        while self._sessions and time.monotonic() < deadline:
+            settled = settled + 1 if self.metrics.in_flight == 0 else 0
+            if settled >= 3:
+                break
+            await asyncio.sleep(0.02)
+        for task in list(self._sessions):
+            task.cancel()
+        await self._final_checkpoint()
+
+    async def _final_checkpoint(self) -> None:
+        if self.registry.checkpoint_dir is None:
+            return
+        for record in self.registry.records():
+            async with record.lock:
+                self.registry.checkpoint(record)
+
+    # -- crons ----------------------------------------------------------
+
+    async def _checkpoint_cron(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            for record in self.registry.records():
+                async with record.lock:
+                    await asyncio.to_thread(self.registry.checkpoint, record)
+
+    async def _snapshot_cron(self) -> None:
+        while True:
+            await asyncio.sleep(self.snapshot_interval)
+            stale = [
+                r
+                for r in self.registry.records()
+                if r.snapshot is None or r.snapshot["offset"] != r.events
+            ]
+            for record in stale:
+                async with record.lock:
+                    try:
+                        await asyncio.to_thread(
+                            self._snapshot_executor.map,
+                            self.registry.refresh_snapshot,
+                            [record],
+                        )
+                    except ReproError:
+                        # A probabilistic decode failure: keep serving
+                        # the previous snapshot; the next tick retries.
+                        pass
+
+    # -- sessions --------------------------------------------------------
+
+    async def _handle_session(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._sessions.add(task)
+        self.metrics.sessions_opened += 1
+        try:
+            await self._session_loop(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            self.metrics.sessions_closed += 1
+            self._sessions.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _session_loop(self, reader, writer) -> None:
+        while True:
+            try:
+                frame = await read_frame(reader)
+            except ProtocolFrameError as exc:
+                # Framing is no longer trustworthy: answer and close.
+                self.metrics.frame_errors += 1
+                writer.write(
+                    encode_frame(
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": exc.code,
+                            "message": str(exc),
+                        }
+                    )
+                )
+                await writer.drain()
+                return
+            if frame is None:
+                return
+            header, payload = frame
+            response, out_payload = await self._dispatch(header, payload)
+            writer.write(encode_frame(response, out_payload))
+            await writer.drain()
+            if header.get("cmd") == "shutdown":
+                return
+
+    async def _dispatch(self, header, payload):
+        req_id = header.get("id")
+        cmd = header.get("cmd")
+        self.metrics.in_flight += 1
+        t0 = time.perf_counter()
+        ok = False
+        try:
+            if not isinstance(cmd, str):
+                raise BadRequestError("request lacks a string 'cmd'")
+            if self.draining and cmd in _MUTATING:
+                self.metrics.rejected_draining += 1
+                raise DrainingError(
+                    f"server is draining; {cmd!r} rejected"
+                )
+            handler = getattr(self, "_cmd_" + cmd.replace("-", "_"), None)
+            if handler is None:
+                raise BadRequestError(f"unknown command {cmd!r}")
+            result = await handler(header, payload)
+            if isinstance(result, tuple):
+                body, out_payload = result
+            else:
+                body, out_payload = result, b""
+            ok = True
+            response = {"id": req_id, "ok": True}
+            response.update(body)
+            return response, out_payload
+        except ServiceError as exc:
+            return (
+                {
+                    "id": req_id,
+                    "ok": False,
+                    "error": exc.code,
+                    "message": str(exc),
+                },
+                b"",
+            )
+        except ReproError as exc:
+            return (
+                {
+                    "id": req_id,
+                    "ok": False,
+                    "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                },
+                b"",
+            )
+        finally:
+            self.metrics.in_flight -= 1
+            self.metrics.observe(
+                cmd if isinstance(cmd, str) else "<invalid>",
+                time.perf_counter() - t0,
+                ok,
+            )
+
+    # -- command handlers ------------------------------------------------
+
+    async def _cmd_hello(self, header, payload):
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "server": SERVER_VERSION,
+            "draining": self.draining,
+            "sketches": self.registry.names(),
+        }
+
+    async def _cmd_create(self, header, payload):
+        name = header.get("name")
+        config = header.get("config")
+        if not isinstance(config, dict):
+            raise BadRequestError("create needs a 'config' object")
+        normalized = self.registry.validate_create(name, config)
+        if name in self._creating:
+            raise SketchExistsError(f"sketch {name!r} already exists")
+        # Building the sketch (placement tables included) can take
+        # hundreds of milliseconds; reserve the name, build off-loop,
+        # then register the finished sketch.
+        self._creating.add(name)
+        try:
+            sketch = await asyncio.to_thread(
+                self.registry.prepare_sketch, normalized
+            )
+            record = self.registry.admit(name, normalized, sketch)
+        finally:
+            self._creating.discard(name)
+        return {"sketch": record.describe()}
+
+    async def _cmd_ingest_batch(self, header, payload):
+        record = self.registry.get(header.get("name"))
+        updates = header.get("updates")
+        async with record.lock:
+            # Re-check under the lock: a drain that began while we were
+            # waiting must not admit new events.
+            if self.draining:
+                self.metrics.rejected_draining += 1
+                raise DrainingError("server is draining; ingest rejected")
+            if updates is not None:
+                count = await asyncio.to_thread(
+                    self.registry.ingest_updates, record, updates
+                )
+            elif payload:
+                # The kernels run on a worker thread (safe: the record
+                # lock is held, and numpy releases the GIL inside them)
+                # in bounded chunks, so snapshot queries — plain dict
+                # lookups on the loop — never stall behind a big batch.
+                us, vs, signs = decode_pairs(payload)
+                count = 0
+                chunk = self.ingest_chunk
+                for start in range(0, len(us), chunk):
+                    end = start + chunk
+                    count += await asyncio.to_thread(
+                        self.registry.ingest_pairs,
+                        record,
+                        us[start:end],
+                        vs[start:end],
+                        signs[start:end],
+                    )
+            else:
+                raise BadRequestError(
+                    "ingest-batch needs 'updates' or a pairs payload"
+                )
+            return {"count": count, "events": record.events}
+
+    async def _cmd_query(self, header, payload):
+        record = self.registry.get(header.get("name"))
+        op = header.get("op", "connected")
+        consistency = header.get("consistency", "fresh")
+        if consistency not in ("fresh", "snapshot"):
+            raise BadRequestError(
+                f"consistency must be 'fresh' or 'snapshot', got {consistency!r}"
+            )
+        snap = record.snapshot
+        if consistency == "fresh" or snap is None:
+            async with record.lock:
+                snap = await asyncio.to_thread(
+                    self.registry.refresh_snapshot, record
+                )
+        body = {
+            "as_of": snap["offset"],
+            "events": record.events,
+            "staleness": record.events - snap["offset"],
+        }
+        if op == "connected":
+            body["connected"] = snap["connected"]
+        elif op == "components":
+            body["components"] = snap["components"]
+        elif op == "edges":
+            body["edges"] = snap["edges"]
+        elif op == "layers":
+            if "layers" not in snap:
+                raise BadRequestError(
+                    f"sketch {record.name!r} is not a skeleton; no layers"
+                )
+            body["layers"] = snap["layers"]
+        else:
+            raise BadRequestError(f"unknown query op {op!r}")
+        return body
+
+    async def _cmd_checkpoint(self, header, payload):
+        name = header.get("name")
+        records = (
+            [self.registry.get(name)]
+            if name is not None
+            else self.registry.records()
+        )
+        paths: Dict[str, Optional[str]] = {}
+        for record in records:
+            async with record.lock:
+                paths[record.name] = await asyncio.to_thread(
+                    self.registry.checkpoint, record
+                )
+        return {"paths": paths}
+
+    async def _cmd_audit(self, header, payload):
+        record = self.registry.get(header.get("name"))
+        async with record.lock:
+            report = await asyncio.to_thread(self.registry.audit, record)
+        return {"report": report}
+
+    async def _cmd_dump(self, header, payload):
+        record = self.registry.get(header.get("name"))
+        async with record.lock:
+            blob = await asyncio.to_thread(dump_sketch, record.sketch)
+            return {"events": record.events, "bytes": len(blob)}, blob
+
+    async def _cmd_list(self, header, payload):
+        return {
+            "sketches": [r.describe() for r in self.registry.records()]
+        }
+
+    async def _cmd_stats(self, header, payload):
+        sketches = {}
+        for record in self.registry.records():
+            info = record.describe()
+            info["ingest"] = record.ingest.to_dict()
+            sketches[record.name] = info
+        return {
+            "metrics": metrics_payload(
+                {
+                    "server": self.metrics,
+                    "query": self.query_metrics,
+                    "sketches": sketches,
+                }
+            )
+        }
+
+    async def _cmd_drain(self, header, payload):
+        self.begin_drain()
+        return {"draining": True}
+
+    async def _cmd_shutdown(self, header, payload):
+        self.begin_drain()
+        return {"draining": True, "stopping": True}

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import (
+    EngineError,
     IncompatibleSketchError,
     NotOneSparseError,
     SamplerEmptyError,
@@ -98,6 +99,84 @@ def set_query_metrics(metrics) -> object:
     previous = _QUERY_METRICS
     _QUERY_METRICS = metrics
     return previous
+
+
+# -- precomputed placement tables (the ingest fast path) ------------------
+#
+# Hashing dominates the batched update kernel: every batch re-derives
+# the level depth and per-(row, level) bucket of each coordinate from
+# scratch.  Those placements are pure functions of (seed, coordinate),
+# so for moderate domains they can be tabulated once and gathered per
+# batch.  The tables below hold, per group, the capped subsampling
+# depth of every coordinate, and per (group, row) the *flat in-member
+# cell offset* ``(lvl * rows + r) * buckets + bucket`` of every
+# (coordinate, level) pair — exactly the address arithmetic of
+# :func:`repro.engine.batch.grid_update_batch`, so the cached kernel is
+# bit-identical to the hashing kernel by construction.
+
+
+class _HashTableCache:
+    """Immutable placement tables for one (seed, geometry) combination.
+
+    ``depth[g]`` maps coordinate -> capped depth (int64, shape
+    ``(groups, domain)``); ``off[g, r]`` maps the flattened
+    ``coordinate * levels + lvl`` key -> in-member flat cell offset
+    (smallest unsigned dtype that fits, shape
+    ``(groups, rows, domain * levels)``).
+    """
+
+    __slots__ = ("depth", "off", "nbytes")
+
+    def __init__(self, depth: np.ndarray, off: np.ndarray):
+        self.depth = depth
+        self.off = off
+        self.nbytes = depth.nbytes + off.nbytes
+
+
+def _hash_cache_bytes(grid) -> int:
+    """Predicted table footprint of :func:`_build_hash_cache`."""
+    cells = grid.levels * grid.rows * grid.buckets
+    itemsize = 2 if cells <= (1 << 16) else 4
+    return (
+        grid.groups * grid.domain * 8
+        + grid.groups * grid.rows * grid.domain * grid.levels * itemsize
+    )
+
+
+def _build_hash_cache(grid) -> _HashTableCache:
+    """Tabulate every placement hash of a grid over its whole domain."""
+    levels, rows, buckets = grid.levels, grid.rows, grid.buckets
+    dom = np.arange(grid.domain, dtype=np.int64)
+    lvl_arr = np.arange(levels, dtype=np.int64)
+    salts = np.array(grid._level_salts, dtype=np.uint64)
+    off_dtype = np.uint16 if levels * rows * buckets <= (1 << 16) else np.uint32
+    depth = np.empty((grid.groups, grid.domain), dtype=np.int64)
+    off = np.empty((grid.groups, rows, grid.domain * levels), dtype=off_dtype)
+    for g in range(grid.groups):
+        depth[g] = np.minimum(
+            trailing_zeros64_np(hash64_many(grid._level_seeds[g], dom)),
+            levels - 1,
+        )
+        for r in range(rows):
+            h = hash64_many(grid._bucket_seeds[g][r], dom)
+            with np.errstate(over="ignore"):
+                b = (splitmix64_np(h[:, None] ^ salts[None, :])
+                     % np.uint64(buckets)).astype(np.int64)
+            off[g, r] = (
+                (lvl_arr[None, :] * rows + r) * buckets + b
+            ).reshape(-1).astype(off_dtype)
+    return _HashTableCache(depth, off)
+
+
+#: Shared pool of placement tables.  Grids with equal (seed, geometry)
+#: — e.g. the shards of an engine, or a restored replica of a served
+#: sketch — hash identically, so they share one table set.
+_HASH_CACHE_POOL: Dict[tuple, _HashTableCache] = {}
+
+
+def clear_hash_cache_pool() -> None:
+    """Drop every pooled placement table (tests / memory pressure)."""
+    _HASH_CACHE_POOL.clear()
 
 
 # -- scalar-path memoization ---------------------------------------------
@@ -206,6 +285,11 @@ class SamplerGrid:
         self._summed_cache = None
         self._epoch = 0
         self._member_epoch = None
+        #: Optional :class:`_HashTableCache` — precomputed placement
+        #: tables consulted by the batched update kernel.  Purely a
+        #: performance switch: the cached and hashing kernels are
+        #: bit-identical (the equivalence tests enforce it).
+        self._hash_cache = None
 
     # -- streaming ------------------------------------------------------
 
@@ -288,6 +372,43 @@ class SamplerGrid:
         if self._digest is not None:
             self._digest.reset()
         self._touch_all()
+
+    # -- placement-table plumbing ----------------------------------------
+
+    def attach_hash_cache(self, max_bytes: int = 1 << 28) -> int:
+        """Precompute (or adopt pooled) placement tables for this grid.
+
+        Tabulates every coordinate's level depth and per-(row, level)
+        bucket so the batched update kernel gathers placements instead
+        of rehashing them — the sustained-ingest fast path of the
+        serving layer.  Tables are immutable and shared across grids
+        with equal seed and geometry (engine shards, restored
+        replicas).  Raises :class:`~repro.errors.EngineError` when the
+        tables would exceed ``max_bytes`` (they grow with
+        ``domain × levels``; this path is for serving-sized domains,
+        not astronomically large hyperedge spaces).  Returns the table
+        footprint in bytes.
+        """
+        predicted = _hash_cache_bytes(self)
+        if predicted > max_bytes:
+            raise EngineError(
+                f"placement tables would need {predicted} bytes "
+                f"(> max_bytes={max_bytes}) for domain={self.domain}, "
+                f"levels={self.levels}; hash-table ingest is meant for "
+                "serving-sized domains"
+            )
+        key = (self.seed, self.groups, self.domain,
+               self.levels, self.rows, self.buckets)
+        cache = _HASH_CACHE_POOL.get(key)
+        if cache is None:
+            cache = _build_hash_cache(self)
+            _HASH_CACHE_POOL[key] = cache
+        self._hash_cache = cache
+        return cache.nbytes
+
+    def detach_hash_cache(self) -> None:
+        """Stop consulting placement tables (the pool keeps them)."""
+        self._hash_cache = None
 
     # -- summed-sketch cache plumbing -----------------------------------
 

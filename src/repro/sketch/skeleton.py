@@ -96,6 +96,32 @@ class SkeletonSketch:
             applied = layer.grid.update_batch(members, indices, deltas)
         return applied
 
+    def update_batch_pairs(self, us, vs, signs) -> int:
+        """Array-form rank-2 batch update of every layer.
+
+        Mirrors :meth:`SpanningForestSketch.update_batch_pairs`: the
+        vectorised incidence expansion runs once and folds into each
+        layer's grid.  Returns the incidence-row updates per layer.
+        """
+        from ..engine.batch import expand_pair_batch
+
+        first = self.layers[0]
+        members, indices, deltas = expand_pair_batch(
+            first.scheme, first._member_lut(), us, vs, signs
+        )
+        applied = 0
+        for layer in self.layers:
+            applied = layer.grid.update_batch(members, indices, deltas)
+        return applied
+
+    def attach_hash_cache(self, max_bytes: int = 1 << 28) -> int:
+        """Precompute placement tables for every layer grid; returns
+        the total table footprint in bytes."""
+        return sum(
+            layer.attach_hash_cache(max_bytes=max_bytes)
+            for layer in self.layers
+        )
+
     def insert(self, edge: Sequence[int]) -> None:
         """Stream insertion."""
         self.update(edge, 1)

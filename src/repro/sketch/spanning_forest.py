@@ -136,6 +136,41 @@ class SpanningForestSketch:
         )
         return self.grid.update_batch(members, indices, deltas)
 
+    def _member_lut(self):
+        """Vertex-id -> member numpy lookup table (-1 = inactive)."""
+        lut = getattr(self, "_member_lut_arr", None)
+        if lut is None:
+            import numpy as np
+
+            lut = np.full(self.n, -1, dtype=np.int64)
+            for v, m in self._member_of.items():
+                lut[v] = m
+            self._member_lut_arr = lut
+        return lut
+
+    def update_batch_pairs(self, us, vs, signs) -> int:
+        """Apply a batch of signed rank-2 edges given as parallel arrays.
+
+        The all-numpy sibling of :meth:`update_batch`: endpoints and
+        signs arrive as arrays (the serving layer's binary ingest
+        codec decodes straight into this form), the incidence expansion
+        is vectorised (:func:`repro.engine.batch.expand_pair_batch`),
+        and the result is bit-identical to updating the same edges one
+        at a time.  Returns the number of incidence-row updates.
+        """
+        from ..engine.batch import expand_pair_batch
+
+        members, indices, deltas = expand_pair_batch(
+            self.scheme, self._member_lut(), us, vs, signs
+        )
+        return self.grid.update_batch(members, indices, deltas)
+
+    def attach_hash_cache(self, max_bytes: int = 1 << 28) -> int:
+        """Precompute placement tables for sustained ingest; see
+        :meth:`repro.sketch.bank.SamplerGrid.attach_hash_cache`.
+        Returns the table footprint in bytes."""
+        return self.grid.attach_hash_cache(max_bytes=max_bytes)
+
     def insert(self, edge: Sequence[int]) -> None:
         """Stream insertion of a hyperedge."""
         self.update(edge, 1)

@@ -23,6 +23,8 @@ from bench_query_engine import (  # noqa: E402
     skeleton_comparison,
 )
 from bench_recovery import recovery_comparison  # noqa: E402
+from bench_service import serial_replay_dumps, start_server  # noqa: E402
+from bench_service import _dump_all, _shutdown  # noqa: E402
 
 
 class TestBenchSmoke:
@@ -82,3 +84,38 @@ class TestBenchSmoke:
         r = cache_comparison(24, p=0.15, seed=2)
         assert r["identical"]
         assert r["hits"] > 0
+
+    def test_smoke_service_replay_identity(self):
+        """E24 core at small scale: a real serve subprocess under a
+        short mixed loadgen burst ends bit-identical to the serial
+        replay (the ops/s and p99 bars are the full benchmark's job)."""
+        import asyncio
+
+        from repro.service.loadgen import LoadConfig, run_loadgen
+
+        config = LoadConfig(
+            sketches=1,
+            n=32,
+            seed=3,
+            connections=2,
+            batches=3,
+            batch_size=256,
+            delete_fraction=0.2,
+            queries_per_batch=1.0,
+            fresh_fraction=0.25,
+        )
+        proc, port = start_server("--snapshot-interval", "0.2")
+        try:
+            config.port = port
+            report = asyncio.run(run_loadgen(config))
+            dumps = asyncio.run(_dump_all(port, report["sketches"]))
+            asyncio.run(_shutdown(port))
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+        reference = serial_replay_dumps(config)
+        assert report["events"] > 0 and report["queries"] > 0
+        assert all(
+            dumps[name] == reference[name] for name in report["sketches"]
+        )

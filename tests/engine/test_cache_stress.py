@@ -1,0 +1,193 @@
+"""SummedCache correctness under interleaved asyncio update/query load.
+
+The serving layer leans on one invariant: a cached boundary sketch is
+*never* served stale.  Epoch bookkeeping on the grid invalidates an
+entry exactly when one of its members is touched by an update, merge,
+restore, or reset — so under any interleaving of ingest batches and
+summed queries, every query result must be bit-identical to a direct
+fold of the counter arrays at that moment.  These tests hammer that
+invariant with concurrent asyncio tasks shaped like service traffic
+(writers and readers yielding control between operations, plus a
+lock-serialised ``to_thread`` variant matching the server's per-name
+lock discipline) while asserting the cache is genuinely exercised —
+real hits, real invalidations, bounded entries.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine.query import SummedCache
+from repro.errors import EngineError
+from repro.sketch.bank import SamplerGrid, _fold_mod
+
+
+def direct_fold(grid, group, idx):
+    """The uncached miss-path fold — ground truth for any query."""
+    return (
+        grid._w[group, idx].sum(axis=0),
+        _fold_mod(grid._s[group, idx]),
+        _fold_mod(grid._f[group, idx]),
+    )
+
+
+def summed_equal(sketch, reference):
+    w, s, f = reference
+    return (
+        np.array_equal(sketch._w, w)
+        and np.array_equal(sketch._s, s)
+        and np.array_equal(sketch._f, f)
+    )
+
+
+def make_grid(seed, members=12, domain=128, cache_capacity=64):
+    grid = SamplerGrid(groups=2, members=members, domain=domain, seed=seed)
+    cache = SummedCache(capacity=cache_capacity)
+    grid.attach_summed_cache(cache)
+    return grid, cache
+
+
+class TestInterleavedStress:
+    def test_never_serves_stale_sums(self):
+        """Cooperative writers/readers: every summed() must equal the
+        direct fold of the arrays at the instant it is answered."""
+        grid, cache = make_grid(seed=31)
+        rng = np.random.default_rng(31)
+        member_sets = [
+            np.sort(
+                rng.choice(grid.members, size=int(rng.integers(1, 6)), replace=False)
+            ).astype(np.int64)
+            for _ in range(10)
+        ]
+        mismatches = []
+
+        async def writer(wid):
+            wrng = np.random.default_rng(1000 + wid)
+            for _ in range(40):
+                count = int(wrng.integers(1, 30))
+                m = wrng.integers(0, grid.members, size=count)
+                i = wrng.integers(0, grid.domain, size=count)
+                d = wrng.integers(1, 100, size=count)
+                grid.update_batch(m, i, d)
+                await asyncio.sleep(0)
+
+        async def reader(rid):
+            rrng = np.random.default_rng(2000 + rid)
+            for _ in range(60):
+                group = int(rrng.integers(0, grid.groups))
+                idx = member_sets[int(rrng.integers(0, len(member_sets)))]
+                sketch = grid.summed(group, idx)
+                if not summed_equal(sketch, direct_fold(grid, group, idx)):
+                    mismatches.append((group, idx.tolist()))
+                await asyncio.sleep(0)
+
+        async def go():
+            await asyncio.gather(
+                *(writer(w) for w in range(3)),
+                *(reader(r) for r in range(4)),
+            )
+
+        asyncio.run(go())
+        assert mismatches == []
+        # The run must actually exercise both cache outcomes: repeated
+        # reads between writes hit; epoch bumps force misses.
+        assert cache.hits > 0
+        assert cache.misses > 0
+        assert len(cache) <= cache.capacity
+
+    def test_lock_serialised_to_thread_traffic(self):
+        """The service shape: ingest and query both run off-loop under
+        a per-sketch asyncio lock.  Same invariant, real threads."""
+        grid, cache = make_grid(seed=77)
+        lock = asyncio.Lock()
+        idx = np.array([0, 3, 5, 9], dtype=np.int64)
+        mismatches = []
+
+        def ingest(wrng):
+            count = int(wrng.integers(5, 40))
+            grid.update_batch(
+                wrng.integers(0, grid.members, size=count),
+                wrng.integers(0, grid.domain, size=count),
+                wrng.integers(1, 50, size=count),
+            )
+
+        def query_and_check():
+            sketch = grid.summed(0, idx)
+            if not summed_equal(sketch, direct_fold(grid, 0, idx)):
+                mismatches.append(True)
+
+        async def writer(wid):
+            wrng = np.random.default_rng(wid)
+            for _ in range(25):
+                async with lock:
+                    await asyncio.to_thread(ingest, wrng)
+
+        async def reader():
+            for _ in range(40):
+                async with lock:
+                    await asyncio.to_thread(query_and_check)
+
+        async def go():
+            await asyncio.gather(writer(1), writer(2), reader(), reader())
+
+        asyncio.run(go())
+        assert mismatches == []
+        assert cache.hits > 0 and cache.misses > 0
+
+    def test_untouched_entries_survive_writes_elsewhere(self):
+        """A write touching disjoint members must not evict or stale a
+        cached sum — the invalidation is per-member, not global."""
+        grid, cache = make_grid(seed=5)
+        left = np.array([0, 1, 2], dtype=np.int64)
+        grid.update_batch([0, 1, 2], [7, 8, 9], [3, 4, 5])
+        first = grid.summed(0, left)  # miss, populates
+        hits_before = cache.hits
+        # Touch only members outside `left`.
+        grid.update_batch([6, 7], [11, 12], [1, 1])
+        again = grid.summed(0, left)
+        assert cache.hits == hits_before + 1
+        assert summed_equal(again, direct_fold(grid, 0, left))
+        assert summed_equal(first, direct_fold(grid, 0, left))
+
+    def test_overlapping_write_invalidates(self):
+        grid, cache = make_grid(seed=6)
+        idx = np.array([2, 4], dtype=np.int64)
+        grid.update_batch([2], [10], [1])
+        grid.summed(0, idx)
+        misses_before = cache.misses
+        grid.update_batch([4], [10], [1])  # member 4 ∈ idx
+        sketch = grid.summed(0, idx)
+        assert cache.misses == misses_before + 1
+        assert summed_equal(sketch, direct_fold(grid, 0, idx))
+
+    def test_eviction_pressure_stays_correct(self):
+        """Capacity 2 with many distinct member sets: constant eviction
+        churn, still never a stale answer."""
+        grid, cache = make_grid(seed=9, cache_capacity=2)
+        rng = np.random.default_rng(9)
+        sets = [np.array([i, i + 1], dtype=np.int64) for i in range(8)]
+
+        async def writer():
+            for _ in range(30):
+                m = rng.integers(0, grid.members, size=10)
+                grid.update_batch(m, rng.integers(0, grid.domain, size=10), np.ones(10))
+                await asyncio.sleep(0)
+
+        async def reader(offset):
+            for step in range(60):
+                idx = sets[(step + offset) % len(sets)]
+                sketch = grid.summed(1, idx)
+                assert summed_equal(sketch, direct_fold(grid, 1, idx))
+                await asyncio.sleep(0)
+
+        async def go():
+            await asyncio.gather(writer(), reader(0), reader(3))
+
+        asyncio.run(go())
+        assert cache.evictions > 0
+        assert len(cache) <= 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(EngineError):
+            SummedCache(capacity=0)

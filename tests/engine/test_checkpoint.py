@@ -124,6 +124,29 @@ class TestManager:
         with pytest.raises(CheckpointError):
             CheckpointManager(str(tmp_path), interval=0)
 
+    def test_save_fsyncs_directory_after_rename(self, tmp_path, monkeypatch):
+        """Rename durability: the directory entry must be fsynced.
+
+        On ext4/xfs an ``os.replace`` only becomes crash-durable once
+        the containing directory is fsynced; ``save`` must therefore
+        fsync (1) the tmp file's data and (2) the directory fd, in that
+        order, after the rename.
+        """
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=10)
+        synced = []
+        real_fsync = os.fsync
+
+        def spy_fsync(fd):
+            synced.append(os.fstat(fd).st_ino)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        path = mgr.save(sample_checkpoint())
+        assert len(synced) == 2
+        file_ino, dir_ino = synced
+        assert file_ino == os.stat(path).st_ino
+        assert dir_ino == os.stat(os.path.dirname(path)).st_ino
+
 
 class TestGenerationFallback:
     """A damaged newest checkpoint falls back to the previous generation."""

@@ -1,0 +1,124 @@
+"""Wire-format unit tests: frames and the packed rank-2 pairs codec."""
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolFrameError
+from repro.service.protocol import (
+    MAGIC,
+    MAX_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    decode_pairs,
+    encode_frame,
+    encode_pairs,
+    read_frame,
+)
+
+
+def read_one(data: bytes):
+    """Run read_frame against an in-memory reader fed ``data`` + EOF."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestFrames:
+    def test_round_trip(self):
+        header = {"id": 3, "cmd": "query", "name": "x"}
+        payload = b"\x01\x02\x03"
+        got_header, got_payload = read_one(encode_frame(header, payload))
+        assert got_header == header
+        assert got_payload == payload
+
+    def test_empty_payload(self):
+        header, payload = read_one(encode_frame({"id": 1}))
+        assert header == {"id": 1}
+        assert payload == b""
+
+    def test_clean_eof_returns_none(self):
+        assert read_one(b"") is None
+
+    def test_torn_prelude_raises(self):
+        with pytest.raises(ProtocolFrameError):
+            read_one(b"RP")
+
+    def test_torn_body_raises(self):
+        whole = encode_frame({"id": 1, "cmd": "hello"})
+        with pytest.raises(ProtocolFrameError):
+            read_one(whole[:-1])
+
+    def test_bad_magic_raises(self):
+        frame = bytearray(encode_frame({"id": 1}))
+        frame[:4] = b"XXXX"
+        with pytest.raises(ProtocolFrameError, match="magic"):
+            read_one(bytes(frame))
+
+    def test_oversized_declared_header_raises(self):
+        prelude = struct.Struct("<4sIQ").pack(MAGIC, MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(ProtocolFrameError, match="header"):
+            read_one(prelude)
+
+    def test_oversized_declared_payload_raises(self):
+        prelude = struct.Struct("<4sIQ").pack(MAGIC, 2, MAX_PAYLOAD_BYTES + 1)
+        with pytest.raises(ProtocolFrameError, match="payload"):
+            read_one(prelude + b"{}")
+
+    def test_unparseable_header_raises(self):
+        head = b"not json"
+        prelude = struct.Struct("<4sIQ").pack(MAGIC, len(head), 0)
+        with pytest.raises(ProtocolFrameError, match="unparseable"):
+            read_one(prelude + head)
+
+    def test_non_object_header_raises(self):
+        head = json.dumps([1, 2]).encode()
+        prelude = struct.Struct("<4sIQ").pack(MAGIC, len(head), 0)
+        with pytest.raises(ProtocolFrameError, match="object"):
+            read_one(prelude + head)
+
+    def test_oversized_outgoing_payload_rejected(self):
+        with pytest.raises(ProtocolFrameError):
+            encode_frame({"id": 1}, b"x" * (MAX_PAYLOAD_BYTES + 1))
+
+
+class TestPairsCodec:
+    def test_round_trip(self):
+        rng = np.random.default_rng(5)
+        us = rng.integers(0, 1000, size=257, dtype=np.uint32)
+        vs = rng.integers(0, 1000, size=257, dtype=np.uint32)
+        signs = np.where(rng.random(257) < 0.5, -1, 1).astype(np.int8)
+        u2, v2, s2 = decode_pairs(encode_pairs(us, vs, signs))
+        assert np.array_equal(u2, us.astype(np.int64))
+        assert np.array_equal(v2, vs.astype(np.int64))
+        assert np.array_equal(s2, signs.astype(np.int64))
+
+    def test_empty_batch(self):
+        u, v, s = decode_pairs(encode_pairs([], [], []))
+        assert u.size == v.size == s.size == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ProtocolFrameError):
+            encode_pairs([1, 2], [3], [1, 1])
+
+    def test_truncated_payload_rejected(self):
+        blob = encode_pairs([1, 2, 3], [4, 5, 6], [1, -1, 1])
+        with pytest.raises(ProtocolFrameError):
+            decode_pairs(blob[:-2])
+
+    def test_count_mismatch_rejected(self):
+        blob = bytearray(encode_pairs([1], [2], [1]))
+        blob[0:4] = struct.pack("<I", 7)
+        with pytest.raises(ProtocolFrameError):
+            decode_pairs(bytes(blob))
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(ProtocolFrameError):
+            decode_pairs(b"\x01")

@@ -139,8 +139,10 @@ class TestIngest:
         out = capsys.readouterr().out
         payload = out[out.index("{"):]
         data = json.loads(payload)
-        assert data["events"] == 8
-        assert data["shards"] == 1
+        assert data["schema"] == "repro-metrics/1"
+        assert data["sections"]["ingest"]["events"] == 8
+        assert data["sections"]["ingest"]["shards"] == 1
+        assert "query" in data["sections"]
 
     def test_metrics_json_file(self, cycle_stream, tmp_path, capsys):
         import json
@@ -148,7 +150,7 @@ class TestIngest:
         dest = tmp_path / "metrics.json"
         assert main(["ingest", cycle_stream, "--metrics-json", str(dest)]) == 0
         data = json.loads(dest.read_text())
-        assert data["events"] == 8
+        assert data["sections"]["ingest"]["events"] == 8
         assert "written to" in capsys.readouterr().out
 
     def test_skeleton_sketch(self, cycle_stream, capsys):
@@ -204,8 +206,9 @@ class TestReferee:
         assert main(["referee", cycle_stream, "--loss", "0.2",
                      "--metrics-json", str(dest)]) == 0
         data = json.loads(dest.read_text())
-        assert data["players"] == 8
-        assert "uplink" in data and "downlink" in data
+        comm = data["sections"]["comm"]
+        assert comm["players"] == 8
+        assert "uplink" in comm and "downlink" in comm
         assert "written to" in capsys.readouterr().out
 
     def test_bad_rate_is_input_error(self, cycle_stream, capsys):
