@@ -17,13 +17,16 @@
 #   scripts/chaos_smoke.sh 7 11 13            # custom seeds
 #   scripts/chaos_smoke.sh referee           # referee mode only, default seeds
 #   scripts/chaos_smoke.sh referee 7 11 13   # referee mode only, custom seeds
+#   scripts/chaos_smoke.sh service           # service mode only: SIGKILL the
+#                                            # sketch server mid-load, resume,
+#                                            # assert zero acked-write loss
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 mode=all
-if [ $# -gt 0 ] && [ "$1" = "referee" ]; then
-    mode=referee
+if [ $# -gt 0 ] && { [ "$1" = "referee" ] || [ "$1" = "service" ]; }; then
+    mode=$1
     shift
 fi
 
@@ -39,7 +42,13 @@ for seed in "${seeds[@]}"; do
         echo "=== chaos smoke (bit-flip mode): seed ${seed} ==="
         PYTHONPATH=src python -m pytest -q tests/audit -m faults --chaos-seed="${seed}"
     fi
-    echo "=== chaos smoke (referee mode): seed ${seed} ==="
-    PYTHONPATH=src python -m pytest -q tests/comm -m faults --chaos-seed="${seed}"
+    if [ "${mode}" = "all" ] || [ "${mode}" = "referee" ]; then
+        echo "=== chaos smoke (referee mode): seed ${seed} ==="
+        PYTHONPATH=src python -m pytest -q tests/comm -m faults --chaos-seed="${seed}"
+    fi
+    if [ "${mode}" = "all" ] || [ "${mode}" = "service" ]; then
+        echo "=== chaos smoke (service mode): seed ${seed} ==="
+        PYTHONPATH=src python -m pytest -q tests/service -m faults --chaos-seed="${seed}"
+    fi
 done
 echo "=== chaos smoke (${mode}): all ${#seeds[@]} seeds passed ==="

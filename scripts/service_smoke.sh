@@ -67,6 +67,10 @@ python -m repro loadgen --port "${port}" --n 128 --connections 2 \
 echo "== service smoke: control plane =="
 python -m repro ctl stats --port "${port}" > "${workdir}/stats.json"
 grep -q '"requests_total"' "${workdir}/stats.json"
+python -m repro ctl health --port "${port}" --timeout 5 \
+    > "${workdir}/health.json"
+grep -q '"status": "ok"' "${workdir}/health.json"
+grep -q '"wal_enabled": true' "${workdir}/health.json"
 python -m repro ctl audit --port "${port}" --name load-0 \
     > "${workdir}/audit.json"
 grep -q '"ok": true' "${workdir}/audit.json"

@@ -425,6 +425,10 @@ def _cmd_serve(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         keep=args.keep,
         hash_cache=args.hash_cache,
+        wal=args.wal,
+        wal_segment_bytes=args.wal_segment_bytes,
+        wal_fsync=args.wal_fsync,
+        dedup_window=args.dedup_window,
     )
     server = SketchServer(
         registry,
@@ -434,6 +438,7 @@ def _cmd_serve(args) -> int:
         snapshot_interval=args.snapshot_interval,
         resume=args.resume,
         ingest_chunk=args.ingest_chunk,
+        max_in_flight=args.max_in_flight,
     )
 
     def ready(srv):
@@ -474,6 +479,8 @@ def _cmd_loadgen(args) -> int:
         fresh_fraction=args.fresh_fraction,
         ramp_seconds=args.ramp,
         create=args.create,
+        timeout=args.timeout,
+        retries=args.retries,
     )
     report = asyncio.run(run_loadgen(config))
     lat = report["latency"]
@@ -498,6 +505,17 @@ def _cmd_loadgen(args) -> int:
             f"drain: {report['draining_rejections']} typed rejections, "
             f"{report['disconnected']} connections closed"
         )
+    if report["retries"] or report["errors_by_code"]:
+        codes = ", ".join(
+            f"{code}={hits}"
+            for code, hits in sorted(report["errors_by_code"].items())
+        ) or "none"
+        print(
+            f"resilience: {report['retries']} retries, "
+            f"{report['reconnects']} reconnects, "
+            f"{report['duplicate_acks']} duplicate acks, "
+            f"errors: {codes}"
+        )
     if args.metrics_json:
         _write_metrics_json(
             args.metrics_json,
@@ -507,16 +525,28 @@ def _cmd_loadgen(args) -> int:
 
 
 def _cmd_ctl(args) -> int:
-    """One-shot control commands against a running server."""
+    """One-shot control commands against a running server.
+
+    Exit codes: 0 success; 1 a typed server error (the error code and
+    message are printed to stderr) or a failed audit; 2 usage or
+    transport problems.  ``--timeout`` bounds each request — a hung or
+    overloaded server turns into a clean ``timeout`` error, never a
+    hung ctl process.
+    """
     import asyncio
     import json
 
+    from .errors import ServiceError
     from .service.client import ServiceClient
 
     async def go():
-        async with await ServiceClient.connect(args.host, args.port) as c:
+        async with await ServiceClient.connect(
+            args.host, args.port, timeout=args.timeout
+        ) as c:
             if args.action == "stats":
                 return await c.stats()
+            if args.action == "health":
+                return await c.health()
             if args.action == "list":
                 return {"sketches": await c.list()}
             if args.action == "checkpoint":
@@ -537,9 +567,15 @@ def _cmd_ctl(args) -> int:
             await c.shutdown()
             return {"draining": True, "stopping": True}
 
-    result = asyncio.run(go())
+    try:
+        result = asyncio.run(go())
+    except ServiceError as exc:
+        print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+        return 1
     print(json.dumps(result, indent=2, sort_keys=True))
     if args.action == "audit" and not result["report"]["ok"]:
+        return 1
+    if args.action == "health" and result.get("status") == "degraded":
         return 1
     return 0
 
@@ -757,6 +793,25 @@ def build_parser() -> argparse.ArgumentParser:
                    default=True,
                    help="attach the placement-table ingest fast path to "
                         "every sketch (--no-hash-cache to save memory)")
+    p.add_argument("--wal", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="write-ahead-log every ingest batch before its ack "
+                        "(needs --checkpoint-dir; --no-wal trades crash "
+                        "durability for throughput)")
+    p.add_argument("--wal-fsync", choices=["always", "os", "none"],
+                   default="always",
+                   help="WAL durability: fsync per batch (always, survives "
+                        "power loss), flush to the kernel (os, survives any "
+                        "process crash), or buffer (none, fastest)")
+    p.add_argument("--wal-segment-bytes", type=int, default=4 << 20,
+                   help="WAL segment rotation threshold; checkpoints "
+                        "truncate dead segments")
+    p.add_argument("--dedup-window", type=int, default=4096,
+                   help="remembered (client, request) acks per sketch for "
+                        "exactly-once retried ingest")
+    p.add_argument("--max-in-flight", type=int, default=64,
+                   help="concurrent expensive requests before new ones are "
+                        "shed with the typed 'overloaded' error")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -785,6 +840,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default=True,
                    help="create the target sketches first (--no-create when "
                         "the server already has them)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-request deadline (default: wait forever)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="transparent retry budget for transient failures "
+                        "(overloaded, reconnects, timeouts); stamped ingest "
+                        "makes retrying exactly-once safe (0 disables)")
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="write the client-side report as JSON ('-' for stdout)")
     p.set_defaults(func=_cmd_loadgen)
@@ -794,10 +855,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="one-shot control commands against a running sketch server",
     )
     p.add_argument("action",
-                   choices=["stats", "list", "checkpoint", "audit",
+                   choices=["stats", "health", "list", "checkpoint", "audit",
                             "query", "drain", "shutdown"])
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, required=True)
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-request deadline; expiry exits 1 with the "
+                        "typed 'timeout' error instead of hanging")
     p.add_argument("--name", default=None,
                    help="target sketch (audit/query; optional for checkpoint)")
     p.add_argument("--op", default="connected",

@@ -42,11 +42,14 @@ _VERSION = 1
 _SUFFIX = ".rpck"
 
 
-def _fsync_directory(directory: str) -> None:
-    """Flush a directory's entries to disk (rename durability).
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk (rename/create durability).
 
-    Platforms without directory fds (Windows) silently skip — the
-    rename there is already as durable as the platform offers.
+    Needed after ``os.replace``, segment creation, or unlink for the
+    entry itself to survive a power loss — shared by the checkpoint
+    writer and the service write-ahead log.  Platforms without
+    directory fds (Windows) silently skip — the rename there is
+    already as durable as the platform offers.
     """
     try:
         fd = os.open(directory, os.O_RDONLY)
@@ -56,6 +59,10 @@ def _fsync_directory(directory: str) -> None:
         os.fsync(fd)
     finally:
         os.close(fd)
+
+
+#: Backwards-compatible alias (pre-WAL internal name).
+_fsync_directory = fsync_directory
 
 
 @dataclass
@@ -210,6 +217,26 @@ class CheckpointManager:
                 os.remove(path)
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+
+    def wipe(self) -> int:
+        """Delete every retained checkpoint (a dead lineage).
+
+        Used when a name is *re-created* over an old checkpoint
+        directory: the stale generations belong to a different sketch
+        and ``load_latest`` would otherwise prefer them (their offsets
+        can exceed the new lineage's).  Returns the number of files
+        removed.
+        """
+        removed = 0
+        for _offset, path in self._existing():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        if removed:
+            fsync_directory(self.directory)
+        return removed
 
     def load(self, path: str) -> Checkpoint:
         """Load and verify one checkpoint file."""

@@ -154,6 +154,37 @@ class ProtocolFrameError(ServiceError):
     code = "bad-frame"
 
 
+class PeerDisconnectedError(ProtocolFrameError):
+    """The peer closed the connection mid-frame (abrupt disconnect).
+
+    Distinct from a malformed frame: the bytes that did arrive were
+    fine, the peer just went away.  The server counts it and closes the
+    session without attempting to answer a dead socket; a client
+    treats it as a retryable transport failure (reconnect + re-send of
+    stamped requests is exactly-once safe)."""
+
+    code = "disconnected"
+
+
+class WALError(ServiceError):
+    """A write-ahead-log operation failed (cannot open, write, or
+    rotate a segment).  Ingest that cannot be logged is refused —
+    the ack contract is "logged before acked", never "maybe logged"."""
+
+    code = "wal"
+
+
+class WALCorruptionError(WALError):
+    """A WAL record in the *interior* of the log failed its CRC.
+
+    A torn final record is the expected crash artifact and is silently
+    truncated on recovery; a bad CRC with valid records after it means
+    the log was damaged at rest and replay refuses to continue past it
+    silently."""
+
+    code = "wal-corrupt"
+
+
 class BadRequestError(ServiceError):
     """A well-framed request with invalid contents — unknown command,
     missing arguments, malformed update payload."""
@@ -179,6 +210,35 @@ class DrainingError(ServiceError):
     (and other mutating commands) are rejected with this typed error."""
 
     code = "draining"
+
+
+class OverloadedError(ServiceError):
+    """The server shed the request because its in-flight budget is full.
+
+    Carries ``retry_after`` — the server's hint (seconds) for when to
+    retry; it also travels in the error response header so remote
+    clients back off without guessing.  Shedding early keeps queueing
+    delay bounded: the alternative is every request slowing down until
+    timeouts fire indiscriminately.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceTimeoutError(ServiceError):
+    """A client-side request deadline expired before the response.
+
+    The request *may* have been applied — timeouts are ambiguous by
+    nature.  Stamped mutations (``client``/``request`` ids) are safe to
+    retry: the server's dedup window turns a re-send of an applied
+    batch into a duplicate ack instead of a double fold.
+    """
+
+    code = "timeout"
 
 
 class CommError(ReproError):

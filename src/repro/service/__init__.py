@@ -22,17 +22,35 @@ piece that turns the library into a serving system:
 * :mod:`repro.service.metrics` — server-level counters (sessions,
   in-flight requests, per-command latency histograms), exported by the
   ``stats`` command in the shared ``repro-metrics/1`` envelope;
-* :mod:`repro.service.client` — the asyncio client library;
+* :mod:`repro.service.wal` — the per-sketch write-ahead log behind the
+  *logged-before-acked* durability contract (segment rotation, CRC
+  framing, fsync policies) and the bounded
+  :class:`~repro.service.wal.DedupWindow` for exactly-once ingest;
+* :mod:`repro.service.client` — the asyncio client library: stamped
+  mutations, per-request timeouts, transparent
+  reconnect-and-retry-with-backoff of transient failures;
 * :mod:`repro.service.loadgen` — a configurable mixed ingest/query
-  load generator (ramp, churn, client-side latency percentiles).
+  load generator (ramp, churn, client-side latency percentiles,
+  acked/indeterminate op tracking for crash verification);
+* :mod:`repro.service.chaos` — the fault-injecting TCP proxy and the
+  SIGKILL/resume :class:`~repro.service.chaos.ServerSupervisor`
+  driving the zero-acked-write-loss tests and the E25 benchmark.
 
 Run a server with ``python -m repro serve``, drive it with
-``python -m repro loadgen`` / ``repro ctl``; see ``docs/service.md``
-for the protocol spec and the ops runbook.
+``python -m repro loadgen`` / ``repro ctl`` (``ctl health`` for the
+durability posture); see ``docs/service.md`` for the protocol spec,
+the failure model, and the ops runbook.
 """
 
 from .client import ServiceClient
 from .registry import SketchRegistry
 from .server import SketchServer
+from .wal import DedupWindow, WriteAheadLog
 
-__all__ = ["ServiceClient", "SketchRegistry", "SketchServer"]
+__all__ = [
+    "DedupWindow",
+    "ServiceClient",
+    "SketchRegistry",
+    "SketchServer",
+    "WriteAheadLog",
+]

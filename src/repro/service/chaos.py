@@ -1,0 +1,320 @@
+"""Chaos harness for the sketch server: fault proxy + kill supervisor.
+
+Two instruments, composable and both deterministic under a seed:
+
+:class:`ChaosProxy`
+    A TCP proxy between clients and the server that injects transport
+    faults on the client-to-server stream according to a seeded
+    per-connection plan — abrupt **resets**, **partial frames** (a cut
+    mid-prelude, exercising the server's disconnect handling), and
+    **stalls** (a pause long enough to fire client timeouts).  The
+    server under test sees real misbehaving sockets, not mocks.
+
+:class:`ServerSupervisor`
+    Runs the real server as a subprocess on a *fixed* port (so clients
+    reconnect to the same address across restarts), SIGKILLs it on
+    demand — the one signal no handler can soften — and restarts it
+    with ``--resume``, timing each kill-to-serving recovery.  Readiness
+    is observed, not assumed: the server only binds its listener after
+    checkpoint + WAL recovery completes, so a successful TCP accept
+    means the state is restored.
+
+The chaos acceptance bar (tests + bench E25): under SIGKILLs during
+load, **zero acked-write loss** — the recovered state is bit-identical
+to a serial replay of exactly the batches clients got acks for — and
+recovery stays fast enough to hide behind client retry budgets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ServiceError
+
+
+def pick_free_port(host: str = "127.0.0.1") -> int:
+    """Reserve an ephemeral port number (best effort: freed on return)."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+# -- the fault-injecting proxy ------------------------------------------------
+
+
+@dataclass
+class ChaosPlan:
+    """Fault mix of one :class:`ChaosProxy` (rates are per connection)."""
+
+    seed: int = 0
+    #: Probability a connection is reset after a few forwarded bytes.
+    reset_rate: float = 0.0
+    #: Probability a connection dies mid-prelude (a partial frame).
+    partial_rate: float = 0.0
+    #: Probability a connection stalls once for ``stall_seconds``.
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.5
+
+
+class ChaosProxy:
+    """Seeded fault-injecting TCP proxy in front of a sketch server.
+
+    Each accepted connection draws its fate from the seeded RNG:
+    ``pass`` (forward faithfully), ``reset`` (abort after a random
+    whole-frames-ish byte budget), ``partial`` (abort 1-15 bytes into
+    the client's stream — inside the 16-byte frame prelude), or
+    ``stall`` (one long pause, then forward faithfully).  Counters
+    expose how many of each actually fired.
+    """
+
+    def __init__(self, target_host: str, target_port: int,
+                 host: str = "127.0.0.1", port: int = 0,
+                 plan: Optional[ChaosPlan] = None):
+        self.target_host = target_host
+        self.target_port = target_port
+        self.host = host
+        self.port = port
+        self.plan = plan or ChaosPlan()
+        self._rng = random.Random(self.plan.seed)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sessions: set = set()
+        self.connections = 0
+        self.faults: Dict[str, int] = {
+            "reset": 0, "partial": 0, "stall": 0, "pass": 0,
+        }
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._sessions):
+            task.cancel()
+        for task in list(self._sessions):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    def _draw_mode(self) -> str:
+        roll = self._rng.random()
+        for mode, rate in (
+            ("reset", self.plan.reset_rate),
+            ("partial", self.plan.partial_rate),
+            ("stall", self.plan.stall_rate),
+        ):
+            if roll < rate:
+                return mode
+            roll -= rate
+        return "pass"
+
+    async def _handle(self, client_reader, client_writer) -> None:
+        task = asyncio.current_task()
+        self._sessions.add(task)
+        self.connections += 1
+        mode = self._draw_mode()
+        self.faults[mode] += 1
+        # The fault budget applies to the client->server direction —
+        # that is where a cut mid-frame stresses the server.
+        if mode == "partial":
+            budget = self._rng.randrange(1, 16)
+        elif mode == "reset":
+            budget = self._rng.randrange(16, 4096)
+        else:
+            budget = None
+        stall_after = (
+            self._rng.randrange(1, 1024) if mode == "stall" else None
+        )
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except OSError:
+            client_writer.transport.abort()
+            self._sessions.discard(task)
+            return
+        try:
+            await asyncio.gather(
+                self._pipe(client_reader, server_writer, budget, stall_after),
+                self._pipe(server_reader, client_writer, None, None),
+                return_exceptions=True,
+            )
+        except asyncio.CancelledError:
+            # stop() tearing the session down mid-pipe is routine.
+            pass
+        finally:
+            for writer in (client_writer, server_writer):
+                try:
+                    writer.transport.abort()
+                except Exception:
+                    pass
+            self._sessions.discard(task)
+
+    async def _pipe(self, reader, writer, budget: Optional[int],
+                    stall_after: Optional[int]) -> None:
+        forwarded = 0
+        stalled = stall_after is None
+        while True:
+            data = await reader.read(4096)
+            if not data:
+                break
+            if budget is not None and forwarded + len(data) >= budget:
+                # Forward the doomed prefix, then kill both directions
+                # abruptly — the server sees a half-written frame.
+                writer.write(data[: budget - forwarded])
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    pass
+                writer.transport.abort()
+                return
+            if not stalled and forwarded + len(data) >= stall_after:
+                stalled = True
+                await asyncio.sleep(self.plan.stall_seconds)
+            writer.write(data)
+            forwarded += len(data)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return
+
+
+# -- the kill-and-restart supervisor ------------------------------------------
+
+
+class ServerSupervisor:
+    """Run the real server as a subprocess; SIGKILL and resume it.
+
+    Synchronous on purpose — benchmarks and tests drive it from plain
+    code (or a worker thread) while the asyncio load generator hammers
+    the fixed ``port``.  Every restart passes ``--resume`` so the
+    server rebuilds from checkpoint + WAL; :attr:`recovery_times`
+    records each kill-to-accepting interval.
+    """
+
+    def __init__(self, checkpoint_dir: str, host: str = "127.0.0.1",
+                 port: Optional[int] = None,
+                 extra_args: Sequence[str] = (),
+                 ready_timeout: float = 30.0):
+        self.checkpoint_dir = checkpoint_dir
+        self.host = host
+        self.port = port if port is not None else pick_free_port(host)
+        self.extra_args = list(extra_args)
+        self.ready_timeout = ready_timeout
+        self.proc: Optional[subprocess.Popen] = None
+        self.starts = 0
+        self.kills = 0
+        self.recovery_times: List[float] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _command(self, resume: bool) -> List[str]:
+        cmd = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", self.host,
+            "--port", str(self.port),
+            "--checkpoint-dir", self.checkpoint_dir,
+        ]
+        if resume:
+            cmd.append("--resume")
+        cmd.extend(self.extra_args)
+        return cmd
+
+    def start(self, resume: bool = False) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            raise ServiceError("supervised server is already running")
+        env = dict(os.environ)
+        root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        )
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            self._command(resume),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        self.starts += 1
+        self.wait_ready()
+
+    def wait_ready(self, timeout: Optional[float] = None) -> float:
+        """Block until the port accepts; returns the wait in seconds.
+
+        The server binds its listener only after ``restore_all``
+        finished, so accepting implies recovery completed.
+        """
+        deadline = time.monotonic() + (timeout or self.ready_timeout)
+        t0 = time.monotonic()
+        while time.monotonic() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                raise ServiceError(
+                    f"supervised server exited with {self.proc.returncode} "
+                    "before accepting"
+                )
+            try:
+                with socket.create_connection(
+                    (self.host, self.port), timeout=0.25
+                ):
+                    return time.monotonic() - t0
+            except OSError:
+                time.sleep(0.01)
+        raise ServiceError(
+            f"supervised server not accepting on port {self.port} "
+            f"within {timeout or self.ready_timeout}s"
+        )
+
+    def kill(self) -> None:
+        """SIGKILL the server — no drain, no final checkpoint."""
+        if self.proc is None or self.proc.poll() is not None:
+            return
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+        self.kills += 1
+
+    def restart(self) -> float:
+        """SIGKILL + ``--resume`` restart; returns recovery seconds.
+
+        Recovery is measured kill-to-accepting: the full price of a
+        crash as a client sees it (process death, spawn, interpreter
+        start, checkpoint load, WAL replay, bind).
+        """
+        t0 = time.monotonic()
+        self.kill()
+        self.start(resume=True)
+        recovery = time.monotonic() - t0
+        self.recovery_times.append(recovery)
+        return recovery
+
+    def stop(self, timeout: float = 15.0) -> int:
+        """Graceful SIGTERM drain; returns the exit code."""
+        if self.proc is None:
+            return 0
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        return self.proc.returncode
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.stop(timeout=5.0)

@@ -10,21 +10,44 @@ the command set; :meth:`request` is the escape hatch for raw commands.
 Requests on one client are serialised (one frame in flight at a time);
 open several clients for concurrency — the server handles each
 connection as an independent session.
+
+Robustness (PR 7):
+
+- every request takes an optional ``timeout=`` (or the client-wide
+  default); expiry poisons the connection (a half-read frame cannot be
+  resynchronised) and raises
+  :class:`~repro.errors.ServiceTimeoutError`;
+- when constructed via :meth:`connect`, the client transparently
+  **reconnects and retries** transient failures — ``overloaded``
+  (sleeping the server's ``retry_after`` hint), disconnects, resets,
+  and timeouts — under the engine's
+  :class:`~repro.engine.supervisor.RetryPolicy` backoff;
+- mutations are **stamped** with ``(client, request)`` ids, so a retry
+  of a timed-out-but-applied ingest is answered from the server's
+  dedup window (``duplicate: true``) instead of folding twice —
+  retrying is always safe, which is what makes the first two points
+  sound.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 from typing import Dict, Optional, Tuple
 
+from ..engine.supervisor import RetryPolicy
 from ..errors import (
     BadRequestError,
     DrainingError,
     NoSuchSketchError,
+    OverloadedError,
+    PeerDisconnectedError,
     ProtocolFrameError,
     ServiceError,
+    ServiceTimeoutError,
     SketchExistsError,
+    WALError,
 )
 from .protocol import encode_frame, encode_pairs, read_frame
 
@@ -32,12 +55,20 @@ _ERROR_TYPES = {
     cls.code: cls
     for cls in (
         ProtocolFrameError,
+        PeerDisconnectedError,
         BadRequestError,
         NoSuchSketchError,
         SketchExistsError,
         DrainingError,
+        OverloadedError,
+        ServiceTimeoutError,
+        WALError,
     )
 }
+
+#: Error codes worth retrying: the server shed the request or the
+#: transport failed — nothing about the request itself was wrong.
+TRANSIENT_CODES = frozenset({"overloaded", "disconnected", "timeout"})
 
 
 def error_from_response(header: Dict[str, object]) -> ServiceError:
@@ -45,31 +76,97 @@ def error_from_response(header: Dict[str, object]) -> ServiceError:
     code = header.get("error", "internal")
     message = header.get("message", "service error")
     cls = _ERROR_TYPES.get(code)
+    if cls is OverloadedError:
+        return OverloadedError(
+            message, retry_after=float(header.get("retry_after", 0.05))
+        )
     if cls is not None:
         return cls(message)
     return ServiceError(message, code=code)
 
 
 class ServiceClient:
-    """One connection to a :class:`~repro.service.server.SketchServer`."""
+    """One connection to a :class:`~repro.service.server.SketchServer`.
 
-    def __init__(self, reader, writer):
+    Parameters
+    ----------
+    timeout:
+        Default per-request deadline in seconds (None = wait forever);
+        each call can override it with ``timeout=``.
+    retry:
+        :class:`~repro.engine.supervisor.RetryPolicy` governing
+        transparent reconnect-and-retry of transient failures.  Only
+        effective when the client knows its endpoint (built via
+        :meth:`connect`); ``max_restarts=0`` disables retrying.
+    client_id:
+        The stamp identity for exactly-once ingest; defaults to a
+        random 16-hex-digit id per client object.
+    """
+
+    def __init__(self, reader, writer, host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 client_id: Optional[str] = None):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
         self._ids = itertools.count(1)
         self._lock = asyncio.Lock()
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.client_id = client_id or os.urandom(8).hex()
+        self._stamps = itertools.count(1)
+        self._closed = False
+        #: Observability for load generators and tests.
+        self.retries = 0
+        self.reconnects = 0
+        self.errors_by_code: Dict[str, int] = {}
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 0):
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0,
+                      timeout: Optional[float] = None,
+                      retry: Optional[RetryPolicy] = None,
+                      client_id: Optional[str] = None):
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port, timeout=timeout,
+                   retry=retry, client_id=client_id)
 
     async def close(self) -> None:
-        self._writer.close()
+        self._closed = True
+        await self._drop_connection()
+
+    async def _drop_connection(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is None:
+            return
+        writer.close()
         try:
-            await self._writer.wait_closed()
+            await writer.wait_closed()
         except (ConnectionError, asyncio.CancelledError):
             pass
+
+    async def _ensure_connection(self) -> None:
+        if self._reader is not None:
+            return
+        if self._closed or self._host is None:
+            raise PeerDisconnectedError(
+                "client connection is closed"
+                if self._closed
+                else "connection lost and no endpoint to reconnect to"
+            )
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+        except OSError as exc:
+            # Refused/reset while the server restarts: a transient,
+            # typed failure the retry loop can back off on.
+            raise PeerDisconnectedError(
+                f"reconnect to {self._host}:{self._port} failed: {exc}"
+            ) from exc
+        self.reconnects += 1
 
     async def __aenter__(self):
         return self
@@ -79,30 +176,108 @@ class ServiceClient:
 
     # -- core ------------------------------------------------------------
 
-    async def request(
-        self, cmd: str, payload: bytes = b"", **args
+    async def request_once(
+        self, cmd: str, payload: bytes = b"",
+        timeout: Optional[float] = None, **args
     ) -> Tuple[Dict[str, object], bytes]:
-        """Send one command; return (response header, response payload).
+        """One attempt of one command — no retrying, no reconnecting.
 
         Raises the typed :class:`~repro.errors.ServiceError` the server
-        answered with, or :class:`~repro.errors.ProtocolFrameError` if
-        the connection died mid-exchange.
+        answered with; :class:`~repro.errors.PeerDisconnectedError` if
+        the connection died mid-exchange; :class:`~repro.errors.
+        ServiceTimeoutError` when the deadline expires (the connection
+        is then poisoned — a half-read frame cannot be resumed — and
+        will be re-opened by the next request when possible).
         """
+        if timeout is None:
+            timeout = self.timeout
         req_id = next(self._ids)
         header = {"id": req_id, "cmd": cmd}
         header.update(args)
         async with self._lock:
-            self._writer.write(encode_frame(header, payload))
-            await self._writer.drain()
-            frame = await read_frame(self._reader)
-        if frame is None:
-            raise ProtocolFrameError(
-                f"connection closed before response to {cmd!r}"
-            )
+            await self._ensure_connection()
+            try:
+                self._writer.write(encode_frame(header, payload))
+                if timeout is not None:
+                    await asyncio.wait_for(self._writer.drain(), timeout)
+                    frame = await asyncio.wait_for(
+                        read_frame(self._reader), timeout
+                    )
+                else:
+                    await self._writer.drain()
+                    frame = await read_frame(self._reader)
+            except asyncio.TimeoutError:
+                await self._drop_connection()
+                raise ServiceTimeoutError(
+                    f"no response to {cmd!r} within {timeout}s "
+                    "(the request may still have been applied)"
+                ) from None
+            except ProtocolFrameError:
+                # Disconnected mid-frame or framing out of sync: either
+                # way this connection is unusable.
+                await self._drop_connection()
+                raise
+            except ConnectionError as exc:
+                await self._drop_connection()
+                raise PeerDisconnectedError(
+                    f"connection failed during {cmd!r}: {exc}"
+                ) from exc
+            if frame is None:
+                await self._drop_connection()
+                raise PeerDisconnectedError(
+                    f"connection closed before response to {cmd!r}"
+                )
         resp, resp_payload = frame
         if not resp.get("ok"):
             raise error_from_response(resp)
         return resp, resp_payload
+
+    async def request(
+        self, cmd: str, payload: bytes = b"",
+        timeout: Optional[float] = None, **args
+    ) -> Tuple[Dict[str, object], bytes]:
+        """Send one command, retrying transient failures with backoff.
+
+        ``overloaded`` responses sleep the server's ``retry_after``
+        hint; disconnects and timeouts reconnect (when the endpoint is
+        known) after the :class:`RetryPolicy` backoff.  Identical
+        header args are re-sent on every attempt — which is why
+        mutating helpers stamp their requests *before* calling this.
+        Exhausting the budget re-raises the last failure.
+        """
+        attempt = 0
+        while True:
+            try:
+                return await self.request_once(
+                    cmd, payload, timeout=timeout, **args
+                )
+            except ServiceError as exc:
+                if exc.code not in TRANSIENT_CODES:
+                    raise
+                attempt += 1
+                retriable = self._host is not None or isinstance(
+                    exc, OverloadedError
+                )
+                if (
+                    not retriable
+                    or self._closed
+                    or attempt > self.retry.max_restarts
+                ):
+                    # The terminal failure is the caller's to account.
+                    raise
+                self.errors_by_code[exc.code] = (
+                    self.errors_by_code.get(exc.code, 0) + 1
+                )
+                self.retries += 1
+                if isinstance(exc, OverloadedError):
+                    delay = exc.retry_after
+                else:
+                    delay = self.retry.backoff_delay(0, attempt)
+                await asyncio.sleep(delay)
+
+    def next_stamp(self) -> Dict[str, object]:
+        """A fresh ``(client, request)`` stamp for one logical mutation."""
+        return {"client": self.client_id, "request": next(self._stamps)}
 
     # -- typed helpers ---------------------------------------------------
 
@@ -110,57 +285,89 @@ class ServiceClient:
         resp, _ = await self.request("hello")
         return resp
 
-    async def create(self, name: str, **config) -> Dict[str, object]:
-        resp, _ = await self.request("create", name=name, config=config)
-        return resp["sketch"]
+    async def create(self, name: str, timeout: Optional[float] = None,
+                     **config) -> Dict[str, object]:
+        """Create a named sketch, tolerating a retried create.
 
-    async def ingest_pairs(self, name: str, us, vs, signs) -> int:
+        When a create times out after the server applied it, the retry
+        answers ``sketch-exists``; since create is not stamped, the
+        client resolves that ambiguity by treating ``sketch-exists``
+        *after a transparent retry* as success (the registry's
+        ``list`` confirms the config on demand).
+        """
+        attempted = self.retries
+        try:
+            resp, _ = await self.request(
+                "create", timeout=timeout, name=name, config=config
+            )
+            return resp["sketch"]
+        except SketchExistsError:
+            if self.retries > attempted:
+                for sketch in await self.list():
+                    if sketch["name"] == name:
+                        return sketch
+            raise
+
+    async def ingest_pairs(self, name: str, us, vs, signs,
+                           timeout: Optional[float] = None) -> int:
         """Ship a packed rank-2 batch; returns the sketch's new offset."""
         resp, _ = await self.request(
-            "ingest-batch", payload=encode_pairs(us, vs, signs), name=name
+            "ingest-batch", payload=encode_pairs(us, vs, signs),
+            timeout=timeout, name=name, **self.next_stamp()
         )
         return resp["events"]
 
-    async def ingest_updates(self, name: str, updates) -> int:
+    async def ingest_updates(self, name: str, updates,
+                             timeout: Optional[float] = None) -> int:
         """Ship a general hyperedge batch ``[(sign, [v...]), ...]``."""
         resp, _ = await self.request(
             "ingest-batch",
+            timeout=timeout,
             name=name,
             updates=[[int(s), list(map(int, e))] for s, e in updates],
+            **self.next_stamp()
         )
         return resp["events"]
 
     async def query(
-        self, name: str, op: str = "connected", consistency: str = "fresh"
+        self, name: str, op: str = "connected", consistency: str = "fresh",
+        timeout: Optional[float] = None
     ) -> Dict[str, object]:
         resp, _ = await self.request(
-            "query", name=name, op=op, consistency=consistency
+            "query", timeout=timeout, name=name, op=op,
+            consistency=consistency
         )
         return resp
 
     async def checkpoint(
-        self, name: Optional[str] = None
+        self, name: Optional[str] = None, timeout: Optional[float] = None
     ) -> Dict[str, Optional[str]]:
         args = {} if name is None else {"name": name}
-        resp, _ = await self.request("checkpoint", **args)
+        resp, _ = await self.request("checkpoint", timeout=timeout, **args)
         return resp["paths"]
 
-    async def audit(self, name: str) -> Dict[str, object]:
-        resp, _ = await self.request("audit", name=name)
+    async def audit(self, name: str,
+                    timeout: Optional[float] = None) -> Dict[str, object]:
+        resp, _ = await self.request("audit", timeout=timeout, name=name)
         return resp["report"]
 
-    async def dump(self, name: str) -> Tuple[int, bytes]:
+    async def dump(self, name: str,
+                   timeout: Optional[float] = None) -> Tuple[int, bytes]:
         """Fetch the sketch's serialized blob (offset, RPSK bytes)."""
-        resp, payload = await self.request("dump", name=name)
+        resp, payload = await self.request("dump", timeout=timeout, name=name)
         return resp["events"], payload
 
-    async def list(self):
-        resp, _ = await self.request("list")
+    async def list(self, timeout: Optional[float] = None):
+        resp, _ = await self.request("list", timeout=timeout)
         return resp["sketches"]
 
-    async def stats(self) -> Dict[str, object]:
-        resp, _ = await self.request("stats")
+    async def stats(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        resp, _ = await self.request("stats", timeout=timeout)
         return resp["metrics"]
+
+    async def health(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        resp, _ = await self.request("health", timeout=timeout)
+        return resp
 
     async def drain(self) -> None:
         await self.request("drain")

@@ -28,7 +28,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import DrainingError, ProtocolFrameError
+from ..engine.supervisor import RetryPolicy
+from ..errors import (
+    DrainingError,
+    OverloadedError,
+    ProtocolFrameError,
+    ServiceError,
+    ServiceTimeoutError,
+)
 from .client import ServiceClient
 from .protocol import encode_pairs
 
@@ -60,6 +67,12 @@ class LoadConfig:
     #: Create the target sketches before the run (off when pointing the
     #: generator at a server that already has them).
     create: bool = True
+    #: Per-request deadline in seconds (None = wait forever).
+    timeout: Optional[float] = None
+    #: Transparent retry budget for transient failures (``overloaded``,
+    #: reconnects, timeouts); 0 disables retrying.  Retried ingest is
+    #: exactly-once safe because every batch is stamped.
+    retries: int = 3
 
 
 class _SlicePool:
@@ -152,31 +165,54 @@ def build_workload(config: LoadConfig):
 class _ConnResult:
     events: int = 0
     ingests: int = 0
+    duplicates: int = 0
     queries: int = 0
     draining_rejections: int = 0
     disconnected: bool = False
+    retries: int = 0
+    reconnects: int = 0
+    errors_by_code: Dict[str, int] = field(default_factory=dict)
+    #: Op indices (into this connection's plan) of acked ingests, and
+    #: of ingests whose fate is unknowable (transport failed after the
+    #: request may have been sent, retry budget exhausted).  Together
+    #: they bound what a post-crash dump may contain: every acked batch
+    #: MUST be present; an indeterminate batch MAY be.
+    acked: List[int] = field(default_factory=list)
+    indeterminate: List[int] = field(default_factory=list)
     ingest_lat: List[float] = field(default_factory=list)
     query_lat: List[float] = field(default_factory=list)
     fresh_lat: List[float] = field(default_factory=list)
+
+    def count_error(self, code: str) -> None:
+        self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
 
 
 async def _run_connection(config: LoadConfig, ops, start_delay: float):
     result = _ConnResult()
     if start_delay > 0:
         await asyncio.sleep(start_delay)
-    client = await ServiceClient.connect(config.host, config.port)
+    client = await ServiceClient.connect(
+        config.host,
+        config.port,
+        timeout=config.timeout,
+        retry=RetryPolicy(max_restarts=max(0, config.retries)),
+    )
     try:
-        for op in ops:
+        for op_index, op in enumerate(ops):
             t0 = time.perf_counter()
             try:
                 if op[0] == "ingest":
                     _, name, payload, count = op
-                    await client.request(
-                        "ingest-batch", payload=payload, name=name
+                    resp, _ = await client.request(
+                        "ingest-batch", payload=payload, name=name,
+                        **client.next_stamp()
                     )
                     result.ingest_lat.append(time.perf_counter() - t0)
                     result.events += count
                     result.ingests += 1
+                    result.acked.append(op_index)
+                    if resp.get("duplicate"):
+                        result.duplicates += 1
                 else:
                     _, name, qop, consistency = op
                     await client.query(name, op=qop, consistency=consistency)
@@ -188,12 +224,35 @@ async def _run_connection(config: LoadConfig, ops, start_delay: float):
                     ).append(dt)
                     result.queries += 1
             except DrainingError:
+                # A draining rejection is a guarantee of non-application.
+                result.count_error("draining")
                 result.draining_rejections += 1
                 break
-            except (ProtocolFrameError, ConnectionError):
+            except OverloadedError:
+                # Shed even after the retry budget: also guaranteed
+                # unapplied; skip the op and keep going.
+                result.count_error("overloaded")
+            except (ServiceTimeoutError, ProtocolFrameError,
+                    ConnectionError) as exc:
+                # Transport gave out beyond the retry budget.  For an
+                # ingest the batch may or may not have been applied —
+                # record the ambiguity instead of guessing.
+                code = getattr(exc, "code", "connection")
+                result.count_error(code)
+                if op[0] == "ingest":
+                    result.indeterminate.append(op_index)
                 result.disconnected = True
                 break
+            except ServiceError as exc:
+                result.count_error(exc.code)
+                break
     finally:
+        result.retries = client.retries
+        result.reconnects = client.reconnects
+        for code, hits in client.errors_by_code.items():
+            result.errors_by_code[code] = (
+                result.errors_by_code.get(code, 0) + hits
+            )
         await client.close()
     return result
 
@@ -220,7 +279,10 @@ async def run_loadgen(config: LoadConfig) -> Dict[str, object]:
     names, plans = build_workload(config)
     if config.create:
         async with await ServiceClient.connect(
-            config.host, config.port
+            config.host,
+            config.port,
+            timeout=config.timeout,
+            retry=RetryPolicy(max_restarts=max(0, config.retries)),
         ) as client:
             listed = {s["name"] for s in await client.list()}
             for name in names:
@@ -249,6 +311,10 @@ async def run_loadgen(config: LoadConfig) -> Dict[str, object]:
     ingest_lat = [s for r in results for s in r.ingest_lat]
     query_lat = [s for r in results for s in r.query_lat]
     fresh_lat = [s for r in results for s in r.fresh_lat]
+    errors_by_code: Dict[str, int] = {}
+    for r in results:
+        for code, hits in r.errors_by_code.items():
+            errors_by_code[code] = errors_by_code.get(code, 0) + hits
     return {
         "connections": config.connections,
         "sketches": names,
@@ -261,6 +327,15 @@ async def run_loadgen(config: LoadConfig) -> Dict[str, object]:
         "ops_per_second": (events + queries) / wall if wall else 0.0,
         "draining_rejections": sum(r.draining_rejections for r in results),
         "disconnected": sum(1 for r in results if r.disconnected),
+        "retries": sum(r.retries for r in results),
+        "reconnects": sum(r.reconnects for r in results),
+        "duplicate_acks": sum(r.duplicates for r in results),
+        "errors_by_code": errors_by_code,
+        #: Per-connection op indices: every acked ingest batch must
+        #: survive a crash; an indeterminate one may or may not have
+        #: landed.  The chaos bench serial-replays exactly these.
+        "acked_ops": [list(r.acked) for r in results],
+        "indeterminate_ops": [list(r.indeterminate) for r in results],
         "latency": {
             "ingest_batch": _latency_summary(ingest_lat),
             "query_snapshot": _latency_summary(query_lat),

@@ -111,7 +111,10 @@ class ServerMetrics:
         self.requests_total = 0
         self.in_flight = 0
         self.rejected_draining = 0
+        self.rejected_overload = 0
         self.frame_errors = 0
+        self.disconnects_midframe = 0
+        self.dedup_hits = 0
         self.per_command: Dict[str, CommandStats] = {}
 
     @property
@@ -142,7 +145,10 @@ class ServerMetrics:
             "requests_total": self.requests_total,
             "in_flight": self.in_flight,
             "rejected_draining": self.rejected_draining,
+            "rejected_overload": self.rejected_overload,
             "frame_errors": self.frame_errors,
+            "disconnects_midframe": self.disconnects_midframe,
+            "dedup_hits": self.dedup_hits,
             "per_command": {
                 cmd: stats.to_dict()
                 for cmd, stats in sorted(self.per_command.items())

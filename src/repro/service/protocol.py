@@ -38,7 +38,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ProtocolFrameError
+from ..errors import PeerDisconnectedError, ProtocolFrameError
 
 MAGIC = b"RPSV"
 _PRELUDE = struct.Struct("<4sIQ")
@@ -71,17 +71,22 @@ async def read_frame(
 ) -> Optional[Tuple[Dict[str, object], bytes]]:
     """Read one frame; ``None`` on clean EOF before any byte.
 
-    Raises :class:`~repro.errors.ProtocolFrameError` on bad magic,
-    oversized declared lengths, torn frames (EOF mid-frame), or an
-    unparseable header — the session layer answers ``bad-frame`` and
-    closes, since framing can no longer be trusted.
+    Raises :class:`~repro.errors.PeerDisconnectedError` when the peer
+    closes mid-frame (an abrupt disconnect: the bytes that arrived
+    were fine, there just aren't enough of them) and
+    :class:`~repro.errors.ProtocolFrameError` on genuinely malformed
+    framing — bad magic, oversized declared lengths, an unparseable
+    header.  The distinction matters to the session layer: a
+    disconnect gets counted and the session closed without writing to
+    the dead socket; a malformed frame is answered ``bad-frame``
+    before closing, since framing can no longer be trusted.
     """
     try:
         prelude = await reader.readexactly(_PRELUDE.size)
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
-        raise ProtocolFrameError("connection closed mid-frame") from exc
+        raise PeerDisconnectedError("connection closed mid-frame") from exc
     magic, head_len, payload_len = _PRELUDE.unpack(prelude)
     if magic != MAGIC:
         raise ProtocolFrameError(f"bad frame magic {magic!r}")
@@ -95,7 +100,7 @@ async def read_frame(
         head = await reader.readexactly(head_len)
         payload = await reader.readexactly(payload_len)
     except asyncio.IncompleteReadError as exc:
-        raise ProtocolFrameError("connection closed mid-frame") from exc
+        raise PeerDisconnectedError("connection closed mid-frame") from exc
     try:
         header = json.loads(head.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -18,14 +18,30 @@ Checkpoints reuse the engine's :class:`~repro.engine.checkpoint.
 CheckpointManager`, one subdirectory per sketch name; the checkpoint
 meta embeds the sketch's construction config, so a restart can rebuild
 and restore every sketch (crash-safe resume) without any side channel.
+
+Durability beyond the checkpoint cadence comes from the per-sketch
+:class:`~repro.service.wal.WriteAheadLog` (``<ckpt-dir>/<name>/wal``):
+every applied ingest batch is logged (payload verbatim + the
+``(client, request)`` stamp) before its ack, checkpoint meta records
+the covered WAL sequence number plus the dedup window, and
+:meth:`SketchRegistry.restore_all` replays the WAL tail after
+restoring the newest checkpoint — bit-identical to the uninterrupted
+run, because the sketches are linear.  The per-sketch
+:class:`~repro.service.wal.DedupWindow` turns a retried
+(timed-out-but-applied) batch into a duplicate ack instead of a
+double fold: exactly-once ingest across crashes and reconnects.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 import re
 import time
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..engine.checkpoint import Checkpoint, CheckpointManager
 from ..engine.metrics import IngestMetrics
@@ -39,6 +55,15 @@ from ..graph.union_find import UnionFind
 from ..sketch.serialization import dump_sketch, iter_grids, load_sketch
 from ..sketch.skeleton import SkeletonSketch
 from ..sketch.spanning_forest import SpanningForestSketch
+from .protocol import decode_pairs
+from .wal import (
+    KIND_CREATE,
+    KIND_PAIRS,
+    KIND_UPDATES,
+    DedupWindow,
+    WriteAheadLog,
+    wipe_wal,
+)
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
 
@@ -89,9 +114,11 @@ def build_sketch(config: Dict[str, object]):
 
 
 class SketchRecord:
-    """One served sketch: state, lock, metrics, snapshot, checkpoints."""
+    """One served sketch: state, lock, metrics, snapshot, durability."""
 
-    def __init__(self, name: str, config: Dict[str, object], sketch):
+    def __init__(self, name: str, config: Dict[str, object], sketch,
+                 wal: Optional[WriteAheadLog] = None,
+                 dedup: Optional[DedupWindow] = None):
         self.name = name
         self.config = config
         self.sketch = sketch
@@ -105,6 +132,25 @@ class SketchRecord:
         self.snapshot: Optional[Dict[str, object]] = None
         self.last_checkpoint_events = -1
         self.audits = 0
+        #: Write-ahead log (None when durability is disabled) and the
+        #: last WAL sequence number assigned to this sketch.
+        self.wal = wal
+        self.seq = 0
+        #: WAL sequence covered by the newest checkpoint.
+        self.last_checkpoint_seq = 0
+        #: Exactly-once memory for stamped ingest batches.
+        self.dedup = dedup if dedup is not None else DedupWindow()
+        #: Batches re-folded from the WAL tail by the last restore.
+        self.replayed = 0
+        #: Set when a WAL append failed after a fold: the sketch holds
+        #: an unlogged batch, so further mutations are refused until an
+        #: operator intervenes (restart replays to a consistent state).
+        self.wal_broken = False
+
+    @property
+    def wal_lag(self) -> int:
+        """WAL records not yet covered by a checkpoint (replay cost)."""
+        return max(0, self.seq - self.last_checkpoint_seq)
 
     @property
     def vertices(self) -> Tuple[int, ...]:
@@ -122,6 +168,8 @@ class SketchRecord:
             ),
             "last_checkpoint_events": self.last_checkpoint_events,
             "created_at": self.created_at,
+            "wal_seq": self.seq,
+            "wal_lag": self.wal_lag,
         }
 
 
@@ -143,12 +191,22 @@ class SketchRegistry:
         hash_cache: bool = True,
         hash_cache_max_bytes: int = 1 << 28,
         summed_cache_capacity: int = 8192,
+        wal: bool = True,
+        wal_segment_bytes: int = 4 << 20,
+        wal_fsync: str = "always",
+        dedup_window: int = 4096,
     ):
         self.checkpoint_dir = checkpoint_dir
         self.keep = keep
         self.hash_cache = hash_cache
         self.hash_cache_max_bytes = hash_cache_max_bytes
         self.summed_cache_capacity = summed_cache_capacity
+        #: WAL durability is on whenever a checkpoint directory exists
+        #: (there is nowhere to log without one).
+        self.wal_enabled = wal and checkpoint_dir is not None
+        self.wal_segment_bytes = wal_segment_bytes
+        self.wal_fsync = wal_fsync
+        self.dedup_window = dedup_window
         self._records: Dict[str, SketchRecord] = {}
         self._managers: Dict[str, CheckpointManager] = {}
 
@@ -201,13 +259,51 @@ class SketchRegistry:
         self._prepare(sketch)
         return sketch
 
+    def _wal_dir(self, name: str) -> Optional[str]:
+        if not self.wal_enabled:
+            return None
+        return os.path.join(self.checkpoint_dir, name, "wal")
+
+    def _open_wal(self, name: str) -> Optional[WriteAheadLog]:
+        directory = self._wal_dir(name)
+        if directory is None:
+            return None
+        return WriteAheadLog(
+            directory,
+            segment_bytes=self.wal_segment_bytes,
+            fsync=self.wal_fsync,
+        )
+
     def admit(
         self, name: str, config: Dict[str, object], sketch
     ) -> SketchRecord:
-        """Register an already-prepared sketch under ``name``."""
+        """Register an already-prepared sketch under ``name``.
+
+        A *fresh* create over leftover on-disk state (checkpoints or
+        WAL segments from a previous incarnation of the name that was
+        not resumed) wipes that state first — the old lineage is dead,
+        and restoring or replaying it into the new sketch would be
+        corruption, not durability.  With the WAL enabled, record 1 of
+        the new log is a ``create`` record carrying the construction
+        config, so the sketch is recoverable from the log alone even
+        if it crashes before its first checkpoint.
+        """
         if name in self._records:
             raise SketchExistsError(f"sketch {name!r} already exists")
-        record = SketchRecord(name, config, sketch)
+        wal = None
+        if self.checkpoint_dir is not None:
+            self.manager_for(name).wipe()
+            wal_dir = self._wal_dir(name)
+            if wal_dir is not None:
+                wipe_wal(wal_dir)
+            wal = self._open_wal(name)
+        record = SketchRecord(
+            name, config, sketch, wal=wal,
+            dedup=DedupWindow(capacity=self.dedup_window),
+        )
+        if wal is not None:
+            record.seq = 1
+            wal.append(record.seq, KIND_CREATE, dict(config))
         self._records[name] = record
         return record
 
@@ -229,6 +325,64 @@ class SketchRegistry:
 
     # -- ingest ---------------------------------------------------------
 
+    def validate_pairs(self, record: SketchRecord, us, vs, signs) -> None:
+        """Reject an invalid pair batch *before* any fold or WAL write.
+
+        The kernels validate too, but they validate per chunk — a bad
+        chunk after good ones would leave a partially applied batch.
+        Checking the whole batch upfront makes ingest all-or-nothing:
+        a batch either folds completely (and is logged, and replays
+        identically) or touches nothing.
+        """
+        u = np.asarray(us)
+        v = np.asarray(vs)
+        s = np.asarray(signs)
+        n = record.config["n"]
+        if not (u.shape == v.shape == s.shape) or u.ndim != 1:
+            raise BadRequestError("pair batch arrays must be equal-length 1-D")
+        if u.size == 0:
+            return
+        if (np.abs(s) != 1).any():
+            raise BadRequestError("pair batch signs must be +1 or -1")
+        if int(u.min()) < 0 or int(v.min()) < 0 or \
+                int(u.max()) >= n or int(v.max()) >= n:
+            raise BadRequestError(
+                f"pair batch mentions a vertex outside [0, {n})"
+            )
+        if (u == v).any():
+            raise BadRequestError("pair batch contains a self-loop")
+
+    def validate_updates(self, record: SketchRecord, updates) -> List:
+        """Parse and fully validate a JSON hyperedge batch.
+
+        Returns the ``[(edge_tuple, sign), ...]`` batch the sketch
+        consumes.  Same rationale as :meth:`validate_pairs`: the
+        scalar update loop applies event by event, so domain errors
+        must be caught before the first one."""
+        n = record.config["n"]
+        r = record.config["r"]
+        try:
+            batch = [(tuple(int(v) for v in edge), int(sign))
+                     for sign, edge in updates]
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(
+                f"malformed updates payload: {exc}"
+            ) from exc
+        for edge, sign in batch:
+            if sign not in (1, -1):
+                raise BadRequestError(f"update sign must be +1 or -1, got {sign}")
+            if len(set(edge)) != len(edge):
+                raise BadRequestError(f"hyperedge {edge} has repeated vertices")
+            if not 2 <= len(edge) <= r:
+                raise BadRequestError(
+                    f"hyperedge of {len(edge)} vertices violates 2 <= |e| <= {r}"
+                )
+            if any(v < 0 or v >= n for v in edge):
+                raise BadRequestError(
+                    f"hyperedge {edge} mentions a vertex outside [0, {n})"
+                )
+        return batch
+
     def ingest_pairs(self, record: SketchRecord, us, vs, signs) -> int:
         """Fold a packed rank-2 batch into a record's sketch.
 
@@ -244,18 +398,48 @@ class SketchRegistry:
 
     def ingest_updates(self, record: SketchRecord, updates) -> int:
         """Fold a general hyperedge batch ``[[sign, [v...]], ...]``."""
-        try:
-            batch = [(tuple(edge), int(sign)) for sign, edge in updates]
-        except (TypeError, ValueError) as exc:
-            raise BadRequestError(
-                f"malformed updates payload: {exc}"
-            ) from exc
+        batch = self.validate_updates(record, updates)
         t0 = time.perf_counter()
         record.sketch.update_batch(batch)
         count = len(batch)
         record.events += count
         record.ingest.observe_batch(0, count, time.perf_counter() - t0)
         return count
+
+    def wal_commit(
+        self,
+        record: SketchRecord,
+        kind: int,
+        payload: bytes,
+        client: Optional[str],
+        request: Optional[int],
+        count: int,
+    ) -> int:
+        """Log an applied batch and remember its ack (exactly-once).
+
+        Runs under ``record.lock``, *after* the fold and *before* the
+        ack leaves the server: a crash before this call loses only an
+        unacknowledged batch (the client retries into an empty dedup
+        slot); a crash after it replays the batch and answers the
+        retry from the rebuilt dedup window.  Returns the assigned
+        sequence number (0 when durability is disabled — the dedup
+        window still protects against double folds within the process
+        lifetime).
+        """
+        meta = {"client": client, "request": request, "count": int(count)}
+        if record.wal is not None:
+            try:
+                record.wal.append(record.seq + 1, kind, meta, payload)
+            except Exception:
+                # The fold landed but the log did not: acking would
+                # promise durability we cannot deliver, and letting a
+                # retry in would double-fold.  Freeze mutations on this
+                # sketch until an operator intervenes.
+                record.wal_broken = True
+                raise
+            record.seq += 1
+        record.dedup.add(client, request, count, record.events)
+        return record.seq
 
     # -- snapshots (the query path) -------------------------------------
 
@@ -319,20 +503,36 @@ class SketchRegistry:
         """Persist a record's state (under its lock); returns the path.
 
         No-op (returns None) without a checkpoint directory or when
-        nothing changed since the last save.
+        nothing changed since the last save.  The checkpoint meta
+        records the covered WAL sequence number and the dedup window,
+        so a resume that starts from this checkpoint replays exactly
+        the WAL records after ``seq`` and still answers retried
+        stamps correctly; dead WAL segments are truncated after the
+        save lands.
         """
         mgr = self.manager_for(record.name)
-        if mgr is None or record.events == record.last_checkpoint_events:
+        if mgr is None or (
+            record.events == record.last_checkpoint_events
+            and record.seq == record.last_checkpoint_seq
+        ):
             return None
         t0 = time.perf_counter()
         blob = dump_sketch(record.sketch)
+        seq = record.seq
         ck = Checkpoint(
             offset=record.events,
             shard_blobs=[blob],
-            meta={"service": dict(record.config), "saved_at": time.time()},
+            meta={
+                "service": dict(record.config),
+                "saved_at": time.time(),
+                "wal": {"seq": seq, "dedup": record.dedup.to_list()},
+            },
         )
         path = mgr.save(ck)
         record.last_checkpoint_events = record.events
+        record.last_checkpoint_seq = seq
+        if record.wal is not None:
+            record.wal.truncate_through(seq)
         record.ingest.checkpoint.observe(len(blob), time.perf_counter() - t0)
         return path
 
@@ -340,14 +540,24 @@ class SketchRegistry:
         """Rebuild every sketch found under the checkpoint directory.
 
         Used by ``serve --resume``: each subdirectory is one sketch
-        name; its latest loadable checkpoint (with generation fallback)
-        supplies the construction config and counter state.  Returns
-        the restored names; raises :class:`~repro.errors.
-        CheckpointError` when a directory exists but holds no loadable
-        generation.
-        """
-        import os
+        name.  Per name, recovery is *checkpoint + WAL tail*:
 
+        1. load the latest loadable checkpoint (generation fallback);
+           when none exists, fall back to the WAL's ``create`` record
+           (the sketch crashed before its first checkpoint);
+        2. restore the covered WAL sequence number and the dedup
+           window from the checkpoint meta;
+        3. replay every WAL record after the covered sequence through
+           the normal ingest path — bit-identical to having never
+           crashed, because updates are linear — re-adding each
+           record's ``(client, request)`` stamp to the dedup window.
+
+        A torn final WAL record (the crash artifact of an interrupted,
+        hence unacknowledged, append) is truncated by the WAL open;
+        interior corruption raises
+        :class:`~repro.errors.WALCorruptionError` rather than silently
+        dropping acknowledged history.  Returns the restored names.
+        """
         if self.checkpoint_dir is None or not os.path.isdir(self.checkpoint_dir):
             return []
         restored = []
@@ -357,23 +567,82 @@ class SketchRegistry:
                 continue
             mgr = self.manager_for(name)
             ck = mgr.load_latest()
-            if ck is None:
-                continue
+            wal = self._open_wal(name)
+            record = self._restore_one(name, ck, wal)
+            if record is not None:
+                self._records[name] = record
+                restored.append(name)
+        return restored
+
+    def _restore_one(
+        self,
+        name: str,
+        ck: Optional[Checkpoint],
+        wal: Optional[WriteAheadLog],
+    ) -> Optional[SketchRecord]:
+        """Checkpoint + WAL-tail recovery of one name; None = nothing."""
+        config = None
+        if ck is not None:
             meta = ck.meta.get("service")
             if not isinstance(meta, dict):
                 raise CheckpointError(
                     f"checkpoint for {name!r} lacks service config meta"
                 )
             config = normalize_config(meta)
-            sketch = build_sketch(config)
+        elif wal is not None and wal.last_seq > 0:
+            for rec in wal.replay(after_seq=0):
+                if rec.kind == KIND_CREATE:
+                    config = normalize_config(rec.meta)
+                break
+            if config is None:
+                raise CheckpointError(
+                    f"WAL for {name!r} does not begin with a create record"
+                )
+        if config is None:
+            return None
+        sketch = build_sketch(config)
+        base_seq = 0
+        dedup = DedupWindow(capacity=self.dedup_window)
+        if ck is not None:
             load_sketch(sketch, ck.shard_blobs[0])
-            self._prepare(sketch)
-            record = SketchRecord(name, config, sketch)
-            record.events = ck.offset
-            record.last_checkpoint_events = ck.offset
-            self._records[name] = record
-            restored.append(name)
-        return restored
+            wal_meta = ck.meta.get("wal")
+            if isinstance(wal_meta, dict):
+                base_seq = int(wal_meta.get("seq", 0))
+                dedup = DedupWindow.from_list(
+                    wal_meta.get("dedup", ()), capacity=self.dedup_window
+                )
+            elif wal is not None:
+                # Pre-WAL checkpoint next to a log: coverage unknown,
+                # so trust the checkpoint and skip the replay.
+                base_seq = wal.last_seq
+        self._prepare(sketch)
+        record = SketchRecord(name, config, sketch, wal=wal, dedup=dedup)
+        record.events = ck.offset if ck is not None else 0
+        record.last_checkpoint_events = record.events if ck is not None else -1
+        record.seq = base_seq
+        record.last_checkpoint_seq = base_seq
+        if wal is not None:
+            for rec in wal.replay(after_seq=base_seq):
+                if rec.kind == KIND_CREATE:
+                    record.seq = rec.seq
+                    continue
+                if rec.kind == KIND_PAIRS:
+                    us, vs, signs = decode_pairs(rec.payload)
+                    count = self.ingest_pairs(record, us, vs, signs)
+                elif rec.kind == KIND_UPDATES:
+                    updates = json.loads(rec.payload.decode("utf-8"))
+                    count = self.ingest_updates(record, updates)
+                else:
+                    raise CheckpointError(
+                        f"WAL for {name!r} holds unknown record kind {rec.kind}"
+                    )
+                record.seq = rec.seq
+                record.replayed += 1
+                record.dedup.add(
+                    rec.meta.get("client"), rec.meta.get("request"),
+                    count, record.events,
+                )
+        return record
 
     # -- audits ----------------------------------------------------------
 

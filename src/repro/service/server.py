@@ -22,11 +22,31 @@ sketch gets a final checkpoint, and the process exits 0.  Starting with
 ``resume=True`` rebuilds every sketch from its latest checkpoint —
 state round-trips bit-identically, which the test-suite asserts by
 comparing ``dump`` blobs across a kill/restart.
+
+Durability and self-protection (PR 7):
+
+- **WAL before ack** — with a checkpoint directory, every applied
+  ingest batch is appended to the sketch's write-ahead log *before*
+  the ack frame is written, so a SIGKILL can only lose batches no
+  client was told succeeded; ``resume`` replays the tail
+  (:meth:`~repro.service.registry.SketchRegistry.restore_all`).
+- **Exactly-once** — clients stamp mutations with ``client``/
+  ``request`` ids; a retried batch that already landed answers a
+  duplicate ack from the dedup window instead of folding twice.
+- **Overload shedding** — at most ``max_in_flight`` expensive requests
+  run concurrently; beyond that the server answers the typed
+  ``overloaded`` error with a ``retry_after`` hint rather than letting
+  queueing delay grow without bound.  Cheap control commands
+  (``hello``, ``health``, ``stats``, drain) always get through.
+- **Abrupt disconnects** — a peer vanishing mid-frame is counted and
+  the session closed without writing to the dead socket; locks and
+  name reservations are released by the normal ``finally`` paths.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import signal
 import time
 from typing import Dict, Optional
@@ -36,21 +56,33 @@ from ..engine.query import QueryMetrics, collect_query_metrics, make_executor
 from ..errors import (
     BadRequestError,
     DrainingError,
+    OverloadedError,
+    PeerDisconnectedError,
     ProtocolFrameError,
     ReproError,
     ServiceError,
     SketchExistsError,
+    WALError,
 )
 from ..sketch.serialization import dump_sketch
 from .metrics import ServerMetrics
 from .protocol import PROTOCOL_VERSION, decode_pairs, encode_frame, read_frame
 from .registry import SketchRegistry
+from .wal import KIND_PAIRS, KIND_UPDATES
 
 SERVER_VERSION = 1
 
 #: Commands that mutate registry or sketch state and are therefore
 #: refused once the server starts draining.
 _MUTATING = frozenset({"create", "ingest-batch"})
+
+#: Commands expensive enough to count against the in-flight budget;
+#: everything else (hello, health, stats, list, drain, shutdown) is
+#: cheap control traffic that must keep working *especially* under
+#: overload — an operator diagnosing a hot server needs ``health``.
+_EXPENSIVE = frozenset(
+    {"create", "ingest-batch", "query", "checkpoint", "audit", "dump"}
+)
 
 
 class SketchServer:
@@ -65,6 +97,7 @@ class SketchServer:
         snapshot_interval: float = 1.0,
         resume: bool = False,
         ingest_chunk: int = 8192,
+        max_in_flight: int = 64,
     ):
         self.registry = registry
         self.host = host
@@ -73,6 +106,9 @@ class SketchServer:
         self.snapshot_interval = snapshot_interval
         self.resume = resume
         self.ingest_chunk = max(1, ingest_chunk)
+        self.max_in_flight = max(1, max_in_flight)
+        #: How many expensive requests are currently running.
+        self._expensive_in_flight = 0
         self.metrics = ServerMetrics()
         self.query_metrics = QueryMetrics()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -230,20 +266,31 @@ class SketchServer:
         while True:
             try:
                 frame = await read_frame(reader)
+            except PeerDisconnectedError:
+                # The peer went away mid-frame.  Nothing to answer — the
+                # socket is dead — so count it and let the session close
+                # cleanly (locks and reservations are released by the
+                # handlers' own finally paths; none are held between
+                # frames).
+                self.metrics.disconnects_midframe += 1
+                return
             except ProtocolFrameError as exc:
                 # Framing is no longer trustworthy: answer and close.
                 self.metrics.frame_errors += 1
-                writer.write(
-                    encode_frame(
-                        {
-                            "id": None,
-                            "ok": False,
-                            "error": exc.code,
-                            "message": str(exc),
-                        }
+                try:
+                    writer.write(
+                        encode_frame(
+                            {
+                                "id": None,
+                                "ok": False,
+                                "error": exc.code,
+                                "message": str(exc),
+                            }
+                        )
                     )
-                )
-                await writer.drain()
+                    await writer.drain()
+                except ConnectionError:
+                    pass
                 return
             if frame is None:
                 return
@@ -258,6 +305,7 @@ class SketchServer:
         req_id = header.get("id")
         cmd = header.get("cmd")
         self.metrics.in_flight += 1
+        expensive = False
         t0 = time.perf_counter()
         ok = False
         try:
@@ -268,6 +316,16 @@ class SketchServer:
                 raise DrainingError(
                     f"server is draining; {cmd!r} rejected"
                 )
+            if cmd in _EXPENSIVE:
+                if self._expensive_in_flight >= self.max_in_flight:
+                    self.metrics.rejected_overload += 1
+                    raise OverloadedError(
+                        f"server at its in-flight budget "
+                        f"({self.max_in_flight}); {cmd!r} shed",
+                        retry_after=0.05,
+                    )
+                expensive = True
+                self._expensive_in_flight += 1
             handler = getattr(self, "_cmd_" + cmd.replace("-", "_"), None)
             if handler is None:
                 raise BadRequestError(f"unknown command {cmd!r}")
@@ -281,15 +339,16 @@ class SketchServer:
             response.update(body)
             return response, out_payload
         except ServiceError as exc:
-            return (
-                {
-                    "id": req_id,
-                    "ok": False,
-                    "error": exc.code,
-                    "message": str(exc),
-                },
-                b"",
-            )
+            body = {
+                "id": req_id,
+                "ok": False,
+                "error": exc.code,
+                "message": str(exc),
+            }
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                body["retry_after"] = retry_after
+            return body, b""
         except ReproError as exc:
             return (
                 {
@@ -301,6 +360,8 @@ class SketchServer:
                 b"",
             )
         finally:
+            if expensive:
+                self._expensive_in_flight -= 1
             self.metrics.in_flight -= 1
             self.metrics.observe(
                 cmd if isinstance(cmd, str) else "<invalid>",
@@ -334,7 +395,11 @@ class SketchServer:
             sketch = await asyncio.to_thread(
                 self.registry.prepare_sketch, normalized
             )
-            record = self.registry.admit(name, normalized, sketch)
+            # admit() wipes stale on-disk lineage and writes the WAL
+            # create record — disk I/O, so it runs off-loop too.
+            record = await asyncio.to_thread(
+                self.registry.admit, name, normalized, sketch
+            )
         finally:
             self._creating.discard(name)
         return {"sketch": record.describe()}
@@ -342,22 +407,48 @@ class SketchServer:
     async def _cmd_ingest_batch(self, header, payload):
         record = self.registry.get(header.get("name"))
         updates = header.get("updates")
+        client = header.get("client")
+        request = header.get("request")
         async with record.lock:
             # Re-check under the lock: a drain that began while we were
             # waiting must not admit new events.
             if self.draining:
                 self.metrics.rejected_draining += 1
                 raise DrainingError("server is draining; ingest rejected")
+            if record.wal_broken:
+                raise WALError(
+                    f"sketch {record.name!r} holds an unlogged batch "
+                    "after a WAL append failure; mutations are frozen "
+                    "(restart the server to recover a consistent state)"
+                )
+            # Exactly-once: a stamp we already acked answers the
+            # original ack — the retry of a timed-out-but-applied
+            # batch, which must not fold twice.
+            prior = record.dedup.check(client, request)
+            if prior is not None:
+                self.metrics.dedup_hits += 1
+                return {
+                    "count": prior["count"],
+                    "events": prior["events"],
+                    "duplicate": True,
+                }
             if updates is not None:
                 count = await asyncio.to_thread(
                     self.registry.ingest_updates, record, updates
                 )
+                kind = KIND_UPDATES
+                wal_payload = json.dumps(updates).encode("utf-8")
             elif payload:
                 # The kernels run on a worker thread (safe: the record
                 # lock is held, and numpy releases the GIL inside them)
                 # in bounded chunks, so snapshot queries — plain dict
                 # lookups on the loop — never stall behind a big batch.
+                # The whole batch is validated *first*: a later chunk
+                # can no longer fail after earlier chunks folded.
                 us, vs, signs = decode_pairs(payload)
+                await asyncio.to_thread(
+                    self.registry.validate_pairs, record, us, vs, signs
+                )
                 count = 0
                 chunk = self.ingest_chunk
                 for start in range(0, len(us), chunk):
@@ -369,11 +460,19 @@ class SketchServer:
                         vs[start:end],
                         signs[start:end],
                     )
+                kind = KIND_PAIRS
+                wal_payload = payload
             else:
                 raise BadRequestError(
                     "ingest-batch needs 'updates' or a pairs payload"
                 )
-            return {"count": count, "events": record.events}
+            # Logged before acked: the WAL append (and its fsync) must
+            # land before the ack frame leaves — off-loop, it blocks.
+            seq = await asyncio.to_thread(
+                self.registry.wal_commit,
+                record, kind, wal_payload, client, request, count,
+            )
+            return {"count": count, "events": record.events, "seq": seq}
 
     async def _cmd_query(self, header, payload):
         record = self.registry.get(header.get("name"))
@@ -456,6 +555,54 @@ class SketchServer:
                     "sketches": sketches,
                 }
             )
+        }
+
+    async def _cmd_health(self, header, payload):
+        """Cheap liveness + durability posture; never shed or refused.
+
+        Surfaces exactly what an operator needs under stress: how far
+        each WAL runs ahead of its checkpoint (replay cost of a crash
+        right now), dedup occupancy (exactly-once memory pressure),
+        in-flight vs budget (shed margin), and drain/broken states.
+        """
+        sketches = {}
+        broken = False
+        worst_lag = 0
+        for record in self.registry.records():
+            lag = record.wal_lag
+            worst_lag = max(worst_lag, lag)
+            broken = broken or record.wal_broken
+            info = {
+                "events": record.events,
+                "wal_seq": record.seq,
+                "wal_lag": lag,
+                "wal_broken": record.wal_broken,
+                "replayed": record.replayed,
+                "dedup_entries": len(record.dedup),
+                "dedup_occupancy": record.dedup.occupancy,
+                "dedup_hits": record.dedup.hits,
+            }
+            if record.wal is not None:
+                info["wal"] = record.wal.stats()
+            sketches[record.name] = info
+        status = "ok"
+        if broken:
+            status = "degraded"
+        if self.draining:
+            status = "draining"
+        return {
+            "status": status,
+            "draining": self.draining,
+            "wal_enabled": self.registry.wal_enabled,
+            "in_flight": self.metrics.in_flight,
+            "expensive_in_flight": self._expensive_in_flight,
+            "max_in_flight": self.max_in_flight,
+            "rejected_overload": self.metrics.rejected_overload,
+            "dedup_hits": self.metrics.dedup_hits,
+            "disconnects_midframe": self.metrics.disconnects_midframe,
+            "worst_wal_lag": worst_lag,
+            "restored": list(self.restored),
+            "sketches": sketches,
         }
 
     async def _cmd_drain(self, header, payload):

@@ -25,6 +25,7 @@ from bench_query_engine import (  # noqa: E402
 from bench_recovery import recovery_comparison  # noqa: E402
 from bench_service import serial_replay_dumps, start_server  # noqa: E402
 from bench_service import _dump_all, _shutdown  # noqa: E402
+from bench_service_chaos import chaos_round  # noqa: E402
 
 
 class TestBenchSmoke:
@@ -119,3 +120,30 @@ class TestBenchSmoke:
         assert all(
             dumps[name] == reference[name] for name in report["sketches"]
         )
+
+    @pytest.mark.faults
+    def test_smoke_service_chaos_recovery(self):
+        """E25 core at small scale: SIGKILL + WAL resume loses no acked
+        write (the recovery-latency and throughput bars are the full
+        benchmark's job)."""
+        from repro.service.loadgen import LoadConfig
+
+        config = LoadConfig(
+            sketches=1,
+            n=32,
+            seed=3,
+            connections=2,
+            batches=8,
+            batch_size=512,
+            delete_fraction=0.2,
+            queries_per_batch=1.0,
+            fresh_fraction=0.0,
+            timeout=10.0,
+            retries=8,
+        )
+        out = chaos_round(config, kill_period=0.8, max_kills=2)
+        assert out["kills"] >= 1  # the proof-of-durability final kill
+        assert out["zero_acked_loss"]
+        assert out["acked_batches"] + out["indeterminate_batches"] == 16
+        assert out["replayed_batches"] >= 0
+        assert out["median_recovery"] > 0
