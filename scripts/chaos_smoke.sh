@@ -20,12 +20,18 @@
 #   scripts/chaos_smoke.sh service           # service mode only: SIGKILL the
 #                                            # sketch server mid-load, resume,
 #                                            # assert zero acked-write loss
+#   scripts/chaos_smoke.sh replica           # replica mode only: quorum ingest
+#                                            # across 3 replicas while the
+#                                            # primary is SIGKILLed and one
+#                                            # link runs through the chaos
+#                                            # proxy; anti-entropy must
+#                                            # converge with zero acked loss
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 mode=all
-if [ $# -gt 0 ] && { [ "$1" = "referee" ] || [ "$1" = "service" ]; }; then
+if [ $# -gt 0 ] && { [ "$1" = "referee" ] || [ "$1" = "service" ] || [ "$1" = "replica" ]; }; then
     mode=$1
     shift
 fi
@@ -49,6 +55,14 @@ for seed in "${seeds[@]}"; do
     if [ "${mode}" = "all" ] || [ "${mode}" = "service" ]; then
         echo "=== chaos smoke (service mode): seed ${seed} ==="
         PYTHONPATH=src python -m pytest -q tests/service -m faults --chaos-seed="${seed}"
+    fi
+    if [ "${mode}" = "all" ] || [ "${mode}" = "replica" ]; then
+        echo "=== chaos smoke (replica mode): seed ${seed} ==="
+        PYTHONPATH=src python -m pytest -q tests/service/test_failover.py \
+            tests/service/test_replication.py tests/service/test_chaos_proxy.py \
+            --chaos-seed="${seed}"
+        PYTHONPATH=src python -m pytest -q tests/engine/test_bench_smoke.py \
+            -m faults -k replica --chaos-seed="${seed}"
     fi
 done
 echo "=== chaos smoke (${mode}): all ${#seeds[@]} seeds passed ==="

@@ -10,6 +10,9 @@ Three robustness layers over the linear-sketch machinery:
   re-verified independently of the decode path.
 * :mod:`~repro.audit.amplify` — failure-probability amplification by
   majority vote over independent sketch repetitions.
+* :mod:`~repro.audit.repair` — digest *diff* between replicas of one
+  sketch (per grid/(group, row) and per member column), localizing
+  exactly the state a replica repair must ship.
 """
 
 from .amplify import AmplifiedResult, amplify_votes, run_amplified
@@ -21,6 +24,14 @@ from .certify import (
     certify_spanning_forest,
 )
 from .digest import GridDigest, attach_digest
+from .repair import (
+    diff_digest_tables,
+    divergent_members,
+    grid_digest_table,
+    member_digest_table,
+    sketch_digest_table,
+    table_fingerprint,
+)
 from .integrity import (
     AuditReport,
     Corruption,
@@ -47,8 +58,14 @@ __all__ = [
     "certify_edge_connectivity",
     "certify_skeleton",
     "certify_spanning_forest",
+    "diff_digest_tables",
+    "divergent_members",
+    "grid_digest_table",
+    "member_digest_table",
     "named_grids",
     "run_amplified",
+    "sketch_digest_table",
+    "table_fingerprint",
     "verified_merge",
     "verified_restore",
 ]

@@ -439,6 +439,7 @@ def _cmd_serve(args) -> int:
         resume=args.resume,
         ingest_chunk=args.ingest_chunk,
         max_in_flight=args.max_in_flight,
+        role=args.role,
     )
 
     def ready(srv):
@@ -458,14 +459,22 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_loadgen(args) -> int:
-    """Drive a running server with mixed ingest/query load."""
+    """Drive a running server (or replica set) with mixed load."""
     import asyncio
 
     from .service.loadgen import LoadConfig, run_loadgen
 
+    endpoints = None
+    if args.endpoints:
+        from .service.replication import parse_endpoints
+
+        endpoints = parse_endpoints(args.endpoints)
+    elif args.port is None:
+        print("error: loadgen needs --port or --endpoints", file=sys.stderr)
+        return 2
     config = LoadConfig(
         host=args.host,
-        port=args.port,
+        port=args.port or 0,
         sketches=args.sketches,
         kind=args.sketch,
         n=args.n,
@@ -481,6 +490,8 @@ def _cmd_loadgen(args) -> int:
         create=args.create,
         timeout=args.timeout,
         retries=args.retries,
+        endpoints=endpoints,
+        write_quorum=args.write_quorum,
     )
     report = asyncio.run(run_loadgen(config))
     lat = report["latency"]
@@ -516,6 +527,20 @@ def _cmd_loadgen(args) -> int:
             f"{report['duplicate_acks']} duplicate acks, "
             f"errors: {codes}"
         )
+    if report.get("replication"):
+        rep = report["replication"]
+        flat = rep["failover_latency"]
+        median = (
+            f", failover p50 {flat['p50_seconds'] * 1e3:.0f}ms"
+            if flat["count"]
+            else ""
+        )
+        print(
+            f"replication: {len(rep['endpoints'])} endpoints, "
+            f"quorum {rep['write_quorum'] or 'majority'}, "
+            f"{rep['failovers']} failovers, "
+            f"{rep['quorum_failures']} quorum failures{median}"
+        )
     if args.metrics_json:
         _write_metrics_json(
             args.metrics_json,
@@ -524,20 +549,212 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _ctl_health_all(args) -> int:
+    """``ctl health --all``: one table over every replica endpoint.
+
+    Each row aggregates one replica's health (worst WAL lag and dedup
+    occupancy across its sketches, most recent anti-entropy probe) and
+    a cross-endpoint divergence count: for every sketch the digest
+    fingerprints of all reachable holders are compared, and a replica
+    is charged one divergence per sketch where it disagrees with the
+    cohort (or is missing the sketch entirely).  Exit 1 if any replica
+    is degraded, draining, diverged, or unreachable.
+    """
+    import asyncio
+    import time as _time
+
+    from .errors import ServiceError
+    from .service.replication import ReplicaSet, parse_endpoints
+
+    endpoints = parse_endpoints(args.endpoints)
+
+    async def probe(rs):
+        rows = []
+        healths = await asyncio.gather(
+            *(c.health() for c in rs.clients), return_exceptions=True
+        )
+        # Union of sketch names across the replicas that answered.
+        names = sorted(
+            {
+                name
+                for h in healths
+                if isinstance(h, dict)
+                for name in h.get("sketches", {})
+            }
+        )
+        # fingerprints[name][i] = digest fingerprint at replica i (or
+        # None when the sketch is missing / the replica is down).
+        fingerprints = {}
+        for name in names:
+            digests = await asyncio.gather(
+                *(c.digest(name) for c in rs.clients),
+                return_exceptions=True,
+            )
+            fingerprints[name] = [
+                d.get("fingerprint") if isinstance(d, dict) else None
+                for d in digests
+            ]
+        for i, (host, port) in enumerate(endpoints):
+            row = {"endpoint": f"{host}:{port}"}
+            h = healths[i]
+            if not isinstance(h, dict):
+                row.update(
+                    role="-", status="unreachable", wal_lag="-",
+                    dedup="-", last_ae="-", divergent="-",
+                )
+                rows.append(row)
+                continue
+            sketches = h.get("sketches", {})
+            lags = [s.get("wal_lag") or 0 for s in sketches.values()]
+            occ = [
+                s.get("dedup_occupancy") or 0.0 for s in sketches.values()
+            ]
+            probes = [
+                s.get("last_antientropy")
+                for s in sketches.values()
+                if s.get("last_antientropy")
+            ]
+            divergent = 0
+            for name in names:
+                prints = fingerprints[name]
+                cohort = {p for p in prints if p is not None}
+                if prints[i] is None or len(cohort) > 1:
+                    divergent += 1
+            row.update(
+                role=h.get("role", "-"),
+                status=h.get("status", "-"),
+                wal_lag=max(lags) if lags else 0,
+                dedup=f"{max(occ):.0%}" if occ else "0%",
+                last_ae=(
+                    f"{_time.time() - max(probes):.0f}s ago"
+                    if probes
+                    else "never"
+                ),
+                divergent=divergent,
+            )
+            rows.append(row)
+        return rows
+
+    async def go():
+        async with ReplicaSet(endpoints, timeout=args.timeout) as rs:
+            return await probe(rs)
+
+    try:
+        rows = asyncio.run(go())
+    except ServiceError as exc:
+        print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    columns = (
+        ("endpoint", "ENDPOINT"), ("role", "ROLE"), ("status", "STATUS"),
+        ("wal_lag", "WAL-LAG"), ("dedup", "DEDUP"),
+        ("last_ae", "LAST-AE"), ("divergent", "DIVERGENT"),
+    )
+    widths = {
+        key: max(len(title), *(len(str(r[key])) for r in rows))
+        for key, title in columns
+    }
+    print("  ".join(t.ljust(widths[k]) for k, t in columns))
+    for row in rows:
+        print("  ".join(str(row[k]).ljust(widths[k]) for k, _ in columns))
+    degraded = any(
+        row["status"] != "ok"
+        or (isinstance(row["divergent"], int) and row["divergent"])
+        for row in rows
+    )
+    return 1 if degraded else 0
+
+
 def _cmd_ctl(args) -> int:
     """One-shot control commands against a running server.
 
     Exit codes: 0 success; 1 a typed server error (the error code and
-    message are printed to stderr) or a failed audit; 2 usage or
-    transport problems.  ``--timeout`` bounds each request — a hung or
-    overloaded server turns into a clean ``timeout`` error, never a
-    hung ctl process.
+    message are printed to stderr), a failed audit, or a degraded /
+    diverged replica; 2 usage or transport problems.  ``--timeout``
+    bounds each request — a hung or overloaded server turns into a
+    clean ``timeout`` error, never a hung ctl process.
+
+    Replica-set actions: ``health --all --endpoints`` renders the
+    aggregate replica table, ``repair --endpoints`` runs anti-entropy
+    to convergence (exit 1 if it cannot converge), and ``migrate
+    --name --target-host --target-port`` moves one sketch off the
+    ``--port`` server with a bounded freeze window.
     """
     import asyncio
     import json
 
-    from .errors import ServiceError
+    from .errors import ReplicationError, ServiceError
     from .service.client import ServiceClient
+
+    if args.action == "health" and args.all:
+        if not args.endpoints:
+            print("error: ctl health --all needs --endpoints",
+                  file=sys.stderr)
+            return 2
+        return _ctl_health_all(args)
+    if args.action == "repair":
+        if not args.endpoints:
+            print("error: ctl repair needs --endpoints", file=sys.stderr)
+            return 2
+
+        from .service.replication import ReplicaSet, parse_endpoints
+
+        async def repair():
+            async with ReplicaSet(
+                parse_endpoints(args.endpoints),
+                write_quorum=args.write_quorum,
+                timeout=args.timeout,
+            ) as rs:
+                if args.name:
+                    reports = {args.name: await rs.anti_entropy(args.name)}
+                else:
+                    reports = await rs.anti_entropy_all()
+                return {
+                    "repair": reports,
+                    "replication": rs.metrics.to_dict(),
+                }
+
+        try:
+            result = asyncio.run(repair())
+        except (ReplicationError, ServiceError) as exc:
+            print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if args.action == "migrate":
+        if not args.name or args.target_port is None or args.port is None:
+            print(
+                "error: ctl migrate needs --port, --name and --target-port",
+                file=sys.stderr,
+            )
+            return 2
+
+        from .service.replication import migrate_sketch
+
+        async def migrate():
+            async with await ServiceClient.connect(
+                args.host, args.port, timeout=args.timeout
+            ) as source:
+                async with await ServiceClient.connect(
+                    args.target_host, args.target_port,
+                    timeout=args.timeout,
+                ) as target:
+                    return await migrate_sketch(
+                        source, target, args.name,
+                        keep_source=args.keep_source,
+                    )
+
+        try:
+            result = asyncio.run(migrate())
+        except ServiceError as exc:
+            print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+
+    if args.port is None:
+        print("error: ctl needs --port (or --endpoints for the "
+              "replica-set actions)", file=sys.stderr)
+        return 2
 
     async def go():
         async with await ServiceClient.connect(
@@ -812,6 +1029,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-in-flight", type=int, default=64,
                    help="concurrent expensive requests before new ones are "
                         "shed with the typed 'overloaded' error")
+    p.add_argument("--role", choices=["primary", "replica"],
+                   default="replica",
+                   help="label reported in hello/health so operators can "
+                        "tell the preferred read target apart; writes are "
+                        "quorum-fanned to every replica regardless")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -819,7 +1041,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a running sketch server with mixed ingest/query load",
     )
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--port", type=int, default=None,
+                   help="single-server target (or use --endpoints)")
+    p.add_argument("--endpoints", default=None, metavar="HOST:PORT,...",
+                   help="replica-set mode: quorum-fan every ingest batch "
+                        "to these replicas and fail queries over between "
+                        "them (overrides --host/--port)")
+    p.add_argument("--write-quorum", type=int, default=None, metavar="N",
+                   help="acks required per replicated write "
+                        "(default: majority)")
     p.add_argument("--sketches", type=int, default=1)
     p.add_argument("--sketch", choices=["forest", "skeleton"], default="forest")
     p.add_argument("--n", type=int, default=256)
@@ -856,18 +1086,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("action",
                    choices=["stats", "health", "list", "checkpoint", "audit",
-                            "query", "drain", "shutdown"])
+                            "query", "drain", "shutdown", "repair",
+                            "migrate"])
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--port", type=int, default=None,
+                   help="single-server target (replica-set actions take "
+                        "--endpoints instead)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-request deadline; expiry exits 1 with the "
                         "typed 'timeout' error instead of hanging")
     p.add_argument("--name", default=None,
-                   help="target sketch (audit/query; optional for checkpoint)")
+                   help="target sketch (audit/query/migrate; optional for "
+                        "checkpoint and repair)")
     p.add_argument("--op", default="connected",
                    choices=["connected", "components", "edges", "layers"])
     p.add_argument("--consistency", default="fresh",
                    choices=["fresh", "snapshot"])
+    p.add_argument("--all", action="store_true",
+                   help="health: aggregate every --endpoints replica into "
+                        "one table (exit 1 if any is degraded or diverged)")
+    p.add_argument("--endpoints", default=None, metavar="HOST:PORT,...",
+                   help="replica-set endpoints for health --all and repair")
+    p.add_argument("--write-quorum", type=int, default=None, metavar="N",
+                   help="acks required per repair write (default: majority)")
+    p.add_argument("--target-host", default="127.0.0.1",
+                   help="migrate: destination server host")
+    p.add_argument("--target-port", type=int, default=None,
+                   help="migrate: destination server port")
+    p.add_argument("--keep-source", action="store_true",
+                   help="migrate: thaw and keep the source copy instead of "
+                        "forgetting it (leaves a replica, not a move)")
     p.set_defaults(func=_cmd_ctl)
 
     p = sub.add_parser("generate", help="write a workload stream file")

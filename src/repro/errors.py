@@ -229,6 +229,28 @@ class OverloadedError(ServiceError):
         self.retry_after = retry_after
 
 
+class SketchFrozenError(ServiceError):
+    """The sketch is frozen (a migration is dumping its state), so
+    mutations are refused until ``thaw``.
+
+    Freeze windows are bounded in milliseconds by design — the
+    migration dumps, ships, and forgets/thaws — so clients treat this
+    as transient and retry with backoff; stamped batches make the
+    retry exactly-once safe."""
+
+    code = "frozen"
+
+
+class ReplicationError(ServiceError):
+    """A replica-set operation failed as a whole — a write could not
+    reach its quorum, or anti-entropy could not converge the replicas
+    it can reach.  Individual replica failures are *not* this error
+    (they are retried, failed over, or repaired); this is raised when
+    the set itself can no longer honor its contract."""
+
+    code = "replication"
+
+
 class ServiceTimeoutError(ServiceError):
     """A client-side request deadline expired before the response.
 

@@ -34,7 +34,11 @@ piece that turns the library into a serving system:
   acked/indeterminate op tracking for crash verification);
 * :mod:`repro.service.chaos` — the fault-injecting TCP proxy and the
   SIGKILL/resume :class:`~repro.service.chaos.ServerSupervisor`
-  driving the zero-acked-write-loss tests and the E25 benchmark.
+  driving the zero-acked-write-loss tests and the E25 benchmark;
+* :mod:`repro.service.replication` — the client-side replica-set
+  coordinator: quorum ingest (one stamp fanned to N replicas),
+  automatic failover, digest-driven anti-entropy repair, and
+  hot-sketch migration with a bounded freeze window.
 
 Run a server with ``python -m repro serve``, drive it with
 ``python -m repro loadgen`` / ``repro ctl`` (``ctl health`` for the
@@ -44,13 +48,17 @@ the failure model, and the ops runbook.
 
 from .client import ServiceClient
 from .registry import SketchRegistry
+from .replication import ReplicaSet, migrate_sketch, parse_endpoints
 from .server import SketchServer
 from .wal import DedupWindow, WriteAheadLog
 
 __all__ = [
     "DedupWindow",
+    "ReplicaSet",
     "ServiceClient",
     "SketchRegistry",
     "SketchServer",
     "WriteAheadLog",
+    "migrate_sketch",
+    "parse_endpoints",
 ]

@@ -60,9 +60,20 @@ class ChaosPlan:
     reset_rate: float = 0.0
     #: Probability a connection dies mid-prelude (a partial frame).
     partial_rate: float = 0.0
-    #: Probability a connection stalls once for ``stall_seconds``.
+    #: Probability a connection stalls once for ``stall_seconds``; when
+    #: the stall expires the proxy aborts BOTH peer sockets — the
+    #: client has long since timed out, and keeping the server-side
+    #: socket piped would leak a session per stall.
     stall_rate: float = 0.0
     stall_seconds: float = 0.5
+    #: Probability a connection is asymmetrically partitioned: bytes in
+    #: ``partition_direction`` are silently swallowed while the other
+    #: direction keeps flowing — the half-open network failure mode
+    #: (requests that arrive but are never answered, or vice versa).
+    partition_rate: float = 0.0
+    #: Which direction the partition drops: ``"c2s"`` (client frames
+    #: never reach the server) or ``"s2c"`` (responses never return).
+    partition_direction: str = "c2s"
 
 
 class ChaosProxy:
@@ -72,25 +83,44 @@ class ChaosProxy:
     ``pass`` (forward faithfully), ``reset`` (abort after a random
     whole-frames-ish byte budget), ``partial`` (abort 1-15 bytes into
     the client's stream — inside the 16-byte frame prelude), or
-    ``stall`` (one long pause, then forward faithfully).  Counters
-    expose how many of each actually fired.
+    ``stall`` (one long pause, then both peer sockets aborted), or
+    ``partition`` (one direction silently dropped).  Counters expose
+    how many of each actually fired.
+
+    ``profiles`` pins the fate of specific connections by accept
+    order (1-based): ``{1: "pass", 2: "partition"}`` makes the first
+    connection clean and partitions the second, with every unpinned
+    connection still drawing from the seeded RNG — the way a test
+    scripts an exact failure sequence while keeping background noise.
     """
+
+    MODES = ("pass", "reset", "partial", "stall", "partition")
 
     def __init__(self, target_host: str, target_port: int,
                  host: str = "127.0.0.1", port: int = 0,
-                 plan: Optional[ChaosPlan] = None):
+                 plan: Optional[ChaosPlan] = None,
+                 profiles: Optional[Dict[int, str]] = None):
         self.target_host = target_host
         self.target_port = target_port
         self.host = host
         self.port = port
         self.plan = plan or ChaosPlan()
+        self.profiles = dict(profiles or {})
+        for conn, mode in self.profiles.items():
+            if mode not in self.MODES:
+                raise ValueError(
+                    f"profile for connection {conn} names unknown "
+                    f"mode {mode!r} (want one of {self.MODES})"
+                )
         self._rng = random.Random(self.plan.seed)
         self._server: Optional[asyncio.AbstractServer] = None
         self._sessions: set = set()
         self.connections = 0
         self.faults: Dict[str, int] = {
-            "reset": 0, "partial": 0, "stall": 0, "pass": 0,
+            "reset": 0, "partial": 0, "stall": 0, "partition": 0,
+            "pass": 0,
         }
+        self.stalls_expired = 0
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -116,6 +146,7 @@ class ChaosProxy:
             ("reset", self.plan.reset_rate),
             ("partial", self.plan.partial_rate),
             ("stall", self.plan.stall_rate),
+            ("partition", self.plan.partition_rate),
         ):
             if roll < rate:
                 return mode
@@ -126,7 +157,7 @@ class ChaosProxy:
         task = asyncio.current_task()
         self._sessions.add(task)
         self.connections += 1
-        mode = self._draw_mode()
+        mode = self.profiles.get(self.connections) or self._draw_mode()
         self.faults[mode] += 1
         # The fault budget applies to the client->server direction —
         # that is where a cut mid-frame stresses the server.
@@ -139,6 +170,14 @@ class ChaosProxy:
         stall_after = (
             self._rng.randrange(1, 1024) if mode == "stall" else None
         )
+        drop_c2s = (
+            mode == "partition"
+            and self.plan.partition_direction == "c2s"
+        )
+        drop_s2c = (
+            mode == "partition"
+            and self.plan.partition_direction == "s2c"
+        )
         try:
             server_reader, server_writer = await asyncio.open_connection(
                 self.target_host, self.target_port
@@ -149,8 +188,14 @@ class ChaosProxy:
             return
         try:
             await asyncio.gather(
-                self._pipe(client_reader, server_writer, budget, stall_after),
-                self._pipe(server_reader, client_writer, None, None),
+                self._pipe(
+                    client_reader, server_writer, budget, stall_after,
+                    drop=drop_c2s, peer_writer=client_writer,
+                ),
+                self._pipe(
+                    server_reader, client_writer, None, None,
+                    drop=drop_s2c, peer_writer=server_writer,
+                ),
                 return_exceptions=True,
             )
         except asyncio.CancelledError:
@@ -165,13 +210,18 @@ class ChaosProxy:
             self._sessions.discard(task)
 
     async def _pipe(self, reader, writer, budget: Optional[int],
-                    stall_after: Optional[int]) -> None:
+                    stall_after: Optional[int], drop: bool = False,
+                    peer_writer=None) -> None:
         forwarded = 0
         stalled = stall_after is None
         while True:
             data = await reader.read(4096)
             if not data:
                 break
+            if drop:
+                # Asymmetric partition: consume and discard — the peer
+                # sees a live socket that never delivers.
+                continue
             if budget is not None and forwarded + len(data) >= budget:
                 # Forward the doomed prefix, then kill both directions
                 # abruptly — the server sees a half-written frame.
@@ -185,6 +235,17 @@ class ChaosProxy:
             if not stalled and forwarded + len(data) >= stall_after:
                 stalled = True
                 await asyncio.sleep(self.plan.stall_seconds)
+                # The stall outlived any client deadline: abort both
+                # peer sockets instead of leaking a piped session that
+                # nobody will ever read from again.
+                self.stalls_expired += 1
+                writer.transport.abort()
+                if peer_writer is not None:
+                    try:
+                        peer_writer.transport.abort()
+                    except Exception:
+                        pass
+                return
             writer.write(data)
             forwarded += len(data)
             try:

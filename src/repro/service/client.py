@@ -27,6 +27,16 @@ Robustness (PR 7):
   dedup window (``duplicate: true``) instead of folding twice —
   retrying is always safe, which is what makes the first two points
   sound.
+
+Failover (PR 8): constructed with several ``endpoints``, the client
+owns a seeded shuffle of them and **fails over** — a dead or
+unreachable endpoint is skipped and the next request lands on a
+surviving one.  Each endpoint carries a circuit breaker: after
+``breaker_threshold`` consecutive transport failures it is skipped for
+``breaker_cooldown`` seconds (unless *every* endpoint is open, in
+which case the least-recently-failed is tried anyway — a breaker must
+never turn a reachable set into an unreachable one).  Failover counts
+and per-endpoint breaker states are surfaced by :attr:`stats`.
 """
 
 from __future__ import annotations
@@ -34,7 +44,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
-from typing import Dict, Optional, Tuple
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.supervisor import RetryPolicy
 from ..errors import (
@@ -44,12 +56,20 @@ from ..errors import (
     OverloadedError,
     PeerDisconnectedError,
     ProtocolFrameError,
+    ReplicationError,
     ServiceError,
     ServiceTimeoutError,
     SketchExistsError,
+    SketchFrozenError,
     WALError,
 )
-from .protocol import encode_frame, encode_pairs, read_frame
+from .protocol import (
+    decode_blob_list,
+    encode_blob_list,
+    encode_frame,
+    encode_pairs,
+    read_frame,
+)
 
 _ERROR_TYPES = {
     cls.code: cls
@@ -59,6 +79,8 @@ _ERROR_TYPES = {
         BadRequestError,
         NoSuchSketchError,
         SketchExistsError,
+        SketchFrozenError,
+        ReplicationError,
         DrainingError,
         OverloadedError,
         ServiceTimeoutError,
@@ -66,9 +88,41 @@ _ERROR_TYPES = {
     )
 }
 
-#: Error codes worth retrying: the server shed the request or the
-#: transport failed — nothing about the request itself was wrong.
-TRANSIENT_CODES = frozenset({"overloaded", "disconnected", "timeout"})
+#: Error codes worth retrying: the server shed the request, the
+#: transport failed, or the sketch is briefly frozen for a migration —
+#: nothing about the request itself was wrong.
+TRANSIENT_CODES = frozenset({"overloaded", "disconnected", "timeout", "frozen"})
+
+#: Transient codes that indicate the *endpoint* (not the request) is in
+#: trouble — these trip the per-endpoint circuit breaker and start the
+#: failover clock.
+_TRANSPORT_CODES = frozenset({"disconnected", "timeout"})
+
+
+class Endpoint:
+    """One server address plus its circuit-breaker state."""
+
+    __slots__ = ("host", "port", "failures", "open_until", "connects", "skips")
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = int(port)
+        self.failures = 0  # consecutive transport failures
+        self.open_until = 0.0  # breaker-open deadline (monotonic)
+        self.connects = 0
+        self.skips = 0  # times skipped while the breaker was open
+
+    def describe(self) -> Dict[str, object]:
+        now = time.monotonic()
+        return {
+            "host": self.host,
+            "port": self.port,
+            "state": "open" if self.open_until > now else "closed",
+            "failures": self.failures,
+            "connects": self.connects,
+            "skips": self.skips,
+            "open_for": max(0.0, self.open_until - now),
+        }
 
 
 def error_from_response(header: Dict[str, object]) -> ServiceError:
@@ -101,17 +155,36 @@ class ServiceClient:
     client_id:
         The stamp identity for exactly-once ingest; defaults to a
         random 16-hex-digit id per client object.
+    endpoints:
+        Optional list of ``(host, port)`` pairs; when given, the client
+        fails over between them (``host``/``port`` are ignored).  Use
+        :meth:`connect` with ``endpoint_seed`` for the seeded shuffle.
+    breaker_threshold / breaker_cooldown:
+        Consecutive transport failures before an endpoint's circuit
+        breaker opens, and how long (seconds) it then sits out.
     """
 
     def __init__(self, reader, writer, host: Optional[str] = None,
                  port: Optional[int] = None,
                  timeout: Optional[float] = None,
                  retry: Optional[RetryPolicy] = None,
-                 client_id: Optional[str] = None):
+                 client_id: Optional[str] = None,
+                 endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 1.0):
         self._reader = reader
         self._writer = writer
         self._host = host
         self._port = port
+        if endpoints:
+            self._endpoints = [Endpoint(h, p) for h, p in endpoints]
+        elif host is not None:
+            self._endpoints = [Endpoint(host, port)]
+        else:
+            self._endpoints = []
+        self._endpoint_index = 0
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
         self._ids = itertools.count(1)
         self._lock = asyncio.Lock()
         self.timeout = timeout
@@ -119,19 +192,46 @@ class ServiceClient:
         self.client_id = client_id or os.urandom(8).hex()
         self._stamps = itertools.count(1)
         self._closed = False
+        self._ever_connected = reader is not None
         #: Observability for load generators and tests.
         self.retries = 0
         self.reconnects = 0
+        self.failovers = 0
+        self.failover_times: List[float] = []
+        self._failover_started: Optional[float] = None
         self.errors_by_code: Dict[str, int] = {}
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 0,
                       timeout: Optional[float] = None,
                       retry: Optional[RetryPolicy] = None,
-                      client_id: Optional[str] = None):
+                      client_id: Optional[str] = None,
+                      endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+                      endpoint_seed: int = 0,
+                      breaker_threshold: int = 3,
+                      breaker_cooldown: float = 1.0):
+        """Open a client; with ``endpoints``, shuffle them by seed first.
+
+        The seeded shuffle spreads a fleet of clients across replicas
+        (each client hashes to a different preferred endpoint) while
+        keeping any single client's order deterministic for tests.
+        """
+        if endpoints:
+            eps = [(h, int(p)) for h, p in endpoints]
+            random.Random(endpoint_seed).shuffle(eps)
+            client = cls(
+                None, None, timeout=timeout, retry=retry,
+                client_id=client_id, endpoints=eps,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown=breaker_cooldown,
+            )
+            await client._ensure_connection()
+            return client
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer, host=host, port=port, timeout=timeout,
-                   retry=retry, client_id=client_id)
+                   retry=retry, client_id=client_id,
+                   breaker_threshold=breaker_threshold,
+                   breaker_cooldown=breaker_cooldown)
 
     async def close(self) -> None:
         self._closed = True
@@ -147,26 +247,75 @@ class ServiceClient:
         except (ConnectionError, asyncio.CancelledError):
             pass
 
+    @property
+    def endpoint(self) -> Optional[Endpoint]:
+        """The endpoint the client is currently pinned to (if any)."""
+        if not self._endpoints:
+            return None
+        return self._endpoints[self._endpoint_index]
+
+    def _note_transport_failure(self) -> None:
+        """Charge a transport failure to the current endpoint's breaker."""
+        ep = self.endpoint
+        if ep is not None:
+            ep.failures += 1
+            if ep.failures >= self.breaker_threshold:
+                ep.open_until = time.monotonic() + self.breaker_cooldown
+
     async def _ensure_connection(self) -> None:
         if self._reader is not None:
             return
-        if self._closed or self._host is None:
+        if self._closed or not self._endpoints:
             raise PeerDisconnectedError(
                 "client connection is closed"
                 if self._closed
                 else "connection lost and no endpoint to reconnect to"
             )
-        try:
-            self._reader, self._writer = await asyncio.open_connection(
-                self._host, self._port
-            )
-        except OSError as exc:
-            # Refused/reset while the server restarts: a transient,
-            # typed failure the retry loop can back off on.
-            raise PeerDisconnectedError(
-                f"reconnect to {self._host}:{self._port} failed: {exc}"
-            ) from exc
-        self.reconnects += 1
+        n = len(self._endpoints)
+        order = [self._endpoints[(self._endpoint_index + i) % n]
+                 for i in range(n)]
+        now = time.monotonic()
+        ready = []
+        for ep in order:
+            if ep.open_until > now:
+                ep.skips += 1
+            else:
+                ready.append(ep)
+        if not ready:
+            # Every breaker is open.  A breaker must never turn a
+            # reachable set unreachable — try the endpoint whose
+            # cooldown expires soonest rather than failing outright.
+            ready = [min(order, key=lambda e: e.open_until)]
+        last_exc: Optional[BaseException] = None
+        for ep in ready:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    ep.host, ep.port
+                )
+            except OSError as exc:
+                # Refused/reset while the server restarts: charge the
+                # breaker and move on to the next endpoint.
+                ep.failures += 1
+                if ep.failures >= self.breaker_threshold:
+                    ep.open_until = time.monotonic() + self.breaker_cooldown
+                last_exc = exc
+                continue
+            self._reader, self._writer = reader, writer
+            ep.failures = 0
+            ep.open_until = 0.0
+            ep.connects += 1
+            if self._ever_connected:
+                self.reconnects += 1
+                if (ep.host, ep.port) != (self._host, self._port):
+                    self.failovers += 1
+            self._ever_connected = True
+            self._endpoint_index = self._endpoints.index(ep)
+            self._host, self._port = ep.host, ep.port
+            return
+        # Transient and typed: the retry loop backs off and re-enters.
+        raise PeerDisconnectedError(
+            f"all {n} endpoint(s) unreachable (last: {last_exc})"
+        )
 
     async def __aenter__(self):
         return self
@@ -207,22 +356,27 @@ class ServiceClient:
                     await self._writer.drain()
                     frame = await read_frame(self._reader)
             except asyncio.TimeoutError:
+                self._note_transport_failure()
                 await self._drop_connection()
                 raise ServiceTimeoutError(
                     f"no response to {cmd!r} within {timeout}s "
                     "(the request may still have been applied)"
                 ) from None
-            except ProtocolFrameError:
+            except ProtocolFrameError as exc:
                 # Disconnected mid-frame or framing out of sync: either
                 # way this connection is unusable.
+                if isinstance(exc, PeerDisconnectedError):
+                    self._note_transport_failure()
                 await self._drop_connection()
                 raise
             except ConnectionError as exc:
+                self._note_transport_failure()
                 await self._drop_connection()
                 raise PeerDisconnectedError(
                     f"connection failed during {cmd!r}: {exc}"
                 ) from exc
             if frame is None:
+                self._note_transport_failure()
                 await self._drop_connection()
                 raise PeerDisconnectedError(
                     f"connection closed before response to {cmd!r}"
@@ -248,14 +402,27 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
-                return await self.request_once(
+                result = await self.request_once(
                     cmd, payload, timeout=timeout, **args
                 )
+                if self._failover_started is not None:
+                    # First success after a transport failure: one
+                    # client-observed failover-latency sample.
+                    self.failover_times.append(
+                        time.monotonic() - self._failover_started
+                    )
+                    self._failover_started = None
+                return result
             except ServiceError as exc:
                 if exc.code not in TRANSIENT_CODES:
                     raise
+                if (
+                    exc.code in _TRANSPORT_CODES
+                    and self._failover_started is None
+                ):
+                    self._failover_started = time.monotonic()
                 attempt += 1
-                retriable = self._host is not None or isinstance(
+                retriable = bool(self._endpoints) or isinstance(
                     exc, OverloadedError
                 )
                 if (
@@ -278,6 +445,26 @@ class ServiceClient:
     def next_stamp(self) -> Dict[str, object]:
         """A fresh ``(client, request)`` stamp for one logical mutation."""
         return {"client": self.client_id, "request": next(self._stamps)}
+
+    def client_stats(self) -> Dict[str, object]:
+        """Client-side counters: retries, failovers, breaker states.
+
+        (Server-side counters come from :meth:`stats`, which asks the
+        server; this dict is what *this* client observed.)
+        """
+        times = sorted(self.failover_times)
+        median = times[len(times) // 2] if times else None
+        return {
+            "client_id": self.client_id,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "failovers": self.failovers,
+            "failover_count": len(times),
+            "failover_median_seconds": median,
+            "failover_max_seconds": times[-1] if times else None,
+            "errors_by_code": dict(self.errors_by_code),
+            "endpoints": [ep.describe() for ep in self._endpoints],
+        }
 
     # -- typed helpers ---------------------------------------------------
 
@@ -368,6 +555,85 @@ class ServiceClient:
     async def health(self, timeout: Optional[float] = None) -> Dict[str, object]:
         resp, _ = await self.request("health", timeout=timeout)
         return resp
+
+    # -- replication / anti-entropy / migration helpers ------------------
+
+    async def digest(self, name: str,
+                     timeout: Optional[float] = None) -> Dict[str, object]:
+        """The per-(grid, group, row) digest table of one sketch."""
+        resp, _ = await self.request("digest", timeout=timeout, name=name)
+        return resp
+
+    async def member_digest(self, name: str, grid: int = 0,
+                            timeout: Optional[float] = None
+                            ) -> Dict[str, object]:
+        """Per-member digest pairs of one grid (repair localization)."""
+        resp, _ = await self.request(
+            "member-digest", timeout=timeout, name=name, grid=grid
+        )
+        return resp["members"]
+
+    async def fetch_members(self, name: str, grid: int, members,
+                            timeout: Optional[float] = None
+                            ) -> Tuple[int, List[bytes]]:
+        """Fetch member-state column blobs: ``(events, blobs)``."""
+        resp, payload = await self.request(
+            "fetch-members", timeout=timeout, name=name, grid=grid,
+            members=[int(m) for m in members]
+        )
+        return resp["events"], decode_blob_list(payload)
+
+    async def repair_members(self, name: str, grid: int, blobs,
+                             events: Optional[int] = None,
+                             timeout: Optional[float] = None) -> int:
+        """Overwrite member columns from repair blobs; returns count."""
+        args = {"name": name, "grid": grid}
+        if events is not None:
+            args["events"] = int(events)
+        resp, _ = await self.request(
+            "repair-members", payload=encode_blob_list(blobs),
+            timeout=timeout, **args
+        )
+        return resp["repaired"]
+
+    async def wal_tail(self, name: str, after: int = 0, limit: int = 256,
+                       timeout: Optional[float] = None
+                       ) -> Tuple[List[Dict[str, object]], List[bytes], int]:
+        """Stamped WAL records after ``after``: (metas, payloads, seq)."""
+        resp, payload = await self.request(
+            "wal-tail", timeout=timeout, name=name, after=int(after),
+            limit=int(limit)
+        )
+        return resp["records"], decode_blob_list(payload), resp["seq"]
+
+    async def freeze(self, name: str,
+                     timeout: Optional[float] = None) -> int:
+        """Stop mutations on one sketch; returns its frozen offset."""
+        resp, _ = await self.request("freeze", timeout=timeout, name=name)
+        return resp["events"]
+
+    async def thaw(self, name: str, timeout: Optional[float] = None) -> int:
+        resp, _ = await self.request("thaw", timeout=timeout, name=name)
+        return resp["events"]
+
+    async def restore_sketch(self, name: str, config: Dict[str, object],
+                             blob: bytes, events: int,
+                             timeout: Optional[float] = None
+                             ) -> Dict[str, object]:
+        """Admit a migrated/repaired sketch from a dump blob."""
+        resp, _ = await self.request(
+            "restore-sketch", payload=blob, timeout=timeout, name=name,
+            config=config, events=int(events)
+        )
+        return resp["sketch"]
+
+    async def forget(self, name: str, wipe: bool = True,
+                     timeout: Optional[float] = None) -> str:
+        """Drop a sketch (and by default its on-disk lineage)."""
+        resp, _ = await self.request(
+            "forget", timeout=timeout, name=name, wipe=bool(wipe)
+        )
+        return resp["forgotten"]
 
     async def drain(self) -> None:
         await self.request("drain")

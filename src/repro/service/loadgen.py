@@ -33,11 +33,13 @@ from ..errors import (
     DrainingError,
     OverloadedError,
     ProtocolFrameError,
+    ReplicationError,
     ServiceError,
     ServiceTimeoutError,
 )
 from .client import ServiceClient
 from .protocol import encode_pairs
+from .replication import ReplicaSet
 
 
 @dataclass
@@ -73,6 +75,14 @@ class LoadConfig:
     #: reconnects, timeouts); 0 disables retrying.  Retried ingest is
     #: exactly-once safe because every batch is stamped.
     retries: int = 3
+    #: Replica-set mode: when set, every connection drives a
+    #: :class:`~repro.service.replication.ReplicaSet` over these
+    #: ``(host, port)`` endpoints instead of one server — ingest is
+    #: quorum-fanned, queries ride the failover client, and the report
+    #: gains failover latency samples.  ``host``/``port`` are ignored.
+    endpoints: Optional[List[Tuple[str, int]]] = None
+    #: Acks required per replicated write (None = majority).
+    write_quorum: Optional[int] = None
 
 
 class _SlicePool:
@@ -182,9 +192,95 @@ class _ConnResult:
     ingest_lat: List[float] = field(default_factory=list)
     query_lat: List[float] = field(default_factory=list)
     fresh_lat: List[float] = field(default_factory=list)
+    #: Replica-set mode only: reader failovers and their latencies,
+    #: plus writes that could not reach quorum.
+    failovers: int = 0
+    failover_times: List[float] = field(default_factory=list)
+    quorum_failures: int = 0
 
     def count_error(self, code: str) -> None:
         self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
+
+
+async def _run_connection_replicated(config: LoadConfig, ops,
+                                     start_delay: float, conn_index: int):
+    """Replica-set twin of :func:`_run_connection`.
+
+    Ingest batches are quorum-fanned to every replica with one stamp
+    per batch; queries ride the set's failover reader.  A quorum
+    shortfall is the replicated analogue of a transport loss: some
+    replicas may hold the batch, so its fate is indeterminate — exactly
+    the ambiguity anti-entropy later resolves.
+    """
+    result = _ConnResult()
+    if start_delay > 0:
+        await asyncio.sleep(start_delay)
+    rs = ReplicaSet(
+        config.endpoints,
+        write_quorum=config.write_quorum,
+        timeout=config.timeout,
+        retry=RetryPolicy(max_restarts=max(0, config.retries)),
+        endpoint_seed=config.seed * 1_000_003 + conn_index,
+    )
+    try:
+        for op_index, op in enumerate(ops):
+            t0 = time.perf_counter()
+            try:
+                if op[0] == "ingest":
+                    _, name, payload, count = op
+                    await rs.ingest_encoded(name, payload)
+                    result.ingest_lat.append(time.perf_counter() - t0)
+                    result.events += count
+                    result.ingests += 1
+                    result.acked.append(op_index)
+                else:
+                    _, name, qop, consistency = op
+                    await rs.query(name, op=qop, consistency=consistency)
+                    dt = time.perf_counter() - t0
+                    (
+                        result.fresh_lat
+                        if consistency == "fresh"
+                        else result.query_lat
+                    ).append(dt)
+                    result.queries += 1
+            except DrainingError:
+                result.count_error("draining")
+                result.draining_rejections += 1
+                break
+            except OverloadedError:
+                result.count_error("overloaded")
+            except ReplicationError:
+                # Fewer than write_quorum replicas acked: a minority
+                # may still hold the batch, so it is indeterminate.
+                result.count_error("replication")
+                if op[0] == "ingest":
+                    result.indeterminate.append(op_index)
+                result.disconnected = True
+                break
+            except (ServiceTimeoutError, ProtocolFrameError,
+                    ConnectionError) as exc:
+                code = getattr(exc, "code", "connection")
+                result.count_error(code)
+                if op[0] == "ingest":
+                    result.indeterminate.append(op_index)
+                result.disconnected = True
+                break
+            except ServiceError as exc:
+                result.count_error(exc.code)
+                break
+    finally:
+        for client in [rs.reader, *rs.clients]:
+            result.retries += client.retries
+            result.reconnects += client.reconnects
+            for code, hits in client.errors_by_code.items():
+                result.errors_by_code[code] = (
+                    result.errors_by_code.get(code, 0) + hits
+                )
+        result.failovers = rs.reader.failovers
+        result.failover_times = list(rs.reader.failover_times)
+        result.quorum_failures = rs.metrics.quorum_failures
+        await rs.close()
+    return result
 
 
 async def _run_connection(config: LoadConfig, ops, start_delay: float):
@@ -278,20 +374,39 @@ async def run_loadgen(config: LoadConfig) -> Dict[str, object]:
     """Run the full workload; returns the client-side report dict."""
     names, plans = build_workload(config)
     if config.create:
-        async with await ServiceClient.connect(
-            config.host,
-            config.port,
-            timeout=config.timeout,
-            retry=RetryPolicy(max_restarts=max(0, config.retries)),
-        ) as client:
-            listed = {s["name"] for s in await client.list()}
-            for name in names:
-                if name in listed:
-                    continue
-                cfg = {"kind": config.kind, "n": config.n, "seed": config.seed}
-                if config.kind == "skeleton":
-                    cfg["k"] = config.k
-                await client.create(name, **cfg)
+        if config.endpoints:
+            async with ReplicaSet(
+                config.endpoints,
+                write_quorum=config.write_quorum,
+                timeout=config.timeout,
+                retry=RetryPolicy(max_restarts=max(0, config.retries)),
+            ) as rs:
+                for name in names:
+                    cfg = {
+                        "kind": config.kind, "n": config.n,
+                        "seed": config.seed,
+                    }
+                    if config.kind == "skeleton":
+                        cfg["k"] = config.k
+                    await rs.create(name, **cfg)
+        else:
+            async with await ServiceClient.connect(
+                config.host,
+                config.port,
+                timeout=config.timeout,
+                retry=RetryPolicy(max_restarts=max(0, config.retries)),
+            ) as client:
+                listed = {s["name"] for s in await client.list()}
+                for name in names:
+                    if name in listed:
+                        continue
+                    cfg = {
+                        "kind": config.kind, "n": config.n,
+                        "seed": config.seed,
+                    }
+                    if config.kind == "skeleton":
+                        cfg["k"] = config.k
+                    await client.create(name, **cfg)
     delays = [
         (config.ramp_seconds * c / max(1, config.connections - 1))
         if config.ramp_seconds
@@ -299,12 +414,20 @@ async def run_loadgen(config: LoadConfig) -> Dict[str, object]:
         for c in range(config.connections)
     ]
     t0 = time.perf_counter()
-    results = await asyncio.gather(
-        *(
-            _run_connection(config, ops, delay)
-            for ops, delay in zip(plans, delays)
+    if config.endpoints:
+        results = await asyncio.gather(
+            *(
+                _run_connection_replicated(config, ops, delay, c)
+                for c, (ops, delay) in enumerate(zip(plans, delays))
+            )
         )
-    )
+    else:
+        results = await asyncio.gather(
+            *(
+                _run_connection(config, ops, delay)
+                for ops, delay in zip(plans, delays)
+            )
+        )
     wall = time.perf_counter() - t0
     events = sum(r.events for r in results)
     queries = sum(r.queries for r in results)
@@ -315,6 +438,16 @@ async def run_loadgen(config: LoadConfig) -> Dict[str, object]:
     for r in results:
         for code, hits in r.errors_by_code.items():
             errors_by_code[code] = errors_by_code.get(code, 0) + hits
+    replication: Optional[Dict[str, object]] = None
+    if config.endpoints:
+        failover_times = [s for r in results for s in r.failover_times]
+        replication = {
+            "endpoints": [f"{h}:{p}" for h, p in config.endpoints],
+            "write_quorum": config.write_quorum,
+            "failovers": sum(r.failovers for r in results),
+            "quorum_failures": sum(r.quorum_failures for r in results),
+            "failover_latency": _latency_summary(failover_times),
+        }
     return {
         "connections": config.connections,
         "sketches": names,
@@ -336,6 +469,7 @@ async def run_loadgen(config: LoadConfig) -> Dict[str, object]:
         #: landed.  The chaos bench serial-replays exactly these.
         "acked_ops": [list(r.acked) for r in results],
         "indeterminate_ops": [list(r.indeterminate) for r in results],
+        "replication": replication,
         "latency": {
             "ingest_batch": _latency_summary(ingest_lat),
             "query_snapshot": _latency_summary(query_lat),

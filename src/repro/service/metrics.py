@@ -115,6 +115,11 @@ class ServerMetrics:
         self.frame_errors = 0
         self.disconnects_midframe = 0
         self.dedup_hits = 0
+        self.rejected_frozen = 0
+        self.repairs_received = 0
+        self.members_repaired = 0
+        self.restores_received = 0
+        self.forgets = 0
         self.per_command: Dict[str, CommandStats] = {}
 
     @property
@@ -149,6 +154,11 @@ class ServerMetrics:
             "frame_errors": self.frame_errors,
             "disconnects_midframe": self.disconnects_midframe,
             "dedup_hits": self.dedup_hits,
+            "rejected_frozen": self.rejected_frozen,
+            "repairs_received": self.repairs_received,
+            "members_repaired": self.members_repaired,
+            "restores_received": self.restores_received,
+            "forgets": self.forgets,
             "per_command": {
                 cmd: stats.to_dict()
                 for cmd, stats in sorted(self.per_command.items())

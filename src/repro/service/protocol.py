@@ -130,6 +130,42 @@ def encode_pairs(us, vs, signs) -> bytes:
     )
 
 
+def encode_blob_list(blobs) -> bytes:
+    """Pack a list of byte strings: ``u32 count | count x (u64 len | bytes)``.
+
+    The bulk codec of the replication commands: ``fetch-members``
+    ships member-state columns and ``wal-tail`` ships raw WAL record
+    payloads, either way a frame payload holding several independent
+    blobs.
+    """
+    out = [_PAIRS_COUNT.pack(len(blobs))]
+    for blob in blobs:
+        out.append(struct.pack("<Q", len(blob)))
+        out.append(bytes(blob))
+    return b"".join(out)
+
+
+def decode_blob_list(payload: bytes) -> list:
+    """Unpack an :func:`encode_blob_list` payload."""
+    if len(payload) < _PAIRS_COUNT.size:
+        raise ProtocolFrameError("blob-list payload shorter than its count")
+    (count,) = _PAIRS_COUNT.unpack_from(payload, 0)
+    off = _PAIRS_COUNT.size
+    blobs = []
+    for _ in range(count):
+        if off + 8 > len(payload):
+            raise ProtocolFrameError("truncated blob-list payload")
+        (size,) = struct.unpack_from("<Q", payload, off)
+        off += 8
+        if off + size > len(payload):
+            raise ProtocolFrameError("truncated blob-list payload")
+        blobs.append(payload[off:off + size])
+        off += size
+    if off != len(payload):
+        raise ProtocolFrameError("trailing bytes in blob-list payload")
+    return blobs
+
+
 def decode_pairs(payload: bytes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Unpack a :func:`encode_pairs` payload into (u, v, sign) arrays.
 

@@ -52,7 +52,13 @@ from ..errors import (
     SketchExistsError,
 )
 from ..graph.union_find import UnionFind
-from ..sketch.serialization import dump_sketch, iter_grids, load_sketch
+from ..sketch.serialization import (
+    dump_member_state,
+    dump_sketch,
+    iter_grids,
+    load_sketch,
+    replace_member_state,
+)
 from ..sketch.skeleton import SkeletonSketch
 from ..sketch.spanning_forest import SpanningForestSketch
 from .protocol import decode_pairs
@@ -146,6 +152,15 @@ class SketchRecord:
         #: an unlogged batch, so further mutations are refused until an
         #: operator intervenes (restart replays to a consistent state).
         self.wal_broken = False
+        #: Migration freeze: mutations answer the typed ``frozen``
+        #: error while the sketch's state is being dumped/shipped.
+        self.frozen = False
+        #: Anti-entropy bookkeeping (surfaced by ``health``): when this
+        #: replica last took part in a digest round or repair, how many
+        #: repairs it received, and how many member columns they shipped.
+        self.last_antientropy: Optional[float] = None
+        self.repairs = 0
+        self.repaired_members = 0
 
     @property
     def wal_lag(self) -> int:
@@ -170,6 +185,7 @@ class SketchRecord:
             "created_at": self.created_at,
             "wal_seq": self.seq,
             "wal_lag": self.wal_lag,
+            "frozen": self.frozen,
         }
 
 
@@ -666,3 +682,180 @@ class SketchRegistry:
             "grids_audited": report.grids_audited,
             "findings": [f.describe() for f in report.findings],
         }
+
+    # -- replication / anti-entropy support ------------------------------
+
+    def is_live(self, record: SketchRecord) -> bool:
+        """True while ``record`` is still the registered owner of its name.
+
+        Handlers that looked a record up and then awaited its lock must
+        re-check: a ``forget`` (migration completing) may have removed
+        the name in between, and folding into an orphaned sketch would
+        ack work into state nobody serves.
+        """
+        return self._records.get(record.name) is record
+
+    def _grid_of(self, record: SketchRecord, grid_index: int):
+        grids = list(iter_grids(record.sketch))
+        if not isinstance(grid_index, int) or not 0 <= grid_index < len(grids):
+            raise BadRequestError(
+                f"grid index {grid_index!r} outside [0, {len(grids)})"
+            )
+        return grids[grid_index]
+
+    def digest_table(self, record: SketchRecord) -> Dict[str, object]:
+        """The per-grid ``(group, row)`` digest table plus offsets.
+
+        The coarse anti-entropy probe: two replicas whose tables (and
+        event offsets) match are bit-identical whp.  Must run under
+        ``record.lock``.
+        """
+        from ..audit.repair import sketch_digest_table, table_fingerprint
+
+        table = sketch_digest_table(record.sketch)
+        record.last_antientropy = time.time()
+        return {
+            "events": record.events,
+            "seq": record.seq,
+            "fingerprint": table_fingerprint(table),
+            "grids": table,
+        }
+
+    def member_digests(
+        self, record: SketchRecord, grid_index: int
+    ) -> Dict[str, List[int]]:
+        """Per-member digest pairs of one grid (fine localization)."""
+        from ..audit.repair import member_digest_table
+
+        return member_digest_table(self._grid_of(record, grid_index))
+
+    def fetch_member_blobs(
+        self, record: SketchRecord, grid_index: int, members: List[int]
+    ) -> List[bytes]:
+        """Serialize the named member columns of one grid."""
+        grid = self._grid_of(record, grid_index)
+        for m in members:
+            if not isinstance(m, int) or not 0 <= m < grid.members:
+                raise BadRequestError(
+                    f"member index {m!r} outside [0, {grid.members})"
+                )
+        return [dump_member_state(grid, m) for m in members]
+
+    def repair_members(
+        self,
+        record: SketchRecord,
+        grid_index: int,
+        blobs: List[bytes],
+        events: Optional[int] = None,
+    ) -> int:
+        """Overwrite divergent member columns with a peer's state.
+
+        The receiving half of column repair: each blob replaces its
+        member column verbatim (replace, not add — the source replica
+        is the truth), the serving snapshot is invalidated, and the
+        repaired state is checkpointed *before* the ack so a crash
+        cannot roll the replica back behind what anti-entropy was told
+        it holds (repairs bypass the WAL; the checkpoint is their
+        durability).  Must run under ``record.lock``.
+        """
+        grid = self._grid_of(record, grid_index)
+        for blob in blobs:
+            replace_member_state(grid, blob)
+        if events is not None:
+            record.events = int(events)
+        record.snapshot = None
+        record.repairs += 1
+        record.repaired_members += len(blobs)
+        record.last_antientropy = time.time()
+        # Force the checkpoint: the offsets may be unchanged even
+        # though the counters moved.
+        record.last_checkpoint_events = -1
+        self.checkpoint(record)
+        return len(blobs)
+
+    def wal_tail(
+        self,
+        record: SketchRecord,
+        after_seq: int = 0,
+        limit: int = 256,
+        max_bytes: int = 16 << 20,
+    ) -> Tuple[List[Dict[str, object]], List[bytes]]:
+        """The retained ingest records after ``after_seq``.
+
+        Returns ``(metas, payloads)``; each meta carries the record's
+        ``seq``, ``kind``, original ``(client, request)`` stamp, and
+        count, so a coordinator can re-send the batch to a lagging
+        replica through the normal ingest path — the stamp makes the
+        re-send exactly-once.  Bounded by ``limit`` records and
+        ``max_bytes`` of payload (``truncated`` in the last meta says
+        more remain).  Must run under ``record.lock``.
+        """
+        metas: List[Dict[str, object]] = []
+        payloads: List[bytes] = []
+        if record.wal is None:
+            return metas, payloads
+        total = 0
+        for rec in record.wal.replay(after_seq=after_seq):
+            if rec.kind not in (KIND_PAIRS, KIND_UPDATES):
+                continue
+            if len(metas) >= limit or total + len(rec.payload) > max_bytes:
+                if metas:
+                    metas[-1]["truncated"] = True
+                break
+            metas.append(
+                {
+                    "seq": rec.seq,
+                    "kind": rec.kind,
+                    "client": rec.meta.get("client"),
+                    "request": rec.meta.get("request"),
+                    "count": rec.meta.get("count"),
+                }
+            )
+            payloads.append(rec.payload)
+            total += len(rec.payload)
+        return metas, payloads
+
+    def restore_blob(
+        self,
+        name: str,
+        args: Dict[str, object],
+        blob: bytes,
+        events: int,
+    ) -> SketchRecord:
+        """Admit a sketch arriving as ``(config, dump blob, offset)``.
+
+        The receiving half of hot-sketch migration: build the sketch
+        from its config, load the shipped state, register it, and
+        checkpoint immediately — the WAL's ``create`` record alone
+        cannot rebuild shipped state, so the checkpoint is what makes
+        the migrated sketch crash-safe from its first second.
+        """
+        config = self.validate_create(name, args)
+        sketch = self.prepare_sketch(config)
+        load_sketch(sketch, blob)
+        record = self.admit(name, config, sketch)
+        record.events = int(events)
+        record.last_checkpoint_events = -1
+        self.checkpoint(record)
+        return record
+
+    def forget(self, name: str, wipe: bool = True) -> None:
+        """Unregister a sketch (the sending half of migration).
+
+        With ``wipe`` (the default) its on-disk lineage — checkpoints
+        and WAL segments — is deleted too, so a later ``--resume``
+        cannot resurrect a sketch that now lives elsewhere (the
+        split-brain a half-done migration would otherwise leave).
+        """
+        record = self.get(name)
+        if record.wal is not None:
+            record.wal.close_segment()
+        del self._records[name]
+        if wipe and self.checkpoint_dir is not None:
+            mgr = self.manager_for(name)
+            if mgr is not None:
+                mgr.wipe()
+            wal_dir = self._wal_dir(name)
+            if wal_dir is not None:
+                wipe_wal(wal_dir)
+        self._managers.pop(name, None)

@@ -56,32 +56,58 @@ from ..engine.query import QueryMetrics, collect_query_metrics, make_executor
 from ..errors import (
     BadRequestError,
     DrainingError,
+    NoSuchSketchError,
     OverloadedError,
     PeerDisconnectedError,
     ProtocolFrameError,
     ReproError,
     ServiceError,
     SketchExistsError,
+    SketchFrozenError,
     WALError,
 )
 from ..sketch.serialization import dump_sketch
 from .metrics import ServerMetrics
-from .protocol import PROTOCOL_VERSION, decode_pairs, encode_frame, read_frame
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_blob_list,
+    decode_pairs,
+    encode_blob_list,
+    encode_frame,
+    read_frame,
+)
 from .registry import SketchRegistry
 from .wal import KIND_PAIRS, KIND_UPDATES
 
 SERVER_VERSION = 1
 
 #: Commands that mutate registry or sketch state and are therefore
-#: refused once the server starts draining.
-_MUTATING = frozenset({"create", "ingest-batch"})
+#: refused once the server starts draining.  ``freeze``/``thaw`` and
+#: ``forget`` are deliberately *not* here: migrating a sketch **off** a
+#: draining node is exactly freeze → dump → restore elsewhere → forget.
+_MUTATING = frozenset(
+    {"create", "ingest-batch", "repair-members", "restore-sketch"}
+)
 
 #: Commands expensive enough to count against the in-flight budget;
 #: everything else (hello, health, stats, list, drain, shutdown) is
 #: cheap control traffic that must keep working *especially* under
 #: overload — an operator diagnosing a hot server needs ``health``.
 _EXPENSIVE = frozenset(
-    {"create", "ingest-batch", "query", "checkpoint", "audit", "dump"}
+    {
+        "create",
+        "ingest-batch",
+        "query",
+        "checkpoint",
+        "audit",
+        "dump",
+        "digest",
+        "member-digest",
+        "fetch-members",
+        "repair-members",
+        "restore-sketch",
+        "wal-tail",
+    }
 )
 
 
@@ -98,6 +124,7 @@ class SketchServer:
         resume: bool = False,
         ingest_chunk: int = 8192,
         max_in_flight: int = 64,
+        role: str = "replica",
     ):
         self.registry = registry
         self.host = host
@@ -107,6 +134,11 @@ class SketchServer:
         self.resume = resume
         self.ingest_chunk = max(1, ingest_chunk)
         self.max_in_flight = max(1, max_in_flight)
+        #: Replica-set label (``primary``/``replica``): a routing hint
+        #: surfaced by ``hello``/``health`` — writes are quorum-fanned
+        #: regardless, but clients prefer the primary for reads and
+        #: operators need the role in the ``health --all`` table.
+        self.role = str(role)
         #: How many expensive requests are currently running.
         self._expensive_in_flight = 0
         self.metrics = ServerMetrics()
@@ -117,7 +149,13 @@ class SketchServer:
         self._sessions: set = set()
         self._cron_tasks: list = []
         self._snapshot_executor = make_executor("serial")
-        self._creating: set = set()
+        #: In-flight create/restore builds: name -> (normalized config,
+        #: future resolving to the admitted record).  A retried or
+        #: concurrent create with an IDENTICAL config awaits the build
+        #: instead of failing — building a sketch takes long enough
+        #: that client deadlines can fire mid-build, and the retry must
+        #: converge on the same record, not bounce off sketch-exists.
+        self._creating: Dict[str, tuple] = {}
         self.restored: list = []
 
     # -- lifecycle ------------------------------------------------------
@@ -375,6 +413,7 @@ class SketchServer:
         return {
             "protocol": PROTOCOL_VERSION,
             "server": SERVER_VERSION,
+            "role": self.role,
             "draining": self.draining,
             "sketches": self.registry.names(),
         }
@@ -385,12 +424,23 @@ class SketchServer:
         if not isinstance(config, dict):
             raise BadRequestError("create needs a 'config' object")
         normalized = self.registry.validate_create(name, config)
-        if name in self._creating:
+        pending = self._creating.get(name)
+        if pending is not None:
+            pending_config, fut = pending
+            if pending_config == normalized and fut is not None:
+                # Same name, same config, build still in flight: a
+                # client-deadline retry (or a concurrent coordinator)
+                # re-creating idempotently.  Ride the existing build.
+                # shield() keeps THIS waiter's cancellation from
+                # cancelling the shared future under the builder.
+                record = await asyncio.shield(fut)
+                return {"sketch": record.describe()}
             raise SketchExistsError(f"sketch {name!r} already exists")
         # Building the sketch (placement tables included) can take
         # hundreds of milliseconds; reserve the name, build off-loop,
         # then register the finished sketch.
-        self._creating.add(name)
+        fut = asyncio.get_running_loop().create_future()
+        self._creating[name] = (normalized, fut)
         try:
             sketch = await asyncio.to_thread(
                 self.registry.prepare_sketch, normalized
@@ -400,8 +450,15 @@ class SketchServer:
             record = await asyncio.to_thread(
                 self.registry.admit, name, normalized, sketch
             )
+        except BaseException as exc:
+            if not fut.done():
+                fut.set_exception(exc)
+                fut.exception()  # waiters re-raise; mark retrieved here
+            raise
         finally:
-            self._creating.discard(name)
+            self._creating.pop(name, None)
+        if not fut.done():
+            fut.set_result(record)
         return {"sketch": record.describe()}
 
     async def _cmd_ingest_batch(self, header, payload):
@@ -432,6 +489,19 @@ class SketchServer:
                     "events": prior["events"],
                     "duplicate": True,
                 }
+            # A forget (migration completing) may have raced our wait
+            # for the lock: folding into an orphaned sketch would ack
+            # work into state nobody serves.
+            if not self.registry.is_live(record):
+                raise NoSuchSketchError(
+                    f"sketch {record.name!r} was removed (migrated away?)"
+                )
+            if record.frozen:
+                self.metrics.rejected_frozen += 1
+                raise SketchFrozenError(
+                    f"sketch {record.name!r} is frozen for migration; "
+                    "retry shortly"
+                )
             if updates is not None:
                 count = await asyncio.to_thread(
                     self.registry.ingest_updates, record, updates
@@ -581,6 +651,10 @@ class SketchServer:
                 "dedup_entries": len(record.dedup),
                 "dedup_occupancy": record.dedup.occupancy,
                 "dedup_hits": record.dedup.hits,
+                "frozen": record.frozen,
+                "repairs": record.repairs,
+                "repaired_members": record.repaired_members,
+                "last_antientropy": record.last_antientropy,
             }
             if record.wal is not None:
                 info["wal"] = record.wal.stats()
@@ -592,6 +666,7 @@ class SketchServer:
             status = "draining"
         return {
             "status": status,
+            "role": self.role,
             "draining": self.draining,
             "wal_enabled": self.registry.wal_enabled,
             "in_flight": self.metrics.in_flight,
@@ -604,6 +679,135 @@ class SketchServer:
             "restored": list(self.restored),
             "sketches": sketches,
         }
+
+    # -- replication / migration commands -------------------------------
+
+    async def _cmd_digest(self, header, payload):
+        """The per-grid (group, row) digest table (anti-entropy probe)."""
+        record = self.registry.get(header.get("name"))
+        async with record.lock:
+            return await asyncio.to_thread(self.registry.digest_table, record)
+
+    async def _cmd_member_digest(self, header, payload):
+        """Per-member digest pairs of one grid (repair localization)."""
+        record = self.registry.get(header.get("name"))
+        grid = header.get("grid", 0)
+        async with record.lock:
+            members = await asyncio.to_thread(
+                self.registry.member_digests, record, grid
+            )
+        return {"grid": grid, "members": members}
+
+    async def _cmd_fetch_members(self, header, payload):
+        """Ship the named member columns of one grid (repair source)."""
+        record = self.registry.get(header.get("name"))
+        grid = header.get("grid", 0)
+        members = header.get("members")
+        if not isinstance(members, list) or not members:
+            raise BadRequestError("fetch-members needs a nonempty 'members'")
+        async with record.lock:
+            blobs = await asyncio.to_thread(
+                self.registry.fetch_member_blobs, record, grid, members
+            )
+        return {"count": len(blobs), "events": record.events}, (
+            encode_blob_list(blobs)
+        )
+
+    async def _cmd_repair_members(self, header, payload):
+        """Overwrite divergent member columns (repair target)."""
+        record = self.registry.get(header.get("name"))
+        grid = header.get("grid", 0)
+        events = header.get("events")
+        blobs = decode_blob_list(payload)
+        if not blobs:
+            raise BadRequestError("repair-members needs a blob-list payload")
+        async with record.lock:
+            if self.draining:
+                self.metrics.rejected_draining += 1
+                raise DrainingError("server is draining; repair rejected")
+            if not self.registry.is_live(record):
+                raise NoSuchSketchError(
+                    f"sketch {record.name!r} was removed (migrated away?)"
+                )
+            if record.frozen:
+                self.metrics.rejected_frozen += 1
+                raise SketchFrozenError(
+                    f"sketch {record.name!r} is frozen for migration"
+                )
+            count = await asyncio.to_thread(
+                self.registry.repair_members, record, grid, blobs, events
+            )
+        self.metrics.repairs_received += 1
+        self.metrics.members_repaired += count
+        return {"repaired": count, "events": record.events}
+
+    async def _cmd_wal_tail(self, header, payload):
+        """The retained stamped ingest records after a sequence number."""
+        record = self.registry.get(header.get("name"))
+        after = header.get("after", 0)
+        limit = header.get("limit", 256)
+        if not isinstance(after, int) or not isinstance(limit, int):
+            raise BadRequestError("wal-tail 'after'/'limit' must be integers")
+        async with record.lock:
+            metas, payloads = await asyncio.to_thread(
+                self.registry.wal_tail, record, after, max(0, limit)
+            )
+        return {"records": metas, "seq": record.seq}, (
+            encode_blob_list(payloads)
+        )
+
+    async def _cmd_freeze(self, header, payload):
+        """Stop mutations on one sketch (the migration dump window)."""
+        record = self.registry.get(header.get("name"))
+        async with record.lock:  # let any in-flight batch settle first
+            record.frozen = True
+            return {"frozen": True, "events": record.events}
+
+    async def _cmd_thaw(self, header, payload):
+        record = self.registry.get(header.get("name"))
+        record.frozen = False
+        return {"frozen": False, "events": record.events}
+
+    async def _cmd_restore_sketch(self, header, payload):
+        """Admit a migrated sketch: config + dump blob + event offset."""
+        name = header.get("name")
+        config = header.get("config")
+        events = header.get("events", 0)
+        if not isinstance(config, dict):
+            raise BadRequestError("restore-sketch needs a 'config' object")
+        if not payload:
+            raise BadRequestError("restore-sketch needs a dump payload")
+        if not isinstance(events, int) or events < 0:
+            raise BadRequestError("restore-sketch 'events' must be an int >= 0")
+        self.registry.validate_create(name, config)
+        if name in self._creating:
+            raise SketchExistsError(f"sketch {name!r} already exists")
+        # Restores are never awaited by concurrent requests (the blob
+        # already exists); the sentinel only reserves the name.
+        self._creating[name] = (None, None)
+        try:
+            record = await asyncio.to_thread(
+                self.registry.restore_blob, name, config, payload, events
+            )
+        finally:
+            self._creating.pop(name, None)
+        self.metrics.restores_received += 1
+        return {"sketch": record.describe()}
+
+    async def _cmd_forget(self, header, payload):
+        """Drop a sketch (and, by default, its on-disk lineage)."""
+        record = self.registry.get(header.get("name"))
+        wipe = header.get("wipe", True)
+        async with record.lock:
+            if not self.registry.is_live(record):
+                raise NoSuchSketchError(
+                    f"sketch {record.name!r} was already removed"
+                )
+            await asyncio.to_thread(
+                self.registry.forget, record.name, bool(wipe)
+            )
+        self.metrics.forgets += 1
+        return {"forgotten": record.name}
 
     async def _cmd_drain(self, header, payload):
         self.begin_drain()

@@ -183,6 +183,32 @@ def load_member_state(grid: SamplerGrid, blob: bytes) -> int:
     return member
 
 
+def replace_member_state(grid: SamplerGrid, blob: bytes) -> int:
+    """Overwrite one member's column with a serialized player message.
+
+    The repair-side twin of :func:`load_member_state`: anti-entropy
+    ships a *correct* replica's column and the divergent replica must
+    end bit-identical, so the column is replaced rather than linearly
+    added.  Returns the member index.
+    """
+    header, (w, s, f) = _unpack(blob, 3)
+    member = header.pop("member", None)
+    if member is None:
+        raise IncompatibleSketchError("blob is not a member-state message")
+    _check_header(grid, header)
+    member = int(member)
+    shape = grid._w[:, member].shape
+    grid._w[:, member] = w.reshape(shape)
+    grid._s[:, member] = s.reshape(shape)
+    grid._f[:, member] = f.reshape(shape)
+    grid._touch_members([member])
+    if grid._digest is not None:
+        from ..audit.digest import GridDigest
+
+        grid._digest = GridDigest.compute(grid)
+    return member
+
+
 def message_bytes(grid: SamplerGrid, member: int = 0) -> int:
     """Exact on-the-wire size of one player message."""
     return len(dump_member_state(grid, member))

@@ -25,6 +25,7 @@ from bench_query_engine import (  # noqa: E402
 from bench_recovery import recovery_comparison  # noqa: E402
 from bench_service import serial_replay_dumps, start_server  # noqa: E402
 from bench_service import _dump_all, _shutdown  # noqa: E402
+from bench_replication import replica_chaos_round  # noqa: E402
 from bench_service_chaos import chaos_round  # noqa: E402
 
 
@@ -147,3 +148,38 @@ class TestBenchSmoke:
         assert out["acked_batches"] + out["indeterminate_batches"] == 16
         assert out["replayed_batches"] >= 0
         assert out["median_recovery"] > 0
+
+    @pytest.mark.faults
+    def test_smoke_replica_chaos_round(self, chaos_seed):
+        """E26 core at small scale: quorum ingest to 3 replicas while
+        the primary is SIGKILLed and one replica's link runs through
+        the chaos proxy — anti-entropy converges the fleet
+        bit-identically with no acked write lost (the failover-latency
+        and throughput bars are the full benchmark's job)."""
+        from repro.service.loadgen import LoadConfig
+
+        config = LoadConfig(
+            sketches=1,
+            n=32,
+            seed=chaos_seed,
+            connections=2,
+            batches=12,
+            batch_size=512,
+            delete_fraction=0.2,
+            queries_per_batch=1.0,
+            fresh_fraction=0.0,
+            timeout=10.0,
+            retries=8,
+            write_quorum=2,
+        )
+        out = replica_chaos_round(config, kill_period=0.5, max_kills=2)
+        assert out["kills"] >= 1  # the proof-of-durability final kill
+        assert out["zero_acked_loss"]
+        assert out["replicas_identical"]
+        assert out["repair_converged"]
+        # A connection stops at its first indeterminate op, so the
+        # accounted total is bounded by the plan, not equal to it.
+        assert out["acked_batches"] > 0
+        assert (
+            out["acked_batches"] + out["indeterminate_batches"] <= 24
+        )
