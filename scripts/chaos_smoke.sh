@@ -30,6 +30,25 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# On any failure, print WHICH seed and stage broke and how to replay
+# it — a seed sweep that dies with a bare pytest exit code is useless
+# for triage.  The trap fires on the first non-zero exit (errexit).
+current_seed="(none)"
+current_stage="(startup)"
+on_failure() {
+    status=$?
+    if [ "${status}" -ne 0 ]; then
+        echo "" >&2
+        echo "=== chaos smoke FAILED ===" >&2
+        echo "    seed:  ${current_seed}" >&2
+        echo "    stage: ${current_stage}" >&2
+        echo "    replay: scripts/chaos_smoke.sh ${mode:-all} ${current_seed}" >&2
+        echo "    (or: PYTHONPATH=src python -m pytest -m faults --chaos-seed=${current_seed})" >&2
+    fi
+    exit "${status}"
+}
+trap on_failure EXIT
+
 mode=all
 if [ $# -gt 0 ] && { [ "$1" = "referee" ] || [ "$1" = "service" ] || [ "$1" = "replica" ]; }; then
     mode=$1
@@ -42,21 +61,27 @@ if [ ${#seeds[@]} -eq 0 ]; then
 fi
 
 for seed in "${seeds[@]}"; do
+    current_seed="${seed}"
     if [ "${mode}" = "all" ]; then
+        current_stage="full fault suite"
         echo "=== chaos smoke: seed ${seed} ==="
         PYTHONPATH=src python -m pytest -q -m faults --chaos-seed="${seed}"
+        current_stage="bit-flip mode"
         echo "=== chaos smoke (bit-flip mode): seed ${seed} ==="
         PYTHONPATH=src python -m pytest -q tests/audit -m faults --chaos-seed="${seed}"
     fi
     if [ "${mode}" = "all" ] || [ "${mode}" = "referee" ]; then
+        current_stage="referee mode"
         echo "=== chaos smoke (referee mode): seed ${seed} ==="
         PYTHONPATH=src python -m pytest -q tests/comm -m faults --chaos-seed="${seed}"
     fi
     if [ "${mode}" = "all" ] || [ "${mode}" = "service" ]; then
+        current_stage="service mode"
         echo "=== chaos smoke (service mode): seed ${seed} ==="
         PYTHONPATH=src python -m pytest -q tests/service -m faults --chaos-seed="${seed}"
     fi
     if [ "${mode}" = "all" ] || [ "${mode}" = "replica" ]; then
+        current_stage="replica mode"
         echo "=== chaos smoke (replica mode): seed ${seed} ==="
         PYTHONPATH=src python -m pytest -q tests/service/test_failover.py \
             tests/service/test_replication.py tests/service/test_chaos_proxy.py \

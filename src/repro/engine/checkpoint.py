@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CheckpointError
+from ..util.fs import REAL_FS, Filesystem
 
 _MAGIC = b"RPCK"
 _VERSION = 1
@@ -152,12 +153,14 @@ class CheckpointManager:
         pruned after each successful save (at least 1 is always kept).
     """
 
-    def __init__(self, directory: str, interval: int = 10_000, keep: int = 2):
+    def __init__(self, directory: str, interval: int = 10_000, keep: int = 2,
+                 fs: Filesystem = REAL_FS):
         if interval < 1:
             raise CheckpointError(f"checkpoint interval must be >= 1, got {interval}")
         self.directory = directory
         self.interval = interval
         self.keep = max(1, keep)
+        self.fs = fs
         # Damaged-generation fallbacks observed by the last load_latest().
         self.last_fallback: List[Tuple[str, str]] = []
 
@@ -168,10 +171,10 @@ class CheckpointManager:
 
     def _existing(self) -> List[Tuple[int, str]]:
         """(offset, path) of every checkpoint file, ascending by offset."""
-        if not os.path.isdir(self.directory):
+        if not self.fs.isdir(self.directory):
             return []
         found = []
-        for name in os.listdir(self.directory):
+        for name in self.fs.listdir(self.directory):
             if name.startswith("ckpt-") and name.endswith(_SUFFIX):
                 try:
                     offset = int(name[len("ckpt-"):-len(_SUFFIX)])
@@ -198,23 +201,22 @@ class CheckpointManager:
         after ``save`` could roll the directory back to a state where
         the checkpoint never existed.
         """
-        os.makedirs(self.directory, exist_ok=True)
+        self.fs.makedirs(self.directory, exist_ok=True)
         path = self._path_for(ck.offset)
         tmp = path + ".tmp"
         data = encode_checkpoint(ck)
-        with open(tmp, "wb") as fh:
+        with self.fs.open(tmp, "wb") as fh:
             fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-        _fsync_directory(self.directory)
+            self.fs.fsync(fh)
+        self.fs.replace(tmp, path)
+        self.fs.fsync_dir(self.directory)
         self._prune()
         return path
 
     def _prune(self) -> None:
         for _offset, path in self._existing()[:-self.keep]:
             try:
-                os.remove(path)
+                self.fs.remove(path)
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
 
@@ -230,18 +232,18 @@ class CheckpointManager:
         removed = 0
         for _offset, path in self._existing():
             try:
-                os.remove(path)
+                self.fs.remove(path)
                 removed += 1
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
         if removed:
-            fsync_directory(self.directory)
+            self.fs.fsync_dir(self.directory)
         return removed
 
     def load(self, path: str) -> Checkpoint:
         """Load and verify one checkpoint file."""
         try:
-            with open(path, "rb") as fh:
+            with self.fs.open(path, "rb") as fh:
                 data = fh.read()
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc

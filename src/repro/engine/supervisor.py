@@ -76,11 +76,21 @@ class RetryPolicy:
     jitter_seed: int = 0
 
     def backoff_delay(self, shard: int, attempt: int) -> float:
-        """Deterministic backoff-plus-jitter sleep before a restart."""
-        delay = min(
-            self.backoff_max,
-            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
-        )
+        """Deterministic backoff-plus-jitter sleep before a restart.
+
+        The exponent is clamped before exponentiating: a client stuck
+        retrying through a multi-hour partition reaches attempt counts
+        where ``factor ** attempt`` overflows a float — the ``min``
+        would never see the capped value, it would see an
+        ``OverflowError``.  Past the clamp every attempt just sleeps
+        ``backoff_max`` (plus jitter), which is the intended ceiling.
+        """
+        exponent = min(max(0, attempt - 1), 64)
+        try:
+            raw = self.backoff_base * self.backoff_factor ** exponent
+        except OverflowError:  # pragma: no cover - pathological factor
+            raw = self.backoff_max
+        delay = min(self.backoff_max, raw)
         if self.jitter > 0:
             acc = hash64(self.jitter_seed, _JITTER_SALT)
             acc = hash64(acc, shard)

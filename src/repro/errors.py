@@ -185,6 +185,22 @@ class WALCorruptionError(WALError):
     code = "wal-corrupt"
 
 
+class WALFullError(WALError):
+    """A WAL append failed for lack of disk (ENOSPC or kin) — a
+    *transient environment* fault, not log damage.
+
+    The registry rolls the already-folded batch back with its linear
+    inverse (fold the same updates sign-flipped — exact by linearity),
+    so the sketch state is as if the batch never arrived, and raises
+    this typed retryable error instead of poisoning the session loop.
+    Mutations for the sketch keep failing fast with ``wal_full`` (each
+    attempt re-probes the disk) until an append succeeds again; reads,
+    health, and checkpoint-driven truncation — the thing that frees
+    space — keep running throughout."""
+
+    code = "wal_full"
+
+
 class BadRequestError(ServiceError):
     """A well-framed request with invalid contents — unknown command,
     missing arguments, malformed update payload."""

@@ -129,9 +129,16 @@ class ChaosProxy:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        """Release the listener and tear down sessions.  Idempotent and
+        abort-safe: callable from an except path, twice, or with the
+        listener already half-dead — the port is freed regardless."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            try:
+                await server.wait_closed()
+            except Exception:  # listener already dying — port is freed
+                pass
         for task in list(self._sessions):
             task.cancel()
         for task in list(self._sessions):
@@ -139,6 +146,7 @@ class ChaosProxy:
                 await task
             except (asyncio.CancelledError, Exception):
                 pass
+        self._sessions.clear()
 
     def _draw_mode(self) -> str:
         roll = self._rng.random()
@@ -183,8 +191,12 @@ class ChaosProxy:
                 self.target_host, self.target_port
             )
         except OSError:
-            client_writer.transport.abort()
-            self._sessions.discard(task)
+            try:
+                client_writer.transport.abort()
+            except Exception:
+                pass
+            finally:
+                self._sessions.discard(task)
             return
         try:
             await asyncio.gather(

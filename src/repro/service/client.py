@@ -46,9 +46,12 @@ import itertools
 import os
 import random
 import time
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.supervisor import RetryPolicy
+from ..util.clock import SYSTEM_CLOCK, Clock
+from .net import REAL_NETWORK, Network
 from ..errors import (
     BadRequestError,
     DrainingError,
@@ -62,6 +65,7 @@ from ..errors import (
     SketchExistsError,
     SketchFrozenError,
     WALError,
+    WALFullError,
 )
 from .protocol import (
     decode_blob_list,
@@ -85,13 +89,18 @@ _ERROR_TYPES = {
         OverloadedError,
         ServiceTimeoutError,
         WALError,
+        WALFullError,
     )
 }
 
 #: Error codes worth retrying: the server shed the request, the
-#: transport failed, or the sketch is briefly frozen for a migration —
-#: nothing about the request itself was wrong.
-TRANSIENT_CODES = frozenset({"overloaded", "disconnected", "timeout", "frozen"})
+#: transport failed, the sketch is briefly frozen for a migration, or
+#: the server's WAL disk is full (the batch was rolled back and the
+#: checkpoint cron keeps trying to free space) — nothing about the
+#: request itself was wrong.
+TRANSIENT_CODES = frozenset(
+    {"overloaded", "disconnected", "timeout", "frozen", "wal_full"}
+)
 
 #: Transient codes that indicate the *endpoint* (not the request) is in
 #: trouble — these trip the per-endpoint circuit breaker and start the
@@ -112,8 +121,9 @@ class Endpoint:
         self.connects = 0
         self.skips = 0  # times skipped while the breaker was open
 
-    def describe(self) -> Dict[str, object]:
-        now = time.monotonic()
+    def describe(self, now: Optional[float] = None) -> Dict[str, object]:
+        if now is None:
+            now = time.monotonic()
         return {
             "host": self.host,
             "port": self.port,
@@ -171,11 +181,15 @@ class ServiceClient:
                  client_id: Optional[str] = None,
                  endpoints: Optional[Sequence[Tuple[str, int]]] = None,
                  breaker_threshold: int = 3,
-                 breaker_cooldown: float = 1.0):
+                 breaker_cooldown: float = 1.0,
+                 clock: Clock = SYSTEM_CLOCK,
+                 network: Network = REAL_NETWORK):
         self._reader = reader
         self._writer = writer
         self._host = host
         self._port = port
+        self._clock = clock
+        self._network = network
         if endpoints:
             self._endpoints = [Endpoint(h, p) for h, p in endpoints]
         elif host is not None:
@@ -190,6 +204,11 @@ class ServiceClient:
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.client_id = client_id or os.urandom(8).hex()
+        #: Deterministic per-client jitter key: two clients of one
+        #: seeded ``RetryPolicy`` spread their retries apart instead of
+        #: thundering back in lockstep, yet each client's backoff
+        #: sequence is exactly replayable from its id.
+        self._backoff_key = zlib.crc32(self.client_id.encode("utf-8"))
         self._stamps = itertools.count(1)
         self._closed = False
         self._ever_connected = reader is not None
@@ -209,7 +228,9 @@ class ServiceClient:
                       endpoints: Optional[Sequence[Tuple[str, int]]] = None,
                       endpoint_seed: int = 0,
                       breaker_threshold: int = 3,
-                      breaker_cooldown: float = 1.0):
+                      breaker_cooldown: float = 1.0,
+                      clock: Clock = SYSTEM_CLOCK,
+                      network: Network = REAL_NETWORK):
         """Open a client; with ``endpoints``, shuffle them by seed first.
 
         The seeded shuffle spreads a fleet of clients across replicas
@@ -224,14 +245,16 @@ class ServiceClient:
                 client_id=client_id, endpoints=eps,
                 breaker_threshold=breaker_threshold,
                 breaker_cooldown=breaker_cooldown,
+                clock=clock, network=network,
             )
             await client._ensure_connection()
             return client
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await network.connect(host, port)
         return cls(reader, writer, host=host, port=port, timeout=timeout,
                    retry=retry, client_id=client_id,
                    breaker_threshold=breaker_threshold,
-                   breaker_cooldown=breaker_cooldown)
+                   breaker_cooldown=breaker_cooldown,
+                   clock=clock, network=network)
 
     async def close(self) -> None:
         self._closed = True
@@ -260,7 +283,9 @@ class ServiceClient:
         if ep is not None:
             ep.failures += 1
             if ep.failures >= self.breaker_threshold:
-                ep.open_until = time.monotonic() + self.breaker_cooldown
+                ep.open_until = (
+                    self._clock.monotonic() + self.breaker_cooldown
+                )
 
     async def _ensure_connection(self) -> None:
         if self._reader is not None:
@@ -274,7 +299,7 @@ class ServiceClient:
         n = len(self._endpoints)
         order = [self._endpoints[(self._endpoint_index + i) % n]
                  for i in range(n)]
-        now = time.monotonic()
+        now = self._clock.monotonic()
         ready = []
         for ep in order:
             if ep.open_until > now:
@@ -289,7 +314,7 @@ class ServiceClient:
         last_exc: Optional[BaseException] = None
         for ep in ready:
             try:
-                reader, writer = await asyncio.open_connection(
+                reader, writer = await self._network.connect(
                     ep.host, ep.port
                 )
             except OSError as exc:
@@ -297,7 +322,9 @@ class ServiceClient:
                 # breaker and move on to the next endpoint.
                 ep.failures += 1
                 if ep.failures >= self.breaker_threshold:
-                    ep.open_until = time.monotonic() + self.breaker_cooldown
+                    ep.open_until = (
+                        self._clock.monotonic() + self.breaker_cooldown
+                    )
                 last_exc = exc
                 continue
             self._reader, self._writer = reader, writer
@@ -409,7 +436,7 @@ class ServiceClient:
                     # First success after a transport failure: one
                     # client-observed failover-latency sample.
                     self.failover_times.append(
-                        time.monotonic() - self._failover_started
+                        self._clock.monotonic() - self._failover_started
                     )
                     self._failover_started = None
                 return result
@@ -420,7 +447,7 @@ class ServiceClient:
                     exc.code in _TRANSPORT_CODES
                     and self._failover_started is None
                 ):
-                    self._failover_started = time.monotonic()
+                    self._failover_started = self._clock.monotonic()
                 attempt += 1
                 retriable = bool(self._endpoints) or isinstance(
                     exc, OverloadedError
@@ -439,8 +466,15 @@ class ServiceClient:
                 if isinstance(exc, OverloadedError):
                     delay = exc.retry_after
                 else:
-                    delay = self.retry.backoff_delay(0, attempt)
-                await asyncio.sleep(delay)
+                    # Keyed by the client id: deterministic for one
+                    # client, decorrelated across a fleet.  The policy
+                    # clamps the exponential *before* exponentiating,
+                    # so a long partition parks at ~backoff_max seconds
+                    # per attempt instead of backing off into minutes.
+                    delay = self.retry.backoff_delay(
+                        self._backoff_key, attempt
+                    )
+                await self._clock.sleep(delay)
 
     def next_stamp(self) -> Dict[str, object]:
         """A fresh ``(client, request)`` stamp for one logical mutation."""
@@ -463,7 +497,10 @@ class ServiceClient:
             "failover_median_seconds": median,
             "failover_max_seconds": times[-1] if times else None,
             "errors_by_code": dict(self.errors_by_code),
-            "endpoints": [ep.describe() for ep in self._endpoints],
+            "endpoints": [
+                ep.describe(self._clock.monotonic())
+                for ep in self._endpoints
+            ],
         }
 
     # -- typed helpers ---------------------------------------------------

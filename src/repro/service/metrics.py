@@ -120,6 +120,8 @@ class ServerMetrics:
         self.members_repaired = 0
         self.restores_received = 0
         self.forgets = 0
+        self.wal_full_rejections = 0
+        self.checkpoint_errors = 0
         self.per_command: Dict[str, CommandStats] = {}
 
     @property
@@ -159,6 +161,8 @@ class ServerMetrics:
             "members_repaired": self.members_repaired,
             "restores_received": self.restores_received,
             "forgets": self.forgets,
+            "wal_full_rejections": self.wal_full_rejections,
+            "checkpoint_errors": self.checkpoint_errors,
             "per_command": {
                 cmd: stats.to_dict()
                 for cmd, stats in sorted(self.per_command.items())

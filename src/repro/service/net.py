@@ -1,0 +1,60 @@
+"""The network seam: one ``Network`` facade for real and simulated IO.
+
+The server binds its listener and the client opens its connections
+through a :class:`Network` instance instead of calling
+:func:`asyncio.start_server` / :func:`asyncio.open_connection`
+directly.  In production the default :data:`REAL_NETWORK` delegates
+straight to asyncio TCP; under the deterministic simulation harness a
+``SimNetwork`` hands out in-memory stream pairs whose delivery is
+scheduled in virtual time with seeded delay / cut / partition faults.
+
+The stream objects a ``Network`` yields must speak the small surface
+the frame protocol uses: ``readexactly``/``read`` on the reader;
+``write``/``drain``/``close``/``wait_closed`` (plus
+``transport.abort()``) on the writer — exactly asyncio's
+``StreamReader``/``StreamWriter`` shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Tuple
+
+
+class Listener:
+    """A bound accept loop: the bit of ``asyncio.AbstractServer`` used."""
+
+    def __init__(self, server: asyncio.AbstractServer):
+        self._server = server
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    def close(self) -> None:
+        self._server.close()
+
+    async def wait_closed(self) -> None:
+        await self._server.wait_closed()
+
+
+class Network:
+    """Real TCP: thin pass-through to asyncio streams."""
+
+    async def listen(
+        self,
+        handler: Callable[[asyncio.StreamReader, asyncio.StreamWriter],
+                          Awaitable[None]],
+        host: str,
+        port: int,
+    ) -> Listener:
+        return Listener(await asyncio.start_server(handler, host, port))
+
+    async def connect(
+        self, host: str, port: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(host, port)
+
+
+#: Process-wide default used by server and client unless one is injected.
+REAL_NETWORK = Network()

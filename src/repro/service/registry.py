@@ -50,7 +50,11 @@ from ..errors import (
     CheckpointError,
     NoSuchSketchError,
     SketchExistsError,
+    WALError,
+    WALFullError,
 )
+from ..util.clock import SYSTEM_CLOCK, Clock
+from ..util.fs import REAL_FS, Filesystem
 from ..graph.union_find import UnionFind
 from ..sketch.serialization import (
     dump_member_state,
@@ -124,12 +128,13 @@ class SketchRecord:
 
     def __init__(self, name: str, config: Dict[str, object], sketch,
                  wal: Optional[WriteAheadLog] = None,
-                 dedup: Optional[DedupWindow] = None):
+                 dedup: Optional[DedupWindow] = None,
+                 clock: Clock = SYSTEM_CLOCK):
         self.name = name
         self.config = config
         self.sketch = sketch
         self.lock = asyncio.Lock()
-        self.created_at = time.time()
+        self.created_at = clock.wall()
         #: Edge events ingested (the stream offset checkpoints record).
         self.events = 0
         self.ingest = IngestMetrics(shards=1, backend="service", batch_size=0)
@@ -152,6 +157,11 @@ class SketchRecord:
         #: an unlogged batch, so further mutations are refused until an
         #: operator intervenes (restart replays to a consistent state).
         self.wal_broken = False
+        #: Set while the WAL's disk is full (ENOSPC): the last mutation
+        #: was rolled back with its linear inverse and refused with the
+        #: retryable ``wal_full`` error.  Self-clearing — the flag drops
+        #: on the next append that reaches the log.
+        self.wal_full = False
         #: Migration freeze: mutations answer the typed ``frozen``
         #: error while the sketch's state is being dumped/shipped.
         self.frozen = False
@@ -211,9 +221,13 @@ class SketchRegistry:
         wal_segment_bytes: int = 4 << 20,
         wal_fsync: str = "always",
         dedup_window: int = 4096,
+        fs: Filesystem = REAL_FS,
+        clock: Clock = SYSTEM_CLOCK,
     ):
         self.checkpoint_dir = checkpoint_dir
         self.keep = keep
+        self.fs = fs
+        self.clock = clock
         self.hash_cache = hash_cache
         self.hash_cache_max_bytes = hash_cache_max_bytes
         self.summed_cache_capacity = summed_cache_capacity
@@ -288,6 +302,7 @@ class SketchRegistry:
             directory,
             segment_bytes=self.wal_segment_bytes,
             fsync=self.wal_fsync,
+            fs=self.fs,
         )
 
     def admit(
@@ -311,11 +326,12 @@ class SketchRegistry:
             self.manager_for(name).wipe()
             wal_dir = self._wal_dir(name)
             if wal_dir is not None:
-                wipe_wal(wal_dir)
+                wipe_wal(wal_dir, fs=self.fs)
             wal = self._open_wal(name)
         record = SketchRecord(
             name, config, sketch, wal=wal,
             dedup=DedupWindow(capacity=self.dedup_window),
+            clock=self.clock,
         )
         if wal is not None:
             record.seq = 1
@@ -446,16 +462,63 @@ class SketchRegistry:
         if record.wal is not None:
             try:
                 record.wal.append(record.seq + 1, kind, meta, payload)
+            except WALFullError:
+                # Disk full, but the log itself is intact (the torn
+                # append was physically truncated away).  Unfold the
+                # batch with its linear inverse — exact by linearity —
+                # so memory matches the log, and refuse the ingest with
+                # the typed retryable error: the client may re-send the
+                # same stamp once space frees up (checkpoint-driven
+                # truncation keeps running and is what frees it).
+                self._rollback_fold(record, kind, payload, count)
+                record.wal_full = True
+                raise
             except Exception:
-                # The fold landed but the log did not: acking would
-                # promise durability we cannot deliver, and letting a
-                # retry in would double-fold.  Freeze mutations on this
-                # sketch until an operator intervenes.
+                # The fold landed but the log did not, and the failure
+                # is not a recognised transient: acking would promise
+                # durability we cannot deliver, and letting a retry in
+                # would double-fold.  Freeze mutations on this sketch
+                # until an operator intervenes.
                 record.wal_broken = True
                 raise
             record.seq += 1
+            record.wal_full = False
         record.dedup.add(client, request, count, record.events)
         return record.seq
+
+    def _rollback_fold(
+        self, record: SketchRecord, kind: int, payload: bytes, count: int
+    ) -> None:
+        """Undo an applied-but-unlogged batch with its linear inverse.
+
+        Folding the identical updates with flipped signs returns every
+        sketch cell to its exact prior value (the updates live in a
+        module over Z, so ``+x`` then ``-x`` is the identity — Thm 2's
+        linearity), which is what makes a *transient* WAL failure
+        recoverable in place instead of poisoning the sketch.
+        """
+        try:
+            if kind == KIND_PAIRS:
+                us, vs, signs = decode_pairs(payload)
+                record.sketch.update_batch_pairs(
+                    us, vs, np.negative(np.asarray(signs))
+                )
+            elif kind == KIND_UPDATES:
+                updates = json.loads(payload.decode("utf-8"))
+                batch = [
+                    (tuple(int(v) for v in edge), -int(sign))
+                    for sign, edge in updates
+                ]
+                record.sketch.update_batch(batch)
+            else:  # pragma: no cover - caller passes ingest kinds only
+                raise WALError(f"cannot roll back WAL record kind {kind}")
+        except Exception:  # pragma: no cover - inverse folds are pure
+            # The unfold itself failed: state is now unknowable, which
+            # is exactly what wal_broken means.
+            record.wal_broken = True
+            raise
+        record.events -= int(count)
+        record.snapshot = None
 
     # -- snapshots (the query path) -------------------------------------
 
@@ -511,6 +574,7 @@ class SketchRegistry:
                 os.path.join(self.checkpoint_dir, name),
                 interval=1,
                 keep=self.keep,
+                fs=self.fs,
             )
             self._managers[name] = mgr
         return mgr
@@ -540,7 +604,7 @@ class SketchRegistry:
             shard_blobs=[blob],
             meta={
                 "service": dict(record.config),
-                "saved_at": time.time(),
+                "saved_at": self.clock.wall(),
                 "wal": {"seq": seq, "dedup": record.dedup.to_list()},
             },
         )
@@ -574,12 +638,12 @@ class SketchRegistry:
         :class:`~repro.errors.WALCorruptionError` rather than silently
         dropping acknowledged history.  Returns the restored names.
         """
-        if self.checkpoint_dir is None or not os.path.isdir(self.checkpoint_dir):
+        if self.checkpoint_dir is None or not self.fs.isdir(self.checkpoint_dir):
             return []
         restored = []
-        for name in sorted(os.listdir(self.checkpoint_dir)):
+        for name in sorted(self.fs.listdir(self.checkpoint_dir)):
             sub = os.path.join(self.checkpoint_dir, name)
-            if not os.path.isdir(sub) or not _NAME_RE.match(name):
+            if not self.fs.isdir(sub) or not _NAME_RE.match(name):
                 continue
             mgr = self.manager_for(name)
             ck = mgr.load_latest()
@@ -632,7 +696,8 @@ class SketchRegistry:
                 # so trust the checkpoint and skip the replay.
                 base_seq = wal.last_seq
         self._prepare(sketch)
-        record = SketchRecord(name, config, sketch, wal=wal, dedup=dedup)
+        record = SketchRecord(name, config, sketch, wal=wal, dedup=dedup,
+                              clock=self.clock)
         record.events = ck.offset if ck is not None else 0
         record.last_checkpoint_events = record.events if ck is not None else -1
         record.seq = base_seq
@@ -713,7 +778,7 @@ class SketchRegistry:
         from ..audit.repair import sketch_digest_table, table_fingerprint
 
         table = sketch_digest_table(record.sketch)
-        record.last_antientropy = time.time()
+        record.last_antientropy = self.clock.wall()
         return {
             "events": record.events,
             "seq": record.seq,
@@ -766,7 +831,7 @@ class SketchRegistry:
         record.snapshot = None
         record.repairs += 1
         record.repaired_members += len(blobs)
-        record.last_antientropy = time.time()
+        record.last_antientropy = self.clock.wall()
         # Force the checkpoint: the offsets may be unchanged even
         # though the counters moved.
         record.last_checkpoint_events = -1
@@ -857,5 +922,5 @@ class SketchRegistry:
                 mgr.wipe()
             wal_dir = self._wal_dir(name)
             if wal_dir is not None:
-                wipe_wal(wal_dir)
+                wipe_wal(wal_dir, fs=self.fs)
         self._managers.pop(name, None)

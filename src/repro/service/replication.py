@@ -50,11 +50,12 @@ from __future__ import annotations
 
 import asyncio
 import json
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..audit.repair import divergent_members
 from ..engine.supervisor import RetryPolicy
+from ..util.clock import SYSTEM_CLOCK, Clock
+from .net import REAL_NETWORK, Network
 from ..errors import (
     BadRequestError,
     NoSuchSketchError,
@@ -135,7 +136,11 @@ class ReplicaSet:
         endpoint_seed: int = 0,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 1.0,
+        clock: Clock = SYSTEM_CLOCK,
+        network: Network = REAL_NETWORK,
     ):
+        self.clock = clock
+        self.network = network
         self.endpoints = [(h, int(p)) for h, p in endpoints]
         n = len(self.endpoints)
         if n == 0:
@@ -153,17 +158,25 @@ class ReplicaSet:
             ServiceClient(
                 None, None, timeout=timeout, retry=retry,
                 endpoints=[ep],
+                # Derive per-client identities from the given one so a
+                # seeded coordinator is deterministic end to end (the
+                # retry jitter is keyed by client id); fall back to
+                # each client's own random id otherwise.
+                client_id=f"{client_id}-w{i}" if client_id else None,
                 breaker_threshold=breaker_threshold,
                 breaker_cooldown=breaker_cooldown,
+                clock=clock, network=network,
             )
-            for ep in self.endpoints
+            for i, ep in enumerate(self.endpoints)
         ]
         #: The failover client reads ride (seeded shuffle, breakers).
         self.reader = ServiceClient(
             None, None, timeout=timeout, retry=retry,
             endpoints=self._shuffled(endpoint_seed),
+            client_id=client_id,
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
+            clock=clock, network=network,
         )
         # One stamp identity for the whole set: every replica sees the
         # same (client, request) for one logical mutation, which is
@@ -294,7 +307,7 @@ class ReplicaSet:
                     for sketch in await client.list():
                         if sketch["name"] == name:
                             return sketch
-                    await asyncio.sleep(0.1)
+                    await self.clock.sleep(0.1)
                 raise
 
         results = await self._await_quorum(
@@ -306,8 +319,14 @@ class ReplicaSet:
     async def _quorum_ingest(
         self, name: str, payload: bytes = b"",
         updates: Optional[list] = None,
+        stamp: Optional[Dict[str, object]] = None,
     ) -> int:
-        stamp = self.next_stamp()
+        # A caller-supplied stamp lets a coordinator retry a failed
+        # quorum write as the SAME logical mutation: replicas that
+        # already applied it answer from the dedup window, so the
+        # retry is exactly-once end to end.
+        if stamp is None:
+            stamp = self.next_stamp()
 
         async def one(client: ServiceClient):
             args = {"name": name}
@@ -326,21 +345,25 @@ class ReplicaSet:
         self.metrics.quorum_writes += 1
         return max(results)
 
-    async def ingest_pairs(self, name: str, us, vs, signs) -> int:
+    async def ingest_pairs(self, name: str, us, vs, signs,
+                           stamp: Optional[Dict[str, object]] = None) -> int:
         """Quorum-replicated packed rank-2 batch; one stamp for all."""
         return await self._quorum_ingest(
-            name, payload=encode_pairs(us, vs, signs)
+            name, payload=encode_pairs(us, vs, signs), stamp=stamp
         )
 
-    async def ingest_encoded(self, name: str, payload: bytes) -> int:
+    async def ingest_encoded(self, name: str, payload: bytes,
+                             stamp: Optional[Dict[str, object]] = None) -> int:
         """Quorum-replicate a pre-encoded pairs payload (loadgen path)."""
-        return await self._quorum_ingest(name, payload=payload)
+        return await self._quorum_ingest(name, payload=payload, stamp=stamp)
 
-    async def ingest_updates(self, name: str, updates) -> int:
+    async def ingest_updates(self, name: str, updates,
+                             stamp: Optional[Dict[str, object]] = None) -> int:
         """Quorum-replicated hyperedge batch ``[(sign, [v...]), ...]``."""
         return await self._quorum_ingest(
             name,
             updates=[[int(s), list(map(int, e))] for s, e in updates],
+            stamp=stamp,
         )
 
     # -- reads -----------------------------------------------------------
@@ -549,7 +572,7 @@ class ReplicaSet:
             if len(fingerprints) == 1 and len(offsets) == 1:
                 report["converged"] = True
                 self.metrics.anti_entropy_converged += 1
-                self.last_anti_entropy = time.time()
+                self.last_anti_entropy = self.clock.wall()
                 for i in live:
                     self.lagging.pop(i, None)
                 return report
@@ -600,7 +623,7 @@ class ReplicaSet:
 
         async def loop():
             while True:
-                await asyncio.sleep(interval)
+                await self.clock.sleep(interval)
                 try:
                     await self.anti_entropy_all(names)
                 except (ServiceError, OSError):
@@ -635,7 +658,7 @@ class ReplicaSet:
 
 async def migrate_sketch(
     source: ServiceClient, target: ServiceClient, name: str,
-    keep_source: bool = False,
+    keep_source: bool = False, clock: Clock = SYSTEM_CLOCK,
 ) -> Dict[str, object]:
     """Move a hot sketch between servers with a bounded freeze window.
 
@@ -654,12 +677,12 @@ async def migrate_sketch(
             break
     if config is None:
         raise NoSuchSketchError(f"no sketch named {name!r} on the source")
-    t0 = time.monotonic()
+    t0 = clock.monotonic()
     await source.freeze(name)
     try:
         events, blob = await source.dump(name)
         await target.restore_sketch(name, config, blob, events)
-        serving_at = time.monotonic()
+        serving_at = clock.monotonic()
     except BaseException:
         await source.thaw(name)
         raise

@@ -65,9 +65,12 @@ from ..errors import (
     SketchExistsError,
     SketchFrozenError,
     WALError,
+    WALFullError,
 )
 from ..sketch.serialization import dump_sketch
+from ..util.clock import SYSTEM_CLOCK, Clock
 from .metrics import ServerMetrics
+from .net import REAL_NETWORK, Listener, Network
 from .protocol import (
     PROTOCOL_VERSION,
     decode_blob_list,
@@ -125,6 +128,9 @@ class SketchServer:
         ingest_chunk: int = 8192,
         max_in_flight: int = 64,
         role: str = "replica",
+        clock: Clock = SYSTEM_CLOCK,
+        network: Network = REAL_NETWORK,
+        offload=None,
     ):
         self.registry = registry
         self.host = host
@@ -134,6 +140,14 @@ class SketchServer:
         self.resume = resume
         self.ingest_chunk = max(1, ingest_chunk)
         self.max_in_flight = max(1, max_in_flight)
+        #: The time/network/offload seams: real by default, simulated
+        #: under :mod:`repro.service.sim`.  ``offload`` is how blocking
+        #: work (kernels, fsyncs) leaves the event loop — a thread pool
+        #: in production, inline execution in the single-threaded
+        #: deterministic simulation.
+        self.clock = clock
+        self.network = network
+        self._offload = offload if offload is not None else asyncio.to_thread
         #: Replica-set label (``primary``/``replica``): a routing hint
         #: surfaced by ``hello``/``health`` — writes are quorum-fanned
         #: regardless, but clients prefer the primary for reads and
@@ -143,7 +157,7 @@ class SketchServer:
         self._expensive_in_flight = 0
         self.metrics = ServerMetrics()
         self.query_metrics = QueryMetrics()
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._server: Optional[Listener] = None
         self._draining = asyncio.Event()
         self._stopped = asyncio.Event()
         self._sessions: set = set()
@@ -168,10 +182,10 @@ class SketchServer:
         """Bind the listener, resume state, and launch the crons."""
         if self.resume:
             self.restored = self.registry.restore_all()
-        self._server = await asyncio.start_server(
+        self._server = await self.network.listen(
             self._handle_session, self.host, self.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self.port = self._server.port
         if self.checkpoint_interval > 0 and self.registry.checkpoint_dir:
             self._cron_tasks.append(
                 asyncio.ensure_future(self._checkpoint_cron())
@@ -233,13 +247,13 @@ class SketchServer:
         # Sessions observe the draining flag and wind down on their own
         # (mutating requests now answer the typed ``draining`` error);
         # wait for in-flight work to settle, then close idle sessions.
-        deadline = time.monotonic() + 10.0
+        deadline = self.clock.monotonic() + 10.0
         settled = 0
-        while self._sessions and time.monotonic() < deadline:
+        while self._sessions and self.clock.monotonic() < deadline:
             settled = settled + 1 if self.metrics.in_flight == 0 else 0
             if settled >= 3:
                 break
-            await asyncio.sleep(0.02)
+            await self.clock.sleep(0.02)
         for task in list(self._sessions):
             task.cancel()
         await self._final_checkpoint()
@@ -255,14 +269,21 @@ class SketchServer:
 
     async def _checkpoint_cron(self) -> None:
         while True:
-            await asyncio.sleep(self.checkpoint_interval)
+            await self.clock.sleep(self.checkpoint_interval)
             for record in self.registry.records():
                 async with record.lock:
-                    await asyncio.to_thread(self.registry.checkpoint, record)
+                    try:
+                        await self._offload(self.registry.checkpoint, record)
+                    except (OSError, ReproError):
+                        # A failed periodic save (full disk, damaged
+                        # directory) degrades durability to the previous
+                        # generation — it must not kill the cron, which
+                        # is also what retries once the fault clears.
+                        self.metrics.checkpoint_errors += 1
 
     async def _snapshot_cron(self) -> None:
         while True:
-            await asyncio.sleep(self.snapshot_interval)
+            await self.clock.sleep(self.snapshot_interval)
             stale = [
                 r
                 for r in self.registry.records()
@@ -271,7 +292,7 @@ class SketchServer:
             for record in stale:
                 async with record.lock:
                     try:
-                        await asyncio.to_thread(
+                        await self._offload(
                             self._snapshot_executor.map,
                             self.registry.refresh_snapshot,
                             [record],
@@ -442,12 +463,12 @@ class SketchServer:
         fut = asyncio.get_running_loop().create_future()
         self._creating[name] = (normalized, fut)
         try:
-            sketch = await asyncio.to_thread(
+            sketch = await self._offload(
                 self.registry.prepare_sketch, normalized
             )
             # admit() wipes stale on-disk lineage and writes the WAL
             # create record — disk I/O, so it runs off-loop too.
-            record = await asyncio.to_thread(
+            record = await self._offload(
                 self.registry.admit, name, normalized, sketch
             )
         except BaseException as exc:
@@ -503,7 +524,7 @@ class SketchServer:
                     "retry shortly"
                 )
             if updates is not None:
-                count = await asyncio.to_thread(
+                count = await self._offload(
                     self.registry.ingest_updates, record, updates
                 )
                 kind = KIND_UPDATES
@@ -516,14 +537,14 @@ class SketchServer:
                 # The whole batch is validated *first*: a later chunk
                 # can no longer fail after earlier chunks folded.
                 us, vs, signs = decode_pairs(payload)
-                await asyncio.to_thread(
+                await self._offload(
                     self.registry.validate_pairs, record, us, vs, signs
                 )
                 count = 0
                 chunk = self.ingest_chunk
                 for start in range(0, len(us), chunk):
                     end = start + chunk
-                    count += await asyncio.to_thread(
+                    count += await self._offload(
                         self.registry.ingest_pairs,
                         record,
                         us[start:end],
@@ -538,10 +559,17 @@ class SketchServer:
                 )
             # Logged before acked: the WAL append (and its fsync) must
             # land before the ack frame leaves — off-loop, it blocks.
-            seq = await asyncio.to_thread(
-                self.registry.wal_commit,
-                record, kind, wal_payload, client, request, count,
-            )
+            try:
+                seq = await self._offload(
+                    self.registry.wal_commit,
+                    record, kind, wal_payload, client, request, count,
+                )
+            except WALFullError:
+                # The registry already unfolded the batch (linear
+                # inverse) and flagged the sketch; answer the typed
+                # retryable error instead of poisoning the session.
+                self.metrics.wal_full_rejections += 1
+                raise
             return {"count": count, "events": record.events, "seq": seq}
 
     async def _cmd_query(self, header, payload):
@@ -555,7 +583,7 @@ class SketchServer:
         snap = record.snapshot
         if consistency == "fresh" or snap is None:
             async with record.lock:
-                snap = await asyncio.to_thread(
+                snap = await self._offload(
                     self.registry.refresh_snapshot, record
                 )
         body = {
@@ -589,7 +617,7 @@ class SketchServer:
         paths: Dict[str, Optional[str]] = {}
         for record in records:
             async with record.lock:
-                paths[record.name] = await asyncio.to_thread(
+                paths[record.name] = await self._offload(
                     self.registry.checkpoint, record
                 )
         return {"paths": paths}
@@ -597,13 +625,13 @@ class SketchServer:
     async def _cmd_audit(self, header, payload):
         record = self.registry.get(header.get("name"))
         async with record.lock:
-            report = await asyncio.to_thread(self.registry.audit, record)
+            report = await self._offload(self.registry.audit, record)
         return {"report": report}
 
     async def _cmd_dump(self, header, payload):
         record = self.registry.get(header.get("name"))
         async with record.lock:
-            blob = await asyncio.to_thread(dump_sketch, record.sketch)
+            blob = await self._offload(dump_sketch, record.sketch)
             return {"events": record.events, "bytes": len(blob)}, blob
 
     async def _cmd_list(self, header, payload):
@@ -637,16 +665,19 @@ class SketchServer:
         """
         sketches = {}
         broken = False
+        full = False
         worst_lag = 0
         for record in self.registry.records():
             lag = record.wal_lag
             worst_lag = max(worst_lag, lag)
             broken = broken or record.wal_broken
+            full = full or record.wal_full
             info = {
                 "events": record.events,
                 "wal_seq": record.seq,
                 "wal_lag": lag,
                 "wal_broken": record.wal_broken,
+                "wal_full": record.wal_full,
                 "replayed": record.replayed,
                 "dedup_entries": len(record.dedup),
                 "dedup_occupancy": record.dedup.occupancy,
@@ -660,7 +691,7 @@ class SketchServer:
                 info["wal"] = record.wal.stats()
             sketches[record.name] = info
         status = "ok"
-        if broken:
+        if broken or full:
             status = "degraded"
         if self.draining:
             status = "draining"
@@ -669,6 +700,9 @@ class SketchServer:
             "role": self.role,
             "draining": self.draining,
             "wal_enabled": self.registry.wal_enabled,
+            "wal_full": full,
+            "wal_full_rejections": self.metrics.wal_full_rejections,
+            "checkpoint_errors": self.metrics.checkpoint_errors,
             "in_flight": self.metrics.in_flight,
             "expensive_in_flight": self._expensive_in_flight,
             "max_in_flight": self.max_in_flight,
@@ -686,14 +720,14 @@ class SketchServer:
         """The per-grid (group, row) digest table (anti-entropy probe)."""
         record = self.registry.get(header.get("name"))
         async with record.lock:
-            return await asyncio.to_thread(self.registry.digest_table, record)
+            return await self._offload(self.registry.digest_table, record)
 
     async def _cmd_member_digest(self, header, payload):
         """Per-member digest pairs of one grid (repair localization)."""
         record = self.registry.get(header.get("name"))
         grid = header.get("grid", 0)
         async with record.lock:
-            members = await asyncio.to_thread(
+            members = await self._offload(
                 self.registry.member_digests, record, grid
             )
         return {"grid": grid, "members": members}
@@ -706,7 +740,7 @@ class SketchServer:
         if not isinstance(members, list) or not members:
             raise BadRequestError("fetch-members needs a nonempty 'members'")
         async with record.lock:
-            blobs = await asyncio.to_thread(
+            blobs = await self._offload(
                 self.registry.fetch_member_blobs, record, grid, members
             )
         return {"count": len(blobs), "events": record.events}, (
@@ -734,7 +768,7 @@ class SketchServer:
                 raise SketchFrozenError(
                     f"sketch {record.name!r} is frozen for migration"
                 )
-            count = await asyncio.to_thread(
+            count = await self._offload(
                 self.registry.repair_members, record, grid, blobs, events
             )
         self.metrics.repairs_received += 1
@@ -749,7 +783,7 @@ class SketchServer:
         if not isinstance(after, int) or not isinstance(limit, int):
             raise BadRequestError("wal-tail 'after'/'limit' must be integers")
         async with record.lock:
-            metas, payloads = await asyncio.to_thread(
+            metas, payloads = await self._offload(
                 self.registry.wal_tail, record, after, max(0, limit)
             )
         return {"records": metas, "seq": record.seq}, (
@@ -786,7 +820,7 @@ class SketchServer:
         # already exists); the sentinel only reserves the name.
         self._creating[name] = (None, None)
         try:
-            record = await asyncio.to_thread(
+            record = await self._offload(
                 self.registry.restore_blob, name, config, payload, events
             )
         finally:
@@ -803,7 +837,7 @@ class SketchServer:
                 raise NoSuchSketchError(
                     f"sketch {record.name!r} was already removed"
                 )
-            await asyncio.to_thread(
+            await self._offload(
                 self.registry.forget, record.name, bool(wipe)
             )
         self.metrics.forgets += 1

@@ -1,0 +1,139 @@
+"""A virtual-time asyncio event loop for deterministic simulation.
+
+The whole point of the simulator is that *no real time passes and no
+real I/O happens*.  Rather than re-implement timers, ``wait_for``, and
+task scheduling, :class:`SimEventLoop` subclasses the stock
+``SelectorEventLoop`` and swaps in a selector that never blocks: when
+the loop would normally sleep in ``select(timeout)`` waiting for file
+descriptors, the virtual selector instead **advances virtual time by
+exactly that timeout** and reports no I/O.  Because ``loop.time()``
+reads the virtual clock, every ``asyncio.sleep``, ``call_later``, and
+``asyncio.wait_for`` in the production code is virtualised wholesale —
+the service code runs unmodified, timeouts and crons included, at
+whatever speed the host CPU can burn through callbacks.
+
+Determinism requires single-threadedness: anything that would touch a
+real thread (``run_in_executor``, ``getaddrinfo``) is refused loudly
+rather than silently breaking reproducibility.  The simulated network
+and filesystem never hand the loop a real file descriptor, so the
+"no I/O ever becomes ready" invariant holds by construction.
+
+A ``select(None)`` call — asyncio's way of sleeping *forever* because
+nothing is scheduled — is a **deadlock** under simulation: no timer
+will fire and no packet will arrive, so the world can never make
+progress.  The virtual selector turns it into :class:`SimDeadlockError`
+instead of hanging the test run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Optional
+
+from ...util.clock import Clock
+
+__all__ = ["SimClock", "SimDeadlockError", "SimEventLoop"]
+
+
+class SimDeadlockError(RuntimeError):
+    """The simulated world quiesced with tasks still waiting.
+
+    Raised when the event loop would block forever: no ready callbacks,
+    no scheduled timers, yet ``run_until_complete`` has not finished.
+    Under virtual time that means some task awaits an event nothing
+    will ever deliver — a lost wakeup, a one-way partition with no
+    client timeout, a future nobody resolves.  Real-time test suites
+    surface these as multi-minute hangs; the simulator surfaces them
+    instantly, with the failing seed.
+    """
+
+
+class _VirtualSelector(selectors._BaseSelectorImpl):
+    """A selector that trades blocking for advancing virtual time.
+
+    Registration bookkeeping is inherited (the event loop registers its
+    self-pipe at construction); only ``select`` changes.  Nothing in
+    the simulation registers real descriptors that could become ready,
+    so returning an empty event list is always correct.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.loop: Optional["SimEventLoop"] = None
+
+    def select(self, timeout: Optional[float] = None):
+        if timeout is None:
+            raise SimDeadlockError(
+                "simulated world deadlocked: tasks are waiting but no "
+                "timer or delivery is scheduled to wake them"
+            )
+        if timeout > 0 and self.loop is not None:
+            self.loop.advance(timeout)
+        return []
+
+
+class SimEventLoop(asyncio.SelectorEventLoop):
+    """``SelectorEventLoop`` whose clock is a variable, not the kernel.
+
+    Time starts at 0.0 and moves only when every runnable callback has
+    run and the loop would otherwise block — exactly the semantics of a
+    discrete-event simulator, inherited from asyncio's own scheduler.
+    """
+
+    def __init__(self) -> None:
+        selector = _VirtualSelector()
+        super().__init__(selector)
+        selector.loop = self
+        self._sim_time = 0.0
+        # Virtual time is exact; don't let the host's clock resolution
+        # coalesce distinct timers.
+        self._clock_resolution = 1e-9
+
+    # -- virtual clock --------------------------------------------------
+
+    def time(self) -> float:
+        return self._sim_time
+
+    def advance(self, delta: float) -> None:
+        """Move virtual time forward (the selector's job, normally)."""
+        if delta > 0:
+            self._sim_time += delta
+
+    # -- determinism guards ---------------------------------------------
+
+    def run_in_executor(self, executor, func, *args):  # pragma: no cover
+        raise RuntimeError(
+            "run_in_executor is forbidden under simulation: threads "
+            "reintroduce nondeterminism; inject an inline offload "
+            "instead"
+        )
+
+    async def getaddrinfo(self, *args, **kwargs):  # pragma: no cover
+        raise RuntimeError("no DNS under simulation; use SimNetwork")
+
+
+class SimClock(Clock):
+    """The :class:`~repro.util.clock.Clock` seam bound to a sim loop.
+
+    ``monotonic`` reads the loop's virtual time; ``wall`` offsets it by
+    a fixed epoch so timestamps look like real dates in health output.
+    ``sleep`` delegates to ``asyncio.sleep``, which the virtual loop
+    already virtualises — this class adds no scheduling of its own.
+    """
+
+    #: Virtual wall-clock epoch: 2023-11-14T22:13:20Z, an arbitrary
+    #: fixed instant so runs are reproducible byte-for-byte.
+    WALL_EPOCH = 1_700_000_000.0
+
+    def __init__(self, loop: SimEventLoop):
+        self._loop = loop
+
+    def monotonic(self) -> float:
+        return self._loop.time()
+
+    def wall(self) -> float:
+        return self.WALL_EPOCH + self._loop.time()
+
+    async def sleep(self, delay: float) -> None:
+        await asyncio.sleep(delay)

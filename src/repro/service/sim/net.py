@@ -1,0 +1,302 @@
+"""An in-memory network delivering bytes in virtual time, with faults.
+
+The production :class:`~repro.service.net.Network` seam hands out
+asyncio stream pairs over TCP sockets.  :class:`SimNetwork` hands out
+the same *shape* — readers with ``readexactly``/``read``, writers with
+``write``/``drain``/``close``/``wait_closed`` and a ``transport`` that
+can ``abort()`` — but every byte travels through a seeded, virtual-time
+pipe instead of a kernel.
+
+Fault model (TCP-faithful: the service speaks a framed protocol over a
+reliable byte stream, so packet-level reorder/drop/dup are invisible —
+what a TCP application actually observes is **latency**, **resets**,
+**refused connects**, and **silence**):
+
+* every chunk is delivered after a seeded delay (base + jitter), with
+  per-direction ordering preserved (delivery times are monotone per
+  pipe, like TCP sequencing);
+* :meth:`SimNetwork.stall` blackholes one direction of a port's
+  traffic — inbound stall means requests vanish (client times out),
+  outbound stall means the server processes and acks **but the ack is
+  lost**, manufacturing exactly the duplicated-retry scenario the
+  dedup window must absorb;
+* :meth:`SimNetwork.block` refuses new connects to a port and resets
+  established ones (a crashed or firewalled node);
+* aborting a writer resets the peer mid-frame — the server counts a
+  ``disconnects_midframe``, the client sees ``ConnectionError``.
+
+Duplicate *requests* are intentionally not injected at the byte layer
+(that would corrupt framing, which TCP never does); they arise the
+honest way, from client retries after a lost ack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from ..net import Listener, Network
+
+__all__ = ["SimNetwork"]
+
+_READER_LIMIT = 1 << 20
+
+
+class _SimPipe:
+    """One direction of a connection: sender bytes → peer's reader.
+
+    Chunks are scheduled onto the virtual-time loop with non-decreasing
+    delivery times, so the byte stream stays ordered however jittery
+    the individual delays are.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 rng: random.Random, reader: asyncio.StreamReader,
+                 base_delay: float, jitter: float):
+        self._loop = loop
+        self._rng = rng
+        self.reader = reader
+        self._base = base_delay
+        self._jitter = jitter
+        self._last_at = 0.0
+        self.closed = False
+        self.stalled = False
+        self.bytes_sent = 0
+
+    def _schedule(self, callback, *args) -> None:
+        now = self._loop.time()
+        delay = self._base + self._rng.random() * self._jitter
+        # Strictly increasing delivery times: asyncio's timer heap does
+        # not promise FIFO for equal deadlines, and a reordered chunk
+        # would corrupt the byte stream.
+        at = max(now + delay, self._last_at + 1e-9)
+        self._last_at = at
+        self._loop.call_later(at - now, callback, *args)
+
+    def send(self, data: bytes) -> None:
+        if self.closed or self.stalled or not data:
+            return
+        self.bytes_sent += len(data)
+        self._schedule(self._feed, bytes(data))
+
+    def _feed(self, data: bytes) -> None:
+        if not self.closed:
+            self.reader.feed_data(data)
+
+    def close(self) -> None:
+        """Graceful FIN: EOF arrives after every in-flight chunk."""
+        if self.closed:
+            return
+        self._schedule(self._finish)
+
+    def _finish(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.reader.feed_eof()
+
+    def reset(self) -> None:
+        """RST: the peer's next read fails immediately; sends drop."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.reader.set_exception(
+                ConnectionResetError("simulated connection reset"))
+        except Exception:  # reader already at EOF — nothing to poison
+            pass
+
+
+class _SimTransport:
+    def __init__(self, conn: "_SimConnection"):
+        self._conn = conn
+
+    def abort(self) -> None:
+        self._conn.reset()
+
+
+class _SimWriter:
+    """The writer half handed to production code; pure delegation."""
+
+    def __init__(self, conn: "_SimConnection", pipe: _SimPipe,
+                 peername: Tuple[str, int]):
+        self._conn = conn
+        self._pipe = pipe
+        self._peername = peername
+        self.transport = _SimTransport(conn)
+
+    def write(self, data: bytes) -> None:
+        self._pipe.send(data)
+
+    async def drain(self) -> None:
+        if self._pipe.closed and not self._pipe.stalled:
+            raise ConnectionResetError("simulated connection reset")
+        # A checkpoint for cancellation and fairness, like real drain.
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def is_closing(self) -> bool:
+        return self._pipe.closed
+
+    async def wait_closed(self) -> None:
+        await asyncio.sleep(0)
+
+    def get_extra_info(self, name: str, default=None):
+        if name == "peername":
+            return self._peername
+        return default
+
+
+class _SimConnection:
+    """A full-duplex pair of pipes, registered with the network."""
+
+    def __init__(self, network: "SimNetwork", port: int,
+                 rng: random.Random, base_delay: float, jitter: float):
+        self.network = network
+        self.port = port
+        loop = asyncio.get_running_loop()
+        client_reader = asyncio.StreamReader(limit=_READER_LIMIT)
+        server_reader = asyncio.StreamReader(limit=_READER_LIMIT)
+        #: client -> server direction feeds the server's reader.
+        self.inbound = _SimPipe(loop, rng, server_reader, base_delay, jitter)
+        #: server -> client direction feeds the client's reader.
+        self.outbound = _SimPipe(loop, rng, client_reader, base_delay, jitter)
+        self.client_reader = client_reader
+        self.server_reader = server_reader
+        self.client_writer = _SimWriter(self, self.inbound, ("sim", port))
+        self.server_writer = _SimWriter(self, self.outbound, ("sim", 0))
+
+    def close(self) -> None:
+        self.inbound.close()
+        self.outbound.close()
+
+    def reset(self) -> None:
+        self.inbound.reset()
+        self.outbound.reset()
+
+    @property
+    def alive(self) -> bool:
+        return not (self.inbound.closed and self.outbound.closed)
+
+
+class _SimListener(Listener):
+    def __init__(self, network: "SimNetwork", port: int,
+                 handler: Callable[..., Awaitable[None]]):
+        self._network = network
+        self._port = port
+        self.handler = handler
+        self.closed = False
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    def close(self) -> None:
+        self.closed = True
+        self._network._listeners.pop(self._port, None)
+
+    async def wait_closed(self) -> None:
+        await asyncio.sleep(0)
+
+
+class SimNetwork(Network):
+    """The :class:`~repro.service.net.Network` seam, simulated.
+
+    One instance is the whole world's network; servers listen on
+    virtual ports, clients connect by port.  All fault switches are
+    keyed by port because every flow in this architecture terminates
+    at a server (replication is coordinator-driven).
+    """
+
+    def __init__(self, rng: random.Random,
+                 base_delay: float = 0.0002, jitter: float = 0.0015):
+        self._rng = rng
+        self._base = base_delay
+        self._jitter = jitter
+        self._listeners: Dict[int, _SimListener] = {}
+        self._next_port = 40000
+        self._blocked: set = set()
+        self._stalled_in: set = set()
+        self._stalled_out: set = set()
+        self.connections: List[_SimConnection] = []
+
+    # -- Network surface ------------------------------------------------
+
+    async def listen(self, handler: Callable[..., Awaitable[None]],
+                     host: str, port: int) -> Listener:
+        if port == 0:
+            port = self._next_port
+            self._next_port += 1
+        if port in self._listeners:
+            raise OSError(98, f"simulated port {port} already in use")
+        listener = _SimListener(self, port, handler)
+        self._listeners[port] = listener
+        return listener
+
+    async def connect(self, host: str, port: int):
+        listener = self._listeners.get(port)
+        if listener is None or listener.closed or port in self._blocked:
+            raise ConnectionRefusedError(
+                f"simulated connect to port {port} refused")
+        conn = _SimConnection(self, port, self._rng, self._base, self._jitter)
+        conn.inbound.stalled = port in self._stalled_in
+        conn.outbound.stalled = port in self._stalled_out
+        self.connections.append(conn)
+        asyncio.get_running_loop().create_task(
+            listener.handler(conn.server_reader, conn.server_writer))
+        return conn.client_reader, conn.client_writer
+
+    # -- fault switches -------------------------------------------------
+
+    def _conns(self, port: int) -> List[_SimConnection]:
+        self.connections = [c for c in self.connections if c.alive]
+        return [c for c in self.connections if c.port == port]
+
+    def block(self, port: int) -> None:
+        """Refuse new connects and reset live ones (node unreachable)."""
+        self._blocked.add(port)
+        for conn in self._conns(port):
+            conn.reset()
+
+    def stall(self, port: int, direction: str = "both") -> None:
+        """Blackhole traffic: ``in`` (requests), ``out`` (acks), both."""
+        if direction in ("in", "both"):
+            self._stalled_in.add(port)
+        if direction in ("out", "both"):
+            self._stalled_out.add(port)
+        for conn in self._conns(port):
+            conn.inbound.stalled = port in self._stalled_in
+            conn.outbound.stalled = port in self._stalled_out
+
+    def heal(self, port: int) -> None:
+        """Clear every fault switch on a port; new connects flow again.
+
+        Existing connections whose frames were swallowed stay broken —
+        exactly like a real partition healing under TCP: the old
+        connection is dead weight and clients must reconnect, so the
+        stalled pipes are reset rather than resumed.
+        """
+        self._blocked.discard(port)
+        self._stalled_in.discard(port)
+        self._stalled_out.discard(port)
+        for conn in self._conns(port):
+            if conn.inbound.stalled or conn.outbound.stalled:
+                conn.inbound.stalled = conn.outbound.stalled = False
+                conn.reset()
+
+    def reset_port(self, port: int) -> None:
+        """Reset live connections without blocking future ones."""
+        for conn in self._conns(port):
+            conn.reset()
+
+    def stats(self) -> Dict[str, object]:
+        live = [c for c in self.connections if c.alive]
+        return {
+            "live_connections": len(live),
+            "listeners": sorted(self._listeners),
+            "blocked": sorted(self._blocked),
+            "stalled_in": sorted(self._stalled_in),
+            "stalled_out": sorted(self._stalled_out),
+        }

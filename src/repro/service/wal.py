@@ -46,6 +46,7 @@ included — only for bulk loads that can re-run).
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import struct
@@ -53,8 +54,15 @@ import zlib
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..engine.checkpoint import fsync_directory
-from ..errors import WALCorruptionError, WALError
+from ..errors import WALCorruptionError, WALError, WALFullError
+from ..util.fs import REAL_FS, Filesystem
+
+#: ``errno`` values that mean "out of space", not "log damage".
+_FULL_ERRNOS = frozenset(
+    code for code in (
+        getattr(errno, "ENOSPC", None), getattr(errno, "EDQUOT", None)
+    ) if code is not None
+)
 
 _MAGIC = b"RPWL"
 _VERSION = 1
@@ -108,7 +116,8 @@ def _decode_body(body: bytes) -> WALRecord:
     return WALRecord(int(seq), int(kind), meta, body[off + meta_len:])
 
 
-def _scan_segment(path: str, final_segment: bool) -> Tuple[List[WALRecord], int]:
+def _scan_segment(path: str, final_segment: bool,
+                  fs: Filesystem = REAL_FS) -> Tuple[List[WALRecord], int]:
     """Decode every record of one segment file.
 
     Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
@@ -117,7 +126,7 @@ def _scan_segment(path: str, final_segment: bool) -> Tuple[List[WALRecord], int]
     short interior segment means records acknowledged after it exist,
     so its damage raises :class:`WALCorruptionError`.
     """
-    with open(path, "rb") as fh:
+    with fs.open(path, "rb") as fh:
         data = fh.read()
     if len(data) < len(_HEADER) or data[:4] != _MAGIC:
         raise WALCorruptionError(f"{path}: not a WAL segment (bad magic)")
@@ -168,7 +177,7 @@ class WriteAheadLog:
     """
 
     def __init__(self, directory: str, segment_bytes: int = 4 << 20,
-                 fsync: str = "always"):
+                 fsync: str = "always", fs: Filesystem = REAL_FS):
         if fsync not in FSYNC_POLICIES:
             raise WALError(
                 f"unknown WAL fsync policy {fsync!r} (want one of "
@@ -177,6 +186,7 @@ class WriteAheadLog:
         self.directory = directory
         self.segment_bytes = max(1 << 12, int(segment_bytes))
         self.fsync = fsync
+        self.fs = fs
         self._fh = None
         self._fh_path: Optional[str] = None
         self._fh_size = 0
@@ -189,10 +199,10 @@ class WriteAheadLog:
 
     def _segments(self) -> List[Tuple[int, str]]:
         """(first_seq, path) of every segment, ascending."""
-        if not os.path.isdir(self.directory):
+        if not self.fs.isdir(self.directory):
             return []
         found = []
-        for name in os.listdir(self.directory):
+        for name in self.fs.listdir(self.directory):
             if name.startswith("wal-") and name.endswith(_SUFFIX):
                 try:
                     first = int(name[len("wal-"):-len(_SUFFIX)])
@@ -206,25 +216,35 @@ class WriteAheadLog:
         segments = self._segments()
         for i, (_first, path) in enumerate(segments):
             final = i == len(segments) - 1
-            records, valid = _scan_segment(path, final_segment=final)
+            records, valid = _scan_segment(path, final_segment=final,
+                                           fs=self.fs)
             if records:
                 self.last_seq = records[-1].seq
-            if final and valid < os.path.getsize(path):
-                with open(path, "r+b") as fh:
+            if final and valid < self.fs.getsize(path):
+                with self.fs.open(path, "r+b") as fh:
                     fh.truncate(valid)
-                    fh.flush()
-                    os.fsync(fh.fileno())
+                    self.fs.fsync(fh)
 
     def _open_segment(self, first_seq: int) -> None:
-        os.makedirs(self.directory, exist_ok=True)
+        self.fs.makedirs(self.directory, exist_ok=True)
         path = os.path.join(self.directory, f"wal-{first_seq:012d}{_SUFFIX}")
-        fh = open(path, "ab")
+        fh = self.fs.open(path, "ab")
         if fh.tell() == 0:
-            fh.write(_HEADER)
-            fh.flush()
-            if self.fsync == "always":
-                os.fsync(fh.fileno())
-            fsync_directory(self.directory)
+            try:
+                fh.write(_HEADER)
+                fh.flush()
+                if self.fsync == "always":
+                    self.fs.fsync(fh)
+            except OSError:
+                # A torn header would make the segment unscannable and
+                # poison later appends; remove the husk before failing.
+                fh.close()
+                try:
+                    self.fs.remove(path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+                raise
+            self.fs.fsync_dir(self.directory)
         self._fh = fh
         self._fh_path = path
         self._fh_size = fh.tell()
@@ -235,8 +255,8 @@ class WriteAheadLog:
             if segments:
                 # Continue the last segment unless it is already full.
                 _first, path = segments[-1]
-                if os.path.getsize(path) < self.segment_bytes:
-                    self._fh = open(path, "ab")
+                if self.fs.getsize(path) < self.segment_bytes:
+                    self._fh = self.fs.open(path, "ab")
                     self._fh_path = path
                     self._fh_size = self._fh.tell()
                     return
@@ -249,7 +269,7 @@ class WriteAheadLog:
         if self._fh is not None:
             self._fh.flush()
             if self.fsync == "always":
-                os.fsync(self._fh.fileno())
+                self.fs.fsync(self._fh)
             self._fh.close()
             self._fh = None
             self._fh_path = None
@@ -278,19 +298,53 @@ class WriteAheadLog:
             if self.fsync in ("always", "os"):
                 self._fh.flush()
             if self.fsync == "always":
-                os.fsync(self._fh.fileno())
+                self.fs.fsync(self._fh)
                 self.synced += 1
         except OSError as exc:
+            repaired = self._repair_failed_append()
+            if exc.errno in _FULL_ERRNOS and repaired:
+                # Disk full, log physically rolled back to its pre-append
+                # length: the environment fault is transient and the log
+                # is intact, so the caller may retry once space frees up.
+                raise WALFullError(
+                    f"WAL append hit a full disk: {exc}"
+                ) from exc
             raise WALError(f"WAL append failed: {exc}") from exc
         self._fh_size += len(data)
         self.last_seq = seq
         self.appended += 1
 
+    def _repair_failed_append(self) -> bool:
+        """Truncate a possibly-torn append back off the live segment.
+
+        A failed ``write``/``flush`` may have landed a prefix of the
+        record; leaving it would tear the segment for every later
+        append, not just this one.  Returns True when the segment is
+        known intact (nothing was open, or the truncate succeeded).
+        """
+        if self._fh is None:
+            return True
+        try:
+            self._fh.truncate(self._fh_size)
+            self._fh.flush()
+            return True
+        except OSError:  # pragma: no cover - double disk fault
+            # Can't prove the tail is clean; drop the handle so the next
+            # append re-opens and recovery truncates by scan instead.
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+            self._fh_path = None
+            self._fh_size = 0
+            return False
+
     def sync(self) -> None:
         """Force the buffered tail to disk regardless of policy."""
         if self._fh is not None:
             self._fh.flush()
-            os.fsync(self._fh.fileno())
+            self.fs.fsync(self._fh)
             self.synced += 1
 
     # -- the read path ---------------------------------------------------
@@ -301,7 +355,7 @@ class WriteAheadLog:
         segments = self._segments()
         for i, (_first, path) in enumerate(segments):
             records, _valid = _scan_segment(
-                path, final_segment=(i == len(segments) - 1)
+                path, final_segment=(i == len(segments) - 1), fs=self.fs
             )
             for record in records:
                 if record.seq > after_seq:
@@ -327,12 +381,12 @@ class WriteAheadLog:
                 if self._fh_path == path:  # pragma: no cover - paranoia
                     self.close_segment()
                 try:
-                    os.remove(path)
+                    self.fs.remove(path)
                 except OSError:  # pragma: no cover - best-effort cleanup
                     continue
                 removed += 1
         if removed:
-            fsync_directory(self.directory)
+            self.fs.fsync_dir(self.directory)
         return removed
 
     # -- observability ---------------------------------------------------
@@ -342,8 +396,8 @@ class WriteAheadLog:
         return {
             "segments": len(segments),
             "bytes": sum(
-                os.path.getsize(p) for _s, p in segments
-                if os.path.exists(p)
+                self.fs.getsize(p) for _s, p in segments
+                if self.fs.exists(p)
             ),
             "last_seq": self.last_seq,
             "appended": self.appended,
@@ -352,21 +406,21 @@ class WriteAheadLog:
         }
 
 
-def wipe_wal(directory: str) -> None:
+def wipe_wal(directory: str, fs: Filesystem = REAL_FS) -> None:
     """Delete every WAL segment under ``directory`` (stale lineage).
 
     Used when a sketch name is *re-created*: the old log belongs to a
     dead sketch and replaying it into the new one would be corruption.
     """
-    if not os.path.isdir(directory):
+    if not fs.isdir(directory):
         return
-    for name in os.listdir(directory):
+    for name in fs.listdir(directory):
         if name.startswith("wal-") and name.endswith(_SUFFIX):
             try:
-                os.remove(os.path.join(directory, name))
+                fs.remove(os.path.join(directory, name))
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
-    fsync_directory(directory)
+    fs.fsync_dir(directory)
 
 
 class DedupWindow:

@@ -1,11 +1,17 @@
 """Shared low-level utilities: field arithmetic, hashing, coordinates."""
 
 from .binomial import EdgeSpace, binom, colex_rank, colex_unrank
+from .clock import SYSTEM_CLOCK, Clock
+from .fs import REAL_FS, Filesystem
 from .hashing import HashFamily, derive_seed, hash64, splitmix64
 from .prime_field import MERSENNE_61
 from .rng import normalize_seed, rng_from
 
 __all__ = [
+    "Clock",
+    "SYSTEM_CLOCK",
+    "Filesystem",
+    "REAL_FS",
     "EdgeSpace",
     "binom",
     "colex_rank",

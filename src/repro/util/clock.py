@@ -1,0 +1,49 @@
+"""The time seam: one ``Clock`` protocol for real and simulated worlds.
+
+Every component that sleeps, schedules a cron, stamps a wall-clock
+time, or measures a deadline goes through a :class:`Clock` instance
+instead of calling :mod:`time` / :func:`asyncio.sleep` directly.  In
+production the default :data:`SYSTEM_CLOCK` delegates straight to the
+real thing; under the deterministic simulation harness
+(:mod:`repro.service.sim`) a ``SimClock`` bound to the virtual-time
+event loop is injected instead, so a five-second checkpoint cron
+"elapses" in microseconds of wall time and every interleaving is
+replayable from its seed.
+
+The protocol is deliberately tiny:
+
+``monotonic()``
+    A monotonically increasing float in seconds — deadlines, backoff
+    timers, circuit-breaker cooldowns.
+``wall()``
+    Wall-clock epoch seconds — human-facing timestamps only; never
+    used for control flow.
+``sleep(delay)``
+    Coroutine; yields to the event loop for ``delay`` seconds (or one
+    scheduling round when ``delay <= 0``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+
+class Clock:
+    """Base clock: real time.  Subclass and override for simulation."""
+
+    def monotonic(self) -> float:
+        """Monotonic seconds (control flow: deadlines, backoff)."""
+        return time.monotonic()
+
+    def wall(self) -> float:
+        """Wall-clock epoch seconds (display / metadata only)."""
+        return time.time()
+
+    async def sleep(self, delay: float) -> None:
+        """Yield to the event loop for ``delay`` seconds."""
+        await asyncio.sleep(delay)
+
+
+#: Process-wide default used by every component unless one is injected.
+SYSTEM_CLOCK = Clock()

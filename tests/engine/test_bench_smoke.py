@@ -27,6 +27,7 @@ from bench_service import serial_replay_dumps, start_server  # noqa: E402
 from bench_service import _dump_all, _shutdown  # noqa: E402
 from bench_replication import replica_chaos_round  # noqa: E402
 from bench_service_chaos import chaos_round  # noqa: E402
+from bench_sim import sim_sweep  # noqa: E402
 
 
 class TestBenchSmoke:
@@ -183,3 +184,19 @@ class TestBenchSmoke:
         assert (
             out["acked_batches"] + out["indeterminate_batches"] <= 24
         )
+
+    @pytest.mark.simfaults
+    def test_smoke_sim_sweep(self):
+        """E27 core at small scale: 25 seeded fault schedules run the
+        whole 3-replica fleet on the virtual clock/network/disk and
+        every one must hold all four invariants (zero acked loss,
+        exactly-once, byte-identical convergence to the referee's
+        serial replay, no frozen/broken sketches).  The 1000-schedule
+        sweep and the wall-time bar are the full benchmark's job."""
+        out = sim_sweep(25, seed=0)
+        assert out["pass_rate"] == 1.0, [
+            (r.seed, r.violations) for r in out["failures"]
+        ]
+        assert out["batches_acked"] == out["batches_sent"] > 0
+        # The sweep must actually have injected faults, not idled.
+        assert sum(out["fault_counts"].values()) > 0

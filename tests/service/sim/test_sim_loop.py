@@ -1,0 +1,100 @@
+"""The virtual-time event loop: time is a variable, not a kernel call.
+
+These tests pin the properties everything else in the simulator leans
+on: sleeps consume virtual (not wall) time, timers and ``wait_for``
+deadlines fire in order, and a world that quiesces with tasks still
+waiting raises :class:`~repro.service.sim.SimDeadlockError` instead of
+hanging the test run.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.sim import SimClock, SimDeadlockError, SimEventLoop
+
+
+def run_sim(coro):
+    loop = SimEventLoop()
+    try:
+        return loop.run_until_complete(coro), loop.time()
+    finally:
+        loop.close()
+
+
+class TestVirtualTime:
+    def test_sleep_consumes_no_wall_time(self):
+        async def nap():
+            await asyncio.sleep(3600.0)
+            return asyncio.get_running_loop().time()
+
+        wall0 = time.perf_counter()
+        vtime, final = run_sim(nap())
+        assert time.perf_counter() - wall0 < 2.0
+        assert vtime == pytest.approx(3600.0)
+        assert final == pytest.approx(3600.0)
+
+    def test_timers_fire_in_order(self):
+        fired = []
+
+        async def go():
+            loop = asyncio.get_running_loop()
+            for delay in (0.5, 0.1, 0.3):
+                loop.call_later(delay, fired.append, delay)
+            await asyncio.sleep(1.0)
+
+        run_sim(go())
+        assert fired == [0.1, 0.3, 0.5]
+
+    def test_wait_for_times_out_virtually(self):
+        async def go():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.Event().wait(), timeout=5.0)
+            return asyncio.get_running_loop().time()
+
+        elapsed, _ = run_sim(go())
+        assert elapsed == pytest.approx(5.0)
+
+    def test_clock_seam_reads_virtual_time(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            clock = SimClock(loop)
+            t0m, t0w = clock.monotonic(), clock.wall()
+            await clock.sleep(2.5)
+            return clock.monotonic() - t0m, clock.wall() - t0w
+
+        (dm, dw), _ = run_sim(go())
+        assert dm == pytest.approx(2.5)
+        assert dw == pytest.approx(2.5)
+
+    def test_wall_clock_is_fixed_epoch_plus_virtual(self):
+        async def go():
+            return SimClock(asyncio.get_running_loop()).wall()
+
+        wall, _ = run_sim(go())
+        assert wall == pytest.approx(SimClock.WALL_EPOCH)
+
+
+class TestDeadlockDetection:
+    def test_unwakeable_wait_raises_instead_of_hanging(self):
+        async def stuck():
+            await asyncio.Event().wait()  # nobody will ever set it
+
+        loop = SimEventLoop()
+        try:
+            with pytest.raises(SimDeadlockError):
+                loop.run_until_complete(stuck())
+        finally:
+            loop.close()
+
+    def test_threads_are_refused(self):
+        async def offload():
+            await asyncio.get_running_loop().run_in_executor(None, len, "x")
+
+        loop = SimEventLoop()
+        try:
+            with pytest.raises(RuntimeError, match="forbidden"):
+                loop.run_until_complete(offload())
+        finally:
+            loop.close()

@@ -1,0 +1,170 @@
+"""The simulated network: ordered delivery, stalls, blocks, resets.
+
+The pipes must behave like TCP as an application sees it — ordered
+bytes, latency, resets, refusals, and silence — because the framed
+protocol on top assumes exactly that.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.service.sim import SimEventLoop, SimNetwork
+
+
+def run_sim(coro):
+    loop = SimEventLoop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+async def echo_server(reader, writer):
+    while True:
+        data = await reader.read(64)
+        if not data:
+            break
+        writer.write(data)
+        await writer.drain()
+    writer.close()
+
+
+class TestDelivery:
+    def test_bytes_arrive_in_order_despite_jitter(self):
+        async def go():
+            net = SimNetwork(random.Random(1), base_delay=0.001, jitter=0.05)
+            received = []
+
+            async def collector(reader, writer):
+                received.append(await reader.readexactly(26))
+
+            await net.listen(collector, "sim", 9000)
+            _, writer = await net.connect("sim", 9000)
+            for i in range(26):
+                writer.write(bytes([65 + i]))  # one chunk per letter
+            await asyncio.sleep(2.0)
+            return received
+
+        received = run_sim(go())
+        assert received == [b"ABCDEFGHIJKLMNOPQRSTUVWXYZ"]
+
+    def test_echo_round_trip(self):
+        async def go():
+            net = SimNetwork(random.Random(2))
+            await net.listen(echo_server, "sim", 9000)
+            reader, writer = await net.connect("sim", 9000)
+            writer.write(b"ping")
+            await writer.drain()
+            data = await reader.readexactly(4)
+            writer.close()
+            return data
+
+        assert run_sim(go()) == b"ping"
+
+    def test_connect_to_nothing_is_refused(self):
+        async def go():
+            net = SimNetwork(random.Random(3))
+            with pytest.raises(ConnectionRefusedError):
+                await net.connect("sim", 9999)
+
+        run_sim(go())
+
+
+class TestFaults:
+    def test_outbound_stall_loses_the_reply_only(self):
+        # The server HEARS the request (and would apply it) but its
+        # answer vanishes: the duplicated-ack scenario dedup exists for.
+        async def go():
+            net = SimNetwork(random.Random(4))
+            heard = []
+
+            async def server(reader, writer):
+                heard.append(await reader.readexactly(3))
+                writer.write(b"ack")
+                await writer.drain()
+
+            await net.listen(server, "sim", 9000)
+            reader, writer = await net.connect("sim", 9000)
+            net.stall(9000, "out")
+            writer.write(b"req")
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(reader.readexactly(3), timeout=1.0)
+            return heard
+
+        assert run_sim(go()) == [b"req"]
+
+    def test_inbound_stall_swallows_the_request(self):
+        async def go():
+            net = SimNetwork(random.Random(5))
+            heard = []
+
+            async def server(reader, writer):
+                heard.append(await reader.read(16))
+
+            await net.listen(server, "sim", 9000)
+            _, writer = await net.connect("sim", 9000)
+            net.stall(9000, "in")
+            writer.write(b"lost")
+            await asyncio.sleep(1.0)
+            return heard
+
+        assert run_sim(go()) == []
+
+    def test_block_refuses_and_resets(self):
+        async def go():
+            net = SimNetwork(random.Random(6))
+            await net.listen(echo_server, "sim", 9000)
+            reader, writer = await net.connect("sim", 9000)
+            net.block(9000)
+            with pytest.raises(ConnectionRefusedError):
+                await net.connect("sim", 9000)
+            with pytest.raises(ConnectionResetError):
+                await reader.readexactly(1)
+            net.heal(9000)
+            r2, w2 = await net.connect("sim", 9000)
+            w2.write(b"x")
+            return await r2.readexactly(1)
+
+        assert run_sim(go()) == b"x"
+
+    def test_heal_resets_stalled_connections(self):
+        # A partition heals: the OLD connection is dead weight (its
+        # frames were swallowed); clients must see a reset, reconnect,
+        # and find the fresh path clean.
+        async def go():
+            net = SimNetwork(random.Random(7))
+            await net.listen(echo_server, "sim", 9000)
+            reader, writer = await net.connect("sim", 9000)
+            net.stall(9000, "both")
+            writer.write(b"swallowed")
+            net.heal(9000)
+            with pytest.raises((ConnectionResetError, asyncio.IncompleteReadError)):
+                await reader.readexactly(1)
+            r2, w2 = await net.connect("sim", 9000)
+            w2.write(b"y")
+            return await r2.readexactly(1)
+
+        assert run_sim(go()) == b"y"
+
+    def test_abort_resets_the_peer_mid_frame(self):
+        async def go():
+            net = SimNetwork(random.Random(8))
+            errors = []
+
+            async def server(reader, writer):
+                try:
+                    await reader.readexactly(8)
+                except (ConnectionResetError, asyncio.IncompleteReadError) as e:
+                    errors.append(type(e).__name__)
+
+            await net.listen(server, "sim", 9000)
+            _, writer = await net.connect("sim", 9000)
+            writer.write(b"half")
+            await asyncio.sleep(0.5)
+            writer.transport.abort()
+            await asyncio.sleep(0.5)
+            return errors
+
+        assert run_sim(go()) == ["ConnectionResetError"]

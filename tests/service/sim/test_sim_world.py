@@ -1,0 +1,127 @@
+"""Whole-fleet simulation: seeded schedules, invariants, shrinking.
+
+The expensive sweeps live in ``python -m repro sim``; these tests pin
+the harness's contract with a handful of schedules each:
+
+* clean and faulty seeds hold every invariant,
+* a seed replays to a byte-identical report (determinism),
+* an explicit schedule (kill + lost-ack stall) is survived,
+* a deliberately re-broken ENOSPC path is *caught* and the failing
+  schedule *shrinks* to the one ``wal_full`` event that matters —
+  the harness can find the bug class it was built for.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import WALError
+from repro.service import registry as registry_mod
+from repro.service.sim import (
+    FaultEvent,
+    FaultSchedule,
+    generate_schedule,
+    run_one,
+    shrink_failure,
+)
+
+pytestmark = pytest.mark.simfaults
+
+
+class TestSchedules:
+    def test_seeded_schedules_round_trip_json(self):
+        sched = generate_schedule(7134, replicas=3)
+        again = FaultSchedule.from_json(sched.to_json())
+        assert again == sched
+        assert generate_schedule(7134, replicas=3) == sched
+
+    def test_quiet_world_holds_invariants(self):
+        report = run_one(seed=0, schedule=FaultSchedule(0, 3, []))
+        assert report.ok, report.violations
+        assert report.batches_acked == report.batches_sent == 8
+
+    def test_seeded_faulty_worlds_hold_invariants(self):
+        for seed in (1, 2, 3):
+            report = run_one(seed=seed)
+            assert report.ok, (seed, report.violations)
+            assert report.batches_acked == report.batches_sent
+
+    def test_seed_replay_is_deterministic(self):
+        a = json.dumps(run_one(seed=42).to_dict(), sort_keys=True)
+        b = json.dumps(run_one(seed=42).to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_explicit_kill_plus_lost_acks_schedule(self):
+        # One replica SIGKILLed mid-run, another has its acks eaten for
+        # two virtual seconds: quorum + dedup + WAL replay must hold.
+        schedule = FaultSchedule(99, 3, [
+            FaultEvent(at=1.0, kind="stall_out", replica=1, duration=2.0),
+            FaultEvent(at=2.0, kind="kill", replica=0, duration=1.5),
+        ])
+        report = run_one(seed=99, schedule=schedule)
+        assert report.ok, report.violations
+        assert report.events == report.batches_acked * 48
+
+    def test_power_loss_with_always_fsync_loses_nothing_acked(self):
+        schedule = FaultSchedule(123, 3, [
+            FaultEvent(at=2.5, kind="power_loss", replica=2, duration=1.0),
+        ])
+        report = run_one(seed=123, schedule=schedule)
+        assert report.ok, report.violations
+
+
+class _BrokenWalCommit:
+    """Re-break wal_commit the way it was before the ENOSPC fix:
+    a full disk marks the sketch wal-broken forever (no rollback,
+    no typed retryable error)."""
+
+    def __enter__(self):
+        self._saved = registry_mod.SketchRegistry.wal_commit
+
+        def broken(reg, record, kind, payload, client, request, count):
+            meta = {"client": client, "request": request,
+                    "count": int(count)}
+            if record.wal is not None:
+                try:
+                    record.wal.append(record.seq + 1, kind, meta, payload)
+                except Exception as exc:
+                    record.wal_broken = True
+                    raise WALError(str(exc)) from exc
+                record.seq += 1
+            record.dedup.add(client, request, count, record.events)
+            return record.seq
+
+        registry_mod.SketchRegistry.wal_commit = broken
+        return self
+
+    def __exit__(self, *exc):
+        registry_mod.SketchRegistry.wal_commit = self._saved
+
+
+class TestRegressionCatching:
+    #: A schedule (from the 1000-seed sweep) whose wal_full event
+    #: lands while writes are still flowing.
+    SCHEDULE = FaultSchedule(17, 3, [
+        FaultEvent(at=1.5, kind="wal_full", replica=2, duration=1.3),
+    ])
+
+    def test_fixed_code_survives_the_full_disk(self):
+        report = run_one(seed=17, schedule=self.SCHEDULE)
+        assert report.ok, report.violations
+
+    def test_reverted_enospc_fix_is_caught_and_shrunk(self):
+        with _BrokenWalCommit():
+            # Catch: the sweep-found seed fails its invariants.
+            report = run_one(seed=17)
+            assert not report.ok
+            assert any("wal-broken" in v or "stuck" in v or
+                       "divergence" in v or "differs" in v
+                       for v in report.violations), report.violations
+            # Shrink: ddmin pares the schedule down to a minimal
+            # reproducer that still contains the disk-full event.
+            minimal = shrink_failure(report)
+            assert 1 <= len(minimal.events) <= len(report.schedule.events)
+            assert any(e.kind == "wal_full" for e in minimal.events)
+            # The minimal schedule is replayable stand-alone.
+            replay = FaultSchedule.from_json(minimal.to_json())
+            assert not run_one(seed=17, schedule=replay).ok

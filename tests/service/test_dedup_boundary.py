@@ -1,0 +1,187 @@
+"""DedupWindow boundary behavior: eviction order, fallback, recovery.
+
+The window's exactly-once promise is only as strong as its edges: what
+happens at exact capacity, what a client sees when its stamp has
+*fallen out*, and whether a crash rebuilds precisely the window a
+non-crashed server would hold.  These tests pin all three, the last
+one under simulated crashes (torn WAL tails included).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.service.protocol import encode_pairs
+from repro.service.registry import SketchRegistry
+from repro.service.sim import SimEventLoop, SimFilesystem
+from repro.service.sim.loop import SimClock
+from repro.service.wal import KIND_PAIRS, DedupWindow
+
+
+class TestEvictionBoundary:
+    def test_exact_capacity_keeps_everything(self):
+        win = DedupWindow(capacity=4)
+        for i in range(4):
+            win.add("c", i, count=10, events=(i + 1) * 10)
+        assert len(win) == 4
+        assert win.occupancy == 1.0
+        for i in range(4):
+            assert win.check("c", i) == {"count": 10, "events": (i + 1) * 10}
+
+    def test_capacity_plus_one_evicts_exactly_the_oldest(self):
+        win = DedupWindow(capacity=4)
+        for i in range(5):
+            win.add("c", i, count=1, events=i + 1)
+        assert len(win) == 4
+        assert win.check("c", 0) is None          # the one and only evictee
+        assert all(win.check("c", i) for i in range(1, 5))
+
+    def test_eviction_is_fifo_by_recency_not_insertion(self):
+        win = DedupWindow(capacity=3)
+        win.add("c", 1, count=1, events=1)
+        win.add("c", 2, count=1, events=2)
+        win.add("c", 3, count=1, events=3)
+        # Re-adding stamp 1 (a duplicate ack refresh) moves it to the
+        # young end; the next eviction must take 2, not 1.
+        win.add("c", 1, count=1, events=1)
+        win.add("c", 4, count=1, events=4)
+        assert win.check("c", 2) is None
+        assert win.check("c", 1) is not None
+
+    def test_evicted_stamp_reapplies_at_least_once(self):
+        # Documented fallback: once a stamp ages out of the window the
+        # server can no longer distinguish a retry from a new batch —
+        # exactly-once degrades to at-least-once.  The window must be
+        # sized for (clients x in-flight), and this test documents the
+        # failure mode past that bound rather than pretending it away.
+        win = DedupWindow(capacity=2)
+        win.add("c", 1, count=5, events=5)
+        win.add("c", 2, count=5, events=10)
+        win.add("c", 3, count=5, events=15)   # evicts stamp 1
+        assert win.check("c", 1) is None      # a re-sent 1 would re-fold
+        assert win.hits == 0
+
+    def test_unstamped_traffic_bypasses_the_window(self):
+        win = DedupWindow(capacity=2)
+        win.add(None, None, count=1, events=1)
+        win.add("c", None, count=1, events=2)
+        assert len(win) == 0
+        assert win.check(None, None) is None
+
+    def test_round_trips_through_list_form(self):
+        win = DedupWindow(capacity=8)
+        for i in range(3):
+            win.add("c", i, count=2, events=(i + 1) * 2)
+        rebuilt = DedupWindow.from_list(win.to_list(), capacity=8)
+        assert rebuilt.to_list() == win.to_list()
+
+
+def _run_sim(coro):
+    loop = SimEventLoop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+class TestCrashRecovery:
+    """Dedup persistence = checkpoint meta + WAL-tail replay."""
+
+    def _registry(self, fs, clock=None):
+        return SketchRegistry(
+            checkpoint_dir="/data", wal=True, wal_fsync="always",
+            dedup_window=64, fs=fs,
+            **({"clock": clock} if clock is not None else {}),
+        )
+
+    def _ingest(self, reg, record, stamp_request, edges=4):
+        """Fold + wal_commit, exactly as the server's ingest path does."""
+        import numpy as np
+
+        us = np.arange(edges, dtype=np.int64)
+        vs = us + 1
+        signs = np.ones(edges, dtype=np.int64)
+        count = reg.ingest_pairs(record, us, vs, signs)
+        reg.wal_commit(
+            record, KIND_PAIRS, encode_pairs(us, vs, signs),
+            "c", stamp_request, count,
+        )
+
+    def test_window_survives_crash_via_wal_tail_replay(self):
+        async def go():
+            fs = SimFilesystem()
+            loop = asyncio.get_running_loop()
+            clock = SimClock(loop)
+            reg = self._registry(fs, clock)
+            record = reg.create("g", {"n": 8, "rows": 1, "buckets": 4,
+                                      "rounds": 2, "levels": 3})
+            for request in (1, 2, 3):
+                self._ingest(reg, record, request)
+            events_before = record.events
+            # SIGKILL: lose user-space buffers; fsync=always means the
+            # acked appends survive.
+            fs.process_crash(random.Random(7))
+            reg2 = self._registry(fs, clock)
+            restored = reg2.restore_all()
+            assert restored == ["g"]
+            rec2 = reg2.get("g")
+            assert rec2.events == events_before
+            # A re-sent stamp after recovery answers from the window
+            # (the server checks before folding): every acked stamp
+            # must still be present.
+            for request in (1, 2, 3):
+                assert rec2.dedup.check("c", request) is not None, request
+
+        _run_sim(go())
+
+    def test_window_survives_checkpoint_plus_tail(self):
+        async def go():
+            fs = SimFilesystem()
+            loop = asyncio.get_running_loop()
+            clock = SimClock(loop)
+            reg = self._registry(fs, clock)
+            record = reg.create("g", {"n": 8, "rows": 1, "buckets": 4,
+                                      "rounds": 2, "levels": 3})
+            self._ingest(reg, record, 1)
+            self._ingest(reg, record, 2)
+            reg.checkpoint(record)          # covers stamps 1-2 in meta
+            self._ingest(reg, record, 3)    # lives only in the WAL tail
+            fs.process_crash(random.Random(11))
+            reg2 = self._registry(fs, clock)
+            reg2.restore_all()
+            rec2 = reg2.get("g")
+            # Both halves of the memory came back: checkpointed stamps
+            # from meta, the tail stamp from replay.
+            for request in (1, 2, 3):
+                assert rec2.dedup.check("c", request) is not None, request
+            assert rec2.replayed >= 1
+
+        _run_sim(go())
+
+    def test_torn_final_record_loses_only_unacked_tail(self):
+        async def go():
+            fs = SimFilesystem()
+            loop = asyncio.get_running_loop()
+            clock = SimClock(loop)
+            reg = self._registry(fs, clock)
+            record = reg.create("g", {"n": 8, "rows": 1, "buckets": 4,
+                                      "rounds": 2, "levels": 3})
+            self._ingest(reg, record, 1)
+            # Tear the log by hand: append junk that looks like the
+            # start of a record, as a crash mid-append would leave.
+            wal_dir = "/data/g/wal"
+            seg = sorted(
+                n for n in fs.listdir(wal_dir) if n.endswith(".rpwl")
+            )[-1]
+            with fs.open(f"{wal_dir}/{seg}", "ab") as fh:
+                fh.write(b"\x13\x37torn")
+            fs.process_crash(random.Random(3))
+            reg2 = self._registry(fs, clock)
+            reg2.restore_all()
+            rec2 = reg2.get("g")
+            # The acked stamp survived; the torn garbage was truncated.
+            assert rec2.dedup.check("c", 1) is not None
+            assert rec2.wal_broken is False
+
+        _run_sim(go())

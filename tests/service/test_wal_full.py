@@ -1,0 +1,167 @@
+"""ENOSPC hardening: a full disk is a transient fault, not log damage.
+
+Before this change a failed WAL append froze the sketch forever
+(``wal_broken``).  Now: the torn append is physically truncated off
+the segment, the in-memory fold is rolled back with its linear
+inverse (exact, by the paper's linearity), the ingest is refused with
+the typed retryable ``wal_full`` error, and the next append re-probes
+the disk — freeing space makes the same stamp succeed.
+"""
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro.errors import WALError, WALFullError
+from repro.service.client import TRANSIENT_CODES, _ERROR_TYPES
+from repro.service.protocol import encode_pairs
+from repro.service.registry import SketchRegistry
+from repro.service.sim import SimFilesystem
+from repro.service.wal import KIND_PAIRS, WriteAheadLog
+from repro.sketch.serialization import dump_sketch
+
+CONFIG = {"n": 8, "rows": 1, "buckets": 4, "rounds": 2, "levels": 3}
+
+
+def small_batch(edges=4):
+    us = np.arange(edges, dtype=np.int64)
+    vs = us + 1
+    signs = np.ones(edges, dtype=np.int64)
+    return us, vs, signs
+
+
+class TestWalLayer:
+    def test_enospc_append_raises_typed_retryable_error(self):
+        fs = SimFilesystem()
+        wal = WriteAheadLog("/wal", fsync="always", fs=fs)
+        wal.append(1, KIND_PAIRS, {"count": 1}, b"x" * 32)
+        size_before = fs.getsize(wal._fh_path)
+        fs.set_capacity(fs.used_bytes() + 8)
+        with pytest.raises(WALFullError) as err:
+            wal.append(2, KIND_PAIRS, {"count": 1}, b"y" * 64)
+        assert err.value.code == "wal_full"
+        # The torn prefix was truncated off: the segment is physically
+        # back to its pre-append length, not just logically.
+        assert fs.getsize(wal._fh_path) == size_before
+        # Space frees up: the SAME sequence number goes through.
+        fs.set_capacity(None)
+        wal.append(2, KIND_PAIRS, {"count": 1}, b"y" * 64)
+        assert wal.last_seq == 2
+
+    def test_replay_after_enospc_sees_clean_log(self):
+        fs = SimFilesystem()
+        wal = WriteAheadLog("/wal", fsync="always", fs=fs)
+        wal.append(1, KIND_PAIRS, {"count": 1}, b"a" * 16)
+        fs.set_capacity(fs.used_bytes() + 4)
+        with pytest.raises(WALFullError):
+            wal.append(2, KIND_PAIRS, {"count": 1}, b"b" * 64)
+        wal.close()
+        records = list(WriteAheadLog("/wal", fs=fs).replay())
+        assert [r.seq for r in records] == [1]
+
+    def test_non_enospc_oserror_stays_wal_error(self):
+        fs = SimFilesystem()
+        wal = WriteAheadLog("/wal", fsync="always", fs=fs)
+        wal.append(1, KIND_PAIRS, {"count": 1}, b"x")
+
+        class ExplodingHandle:
+            def write(self, data):
+                raise OSError(errno.EIO, "injected I/O error")
+
+            def truncate(self, n):
+                raise OSError(errno.EIO, "injected I/O error")
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+        wal._fh = ExplodingHandle()
+        with pytest.raises(WALError) as err:
+            wal.append(2, KIND_PAIRS, {"count": 1}, b"y")
+        assert not isinstance(err.value, WALFullError)
+
+
+class TestRegistryRollback:
+    def _registry(self, fs):
+        return SketchRegistry(
+            checkpoint_dir="/data", wal=True, wal_fsync="always", fs=fs
+        )
+
+    def _full_ingest(self, reg, record, request, edges=4):
+        us, vs, signs = small_batch(edges)
+        count = reg.ingest_pairs(record, us, vs, signs)
+        reg.wal_commit(
+            record, KIND_PAIRS, encode_pairs(us, vs, signs),
+            "c", request, count,
+        )
+
+    def test_rollback_restores_sketch_bytes_exactly(self):
+        fs = SimFilesystem()
+        reg = self._registry(fs)
+        record = reg.create("g", dict(CONFIG))
+        self._full_ingest(reg, record, 1)
+        blob_before = dump_sketch(record.sketch)
+        events_before = record.events
+        fs.set_capacity(fs.used_bytes() + 4)
+        us, vs, signs = small_batch()
+        count = reg.ingest_pairs(record, us, vs, signs)
+        with pytest.raises(WALFullError):
+            reg.wal_commit(
+                record, KIND_PAIRS, encode_pairs(us, vs, signs),
+                "c", 2, count,
+            )
+        # The linear inverse put the sketch back byte-for-byte, the
+        # offset back, and the sketch is NOT frozen or broken — just
+        # flagged full.
+        assert dump_sketch(record.sketch) == blob_before
+        assert record.events == events_before
+        assert record.wal_full is True
+        assert record.wal_broken is False
+        assert record.dedup.check("c", 2) is None  # no ack remembered
+
+    def test_retry_after_space_frees_succeeds_and_clears_flag(self):
+        fs = SimFilesystem()
+        reg = self._registry(fs)
+        record = reg.create("g", dict(CONFIG))
+        self._full_ingest(reg, record, 1)
+        fs.set_capacity(fs.used_bytes() + 4)
+        us, vs, signs = small_batch()
+        count = reg.ingest_pairs(record, us, vs, signs)
+        with pytest.raises(WALFullError):
+            reg.wal_commit(
+                record, KIND_PAIRS, encode_pairs(us, vs, signs),
+                "c", 2, count,
+            )
+        fs.set_capacity(None)
+        # The client re-sends the same stamp; each attempt re-probes
+        # the disk, so this one lands and the flag self-clears.
+        self._full_ingest(reg, record, 2)
+        assert record.wal_full is False
+        assert record.dedup.check("c", 2) is not None
+
+    def test_wal_full_does_not_end_the_session_loop(self):
+        # Server-side contract: WALFullError is a ServiceError, so the
+        # dispatcher answers it like any typed refusal instead of
+        # tearing down the session (which is what an unhandled OSError
+        # would do).
+        from repro.errors import ServiceError
+
+        assert issubclass(WALFullError, ServiceError)
+        assert issubclass(WALFullError, WALError)
+
+
+class TestClientContract:
+    def test_wal_full_is_transient_for_the_client(self):
+        assert "wal_full" in TRANSIENT_CODES
+        assert _ERROR_TYPES["wal_full"] is WALFullError
+
+    def test_error_round_trips_through_response_encoding(self):
+        from repro.service.client import error_from_response
+
+        err = error_from_response(
+            {"error": "wal_full", "message": "disk full"})
+        assert isinstance(err, WALFullError)
+        assert err.code == "wal_full"
