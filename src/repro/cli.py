@@ -979,7 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=2, help="skeleton layers (sketch=skeleton)")
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--batch-size", type=int, default=512)
-    p.add_argument("--backend", choices=["serial", "process"], default="serial")
+    p.add_argument("--backend", choices=["serial", "process", "shm"], default="serial")
     p.add_argument("--checkpoint-dir", default=None)
     p.add_argument("--checkpoint-interval", type=int, default=10_000)
     p.add_argument("--resume", action="store_true",

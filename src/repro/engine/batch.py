@@ -60,6 +60,21 @@ def _as_update_arrays(
     return m, i, d
 
 
+#: Process-wide switch for the fused cross-group kernel (the default).
+#: When off, digest-free batches run the historical per-(group, row)
+#: kernels instead — a reference path for the equivalence tests and
+#: before/after profiling; both are bit-identical.
+_FUSED_KERNEL = True
+
+
+def set_fused_kernel(enabled: bool) -> bool:
+    """Set the fused-kernel default; returns the old value."""
+    global _FUSED_KERNEL
+    previous = _FUSED_KERNEL
+    _FUSED_KERNEL = bool(enabled)
+    return previous
+
+
 def grid_update_batch(grid, members, indices, deltas) -> int:
     """Apply ``x_member[index] += delta`` for a whole batch of updates.
 
@@ -67,6 +82,13 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
     the number of (nonzero-delta) updates applied.  The grid state after
     this call is bit-identical to applying the same updates through the
     scalar ``grid.update`` loop, in any order.
+
+    Dispatch: placement tables are attached lazily on this default path
+    (budgeted — see :meth:`SamplerGrid._ensure_hash_cache`).  Digest-free
+    grids take :func:`_grid_update_batch_fused`, one pass over the whole
+    SoA block across all groups; grids with an audit digest attached
+    keep the per-(group, row) kernels, whose fold granularity matches
+    ``digest.observe_cells``.
     """
     m, idx, d = _as_update_arrays(members, indices, deltas)
     nz = d != 0
@@ -80,26 +102,66 @@ def grid_update_batch(grid, members, indices, deltas) -> int:
     if m.min() < 0 or m.max() >= grid.members:
         bad = m[(m < 0) | (m >= grid.members)][0]
         raise IncompatibleSketchError(f"member {bad} outside [0, {grid.members})")
-    grid._updates += int(m.size)
+    applied = int(m.size)
+    grid._updates += applied
     if grid._summed_cache is not None:
         grid._touch_members(np.unique(m))
 
-    levels, rows, buckets = grid.levels, grid.rows, grid.buckets
+    digest = grid._digest
+    if digest is None and _FUSED_KERNEL and m.size > 1:
+        # Coalesce duplicate (member, index) coordinates to their net
+        # delta before the per-group expansion: every cell contribution
+        # is linear in the delta for a fixed coordinate, and the folds
+        # are order-independent, so folding the net value is
+        # bit-identical to folding each event — while churny batches
+        # (insert + delete of the same edge) shrink dramatically.  The
+        # digest path keeps the raw batch: its observations are
+        # per-event-set, not just per-net-sum.
+        key = m * np.int64(grid.domain) + idx
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        starts = np.flatnonzero(np.r_[True, sorted_key[1:] != sorted_key[:-1]])
+        if starts.size < m.size:
+            net = np.add.reduceat(d[order], starts)
+            keep = net != 0
+            sel = order[starts[keep]]
+            m, idx, d = m[sel], idx[sel], net[keep]
+            if m.size == 0:
+                return applied
+
     # Per-update modular cell contributions, shared by every group.
     d_mod = d % _P
     cs = mul_vec_mod(d_mod, idx % _P)
     cf = mul_vec_mod(d_mod, field_value_many(grid._rho.seed, idx, _P))
 
-    digest = grid._digest
+    cache = grid._ensure_hash_cache()
+    if digest is None and _FUSED_KERNEL:
+        _grid_update_batch_fused(grid, cache, m, idx, d, cs, cf)
+        return applied
     w3 = grid._w.reshape(grid.groups, -1)
     s3 = grid._s.reshape(grid.groups, -1)
     f3 = grid._f.reshape(grid.groups, -1)
-    cache = getattr(grid, "_hash_cache", None)
-    if cache is not None:
+    if cache is not None and cache.off is not None:
         return _grid_update_batch_cached(
             grid, cache, m, idx, d, cs, cf, digest, w3, s3, f3
         )
+    return _grid_update_batch_grouped(
+        grid, m, idx, d, cs, cf, digest, w3, s3, f3
+    )
 
+
+def _grid_update_batch_grouped(
+    grid, m, idx, d, cs, cf, digest, w3, s3, f3
+) -> int:
+    """The per-(group, row) hashing kernel (dense level masks).
+
+    The original batch kernel: re-derives every placement hash per
+    batch and masks a dense ``(U, levels)`` grid per group.  Still the
+    path for digest-carrying grids without full placement tables (the
+    digest observes per-(group, row) folds) and the reference for the
+    fused kernel's equivalence tests.
+    """
+    levels, rows, buckets = grid.levels, grid.rows, grid.buckets
     lvl_arr = np.arange(levels, dtype=np.int64)
     salts = np.array(grid._level_salts, dtype=np.uint64)
     for g in range(grid.groups):
@@ -246,6 +308,105 @@ def _grid_update_batch_cached(
             scatter_add_mod(f_flat, cells, cf_contrib)
             if digest is not None:
                 digest.observe_cells(g, r, cells, dw, cs_contrib, cf_contrib)
+    return int(m.size)
+
+
+def _grid_update_batch_fused(grid, cache, m, idx, d, cs, cf) -> int:
+    """One fused pass per row over the whole SoA block, all groups.
+
+    The per-group kernels above issue ``groups × rows`` separate
+    mask/gather/sort/fold sequences; for typical group counts (~10-14)
+    the numpy call overhead dominates service-sized batches.  This
+    kernel expands the surviving ``(update, group, level)`` triples
+    *once* — depths gathered from the placement tables when attached
+    (full or depth-only tier), or re-derived with one hashing sweep per
+    group — addresses them as **global** flat offsets into the
+    contiguous counter planes, and folds all groups' cells together in
+    a single exact/modular segment pass per row.
+
+    Bit-identity to the grouped kernels (and hence the scalar loop):
+    each counter cell belongs to exactly one group, so its set of
+    contributing ``(update, level)`` pairs is the same under either
+    partitioning; the exact weight sums and 32-bit-half modular folds
+    are order-independent; and every cell still receives exactly one
+    scatter per row.  The dense ``np.bincount`` fold triggers on the
+    same batch-vs-array density ratio as the per-group kernels (both
+    sides of the gate scale by the group count).
+    """
+    G = grid.groups
+    levels, rows, buckets = grid.levels, grid.rows, grid.buckets
+    U = m.size
+    if cache is not None:
+        depth = cache.depth[:, idx]  # (G, U) gather
+    else:
+        depth = np.empty((G, U), dtype=np.int64)
+        for g in range(G):
+            depth[g] = np.minimum(
+                trailing_zeros64_np(hash64_many(grid._level_seeds[g], idx)),
+                levels - 1,
+            )
+    # Explicit (update, group, level) pair expansion, group-major so
+    # each group's pairs are exactly the grouped kernel's update-major,
+    # level-ascending enumeration.
+    counts = (depth + 1).reshape(-1)
+    cum = np.cumsum(counts)
+    total = int(cum[-1])
+    src = np.repeat(np.arange(G * U, dtype=np.int64), counts)
+    lvl = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    g_p, u_p = np.divmod(src, U)
+    d_pairs = d[u_p]
+    cs_pairs = cs[u_p]
+    cf_pairs = cf[u_p]
+    w_plane = grid._w.reshape(-1)
+    s_plane = grid._s.reshape(-1)
+    f_plane = grid._f.reshape(-1)
+    dense = w_plane.size <= 8 * total
+    if dense:
+        d_halves = _as_halves(d_pairs)
+        cs_halves = _as_halves(cs_pairs)
+        cf_halves = _as_halves(cf_pairs)
+    member_stride = levels * rows * buckets
+    full_tables = cache is not None and cache.off is not None
+    if full_tables:
+        key = idx[u_p] * levels + lvl
+        mem_base = (g_p * grid.members + m[u_p]) * member_stride
+    else:
+        cell_base = ((g_p * grid.members + m[u_p]) * levels + lvl) * rows
+        salts = np.array(grid._level_salts, dtype=np.uint64)
+        # Bucket hashes per (group, row) over the batch's coordinates,
+        # gathered per pair below (hashes per distinct update, not per
+        # expanded pair).
+        hb = np.empty((G, rows, U), dtype=np.uint64)
+        for g in range(G):
+            for r in range(rows):
+                hb[g, r] = hash64_many(grid._bucket_seeds[g][r], idx)
+    for r in range(rows):
+        if full_tables:
+            flat = mem_base + cache.off[g_p, r, key]
+        else:
+            with np.errstate(over="ignore"):
+                b = (
+                    splitmix64_np(hb[g_p, r, u_p] ^ salts[lvl])
+                    % np.uint64(buckets)
+                ).astype(np.int64)
+            flat = (cell_base + r) * buckets + b
+        if dense:
+            cells, dw, cs_contrib, cf_contrib = _cell_sums_bincount(
+                flat, w_plane.size, d_halves, cs_halves, cf_halves
+            )
+        else:
+            order = np.argsort(flat, kind="stable")
+            sorted_cells = flat[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
+            )
+            cells = sorted_cells[starts]
+            dw = np.add.reduceat(d_pairs[order], starts)
+            cs_contrib = segment_sum_mod(cs_pairs, order, starts)
+            cf_contrib = segment_sum_mod(cf_pairs, order, starts)
+        w_plane[cells] += dw
+        scatter_add_mod(s_plane, cells, cs_contrib)
+        scatter_add_mod(f_plane, cells, cf_contrib)
     return int(m.size)
 
 

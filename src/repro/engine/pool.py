@@ -353,11 +353,170 @@ class ProcessPool:
             pass
 
 
+def _shm_worker_main(conn, sketch, names) -> None:
+    """Shard worker loop over shared-memory sampler banks.
+
+    Same command protocol as :func:`_worker_main`, but the sketch's
+    counter blocks live in named segments created by the parent: the
+    worker attaches zero-copy views at startup and folds batches
+    directly into the shared pages.  Barrier replies therefore carry no
+    counter payload — the parent serializes from its own mapping of the
+    same pages — so ``dump`` answers with a bare ack and ``finish``
+    ships only the timing counters.  The pipe round-trip doubles as the
+    write fence: by the time the ack arrives, every previously
+    submitted batch has been folded into the segment.
+
+    No segment cleanup on exit: the attachment is non-owning (see
+    :mod:`repro.sketch.shm`) and process death unmaps it.
+    """
+    from ..sketch.shm import attach_sketch
+
+    attach_sketch(sketch, names)
+    seconds = 0.0
+    events = 0
+    parent = os.getppid()
+    try:
+        while True:
+            while not conn.poll(1.0):
+                if os.getppid() != parent:  # parent died; no EOF will come
+                    return
+            cmd, payload = conn.recv()
+            if cmd == "batch":
+                start = time.perf_counter()
+                sketch.update_batch(payload)
+                seconds += time.perf_counter() - start
+                events += len(payload)
+            elif cmd == "load":
+                load_sketch(sketch, payload)
+            elif cmd == "dump":
+                conn.send(("state", None))
+            elif cmd == "finish":
+                conn.send(("final", (seconds, events)))
+                conn.close()
+                return
+            elif cmd == "crash":
+                os._exit(1)
+            elif cmd == "sleep":
+                time.sleep(payload)
+            else:  # pragma: no cover - defensive
+                conn.send(("error", f"unknown command {cmd!r}"))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        return
+
+
+class SharedMemoryPool(ProcessPool):
+    """One worker per shard folding into shared-memory sampler banks.
+
+    The parent builds each shard's sketch, moves its counter blocks
+    into named ``multiprocessing.shared_memory`` segments
+    (:func:`~repro.sketch.shm.share_sketch`), and spawns workers that
+    attach the same segments by name.  Batches still travel over the
+    pipes; sketch *state* never does:
+
+    * ``dump`` barriers serialize from the parent's own mapping once
+      the worker acks (the in-order pipe is the write fence) — no
+      pickled counter arrays cross the process boundary;
+    * ``finish`` returns a **private copy** of each shard's sketch,
+      because the engine merges after ``close()`` — which unlinks the
+      segments;
+    * ``restart_shard`` zeroes the shard's shared banks parent-side
+      (a SIGKILLed worker may have left a torn fold) and respawns a
+      worker attached to the *same* pages, so the supervisor's
+      restore-and-replay recovery is unchanged.
+
+    SIGKILL-safety: the parent owns the segments, so the stdlib
+    resource tracker unlinks them even if the parent itself dies
+    without running ``close()``; worker attachments are non-owning and
+    a worker death never unlinks a live segment.
+    """
+
+    def __init__(self, sketch_factory: Callable[[], Any], shards: int,
+                 context: Optional[str] = None,
+                 sync_timeout: float = _SYNC_TIMEOUT):
+        from ..sketch.shm import share_sketch
+
+        self._ctx = mp.get_context(context) if context else mp.get_context()
+        self._factory = sketch_factory
+        self._sync_timeout = sync_timeout
+        self._sketches = [sketch_factory() for _ in range(shards)]
+        self._names = [share_sketch(sketch) for sketch in self._sketches]
+        self._conns = []
+        self._procs = []
+        self._pending = [0] * shards
+        self._closed = False
+        for shard in range(shards):
+            conn, proc = self._spawn(shard)
+            self._conns.append(conn)
+            self._procs.append(proc)
+
+    def _spawn(self, shard: int):
+        parent_conn, child_conn = self._ctx.Pipe()
+        # The worker gets a fresh factory sketch purely as a typed
+        # shell — attach_sketch() swaps its private (zero) blocks for
+        # the shard's shared segments on startup.
+        proc = self._ctx.Process(
+            target=_shm_worker_main,
+            args=(child_conn, self._factory(), self._names[shard]),
+            daemon=True,
+            name=f"repro-ingest-shm-shard-{shard}",
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
+
+    def collect_dump(self, shard: int, timeout: Optional[float] = None) -> bytes:
+        self._recv(shard, "state", timeout=timeout)  # quiesce ack
+        return dump_sketch(self._sketches[shard])
+
+    def collect_finish(
+        self, shard: int, timeout: Optional[float] = None
+    ) -> Tuple[Any, float, int]:
+        seconds, events = self._recv(shard, "final", timeout=timeout)
+        # Private copy: the caller merges after close() unlinks the
+        # segments this sketch's views would otherwise dangle into.
+        return self._sketches[shard].copy(), seconds, events
+
+    def restart_shard(self, shard: int) -> None:
+        from ..sketch.serialization import iter_grids
+
+        self._ensure_open()
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        try:
+            self._conns[shard].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        # The dead worker may have been mid-fold; zero the shared banks
+        # so the supervisor's restore + replay starts from clean state.
+        for grid in iter_grids(self._sketches[shard]):
+            grid.reset()
+        conn, proc = self._spawn(shard)
+        self._conns[shard] = conn
+        self._procs[shard] = proc
+        self._pending[shard] = 0
+
+    def close(self, force: bool = False) -> None:
+        from ..sketch.shm import release_sketch
+
+        if self._closed:
+            return
+        super().close(force=force)
+        # Workers are dead and the parent's copies (if any) were taken
+        # at collect_finish; drop the mappings and delete the segments.
+        for sketch in self._sketches:
+            release_sketch(sketch, unlink=True, copy=False)
+
+
 def make_pool(backend: str, sketch_factory: Callable[[], Any], shards: int,
               sync_timeout: float = _SYNC_TIMEOUT):
-    """Build a worker pool: ``backend`` is ``"serial"`` or ``"process"``."""
+    """Build a worker pool: ``backend`` is ``"serial"``, ``"process"``,
+    or ``"shm"`` (process workers over shared-memory banks)."""
     if backend == "serial":
         return SerialPool(sketch_factory, shards)
     if backend == "process":
         return ProcessPool(sketch_factory, shards, sync_timeout=sync_timeout)
+    if backend == "shm":
+        return SharedMemoryPool(sketch_factory, shards, sync_timeout=sync_timeout)
     raise EngineError(f"unknown ingest backend {backend!r}")

@@ -92,8 +92,10 @@ class ShardedIngestEngine:
     batch_size:
         Events buffered per shard before a vectorised fold.
     backend:
-        ``"serial"`` (in-process) or ``"process"`` (one OS process per
-        shard via ``multiprocessing``).
+        ``"serial"`` (in-process), ``"process"`` (one OS process per
+        shard via ``multiprocessing``, state pickled at barriers), or
+        ``"shm"`` (one process per shard folding into shared-memory
+        sampler banks — zero-copy barriers and merges).
     partition_seed:
         Seed of the shard hash; a resumed run must reuse it (it is
         recorded in checkpoints and verified on resume).

@@ -347,6 +347,11 @@ class SketchRegistry:
             except Exception:
                 # Oversized domain: serve through the hashing kernel.
                 pass
+        else:
+            # Opting out must also cover the batch kernel's budgeted
+            # lazy attach, not just the eager one above.
+            for grid in iter_grids(sketch):
+                grid.detach_hash_cache()
         if self.summed_cache_capacity:
             from ..engine.query import SummedCache
 

@@ -12,17 +12,24 @@ indexed by ``(group, member)`` where
   boundary δ(S)) — and **independent across groups**, which is what
   the decoding loops consume one round at a time.
 
-Counters are stored in three numpy ``int64`` arrays of shape
-``(groups, members, levels, rows, buckets)``: exact weights, index
-sums mod p, and fingerprints mod p (see
-:mod:`repro.sketch.onesparse` for the cell semantics).  A single
-stream update touches every group at once through vectorised hashing,
-which is the hot path of the library.
+Counters live in **one contiguous int64 block** of shape
+``(3, groups, members, levels, rows, buckets)`` — exact weights, index
+sums mod p, and fingerprints mod p as the three planes (see
+:mod:`repro.sketch.onesparse` for the cell semantics); ``_w`` / ``_s``
+/ ``_f`` are zero-copy views into it.  The single backing buffer is
+what makes merges one vectorised fold, checkpoint restores in-place
+writes, and — via :mod:`repro.sketch.shm` — lets shard workers map the
+same physical pages through ``multiprocessing.shared_memory`` instead
+of pickling member states.  A single stream update touches every group
+at once through vectorised hashing, which is the hot path of the
+library.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -122,28 +129,36 @@ class _HashTableCache:
     ``(groups, domain)``); ``off[g, r]`` maps the flattened
     ``coordinate * levels + lvl`` key -> in-member flat cell offset
     (smallest unsigned dtype that fits, shape
-    ``(groups, rows, domain * levels)``).
+    ``(groups, rows, domain * levels)``).  ``off`` may be None — the
+    *depth-only* tier kept when the full offset tables would blow the
+    memory budget; the kernel then gathers depths but re-hashes
+    buckets.
     """
 
     __slots__ = ("depth", "off", "nbytes")
 
-    def __init__(self, depth: np.ndarray, off: np.ndarray):
+    def __init__(self, depth: np.ndarray, off: Optional[np.ndarray]):
         self.depth = depth
         self.off = off
-        self.nbytes = depth.nbytes + off.nbytes
+        self.nbytes = depth.nbytes + (0 if off is None else off.nbytes)
+
+
+def _depth_table_bytes(grid) -> int:
+    """Footprint of the depth-only tier (int64 per coordinate/group)."""
+    return grid.groups * grid.domain * 8
 
 
 def _hash_cache_bytes(grid) -> int:
-    """Predicted table footprint of :func:`_build_hash_cache`."""
+    """Predicted full-tier table footprint of :func:`_build_hash_cache`."""
     cells = grid.levels * grid.rows * grid.buckets
     itemsize = 2 if cells <= (1 << 16) else 4
     return (
-        grid.groups * grid.domain * 8
+        _depth_table_bytes(grid)
         + grid.groups * grid.rows * grid.domain * grid.levels * itemsize
     )
 
 
-def _build_hash_cache(grid) -> _HashTableCache:
+def _build_hash_cache(grid, depth_only: bool = False) -> _HashTableCache:
     """Tabulate every placement hash of a grid over its whole domain."""
     levels, rows, buckets = grid.levels, grid.rows, grid.buckets
     dom = np.arange(grid.domain, dtype=np.int64)
@@ -151,12 +166,18 @@ def _build_hash_cache(grid) -> _HashTableCache:
     salts = np.array(grid._level_salts, dtype=np.uint64)
     off_dtype = np.uint16 if levels * rows * buckets <= (1 << 16) else np.uint32
     depth = np.empty((grid.groups, grid.domain), dtype=np.int64)
-    off = np.empty((grid.groups, rows, grid.domain * levels), dtype=off_dtype)
+    off = (
+        None
+        if depth_only
+        else np.empty((grid.groups, rows, grid.domain * levels), dtype=off_dtype)
+    )
     for g in range(grid.groups):
         depth[g] = np.minimum(
             trailing_zeros64_np(hash64_many(grid._level_seeds[g], dom)),
             levels - 1,
         )
+        if off is None:
+            continue
         for r in range(rows):
             h = hash64_many(grid._bucket_seeds[g][r], dom)
             with np.errstate(over="ignore"):
@@ -168,15 +189,89 @@ def _build_hash_cache(grid) -> _HashTableCache:
     return _HashTableCache(depth, off)
 
 
-#: Shared pool of placement tables.  Grids with equal (seed, geometry)
-#: — e.g. the shards of an engine, or a restored replica of a served
-#: sketch — hash identically, so they share one table set.
-_HASH_CACHE_POOL: Dict[tuple, _HashTableCache] = {}
+#: Shared pool of placement tables, LRU-ordered.  Grids with equal
+#: (seed, geometry) — e.g. the shards of an engine, or a restored
+#: replica of a served sketch — hash identically, so they share one
+#: table set.  The pool holds at most ``_HASH_CACHE_POOL_BUDGET``
+#: bytes of tables (by *actual* ``nbytes``, not entry count); putting
+#: a new table evicts least-recently-used ones to fit.  Grids keep a
+#: direct reference to their table, so eviction only drops the pooled
+#: handle — attached tables stay valid.
+_HASH_CACHE_POOL: "OrderedDict[tuple, _HashTableCache]" = OrderedDict()
+_HASH_CACHE_POOL_BUDGET = 1 << 28
+
+#: Process-wide default for the ingest path: when True (the default)
+#: the batched update kernel attaches placement tables on first use,
+#: within the pool budget, spilling back to the hashing kernel for
+#: oversized domains.  The switch exists for benchmarking the hashing
+#: kernel against the table-driven one (both are bit-identical).
+_AUTO_HASH_CACHE = True
 
 
 def clear_hash_cache_pool() -> None:
     """Drop every pooled placement table (tests / memory pressure)."""
     _HASH_CACHE_POOL.clear()
+
+
+def hash_cache_pool_bytes() -> int:
+    """Actual bytes of placement tables currently pooled."""
+    return sum(cache.nbytes for cache in _HASH_CACHE_POOL.values())
+
+
+def set_hash_cache_budget(max_bytes: int) -> int:
+    """Set the pool byte budget (evicting LRU to fit); returns the old."""
+    global _HASH_CACHE_POOL_BUDGET
+    previous = _HASH_CACHE_POOL_BUDGET
+    _HASH_CACHE_POOL_BUDGET = int(max_bytes)
+    _evict_to_budget(0)
+    return previous
+
+
+def hash_cache_budget() -> int:
+    """The current pool byte budget."""
+    return _HASH_CACHE_POOL_BUDGET
+
+
+def set_auto_hash_cache(enabled: bool) -> bool:
+    """Set the auto-attach default for the batched ingest kernel;
+    returns the old value."""
+    global _AUTO_HASH_CACHE
+    previous = _AUTO_HASH_CACHE
+    _AUTO_HASH_CACHE = bool(enabled)
+    return previous
+
+
+def auto_hash_cache_default() -> bool:
+    """Whether batched ingest currently auto-attaches placement tables."""
+    return _AUTO_HASH_CACHE
+
+
+def _evict_to_budget(incoming: int) -> None:
+    """Evict LRU tables until ``incoming`` more bytes would fit."""
+    while _HASH_CACHE_POOL and (
+        hash_cache_pool_bytes() + incoming > _HASH_CACHE_POOL_BUDGET
+    ):
+        _HASH_CACHE_POOL.popitem(last=False)
+
+
+def _pool_get(key: tuple) -> Optional[_HashTableCache]:
+    cache = _HASH_CACHE_POOL.get(key)
+    if cache is not None:
+        _HASH_CACHE_POOL.move_to_end(key)
+    return cache
+
+
+def _pool_put(key: tuple, cache: _HashTableCache) -> None:
+    _evict_to_budget(cache.nbytes)
+    _HASH_CACHE_POOL[key] = cache
+
+
+# Forked workers (ProcessPool, SharedMemoryPool) inherit the parent's
+# pooled tables as copy-on-write pages; clearing the child's pool keeps
+# its byte accounting honest (no double-counting of shared physical
+# pages) while any table already *attached* to a grid stays referenced
+# and usable.
+os.register_at_fork(after_in_child=clear_hash_cache_pool)
 
 
 # -- scalar-path memoization ---------------------------------------------
@@ -258,10 +353,16 @@ class SamplerGrid:
         self.buckets = buckets
         self.levels = levels if levels is not None else default_levels(domain, max_support)
         self.seed = seed & ((1 << 64) - 1)
+        #: One contiguous SoA backing block: plane 0 = exact weights,
+        #: plane 1 = index sums mod p, plane 2 = fingerprints mod p.
+        #: ``_w`` / ``_s`` / ``_f`` are views into it (see
+        #: :meth:`_bind_views`); the block itself may live in a named
+        #: shared-memory segment (:meth:`to_shared`).
         shape = (groups, members, self.levels, rows, buckets)
-        self._w = np.zeros(shape, dtype=np.int64)
-        self._s = np.zeros(shape, dtype=np.int64)
-        self._f = np.zeros(shape, dtype=np.int64)
+        self._block = np.zeros((3,) + shape, dtype=np.int64)
+        self._shm = None
+        self._shm_name = None
+        self._bind_views()
         self._level_seeds = [derive_seed(self.seed, 1, g) for g in range(groups)]
         self._bucket_seeds = [
             [derive_seed(self.seed, 2, g, r) for r in range(rows)]
@@ -288,8 +389,124 @@ class SamplerGrid:
         #: Optional :class:`_HashTableCache` — precomputed placement
         #: tables consulted by the batched update kernel.  Purely a
         #: performance switch: the cached and hashing kernels are
-        #: bit-identical (the equivalence tests enforce it).
+        #: bit-identical (the equivalence tests enforce it).  Attached
+        #: lazily by the kernel itself unless auto-attach is disabled
+        #: (module default or per-grid ``_hash_cache_auto``); a domain
+        #: too large for even the depth tier sets ``_hash_cache_spilled``
+        #: so the kernel stops re-trying and rehashes per batch.
         self._hash_cache = None
+        self._hash_cache_auto = None
+        self._hash_cache_spilled = False
+
+    # -- storage (SoA block, shared-memory backing) ----------------------
+
+    def _bind_views(self) -> None:
+        """(Re)derive the ``_w`` / ``_s`` / ``_f`` plane views."""
+        self._w = self._block[0]
+        self._s = self._block[1]
+        self._f = self._block[2]
+
+    @property
+    def shared_name(self) -> Optional[str]:
+        """Segment name when shared-memory backed, else None."""
+        return self._shm_name
+
+    def to_shared(self, name: Optional[str] = None) -> str:
+        """Move the counter block into a named shared-memory segment.
+
+        Creates (and owns) the segment, copies the current counters in,
+        and rebinds ``_block`` and the plane views onto the mapping —
+        zero further copies for this process or any process that
+        :meth:`attach_shared` the returned name.  Idempotent on an
+        already-shared grid (returns the existing name).
+        """
+        from .shm import create_segment
+
+        if self._shm is not None:
+            return self._shm_name
+        shm = create_segment(self._block.nbytes, name=name)
+        block = np.frombuffer(
+            shm.buf, dtype=np.int64, count=self._block.size
+        ).reshape(self._block.shape)
+        block[...] = self._block
+        self._block = block
+        self._shm = shm
+        self._shm_name = shm.name
+        self._bind_views()
+        return shm.name
+
+    def attach_shared(self, name: str) -> None:
+        """Rebind the counters onto an existing segment (zero-copy).
+
+        The grid's current counters are discarded — after this call it
+        aliases whatever the segment holds.  The attachment is
+        non-owning: this process never unlinks the segment (see
+        :mod:`repro.sketch.shm` for the tracker rules).
+        """
+        from .shm import attach_segment, close_segment
+
+        shm = attach_segment(name)
+        if shm.size < self._block.nbytes:
+            close_segment(shm)
+            raise EngineError(
+                f"shared segment {name!r} holds {shm.size} bytes but the "
+                f"grid needs {self._block.nbytes}"
+            )
+        self._block = np.frombuffer(
+            shm.buf, dtype=np.int64, count=self._block.size
+        ).reshape(self._block.shape)
+        self._shm = shm
+        self._shm_name = name
+        self._bind_views()
+        # The mapped counters are foreign state; any cached sums or
+        # digest baselines derived from the old private block are stale.
+        self._touch_all()
+
+    def release_shared(self, unlink: bool = False, copy: bool = True) -> None:
+        """Detach from shared memory; no-op for privately-backed grids.
+
+        With ``copy=True`` the counters survive in a fresh private
+        block (the engine's merge-after-close path); ``copy=False``
+        abandons them with the segment (teardown).  ``unlink=True``
+        deletes the segment — only its creator should pass it.
+        """
+        from .shm import close_segment
+
+        if self._shm is None:
+            return
+        shm = self._shm
+        block = (
+            np.array(self._block)
+            if copy
+            else np.zeros(self._block.shape, dtype=np.int64)
+        )
+        # Rebind before closing: live views into shm.buf pin the mmap.
+        self._block = block
+        self._shm = None
+        self._shm_name = None
+        self._bind_views()
+        close_segment(shm, unlink=unlink)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # A pickle always carries a private counter block; segment
+        # handles, placement tables (pooled per process), and cache
+        # bookkeeping are address-space artifacts, not sketch state.
+        for view in ("_w", "_s", "_f"):
+            state.pop(view, None)
+        if self._shm is not None:
+            state["_block"] = np.array(self._block)
+        state["_shm"] = None
+        state["_shm_name"] = None
+        state["_hash_cache"] = None
+        state["_summed_cache"] = None
+        state["_member_epoch"] = None
+        state["_epoch"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._bind_views()
 
     # -- streaming ------------------------------------------------------
 
@@ -365,9 +582,7 @@ class SamplerGrid:
 
     def reset(self) -> None:
         """Zero all counters (back to the empty-stream state)."""
-        self._w.fill(0)
-        self._s.fill(0)
-        self._f.fill(0)
+        self._block.fill(0)
         self._updates = 0
         if self._digest is not None:
             self._digest.reset()
@@ -383,32 +598,62 @@ class SamplerGrid:
         of rehashing them — the sustained-ingest fast path of the
         serving layer.  Tables are immutable and shared across grids
         with equal seed and geometry (engine shards, restored
-        replicas).  Raises :class:`~repro.errors.EngineError` when the
-        tables would exceed ``max_bytes`` (they grow with
-        ``domain × levels``; this path is for serving-sized domains,
-        not astronomically large hyperedge spaces).  Returns the table
-        footprint in bytes.
+        replicas).  Tiered by ``max_bytes``: full tables when they fit,
+        the depth-only tier (offset gather replaced by bucket
+        rehashing) when only it fits, and
+        :class:`~repro.errors.EngineError` when even the depth tier
+        would exceed the budget (tables grow with ``domain × levels``;
+        this path is for serving-sized domains, not astronomically
+        large hyperedge spaces).  Returns the table footprint in bytes.
         """
-        predicted = _hash_cache_bytes(self)
-        if predicted > max_bytes:
+        depth_only = _hash_cache_bytes(self) > max_bytes
+        if depth_only and _depth_table_bytes(self) > max_bytes:
             raise EngineError(
-                f"placement tables would need {predicted} bytes "
-                f"(> max_bytes={max_bytes}) for domain={self.domain}, "
-                f"levels={self.levels}; hash-table ingest is meant for "
+                f"even depth-only placement tables would need "
+                f"{_depth_table_bytes(self)} bytes (> max_bytes="
+                f"{max_bytes}) for domain={self.domain}, levels="
+                f"{self.levels}; hash-table ingest is meant for "
                 "serving-sized domains"
             )
         key = (self.seed, self.groups, self.domain,
                self.levels, self.rows, self.buckets)
-        cache = _HASH_CACHE_POOL.get(key)
+        cache = _pool_get(key)
+        if cache is not None and cache.off is None and not depth_only:
+            cache = None  # pooled at a lower tier than affordable: upgrade
         if cache is None:
-            cache = _build_hash_cache(self)
-            _HASH_CACHE_POOL[key] = cache
+            cache = _build_hash_cache(self, depth_only=depth_only)
+            _pool_put(key, cache)
         self._hash_cache = cache
+        self._hash_cache_spilled = False
         return cache.nbytes
 
     def detach_hash_cache(self) -> None:
-        """Stop consulting placement tables (the pool keeps them)."""
+        """Stop consulting placement tables (the pool keeps them).
+
+        Also opts this grid out of the kernel's lazy auto-attach —
+        detaching would otherwise last exactly one batch.
+        """
         self._hash_cache = None
+        self._hash_cache_auto = False
+
+    def _ensure_hash_cache(self) -> Optional[_HashTableCache]:
+        """The kernel's lazy default-path attach, under the pool budget.
+
+        Returns the attached tables, or None when auto-attach is off
+        (module switch or a prior :meth:`detach_hash_cache`) or the
+        domain spilled past even the depth tier — in which case the
+        spill is remembered so each batch does not re-try the attach.
+        """
+        if self._hash_cache is not None or self._hash_cache_spilled:
+            return self._hash_cache
+        auto = self._hash_cache_auto
+        if not (_AUTO_HASH_CACHE if auto is None else auto):
+            return None
+        try:
+            self.attach_hash_cache(max_bytes=_HASH_CACHE_POOL_BUDGET)
+        except EngineError:
+            self._hash_cache_spilled = True
+        return self._hash_cache
 
     # -- summed-sketch cache plumbing -----------------------------------
 
@@ -463,9 +708,15 @@ class SamplerGrid:
 
     def __iadd__(self, other: "SamplerGrid") -> "SamplerGrid":
         self._check_compatible(other)
-        self._w += other._w
-        self._s = _add_mod(self._s, other._s)
-        self._f = _add_mod(self._f, other._f)
+        # One vectorised fold over the whole SoA block, in place (the
+        # block may be a shared-memory mapping — never rebind it).
+        # Residue planes hold canonical values < p, so a single
+        # conditional subtract renormalises: bit-identical to the
+        # historical per-array ``(a + b) mod p``.
+        self._block[0] += other._block[0]
+        mod = self._block[1:]
+        mod += other._block[1:]
+        np.subtract(mod, _P, out=mod, where=mod >= _P)
         if self._digest is not None:
             self._digest.absorb(self._digest_of(other))
         self._touch_all()
@@ -473,9 +724,10 @@ class SamplerGrid:
 
     def __isub__(self, other: "SamplerGrid") -> "SamplerGrid":
         self._check_compatible(other)
-        self._w -= other._w
-        self._s = _sub_mod(self._s, other._s)
-        self._f = _sub_mod(self._f, other._f)
+        self._block[0] -= other._block[0]
+        mod = self._block[1:]
+        mod -= other._block[1:]
+        np.add(mod, _P, out=mod, where=mod < 0)
         if self._digest is not None:
             self._digest.absorb(self._digest_of(other), sign=-1)
         self._touch_all()
@@ -484,9 +736,11 @@ class SamplerGrid:
     def copy(self) -> "SamplerGrid":
         out = SamplerGrid.__new__(SamplerGrid)
         out.__dict__.update(self.__dict__)
-        out._w = self._w.copy()
-        out._s = self._s.copy()
-        out._f = self._f.copy()
+        # Copies are always privately backed, even off a shared grid.
+        out._block = np.array(self._block)
+        out._shm = None
+        out._shm_name = None
+        out._bind_views()
         out._digest = None if self._digest is None else self._digest.copy()
         # A copy diverges from the original immediately; sharing a
         # summed cache would serve the original's sums for the copy's
@@ -651,7 +905,7 @@ class SamplerGrid:
 
     def space_bytes(self) -> int:
         """Bytes of counter state."""
-        return self._w.nbytes + self._s.nbytes + self._f.nbytes
+        return self._block.nbytes
 
     @property
     def update_count(self) -> int:

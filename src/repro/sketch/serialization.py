@@ -121,16 +121,20 @@ def load_grid(grid: SamplerGrid, blob: bytes, accumulate: bool = False) -> Sampl
     _check_header(grid, header)
     shape = grid._w.shape
     w, s, f = w.reshape(shape), s.reshape(shape), f.reshape(shape)
-    if accumulate:
-        from .bank import _add_mod
+    # Strictly in-place: the counter arrays are views into the grid's
+    # SoA block, which may itself be a shared-memory mapping other
+    # processes hold — rebinding would silently detach them.
+    from ..util.prime_field import MERSENNE_61 as _P
 
+    if accumulate:
         grid._w += w
-        grid._s = _add_mod(grid._s, s)
-        grid._f = _add_mod(grid._f, f)
+        for dst, src in ((grid._s, s), (grid._f, f)):
+            dst += src
+            np.subtract(dst, _P, out=dst, where=dst >= _P)
     else:
-        grid._w = w.astype(np.int64)
-        grid._s = s.astype(np.int64)
-        grid._f = f.astype(np.int64)
+        grid._w[...] = w
+        grid._s[...] = s
+        grid._f[...] = f
     if grid._digest is not None:
         # The blob's payload CRC already vouched for the bytes; rebase
         # the maintained digest on the restored counters.

@@ -40,7 +40,7 @@ class TestBenchSmoke:
             validator.apply(u)
         assert len(stream) > 0
 
-    @pytest.mark.parametrize("backend", ["serial", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "process", "shm"])
     def test_smoke_comparison(self, backend):
         r = churn_comparison(
             24, p=0.15, seed=2, shards=2, batch_size=64, backend=backend
@@ -49,6 +49,43 @@ class TestBenchSmoke:
         assert r["sharded_identical"]
         assert r["events"] > 0
         assert r["scalar_ups"] > 0 and r["batched_ups"] > 0
+
+    def test_smoke_ingest_speedup_gate(self):
+        """Tier-1 E19 gate: the default fused path must stay both fast
+        and bit-identical to the legacy kernels at small n.
+
+        The timing bar is deliberately conservative (the full benchmark
+        asserts 5x at n >= 256 and 30x at n = 1024): a kernel change
+        that drops batched ingest below ~2.5x scalar at n = 128 has
+        lost an order of magnitude at scale and should fail tier-1, not
+        wait for the nightly bench.
+        """
+        from repro.engine.batch import set_fused_kernel
+        from repro.sketch.bank import set_auto_hash_cache
+        from repro.sketch.serialization import dump_sketch
+        from repro.sketch.spanning_forest import SpanningForestSketch
+
+        r = churn_comparison(128, p=0.05, seed=2, shards=2, batch_size=256)
+        assert r["batched_identical"] and r["sharded_identical"]
+        assert r["speedup_batched"] >= 2.5, (
+            f"batched ingest {r['speedup_batched']:.2f}x scalar at n=128 — "
+            "the fused default path lost its headroom over the 5x/30x bars"
+        )
+
+        # The default (fused + auto tables) state must equal the legacy
+        # kernel state byte for byte on the same stream.
+        stream = churn_stream(128, 0.05, 2)
+        modern = SpanningForestSketch(128, seed=2)
+        modern.update_batch(stream)
+        prev_auto = set_auto_hash_cache(False)
+        prev_fused = set_fused_kernel(False)
+        try:
+            legacy = SpanningForestSketch(128, seed=2)
+            legacy.update_batch(stream)
+        finally:
+            set_auto_hash_cache(prev_auto)
+            set_fused_kernel(prev_fused)
+        assert dump_sketch(modern) == dump_sketch(legacy)
 
     @pytest.mark.faults
     def test_smoke_recovery_comparison(self):
